@@ -1,0 +1,225 @@
+(* Bechamel benchmarks: one per paper table/figure (timing a
+   representative slice of the experiment that regenerates it; the full
+   tables are produced by bin/run_experiments.exe), plus
+   micro-benchmarks of the hot data structures.
+
+   Run with: dune exec bench/main.exe *)
+
+open Bechamel
+open Toolkit
+
+let mcnc name = Option.get (Netlist.Mcnc.find name)
+
+(* Shared workloads, built once. *)
+let c3540_3000 = lazy (Netlist.Mcnc.surrogate (mcnc "c3540") Device.XC3000)
+let c3540_2000 = lazy (Netlist.Mcnc.surrogate (mcnc "c3540") Device.XC2000)
+let s5378_3000 = lazy (Netlist.Mcnc.surrogate (mcnc "s5378") Device.XC3000)
+
+let fpart hg device = ignore (Fpart.Driver.run (Lazy.force hg) device)
+
+(* Table 1: workload generation (the surrogate builder itself). *)
+let bench_table1 =
+  Test.make ~name:"table1/generate-c3540"
+    (Staged.stage (fun () ->
+         let spec =
+           Netlist.Generator.default_spec ~name:"c3540" ~cells:283 ~pads:72 ~seed:1
+         in
+         ignore (Netlist.Generator.generate spec)))
+
+(* Tables 2-5: one representative (circuit, device) per table, all three
+   algorithms for Table 2 (the headline comparison). *)
+let bench_table2_fpart =
+  Test.make ~name:"table2/fpart-c3540-xc3020"
+    (Staged.stage (fun () -> fpart c3540_3000 Device.xc3020))
+
+let bench_table2_kwayx =
+  Test.make ~name:"table2/kwayx-c3540-xc3020"
+    (Staged.stage (fun () ->
+         ignore (Fpart.Kwayx.run (Lazy.force c3540_3000) Device.xc3020)))
+
+let bench_table2_fbbmw =
+  Test.make ~name:"table2/fbbmw-c3540-xc3020"
+    (Staged.stage (fun () ->
+         ignore
+           (Flow.Fbb_mw.partition (Lazy.force c3540_3000) Device.xc3020
+              Flow.Fbb_mw.default_config)))
+
+let bench_table3 =
+  Test.make ~name:"table3/fpart-c3540-xc3042"
+    (Staged.stage (fun () -> fpart c3540_3000 Device.xc3042))
+
+let bench_table4 =
+  Test.make ~name:"table4/fpart-s5378-xc3090"
+    (Staged.stage (fun () -> fpart s5378_3000 Device.xc3090))
+
+let bench_table5 =
+  Test.make ~name:"table5/fpart-c3540-xc2064"
+    (Staged.stage (fun () -> fpart c3540_2000 Device.xc2064))
+
+(* Table 6 is itself a timing table; benchmark the dominant cost (a full
+   FPART run on a mid-size circuit). *)
+let bench_table6 =
+  Test.make ~name:"table6/fpart-s5378-xc3020"
+    (Staged.stage (fun () -> fpart s5378_3000 Device.xc3020))
+
+(* Figure 1: driver with trace recording. *)
+let bench_figure1 =
+  Test.make ~name:"figure1/fpart-trace-s5378-xc3042"
+    (Staged.stage (fun () -> fpart s5378_3000 Device.xc3042))
+
+(* Figure 2: the lexicographic solution evaluation (runs once per move
+   in every improvement pass — the hot cost path). *)
+let bench_figure2 =
+  let st =
+    lazy
+      (Partition.State.create (Lazy.force c3540_3000) ~k:6 ~assign:(fun v -> v mod 6))
+  in
+  let ctx =
+    lazy (Partition.Cost.context_of Device.xc3020 ~delta:0.9 (Lazy.force c3540_3000))
+  in
+  Test.make ~name:"figure2/cost-evaluate"
+    (Staged.stage (fun () ->
+         ignore
+           (Partition.Cost.evaluate Partition.Cost.default_params (Lazy.force ctx)
+              (Lazy.force st) ~remainder:(Some 5) ~step_k:3)))
+
+(* Figure 3: one bounded Sanchis pair pass (the move-region machinery). *)
+let bench_figure3 =
+  Test.make ~name:"figure3/sanchis-pair-pass"
+    (Staged.stage (fun () ->
+         let hg = Lazy.force c3540_3000 in
+         let st = Partition.State.create hg ~k:2 ~assign:(fun v -> v land 1) in
+         let ctx = Partition.Cost.context_of Device.xc3020 ~delta:0.9 hg in
+         let spec =
+           {
+             Sanchis.active = [| 0; 1 |];
+             remainder = Some 1;
+             lower = Array.make 2 0;
+             upper = Array.make 2 max_int;
+           }
+         in
+         let config = { Sanchis.default_config with max_passes = 1; stack_depth = 0 } in
+         let eval st =
+           Partition.Cost.evaluate Partition.Cost.default_params ctx st
+             ~remainder:(Some 1) ~step_k:1
+         in
+         ignore (Sanchis.improve st ~spec ~config ~eval)))
+
+(* Micro-benchmarks of the substrates. *)
+let bench_state_move =
+  let st =
+    lazy
+      (Partition.State.create (Lazy.force c3540_3000) ~k:4 ~assign:(fun v -> v mod 4))
+  in
+  Test.make ~name:"micro/state-move"
+    (Staged.stage (fun () ->
+         let st = Lazy.force st in
+         Partition.State.move st 0 1;
+         Partition.State.move st 0 0))
+
+let bench_cut_gain =
+  let st =
+    lazy
+      (Partition.State.create (Lazy.force c3540_3000) ~k:4 ~assign:(fun v -> v mod 4))
+  in
+  Test.make ~name:"micro/cut-gain"
+    (Staged.stage (fun () -> ignore (Partition.State.cut_gain (Lazy.force st) 0 1)))
+
+let bench_bucket =
+  Test.make ~name:"micro/bucket-insert-remove"
+    (Staged.stage
+       (let b = Gainbucket.Bucket_array.create ~cells:1024 ~max_gain:32 () in
+        fun () ->
+          for c = 0 to 63 do
+            Gainbucket.Bucket_array.insert b c ((c mod 65) - 32)
+          done;
+          for c = 0 to 63 do
+            Gainbucket.Bucket_array.remove b c
+          done))
+
+let bench_fbb =
+  Test.make ~name:"micro/fbb-bipartition-small"
+    (Staged.stage (fun () ->
+         let hg = Lazy.force c3540_3000 in
+         let rng = Prng.Splitmix.create 7 in
+         ignore
+           (Flow.Fbb.bipartition hg
+              ~keep:(fun _ -> true)
+              ~seed_s:0
+              ~seed_t:(Hypergraph.Hgraph.num_cells hg - 1)
+              ~lo:100 ~hi:160 ~rng)))
+
+(* Extensions: clustering pre-pass, clustered driver, heterogeneous. *)
+let bench_cluster_build =
+  Test.make ~name:"ext/cluster-build-c3540"
+    (Staged.stage (fun () ->
+         ignore (Cluster.build (Lazy.force c3540_3000) ~max_cluster_size:4 ~seed:1)))
+
+let bench_fpart_clustered =
+  Test.make ~name:"ext/fpart-clustered-c3540-xc3020"
+    (Staged.stage (fun () ->
+         let config = { Fpart.Config.default with cluster_size = Some 4 } in
+         ignore (Fpart.Driver.run ~config (Lazy.force c3540_3000) Device.xc3020)))
+
+let bench_hetero =
+  Test.make ~name:"ext/hetero-c3540"
+    (Staged.stage (fun () -> ignore (Fpart.Hetero.run (Lazy.force c3540_3000))))
+
+let tests =
+  Test.make_grouped ~name:"fpart"
+    [
+      bench_table1;
+      bench_table2_fpart;
+      bench_table2_kwayx;
+      bench_table2_fbbmw;
+      bench_table3;
+      bench_table4;
+      bench_table5;
+      bench_table6;
+      bench_figure1;
+      bench_figure2;
+      bench_figure3;
+      bench_state_move;
+      bench_cut_gain;
+      bench_bucket;
+      bench_fbb;
+      bench_cluster_build;
+      bench_fpart_clustered;
+      bench_hetero;
+    ]
+
+let () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 1.0) ~stabilize:false ()
+  in
+  let raw = Benchmark.all cfg instances tests in
+  let results =
+    List.map (fun instance -> Analyze.all ols instance raw) instances
+  in
+  let merged = Analyze.merge ols instances results in
+  Printf.printf "%-42s %15s\n" "benchmark" "time/run";
+  Printf.printf "%s\n" (String.make 58 '-');
+  Hashtbl.iter
+    (fun _measure tbl ->
+      let rows =
+        Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) tbl []
+        |> List.sort compare
+      in
+      List.iter
+        (fun (name, ols) ->
+          match Analyze.OLS.estimates ols with
+          | Some [ est ] ->
+            let pretty =
+              if est >= 1e9 then Printf.sprintf "%.2f s" (est /. 1e9)
+              else if est >= 1e6 then Printf.sprintf "%.2f ms" (est /. 1e6)
+              else if est >= 1e3 then Printf.sprintf "%.2f us" (est /. 1e3)
+              else Printf.sprintf "%.0f ns" est
+            in
+            Printf.printf "%-42s %15s\n" name pretty
+          | _ -> Printf.printf "%-42s %15s\n" name "n/a")
+        rows)
+    merged

@@ -1,0 +1,1 @@
+bin/fpart_cli.ml: Arg Array Cmd Cmdliner Device Filename Flow Format Fpart Hashtbl Hypergraph List Netlist Partition Printf String Term

@@ -1,0 +1,1 @@
+bin/fpart_cli.mli:

@@ -1,0 +1,273 @@
+(* fpart: partition a BLIF netlist onto copies of an FPGA device.
+
+   Usage:
+     fpart CIRCUIT.blif --device XC3020 [--delta 0.9] [--algo fpart]
+     fpart --generate 400x60 --device XC3042 -o out_prefix
+
+   Prints a per-block report; with -o, also writes one BLIF per block
+   whose cells are the block's cells (pads become that device's I/O). *)
+
+open Cmdliner
+
+let load_circuit input generate seed =
+  match (input, generate) with
+  | Some path, None -> (
+    (* format by extension: .v = structural Verilog, everything else BLIF *)
+    if Filename.check_suffix path ".v" then
+      match Netlist.Verilog.parse_file path with
+      | Ok m -> Ok (m.Netlist.Verilog.mod_name, m.Netlist.Verilog.graph)
+      | Error e -> Error (Printf.sprintf "cannot parse %s: %s" path e)
+    else
+      match Netlist.Blif.parse_file path with
+      | Ok m -> Ok (m.Netlist.Blif.model_name, m.Netlist.Blif.graph)
+      | Error e -> Error (Printf.sprintf "cannot parse %s: %s" path e))
+  | None, Some spec -> (
+    match String.split_on_char 'x' spec with
+    | [ cells; pads ] -> (
+      match (int_of_string_opt cells, int_of_string_opt pads) with
+      | Some cells, Some pads when cells >= 2 && pads >= 1 ->
+        let spec =
+          Netlist.Generator.default_spec ~name:"gen" ~cells ~pads ~seed
+        in
+        Ok ("generated", Netlist.Generator.generate spec)
+      | _ -> Error "bad --generate spec (expected CELLSxPADS, e.g. 400x60)")
+    | _ -> Error "bad --generate spec (expected CELLSxPADS, e.g. 400x60)")
+  | Some _, Some _ -> Error "give either an input file or --generate, not both"
+  | None, None -> Error "no input: give a BLIF file or --generate CELLSxPADS"
+
+type algo = Algo_fpart | Algo_kwayx | Algo_fbb_mw
+
+let algo_conv =
+  let parse = function
+    | "fpart" -> Ok Algo_fpart
+    | "kwayx" | "k-way.x" -> Ok Algo_kwayx
+    | "fbb-mw" | "fbbmw" -> Ok Algo_fbb_mw
+    | s -> Error (`Msg (Printf.sprintf "unknown algorithm %S" s))
+  in
+  let print ppf a =
+    Format.pp_print_string ppf
+      (match a with
+      | Algo_fpart -> "fpart"
+      | Algo_kwayx -> "kwayx"
+      | Algo_fbb_mw -> "fbb-mw")
+  in
+  Arg.conv (parse, print)
+
+let partition algo hg device delta seed runs cluster =
+  match algo with
+  | Algo_fpart ->
+    let config =
+      { Fpart.Config.default with delta; seed; cluster_size = cluster }
+    in
+    let r = Fpart.Driver.run_best ~config ~runs hg device in
+    (r.Fpart.Driver.k, r.Fpart.Driver.assignment, r.Fpart.Driver.feasible)
+  | Algo_kwayx ->
+    let r = Fpart.Kwayx.run ?delta hg device in
+    (r.Fpart.Kwayx.k, r.Fpart.Kwayx.assignment, r.Fpart.Kwayx.feasible)
+  | Algo_fbb_mw ->
+    let d = match delta with Some d -> d | None -> Device.paper_delta device in
+    let cfg = { Flow.Fbb_mw.default_config with delta = d; rng_seed = seed } in
+    let r = Flow.Fbb_mw.partition hg device cfg in
+    (r.Flow.Fbb_mw.k, r.Flow.Fbb_mw.assignment, r.Flow.Fbb_mw.feasible)
+
+let write_blocks prefix name hg assignment k =
+  for b = 0 to k - 1 do
+    let bld = Hypergraph.Hgraph.Builder.create () in
+    let ids = Hashtbl.create 64 in
+    Hypergraph.Hgraph.iter_nodes
+      (fun v ->
+        if assignment.(v) = b then
+          let id =
+            match Hypergraph.Hgraph.kind hg v with
+            | Hypergraph.Hgraph.Cell ->
+              Hypergraph.Hgraph.Builder.add_cell bld
+                ~name:(Hypergraph.Hgraph.name hg v)
+                ~size:(Hypergraph.Hgraph.size hg v)
+            | Hypergraph.Hgraph.Pad ->
+              Hypergraph.Hgraph.Builder.add_pad bld
+                ~name:(Hypergraph.Hgraph.name hg v)
+          in
+          Hashtbl.replace ids v id)
+      hg;
+    Hypergraph.Hgraph.iter_nets
+      (fun e ->
+        let pins =
+          Array.to_list (Hypergraph.Hgraph.pins hg e)
+          |> List.filter_map (Hashtbl.find_opt ids)
+        in
+        if List.length pins >= 2 then
+          ignore
+            (Hypergraph.Hgraph.Builder.add_net bld
+               ~name:(Hypergraph.Hgraph.net_name hg e)
+               pins))
+      hg;
+    let sub = Hypergraph.Hgraph.Builder.freeze bld in
+    let path = Printf.sprintf "%s_block%d.blif" prefix b in
+    (* pads in subcircuits may have several nets after cutting; export
+       structurally instead when that happens *)
+    (try
+       Netlist.Blif.write_file path
+         (Netlist.Blif.of_hypergraph ~name:(Printf.sprintf "%s_b%d" name b) sub)
+     with Invalid_argument msg ->
+       Printf.eprintf "warning: %s not written (%s)\n" path msg)
+  done
+
+(* --check FILE: load a saved partition and validate it instead of
+   partitioning from scratch. *)
+let check_mode path hg device delta =
+  match Netlist.Partfile.parse_file path with
+  | Error e -> Error (Printf.sprintf "cannot parse %s: %s" path e)
+  | Ok pf -> (
+    match Netlist.Partfile.apply pf hg with
+    | Error e -> Error (Printf.sprintf "%s does not match the circuit: %s" path e)
+    | Ok (assignment, k) ->
+      let ctx = Partition.Cost.context_of device ~delta hg in
+      let report = Partition.Check.of_assignment hg ~k ~assignment ~ctx in
+      Format.printf "checking %s against %s (S_MAX=%d T_MAX=%d)@." path
+        device.Device.dev_name ctx.Partition.Cost.s_max device.Device.t_max;
+      Format.printf "%a" Partition.Check.pp report;
+      if report.Partition.Check.feasible then Ok () else Error "partition is infeasible")
+
+let main input generate device_name delta algo seed runs cluster output save check board dot =
+  let result =
+    match Device.find device_name with
+    | None ->
+      Error
+        (Printf.sprintf "unknown device %S (known: %s)" device_name
+           (String.concat ", " (List.map (fun d -> d.Device.dev_name) Device.catalog)))
+    | Some device -> (
+      match load_circuit input generate seed with
+      | Error e -> Error e
+      | Ok (name, hg) -> (
+        match check with
+        | Some path ->
+          let d = match delta with Some d -> d | None -> Device.paper_delta device in
+          check_mode path hg device d
+        | None ->
+        let k, assignment, feasible =
+          partition algo hg device delta seed runs cluster
+        in
+        let st = Partition.State.create hg ~k ~assign:(fun v -> assignment.(v)) in
+        let d = match delta with Some d -> d | None -> Device.paper_delta device in
+        let s_max = Device.s_max device ~delta:d in
+        Format.printf "%s: %d cells, %d pads, %d nets@." name
+          (Hypergraph.Hgraph.num_cells hg)
+          (Hypergraph.Hgraph.num_pads hg)
+          (Hypergraph.Hgraph.num_nets hg);
+        Format.printf "%d x %s (S_MAX=%d T_MAX=%d), feasible=%b@." k
+          device.Device.dev_name s_max device.Device.t_max feasible;
+        let ctx = Partition.Cost.context_of device ~delta:d hg in
+        let report = Partition.Check.of_state st ~ctx in
+        Format.printf "%a" Partition.Check.pp report;
+        if board then Format.printf "%a" (fun ppf -> Partition.Quotient.pp_report ppf ~t_max:device.Device.t_max) st;
+        (match dot with
+        | Some path ->
+          Hypergraph.Dot.write_file path ~assignment ~name hg;
+          Format.printf "graphviz rendering written to %s@." path
+        | None -> ());
+        (match output with
+        | Some prefix -> write_blocks prefix name hg assignment k
+        | None -> ());
+        (match save with
+        | Some path ->
+          let pf =
+            Netlist.Partfile.of_assignment hg ~circuit:name ~delta:d
+              ~block_devices:(Array.make k device.Device.dev_name)
+              ~assignment
+          in
+          Netlist.Partfile.write_file path pf;
+          Format.printf "partition written to %s@." path
+        | None -> ());
+        Ok ()))
+  in
+  match result with
+  | Ok () -> 0
+  | Error e ->
+    prerr_endline ("fpart: " ^ e);
+    1
+
+let input =
+  Arg.(value & pos 0 (some file) None & info [] ~docv:"CIRCUIT.blif" ~doc:"Input BLIF netlist.")
+
+let generate =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "generate" ] ~docv:"CELLSxPADS" ~doc:"Generate a synthetic circuit instead of reading one.")
+
+let device =
+  Arg.(
+    value
+    & opt string "XC3020"
+    & info [ "device"; "d" ] ~docv:"NAME" ~doc:"Target FPGA device (XC3020, XC3042, XC3090, XC2064).")
+
+let delta =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "delta" ] ~docv:"RATIO" ~doc:"Filling ratio; defaults to the paper's per-family value.")
+
+let algo =
+  Arg.(
+    value
+    & opt algo_conv Algo_fpart
+    & info [ "algo"; "a" ] ~docv:"ALGO" ~doc:"Algorithm: fpart, kwayx or fbb-mw.")
+
+let seed =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Random seed.")
+
+let runs =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "runs" ] ~docv:"N"
+        ~doc:"Multi-start: run FPART N times with different seeds and keep the best (fpart only).")
+
+let cluster =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "cluster" ] ~docv:"SIZE"
+        ~doc:"Clustering pre-pass: coarsen into connectivity clusters of logic size <= SIZE before partitioning (fpart only).")
+
+let output =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "o"; "output" ] ~docv:"PREFIX" ~doc:"Write one BLIF per block to PREFIX_blockN.blif.")
+
+let save =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "save" ] ~docv:"FILE" ~doc:"Save the partition (node-name to block map) to FILE.")
+
+let check =
+  Arg.(
+    value
+    & opt (some file) None
+    & info [ "check" ] ~docv:"FILE"
+        ~doc:"Validate a previously saved partition FILE against the circuit and device instead of partitioning.")
+
+let board =
+  Arg.(
+    value & flag
+    & info [ "board" ]
+        ~doc:"Print the board-level view: per-device I/O budgets and the densest inter-device buses.")
+
+let dot =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "dot" ] ~docv:"FILE"
+        ~doc:"Write a Graphviz rendering of the circuit coloured by block to FILE.")
+
+let cmd =
+  let doc = "multi-way FPGA netlist partitioning (FPART reproduction)" in
+  Cmd.v
+    (Cmd.info "fpart" ~doc)
+    Term.(
+      const main $ input $ generate $ device $ delta $ algo $ seed $ runs $ cluster
+      $ output $ save $ check $ board $ dot)
+
+let () = exit (Cmd.eval' cmd)

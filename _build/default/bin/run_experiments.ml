@@ -1,0 +1,58 @@
+(* Regenerate the paper's tables and figures.
+
+   Usage: run_experiments [ARTIFACT ...]
+   where ARTIFACT is table1..table6, figure1..figure3, or all (default). *)
+
+let artifacts =
+  [
+    ("table1", Report.Experiments.table1);
+    ("table2", Report.Experiments.table2);
+    ("table3", Report.Experiments.table3);
+    ("table4", Report.Experiments.table4);
+    ("table5", Report.Experiments.table5);
+    ("table6", Report.Experiments.table6);
+    ("figure1", Report.Experiments.figure1);
+    ("figure2", Report.Experiments.figure2);
+    ("figure3", Report.Experiments.figure3);
+    ("ablations", Report.Experiments.ablations);
+    ("variance", Report.Experiments.variance);
+    ("modern", Report.Experiments.modern);
+    ("anneal", Report.Experiments.anneal);
+    ("delta_sweep", Report.Experiments.delta_sweep);
+    ("csv2", Report.Experiments.csv2);
+    ("csv3", Report.Experiments.csv3);
+    ("csv4", Report.Experiments.csv4);
+    ("csv5", Report.Experiments.csv5);
+    ("all", Report.Experiments.all);
+  ]
+
+let names = String.concat ", " (List.map fst artifacts)
+
+let run selected =
+  let progress msg =
+    prerr_endline ("# " ^ msg);
+    flush stderr
+  in
+  let t = Report.Experiments.create ~progress () in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name artifacts with
+      | Some f ->
+        print_string (f t);
+        print_newline ()
+      | None ->
+        Printf.eprintf "unknown artifact %S; expected one of: %s\n" name names;
+        exit 2)
+    selected
+
+open Cmdliner
+
+let selected =
+  let doc = Printf.sprintf "Artifacts to regenerate: %s." names in
+  Arg.(value & pos_all string [ "all" ] & info [] ~docv:"ARTIFACT" ~doc)
+
+let cmd =
+  let doc = "regenerate the FPART paper's tables and figures on MCNC surrogates" in
+  Cmd.v (Cmd.info "run_experiments" ~doc) Term.(const run $ selected)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,32 @@
+  $ fpart --generate 120x16 --device XC3090 --seed 7
+  $ fpart --generate 120x16 --device XC3090 --seed 7 --algo kwayx | head -2
+  $ fpart --generate 120x16 --device XC3090 --seed 7 --algo fbb-mw | head -2
+  $ fpart --generate 10x2 --device XC9999
+  $ fpart --generate 120x16 --device XC3042 --seed 7 --save out.part > /dev/null
+  $ head -5 out.part
+  $ cat > tiny.blif <<'BLIF'
+  > .model tiny
+  > .inputs a b
+  > .outputs y
+  > .names a b t
+  > 11 1
+  > .names t y
+  > 1 1
+  > .end
+  > BLIF
+  $ fpart tiny.blif --device XC3020
+  $ cat > tiny.v <<'V'
+  > module tiny (a, b, y);
+  >   input a, b;
+  >   output y;
+  >   wire t;
+  >   AND2 g1 (a, b, t);
+  >   INV g2 (t, y);
+  > endmodule
+  > V
+  $ fpart tiny.v --device XC3020
+  $ printf '.model m\n.names\n.end\n' > bad.blif
+  $ fpart bad.blif --device XC3020
+  $ fpart --generate 120x16 --device XC3042 --seed 7 --save rt.part > /dev/null
+  $ fpart --generate 120x16 --device XC3042 --seed 7 --check rt.part
+  $ fpart --generate 120x16 --device XC3020 --seed 7 --check rt.part 2>&1 | tail -1

@@ -1,0 +1,2 @@
+  $ run_fpart_experiments no_such_artifact 2>&1 | head -1
+  $ run_fpart_experiments figure3 2>/dev/null

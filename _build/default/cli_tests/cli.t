@@ -1,0 +1,88 @@
+Generate a synthetic circuit and partition it with FPART (default algo):
+
+  $ fpart --generate 120x16 --device XC3090 --seed 7
+  generated: 120 cells, 16 pads, 177 nets
+  1 x XC3090 (S_MAX=288 T_MAX=144), feasible=true
+  block  0: size  120  pins   16  flops    0  pads  16
+  1 blocks, feasible (0 violating), cut 0, total pins 16
+
+The k-way.x and FBB-MW baselines run on the same input:
+
+  $ fpart --generate 120x16 --device XC3090 --seed 7 --algo kwayx | head -2
+  generated: 120 cells, 16 pads, 177 nets
+  1 x XC3090 (S_MAX=288 T_MAX=144), feasible=true
+
+  $ fpart --generate 120x16 --device XC3090 --seed 7 --algo fbb-mw | head -2
+  generated: 120 cells, 16 pads, 177 nets
+  1 x XC3090 (S_MAX=288 T_MAX=144), feasible=true
+
+Unknown devices are rejected with the catalog:
+
+  $ fpart --generate 10x2 --device XC9999
+  fpart: unknown device "XC9999" (known: XC3020, XC3042, XC3090, XC2064, XC2018, XC3030, XC3064)
+  [1]
+
+Saving and inspecting a partition file:
+
+  $ fpart --generate 120x16 --device XC3042 --seed 7 --save out.part > /dev/null
+  $ head -5 out.part
+  # fpart partition
+  circuit generated
+  delta 0.9000
+  blocks 1
+  block 0 device XC3042
+
+A partition of a BLIF netlist:
+
+  $ cat > tiny.blif <<'BLIF'
+  > .model tiny
+  > .inputs a b
+  > .outputs y
+  > .names a b t
+  > 11 1
+  > .names t y
+  > 1 1
+  > .end
+  > BLIF
+  $ fpart tiny.blif --device XC3020
+  tiny: 2 cells, 3 pads, 4 nets
+  1 x XC3020 (S_MAX=57 T_MAX=64), feasible=true
+  block  0: size    2  pins    3  flops    0  pads   3
+  1 blocks, feasible (0 violating), cut 0, total pins 3
+
+And of a structural Verilog netlist:
+
+  $ cat > tiny.v <<'V'
+  > module tiny (a, b, y);
+  >   input a, b;
+  >   output y;
+  >   wire t;
+  >   AND2 g1 (a, b, t);
+  >   INV g2 (t, y);
+  > endmodule
+  > V
+  $ fpart tiny.v --device XC3020
+  tiny: 2 cells, 3 pads, 4 nets
+  1 x XC3020 (S_MAX=57 T_MAX=64), feasible=true
+  block  0: size    2  pins    3  flops    0  pads   3
+  1 blocks, feasible (0 violating), cut 0, total pins 3
+
+Parse errors are reported with a line number:
+
+  $ printf '.model m\n.names\n.end\n' > bad.blif
+  $ fpart bad.blif --device XC3020
+  fpart: cannot parse bad.blif: line 2: .names without signals
+  [1]
+
+Round-trip: save a partition, then validate it with --check:
+
+  $ fpart --generate 120x16 --device XC3042 --seed 7 --save rt.part > /dev/null
+  $ fpart --generate 120x16 --device XC3042 --seed 7 --check rt.part
+  checking rt.part against XC3042 (S_MAX=129 T_MAX=96)
+  block  0: size  120  pins   16  flops    0  pads  16
+  1 blocks, feasible (0 violating), cut 0, total pins 16
+
+A partition checked against a too-small device fails:
+
+  $ fpart --generate 120x16 --device XC3020 --seed 7 --check rt.part 2>&1 | tail -1
+  fpart: partition is infeasible

@@ -1,0 +1,16 @@
+The experiment runner lists its artifacts on a bad name:
+
+  $ run_fpart_experiments no_such_artifact 2>&1 | head -1
+  unknown artifact "no_such_artifact"; expected one of: table1, table2, table3, table4, table5, table6, figure1, figure2, figure3, ablations, variance, modern, anneal, delta_sweep, csv2, csv3, csv4, csv5, all
+
+Figure 3 is static (no partitioning runs needed):
+
+  $ run_fpart_experiments figure3 2>/dev/null
+  Figure 3. Feasible space for cell move
+  device XC3020, delta = 0.90, S_MAX = 57; a move is allowed while the affected blocks stay in their size window (no pin constraint on moves)
+  
+  (a) multi-block pass : non-remainder blocks in [17, 59]  (eps*_min = 0.30, eps*_max = 1.05)
+  (b) two-block pass   : non-remainder blocks in [54, 59]  (eps2_min = 0.95, eps2_max = 1.05)
+      remainder block  : [0, +inf)  (eps^R_max = infinity)
+      once k reaches M : upper bounds tighten to S_MAX = 57 (no size-violating moves)
+  

@@ -1,0 +1,1 @@
+examples/baselines_compare.ml: Array Device Flow Format Fpart Hypergraph Mlevel Netlist Printf Sys

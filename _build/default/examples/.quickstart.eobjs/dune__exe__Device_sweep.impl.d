@@ -1,0 +1,1 @@
+examples/device_sweep.ml: Array Device Format Fpart List Netlist Printf String Sys

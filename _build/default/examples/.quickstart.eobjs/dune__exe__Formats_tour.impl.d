@@ -1,0 +1,1 @@
+examples/formats_tour.ml: Array Device Format Fpart Hypergraph List Netlist Partition String

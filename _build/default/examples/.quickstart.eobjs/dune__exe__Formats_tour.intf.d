@@ -1,0 +1,1 @@
+examples/formats_tour.mli:

@@ -1,0 +1,1 @@
+examples/heterogeneous.ml: Array Device Format Fpart Hypergraph List Netlist Printf Sys

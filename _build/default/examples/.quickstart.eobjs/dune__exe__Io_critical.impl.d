@@ -1,0 +1,1 @@
+examples/io_critical.ml: Device Format Fpart Hypergraph Netlist Partition String

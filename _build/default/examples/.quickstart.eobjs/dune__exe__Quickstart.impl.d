@@ -1,0 +1,1 @@
+examples/quickstart.ml: Device Format Fpart Hypergraph Netlist Partition

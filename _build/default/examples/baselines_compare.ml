@@ -1,0 +1,63 @@
+(* Baselines head-to-head: FPART vs k-way.x vs FBB-MW on one circuit —
+   the per-row story of the paper's Tables 2-5 (FPART and FBB-MW close
+   to the lower bound, greedy k-way.x behind).
+
+   Run with: dune exec examples/baselines_compare.exe [circuit] [device]
+   Defaults: s15850 XC3020. *)
+
+let () =
+  let circuit_name = if Array.length Sys.argv > 1 then Sys.argv.(1) else "s15850" in
+  let device_name = if Array.length Sys.argv > 2 then Sys.argv.(2) else "XC3020" in
+  let circuit =
+    match Netlist.Mcnc.find circuit_name with
+    | Some c -> c
+    | None ->
+      Printf.eprintf "unknown circuit %s\n" circuit_name;
+      exit 1
+  in
+  let device =
+    match Device.find device_name with
+    | Some d -> d
+    | None ->
+      Printf.eprintf "unknown device %s\n" device_name;
+      exit 1
+  in
+  let hg = Netlist.Mcnc.surrogate circuit device.Device.family in
+  let delta = Device.paper_delta device in
+  let m =
+    Device.lower_bound device ~delta
+      ~total_size:(Hypergraph.Hgraph.total_size hg)
+      ~total_pads:(Hypergraph.Hgraph.num_pads hg)
+  in
+  Format.printf "%s on %s: %a, lower bound M = %d@.@." circuit_name
+    device.Device.dev_name Hypergraph.Hgraph.pp hg m;
+  Format.printf "%-10s %4s %5s %9s %8s@." "algorithm" "k" "cut" "feasible" "cpu";
+
+  let t0 = Sys.time () in
+  let kw = Fpart.Kwayx.run hg device in
+  Format.printf "%-10s %4d %5d %9b %7.2fs@." "k-way.x" kw.Fpart.Kwayx.k
+    kw.Fpart.Kwayx.cut kw.Fpart.Kwayx.feasible (Sys.time () -. t0);
+
+  let t0 = Sys.time () in
+  let fb =
+    Flow.Fbb_mw.partition hg device { Flow.Fbb_mw.default_config with delta }
+  in
+  Format.printf "%-10s %4d %5d %9b %7.2fs@." "FBB-MW" fb.Flow.Fbb_mw.k
+    fb.Flow.Fbb_mw.cut fb.Flow.Fbb_mw.feasible (Sys.time () -. t0);
+
+  let t0 = Sys.time () in
+  let ml =
+    Mlevel.Mlrb.partition hg device
+      { Mlevel.Mlrb.default_config with delta }
+  in
+  Format.printf "%-10s %4d %5d %9b %7.2fs@." "MLRB" ml.Mlevel.Mlrb.k
+    ml.Mlevel.Mlrb.cut ml.Mlevel.Mlrb.feasible (Sys.time () -. t0);
+
+  let t0 = Sys.time () in
+  let fp = Fpart.Driver.run hg device in
+  Format.printf "%-10s %4d %5d %9b %7.2fs@." "FPART" fp.Fpart.Driver.k
+    fp.Fpart.Driver.cut fp.Fpart.Driver.feasible (Sys.time () -. t0);
+
+  Format.printf
+    "@.Expected shape (paper Tables 2-5): FPART <= FBB-MW <= k-way.x in@.\
+     device count, with FPART at or near M.@."

@@ -1,0 +1,36 @@
+(* Device sweep: partition one circuit onto each device of the Xilinx
+   catalog and watch the device count track the lower bound — the
+   experiment behind the paper's Tables 2-5, on a single circuit.
+
+   Run with: dune exec examples/device_sweep.exe [circuit]
+   where circuit is an MCNC name (default s5378). *)
+
+let () =
+  let name = if Array.length Sys.argv > 1 then Sys.argv.(1) else "s5378" in
+  match Netlist.Mcnc.find name with
+  | None ->
+    Printf.eprintf "unknown circuit %s (try one of: %s)\n" name
+      (String.concat ", "
+         (List.map (fun c -> c.Netlist.Mcnc.circuit_name) Netlist.Mcnc.all));
+    exit 1
+  | Some circuit ->
+    Format.printf "circuit %s: %d IOBs, %d CLBs (XC2000 map), %d CLBs (XC3000 map)@."
+      circuit.Netlist.Mcnc.circuit_name circuit.Netlist.Mcnc.iobs
+      circuit.Netlist.Mcnc.clbs_xc2000 circuit.Netlist.Mcnc.clbs_xc3000;
+    Format.printf "@.%-8s %6s %6s %5s %3s %3s %9s %8s@." "device" "S_MAX" "T_MAX"
+      "delta" "M" "k" "feasible" "cpu";
+    List.iter
+      (fun device ->
+        let hg = Netlist.Mcnc.surrogate circuit device.Device.family in
+        let delta = Device.paper_delta device in
+        let r = Fpart.Driver.run hg device in
+        Format.printf "%-8s %6d %6d %5.2f %3d %3d %9b %7.2fs@."
+          device.Device.dev_name
+          (Device.s_max device ~delta)
+          device.Device.t_max delta r.Fpart.Driver.m_lower r.Fpart.Driver.k
+          r.Fpart.Driver.feasible r.Fpart.Driver.cpu_seconds)
+      Device.catalog;
+    Format.printf
+      "@.Reading the table: k is the number of devices FPART produced; M is@.\
+       the theoretical lower bound.  Bigger devices need fewer copies, and k@.\
+       should track M closely on every row.@."

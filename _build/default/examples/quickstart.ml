@@ -1,0 +1,34 @@
+(* Quickstart: generate a small circuit, partition it onto XC3020
+   devices with FPART, and print the resulting blocks.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+let () =
+  (* A synthetic 400-CLB circuit with 60 I/O pads (think of it as a
+     small mapped MCNC design). *)
+  let spec = Netlist.Generator.default_spec ~name:"demo" ~cells:400 ~pads:60 ~seed:42 in
+  let circuit = Netlist.Generator.generate spec in
+  Format.printf "circuit: %a@." Hypergraph.Hgraph.pp circuit;
+
+  (* Partition onto XC3020 devices (64 CLBs, 64 IOBs) at the paper's
+     filling ratio of 0.9. *)
+  let device = Device.xc3020 in
+  let result = Fpart.Driver.run circuit device in
+  Format.printf "device: %a, lower bound M = %d@." Device.pp device
+    result.Fpart.Driver.m_lower;
+  Format.printf "FPART produced %d blocks (feasible = %b) in %.2fs@."
+    result.Fpart.Driver.k result.Fpart.Driver.feasible
+    result.Fpart.Driver.cpu_seconds;
+
+  (* Inspect each block. *)
+  let st = Fpart.Driver.final_state result circuit in
+  let s_max = Device.s_max device ~delta:result.Fpart.Driver.delta in
+  for b = 0 to result.Fpart.Driver.k - 1 do
+    Format.printf "  block %d: size %3d/%d  pins %3d/%d@." b
+      (Partition.State.size_of st b)
+      s_max
+      (Partition.State.pins_of st b)
+      device.Device.t_max
+  done;
+  Format.printf "cut nets: %d, total pins: %d@." result.Fpart.Driver.cut
+    result.Fpart.Driver.total_pins

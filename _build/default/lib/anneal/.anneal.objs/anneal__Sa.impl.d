@@ -1,0 +1,1 @@
+lib/anneal/sa.ml: Array Hypergraph Partition Prng Sys

@@ -1,0 +1,122 @@
+module Hg = Hypergraph.Hgraph
+module State = Partition.State
+module Cost = Partition.Cost
+module Rng = Prng.Splitmix
+
+type config = {
+  delta : float;
+  w_infeasible : float;
+  moves_factor : int;
+  initial_temp : float;
+  cooling : float;
+  min_temp : float;
+  max_extra_k : int;
+  seed : int;
+}
+
+let default_config =
+  {
+    delta = 0.9;
+    w_infeasible = 10.0;
+    moves_factor = 8;
+    initial_temp = 0.5;
+    cooling = 0.92;
+    min_temp = 0.002;
+    max_extra_k = 8;
+    seed = 0x5a;
+  }
+
+type outcome = {
+  assignment : int array;
+  k : int;
+  feasible : bool;
+  cut : int;
+  trials : int;
+  cpu_seconds : float;
+}
+
+let block_energy config ctx st i =
+  config.w_infeasible
+  *. Cost.block_distance Cost.default_params ctx ~size:(State.size_of st i)
+       ~pins:(State.pins_of st i) ~flops:(State.flops_of st i)
+
+(* One annealing run at fixed [k]; mutates [st] and returns trials. *)
+let anneal config ctx rng st =
+  let hg = State.hypergraph st in
+  let n = Hg.num_nodes hg in
+  let k = State.k st in
+  let nets = max 1 (Hg.num_nets hg) in
+  let cut_weight = 1.0 /. float_of_int nets in
+  let trials = ref 0 in
+  let temp = ref config.initial_temp in
+  while !temp > config.min_temp do
+    for _ = 1 to config.moves_factor * n do
+      incr trials;
+      let v = Rng.int rng n in
+      let a = State.block_of st v in
+      let b = Rng.int rng k in
+      if b <> a then begin
+        let before =
+          block_energy config ctx st a
+          +. block_energy config ctx st b
+          +. (cut_weight *. float_of_int (State.cut_size st))
+        in
+        State.move st v b;
+        let after =
+          block_energy config ctx st a
+          +. block_energy config ctx st b
+          +. (cut_weight *. float_of_int (State.cut_size st))
+        in
+        let delta_e = after -. before in
+        let accept =
+          delta_e <= 0.0 || Rng.float rng < exp (-.delta_e /. !temp)
+        in
+        if not accept then State.move st v a
+      end
+    done;
+    temp := !temp *. config.cooling
+  done;
+  !trials
+
+let partition hg device config =
+  let t0 = Sys.time () in
+  let ctx = Cost.context_of device ~delta:config.delta hg in
+  let m = max 1 ctx.Cost.m_lower in
+  let n = Hg.num_nodes hg in
+  let trials = ref 0 in
+  let best = ref None in
+  let rec probe k =
+    if k > m + config.max_extra_k then ()
+    else begin
+      let rng = Rng.create (config.seed + (1000 * k)) in
+      (* random balanced-ish start *)
+      let st = State.create hg ~k ~assign:(fun v -> (v * 31 + k) mod k) in
+      trials := !trials + anneal config ctx rng st;
+      let report = Partition.Check.of_state st ~ctx in
+      (match !best with
+      | Some (v, k', _) when (v, k') <= (report.Partition.Check.violations, k) -> ()
+      | _ -> best := Some (report.Partition.Check.violations, k, State.assignment st));
+      if not report.Partition.Check.feasible then probe (k + 1)
+    end
+  in
+  probe m;
+  match !best with
+  | None ->
+    {
+      assignment = Array.make n 0;
+      k = 1;
+      feasible = false;
+      cut = 0;
+      trials = !trials;
+      cpu_seconds = Sys.time () -. t0;
+    }
+  | Some (violations, k, assignment) ->
+    let st = State.create hg ~k ~assign:(fun v -> assignment.(v)) in
+    {
+      assignment;
+      k;
+      feasible = violations = 0;
+      cut = State.cut_size st;
+      trials = !trials;
+      cpu_seconds = Sys.time () -. t0;
+    }

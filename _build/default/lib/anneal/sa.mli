@@ -1,0 +1,44 @@
+(** Simulated-annealing k-way partitioning — the other classical
+    iterative-improvement family.
+
+    The paper's introduction cites Yeh/Cheng/Lin (TCAD 1995,
+    reference [17]), the standard experimental comparison of FM-style
+    moves against annealing for two-way partitioning; this module
+    provides the annealing side for our multi-way, feasibility-driven
+    setting so the comparison can be reproduced (the [anneal] artifact
+    of the experiment runner).
+
+    Energy of a k-way assignment:
+    [E = w_inf · Σ_i d_i  +  cut / |nets|] where [d_i] is the paper's
+    per-block infeasibility distance — feasibility dominates, cut breaks
+    ties.  Moves relocate one random node to one random other block and
+    are accepted by the Metropolis rule under a geometric cooling
+    schedule.  Like the other drivers, block counts are probed upward
+    from the lower bound [M] until a feasible partition appears. *)
+
+type config = {
+  delta : float;          (** Filling ratio. *)
+  w_infeasible : float;   (** Weight of the infeasibility term (≫ cut). *)
+  moves_factor : int;     (** Trials per temperature = factor · nodes. *)
+  initial_temp : float;
+  cooling : float;        (** Geometric factor in (0, 1). *)
+  min_temp : float;
+  max_extra_k : int;      (** Probe at most [M + this] block counts. *)
+  seed : int;
+}
+
+val default_config : config
+
+type outcome = {
+  assignment : int array;
+  k : int;
+  feasible : bool;
+  cut : int;
+  trials : int;           (** Total proposed moves over all probes. *)
+  cpu_seconds : float;
+}
+
+(** [partition h device config] anneals the circuit onto copies of
+    [device]; always terminates, flagging [feasible = false] when even
+    [M + max_extra_k] blocks could not be made feasible. *)
+val partition : Hypergraph.Hgraph.t -> Device.t -> config -> outcome

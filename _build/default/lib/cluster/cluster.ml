@@ -1,0 +1,134 @@
+module Hg = Hypergraph.Hgraph
+module Rng = Prng.Splitmix
+
+type t = {
+  fine_hg : Hg.t;
+  coarse_hg : Hg.t;
+  node_map : int array;          (* fine -> coarse *)
+  member_lists : int list array; (* coarse -> fine nodes *)
+}
+
+let coarse t = t.coarse_hg
+let fine t = t.fine_hg
+let coarse_of t v = t.node_map.(v)
+let members t c = t.member_lists.(c)
+
+let reduction t =
+  float_of_int (Hg.num_nodes t.fine_hg) /. float_of_int (Hg.num_nodes t.coarse_hg)
+
+(* Standard edge-coarsening connectivity: each shared net contributes
+   1/(degree-1), so tight 2-pin connections dominate fat buses. *)
+let connectivity hg v cluster_of cid =
+  let score = Hashtbl.create 8 in
+  Array.iter
+    (fun e ->
+      let d = Hg.net_degree hg e in
+      if d >= 2 then begin
+        let w = 1.0 /. float_of_int (d - 1) in
+        Array.iter
+          (fun u ->
+            if u <> v && (not (Hg.is_pad hg u)) && cluster_of.(u) = cid then begin
+              let cur = Option.value ~default:0.0 (Hashtbl.find_opt score u) in
+              Hashtbl.replace score u (cur +. w)
+            end)
+          (Hg.pins hg e)
+      end)
+    (Hg.nets_of hg v);
+  score
+
+let build hg ~max_cluster_size ~seed =
+  if max_cluster_size < 1 then invalid_arg "Cluster.build: max_cluster_size < 1";
+  let n = Hg.num_nodes hg in
+  let rng = Rng.create seed in
+  let cluster_of = Array.make n (-1) in
+  let cluster_size = ref [] in
+  (* reversed list of (cluster id, members reversed) *)
+  let next_cluster = ref 0 in
+  let order =
+    let cells = ref [] in
+    Hg.iter_cells (fun v -> cells := v :: !cells) hg;
+    let a = Array.of_list !cells in
+    Rng.shuffle rng a;
+    a
+  in
+  Array.iter
+    (fun v0 ->
+      if cluster_of.(v0) < 0 then begin
+        let cid = !next_cluster in
+        incr next_cluster;
+        cluster_of.(v0) <- cid;
+        let members = ref [ v0 ] in
+        let size = ref (Hg.size hg v0) in
+        let stop = ref false in
+        while not !stop do
+          (* best unclustered neighbour of the whole cluster *)
+          let best = ref (-1) in
+          let best_score = ref 0.0 in
+          List.iter
+            (fun m ->
+              let scores = connectivity hg m cluster_of (-1) in
+              Hashtbl.iter
+                (fun u s ->
+                  if
+                    !size + Hg.size hg u <= max_cluster_size
+                    && (s > !best_score || (s = !best_score && u < !best))
+                  then begin
+                    best := u;
+                    best_score := s
+                  end)
+                scores)
+            !members;
+          if !best < 0 then stop := true
+          else begin
+            cluster_of.(!best) <- cid;
+            members := !best :: !members;
+            size := !size + Hg.size hg !best;
+            if !size >= max_cluster_size then stop := true
+          end
+        done;
+        cluster_size := (cid, !members) :: !cluster_size
+      end)
+    order;
+  (* pads: one coarse node each *)
+  Hg.iter_pads
+    (fun p ->
+      let cid = !next_cluster in
+      incr next_cluster;
+      cluster_of.(p) <- cid;
+      cluster_size := (cid, [ p ]) :: !cluster_size)
+    hg;
+  let n_coarse = !next_cluster in
+  let member_lists = Array.make n_coarse [] in
+  List.iter (fun (cid, ms) -> member_lists.(cid) <- List.rev ms) !cluster_size;
+  (* build the coarse hypergraph; coarse ids must match cluster ids *)
+  let b = Hg.Builder.create () in
+  for cid = 0 to n_coarse - 1 do
+    match member_lists.(cid) with
+    | [ p ] when Hg.is_pad hg p ->
+      ignore (Hg.Builder.add_pad b ~name:(Hg.name hg p))
+    | ms ->
+      let size = List.fold_left (fun acc v -> acc + Hg.size hg v) 0 ms in
+      let flops = List.fold_left (fun acc v -> acc + Hg.flops hg v) 0 ms in
+      ignore (Hg.Builder.add_cell b ~flops ~name:(Printf.sprintf "cl%d" cid) ~size)
+  done;
+  Hg.iter_nets
+    (fun e ->
+      let endpoints =
+        Array.to_list (Hg.pins hg e)
+        |> List.map (fun v -> cluster_of.(v))
+        |> List.sort_uniq compare
+      in
+      if List.length endpoints >= 2 then
+        ignore (Hg.Builder.add_net b ~name:(Hg.net_name hg e) endpoints))
+    hg;
+  {
+    fine_hg = hg;
+    coarse_hg = Hg.Builder.freeze b;
+    node_map = cluster_of;
+    member_lists;
+  }
+
+let project t coarse_assignment =
+  if Array.length coarse_assignment <> Hg.num_nodes t.coarse_hg then
+    invalid_arg "Cluster.project: wrong assignment length";
+  Array.map (fun c -> coarse_assignment.(c)) t.node_map

@@ -1,0 +1,1 @@
+lib/flow/fbb.ml: Array Flownet Hypergraph Prng

@@ -1,0 +1,1 @@
+lib/flow/fbb.mli: Hypergraph Prng

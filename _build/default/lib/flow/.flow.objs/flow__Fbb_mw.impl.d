@@ -1,0 +1,1 @@
+lib/flow/fbb_mw.ml: Array Device Fbb Fm Hypergraph Partition Prng Queue

@@ -1,0 +1,1 @@
+lib/flow/fbb_mw.mli: Device Hypergraph

@@ -1,0 +1,1 @@
+lib/flow/flownet.ml: Array Hypergraph Maxflow

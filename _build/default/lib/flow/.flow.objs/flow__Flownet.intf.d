@@ -1,0 +1,1 @@
+lib/flow/flownet.mli: Hypergraph Maxflow

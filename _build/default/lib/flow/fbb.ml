@@ -1,0 +1,86 @@
+module Hg = Hypergraph.Hgraph
+module Rng = Prng.Splitmix
+
+type result = { side : bool array; cut : int; phases : int }
+
+(* Kept neighbours of the region [inside] that are in neither the source
+   nor the sink set: candidates for merging. *)
+let boundary_candidates hg ~keep ~inside ~excluded =
+  let n = Hg.num_nodes hg in
+  let cand = ref [] in
+  let seen = Array.make n false in
+  for v = 0 to n - 1 do
+    if inside.(v) then
+      Array.iter
+        (fun e ->
+          Array.iter
+            (fun u ->
+              if (not inside.(u)) && (not seen.(u)) && keep u && not (excluded u)
+              then begin
+                seen.(u) <- true;
+                cand := u :: !cand
+              end)
+            (Hg.pins hg e))
+        (Hg.nets_of hg v)
+  done;
+  Array.of_list !cand
+
+let weight_of hg side keep =
+  let w = ref 0 in
+  Array.iteri (fun v s -> if s && keep v then w := !w + Hg.size hg v) side;
+  !w
+
+let bipartition hg ~keep ~seed_s ~seed_t ~lo ~hi ~rng =
+  if seed_s = seed_t then invalid_arg "Fbb.bipartition: seeds coincide";
+  if not (keep seed_s && keep seed_t) then
+    invalid_arg "Fbb.bipartition: seed not kept";
+  if lo > hi then invalid_arg "Fbb.bipartition: lo > hi";
+  let net = Flownet.build hg ~keep in
+  Flownet.attach_source net seed_s;
+  Flownet.attach_sink net seed_t;
+  let n = Hg.num_nodes hg in
+  let max_phases = n + 2 in
+  let rec phase i =
+    if i > max_phases then None
+    else begin
+      let cut = Flownet.run net in
+      let side = Flownet.source_side net in
+      let w = weight_of hg side keep in
+      if lo <= w && w <= hi then Some { side; cut; phases = i }
+      else if w < lo then begin
+        (* absorb the source side, then grow by a batch of boundary nodes *)
+        Array.iteri (fun v s -> if s && keep v then Flownet.attach_source net v) side;
+        let cands =
+          boundary_candidates hg ~keep ~inside:side ~excluded:(Flownet.in_sink_set net)
+        in
+        if Array.length cands = 0 then None
+        else begin
+          let batch = max 1 ((lo - w) / 8) in
+          Rng.shuffle rng cands;
+          Array.iteri
+            (fun j u -> if j < batch then Flownet.attach_source net u)
+            cands;
+          phase (i + 1)
+        end
+      end
+      else begin
+        (* overshoot: absorb the complement into the sink, plus one
+           boundary node taken from the source side *)
+        let complement = Array.make n false in
+        for v = 0 to n - 1 do
+          if keep v && not side.(v) then complement.(v) <- true
+        done;
+        Array.iteri (fun v c -> if c then Flownet.attach_sink net v) complement;
+        let cands =
+          boundary_candidates hg ~keep ~inside:complement
+            ~excluded:(Flownet.in_source_set net)
+        in
+        if Array.length cands = 0 then None
+        else begin
+          Flownet.attach_sink net (Rng.choose rng cands);
+          phase (i + 1)
+        end
+      end
+    end
+  in
+  phase 1

@@ -1,0 +1,42 @@
+(** Flow-Balanced Bipartition (FBB) — Liu & Wong's bipartitioner.
+
+    Repeatedly computes a minimum net cut between a growing source set
+    and a growing sink set until the source side's logic weight falls in
+    a target window [[lo, hi]]:
+
+    - undershoot ([w < lo]): the whole source side plus one or more
+      boundary nodes are merged into the source set;
+    - overshoot ([w > hi]): the complement plus a boundary node merge
+      into the sink set.
+
+    Merging only ever adds infinite source/sink edges, so the
+    accumulated flow stays feasible and each phase just augments it
+    (the incremental-flow idea that makes FBB practical).
+
+    Divergence from the original: when the undershoot is large we merge
+    a batch of boundary nodes (size [(lo-w)/8], at least 1) instead of
+    exactly one, trading a little cut quality for far fewer phases; the
+    experiments in EXPERIMENTS.md are run this way. *)
+
+type result = {
+  side : bool array;  (** Hypergraph nodes on the source side. *)
+  cut : int;          (** Nets cut between the two sides. *)
+  phases : int;       (** Flow phases executed. *)
+}
+
+(** [bipartition h ~keep ~seed_s ~seed_t ~lo ~hi ~rng] carves a source
+    side of weight within [[lo, hi]] out of the kept subhypergraph.
+    Weight is the sum of cell sizes ({!Hypergraph.Hgraph.size}); pads
+    weigh 0 and ride with whichever side absorbs them.  Returns [None]
+    when no such cut is found (window unattainable from these seeds).
+    @raise Invalid_argument if the seeds coincide or are not kept, or
+    if [lo > hi]. *)
+val bipartition :
+  Hypergraph.Hgraph.t ->
+  keep:(Hypergraph.Hgraph.node -> bool) ->
+  seed_s:Hypergraph.Hgraph.node ->
+  seed_t:Hypergraph.Hgraph.node ->
+  lo:int ->
+  hi:int ->
+  rng:Prng.Splitmix.t ->
+  result option

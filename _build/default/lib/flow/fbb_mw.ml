@@ -1,0 +1,214 @@
+module Hg = Hypergraph.Hgraph
+module Rng = Prng.Splitmix
+
+type config = {
+  delta : float;
+  window : float;
+  pin_retries : int;
+  refine_passes : int;
+  rng_seed : int;
+}
+
+let default_config =
+  { delta = 0.9; window = 0.85; pin_retries = 4; refine_passes = 4; rng_seed = 1 }
+
+type outcome = { assignment : int array; k : int; feasible : bool; cut : int }
+
+(* Pin count a device would pay for hosting exactly the [member] set:
+   nets with a pin inside that either cross the set boundary or carry a
+   pad inside (same model as Partition.State). *)
+let pins_of_set hg member =
+  let count = ref 0 in
+  Hg.iter_nets
+    (fun e ->
+      let pins = Hg.pins hg e in
+      let has_in = Array.exists member pins in
+      if has_in then begin
+        let has_out = Array.exists (fun v -> not (member v)) pins in
+        let pad_in = Array.exists (fun v -> member v && Hg.is_pad hg v) pins in
+        if has_out || pad_in then incr count
+      end)
+    hg;
+  !count
+
+let weight_where hg pred =
+  let w = ref 0 in
+  Hg.iter_cells (fun v -> if pred v then w := !w + Hg.size hg v) hg;
+  !w
+
+(* BFS restricted to [keep], returning the last node dequeued (an
+   approximately eccentric node) — or [start] when isolated. *)
+let far_node hg ~keep start =
+  let n = Hg.num_nodes hg in
+  let seen = Array.make n false in
+  let q = Queue.create () in
+  seen.(start) <- true;
+  Queue.add start q;
+  let last = ref start in
+  while not (Queue.is_empty q) do
+    let v = Queue.pop q in
+    last := v;
+    Array.iter
+      (fun e ->
+        Array.iter
+          (fun u ->
+            if (not seen.(u)) && keep u then begin
+              seen.(u) <- true;
+              Queue.add u q
+            end)
+          (Hg.pins hg e))
+      (Hg.nets_of hg v)
+  done;
+  !last
+
+(* Greedy BFS carve used when FBB cannot reach the weight window: grow a
+   cluster from [start] until the weight enters [lo, hi]. *)
+let greedy_carve hg ~keep ~start ~hi =
+  let n = Hg.num_nodes hg in
+  let side = Array.make n false in
+  let seen = Array.make n false in
+  let q = Queue.create () in
+  seen.(start) <- true;
+  Queue.add start q;
+  let w = ref 0 in
+  let stop = ref false in
+  while (not !stop) && not (Queue.is_empty q) do
+    let v = Queue.pop q in
+    let s = Hg.size hg v in
+    if !w + s <= hi then begin
+      side.(v) <- true;
+      w := !w + s;
+      if !w >= hi then stop := true
+      else
+        Array.iter
+          (fun e ->
+            Array.iter
+              (fun u ->
+                if (not seen.(u)) && keep u then begin
+                  seen.(u) <- true;
+                  Queue.add u q
+                end)
+              (Hg.pins hg e))
+          (Hg.nets_of hg v)
+    end
+  done;
+  (* guarantee progress even for oversized single nodes *)
+  if !w = 0 then side.(start) <- true;
+  side
+
+(* FM cleanup between the freshly carved block [b] and the rest. *)
+let refine_boundary hg assigned ~b ~s_max ~passes =
+  if passes > 0 then begin
+    let rest = b + 1 in
+    let st =
+      Partition.State.create hg ~k:(b + 2) ~assign:(fun v ->
+          if assigned.(v) >= 0 then assigned.(v) else rest)
+    in
+    let limits =
+      {
+        Fm.lo0 = max 0 (s_max * 7 / 10);
+        hi0 = s_max;
+        lo1 = 0;
+        hi1 = max_int / 2;
+      }
+    in
+    ignore (Fm.refine st ~block0:b ~block1:rest ~limits ~max_passes:passes);
+    Hg.iter_nodes
+      (fun v ->
+        if assigned.(v) = b || assigned.(v) < 0 then
+          assigned.(v) <- (if Partition.State.block_of st v = b then b else -1))
+      hg
+  end
+
+let partition hg device config =
+  let s_max = Device.s_max device ~delta:config.delta in
+  let t_max = device.Device.t_max in
+  let n = Hg.num_nodes hg in
+  let assigned = Array.make n (-1) in
+  let keep v = assigned.(v) < 0 in
+  let rng = Rng.create config.rng_seed in
+  let rest_feasible () =
+    weight_where hg keep <= s_max && pins_of_set hg keep <= t_max
+  in
+  let remaining_nodes () =
+    let out = ref [] in
+    for v = n - 1 downto 0 do
+      if keep v then out := v :: !out
+    done;
+    Array.of_list !out
+  in
+  let carve () =
+    (* try FBB with progressively tighter windows and fresh seeds *)
+    let best : (bool array * int) option ref = ref None in
+    let consider side =
+      let pins = pins_of_set hg (fun v -> side.(v)) in
+      (match !best with
+      | Some (_, p) when p <= pins -> ()
+      | _ -> best := Some (side, pins));
+      pins <= t_max
+    in
+    let rem = remaining_nodes () in
+    let attempt a =
+      let hi =
+        max 1 (int_of_float (float_of_int s_max *. (0.88 ** float_of_int a)))
+      in
+      let lo = max 1 (int_of_float (config.window *. float_of_int hi)) in
+      let start = Rng.choose rng rem in
+      let seed_s = far_node hg ~keep start in
+      let seed_t = far_node hg ~keep seed_s in
+      if seed_s = seed_t then None
+      else Fbb.bipartition hg ~keep ~seed_s ~seed_t ~lo ~hi ~rng
+    in
+    let rec go a =
+      if a > config.pin_retries then
+        match !best with
+        | Some (side, _) -> side
+        | None ->
+          let start = far_node hg ~keep rem.(0) in
+          greedy_carve hg ~keep ~start ~hi:s_max
+      else
+        match attempt a with
+        | Some r when consider r.Fbb.side -> r.Fbb.side
+        | Some _ | None -> go (a + 1)
+    in
+    go 0
+  in
+  let b = ref 0 in
+  let safety = (2 * Hg.total_size hg / max 1 s_max) + (2 * Hg.num_pads hg / max 1 t_max) + 8 in
+  while (not (rest_feasible ())) && Array.length (remaining_nodes ()) > 1 && !b < safety do
+    let side = carve () in
+    let any = ref false in
+    Array.iteri
+      (fun v s ->
+        if s && keep v then begin
+          assigned.(v) <- !b;
+          any := true
+        end)
+      side;
+    if !any then begin
+      refine_boundary hg assigned ~b:!b ~s_max ~passes:config.refine_passes;
+      (* the refinement may empty the block; drop it if so *)
+      let still = Array.exists (fun a -> a = !b) assigned in
+      if still then incr b
+      else ()
+    end
+    else begin
+      (* give up carving: dump one remaining node to guarantee progress *)
+      let rem = remaining_nodes () in
+      assigned.(rem.(0)) <- !b;
+      incr b
+    end
+  done;
+  (* the rest becomes the final block *)
+  let final = !b in
+  Hg.iter_nodes (fun v -> if keep v then assigned.(v) <- final) hg;
+  let k = final + 1 in
+  let st = Partition.State.create hg ~k ~assign:(fun v -> assigned.(v)) in
+  let feasible = ref true in
+  for i = 0 to k - 1 do
+    if
+      Partition.State.size_of st i > s_max
+      || Partition.State.pins_of st i > t_max
+    then feasible := false
+  done;
+  { assignment = assigned; k; feasible = !feasible; cut = Partition.State.cut_size st }

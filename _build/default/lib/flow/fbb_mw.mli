@@ -1,0 +1,34 @@
+(** FBB-MW: network-flow-based multi-way partitioning with area and pin
+    constraints (Liu & Wong 1998) — the strongest baseline the paper
+    compares against (Tables 2-5).
+
+    Blocks are peeled off one at a time: FBB carves a source side whose
+    logic weight lands in a window just under [S_MAX]; the carved
+    block's pin count is then checked against [T_MAX], retrying with a
+    tightened window and fresh seeds a few times when pins overflow.  A
+    short FM refinement between the carved block and the rest cleans the
+    boundary before the block is committed.  Peeling continues until the
+    rest itself meets the device constraints. *)
+
+type config = {
+  delta : float;        (** Filling ratio for [S_MAX]. *)
+  window : float;       (** Initial [lo = window · hi]; paper-era 0.85. *)
+  pin_retries : int;    (** Carve retries when the pin check fails. *)
+  refine_passes : int;  (** FM passes between carved block and rest. *)
+  rng_seed : int;       (** Seed for seed-node choice and batches. *)
+}
+
+val default_config : config
+
+type outcome = {
+  assignment : int array;  (** node → block, blocks [0 .. k-1]. *)
+  k : int;                 (** Number of blocks produced. *)
+  feasible : bool;         (** All blocks meet the device constraints. *)
+  cut : int;               (** Final number of cut nets. *)
+}
+
+(** [partition h device config] splits the circuit onto copies of
+    [device].  Always terminates (a greedy BFS carve backs up FBB when
+    the flow window is unattainable); [feasible] reports whether every
+    block satisfied both constraints. *)
+val partition : Hypergraph.Hgraph.t -> Device.t -> config -> outcome

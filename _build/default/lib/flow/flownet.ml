@@ -1,0 +1,91 @@
+module Hg = Hypergraph.Hgraph
+
+type t = {
+  flow : Maxflow.t;
+  src : int;
+  snk : int;
+  node_id : int array; (* hg node -> flow node, or -1 *)
+  in_src : bool array; (* per hg node *)
+  in_snk : bool array;
+}
+
+let build hg ~keep =
+  let n = Hg.num_nodes hg in
+  let node_id = Array.make n (-1) in
+  let next = ref 0 in
+  let fresh () = let id = !next in incr next; id in
+  for v = 0 to n - 1 do
+    if keep v then node_id.(v) <- fresh ()
+  done;
+  (* count kept nets to size the graph *)
+  let kept_pins e =
+    Array.fold_left
+      (fun acc v -> if node_id.(v) >= 0 then acc + 1 else acc)
+      0 (Hg.pins hg e)
+  in
+  let net_aux = Array.make (Hg.num_nets hg) (-1) in
+  Hg.iter_nets
+    (fun e ->
+      if kept_pins e >= 2 then begin
+        net_aux.(e) <- !next;
+        next := !next + 2
+      end)
+    hg;
+  let src = fresh () in
+  let snk = fresh () in
+  let flow = Maxflow.create ~nodes:!next in
+  Hg.iter_nets
+    (fun e ->
+      let aux = net_aux.(e) in
+      if aux >= 0 then begin
+        ignore (Maxflow.add_edge flow ~src:aux ~dst:(aux + 1) ~cap:1);
+        Array.iter
+          (fun v ->
+            let fv = node_id.(v) in
+            if fv >= 0 then begin
+              ignore (Maxflow.add_edge flow ~src:fv ~dst:aux ~cap:Maxflow.infinite);
+              ignore (Maxflow.add_edge flow ~src:(aux + 1) ~dst:fv ~cap:Maxflow.infinite)
+            end)
+          (Hg.pins hg e)
+      end)
+    hg;
+  {
+    flow;
+    src;
+    snk;
+    node_id;
+    in_src = Array.make n false;
+    in_snk = Array.make n false;
+  }
+
+let graph t = t.flow
+let source t = t.src
+let sink t = t.snk
+
+let check_kept t v =
+  if t.node_id.(v) < 0 then invalid_arg "Flownet: node was not kept"
+
+let attach_source t v =
+  check_kept t v;
+  if not t.in_src.(v) then begin
+    t.in_src.(v) <- true;
+    ignore (Maxflow.add_edge t.flow ~src:t.src ~dst:t.node_id.(v) ~cap:Maxflow.infinite)
+  end
+
+let attach_sink t v =
+  check_kept t v;
+  if not t.in_snk.(v) then begin
+    t.in_snk.(v) <- true;
+    ignore (Maxflow.add_edge t.flow ~src:t.node_id.(v) ~dst:t.snk ~cap:Maxflow.infinite)
+  end
+
+let in_source_set t v = t.in_src.(v)
+let in_sink_set t v = t.in_snk.(v)
+
+let run t =
+  ignore (Maxflow.max_flow t.flow ~source:t.src ~sink:t.snk);
+  Maxflow.total_flow t.flow
+
+let source_side t =
+  let side = Maxflow.source_side t.flow ~source:t.src in
+  Array.mapi (fun _ id -> id >= 0 && side.(id)) t.node_id

@@ -1,0 +1,48 @@
+(** Hypergraph → flow network transformation (Liu & Wong, 1998).
+
+    Each net is split into two auxiliary nodes joined by a bridging edge
+    of capacity 1; every pin gets infinite-capacity edges into the first
+    and out of the second auxiliary node.  A minimum s-t cut of the
+    resulting digraph then equals a minimum hyperedge cut separating the
+    seeds, which is what the FBB bipartitioner iterates on.
+
+    The network can be restricted to a node subset (the remainder being
+    peeled by FBB-MW); excluded nodes and the nets entirely outside the
+    subset do not appear. *)
+
+type t
+
+(** [build h ~keep] builds the network over the nodes [v] with
+    [keep v = true].  Nets with fewer than two kept pins are dropped
+    (they can never be cut). *)
+val build : Hypergraph.Hgraph.t -> keep:(Hypergraph.Hgraph.node -> bool) -> t
+
+(** The underlying flow graph (for [max_flow] etc.). *)
+val graph : t -> Maxflow.t
+
+(** Flow-graph ids of the artificial source and sink. *)
+val source : t -> int
+
+val sink : t -> int
+
+(** [attach_source t v] merges hypergraph node [v] into the source set
+    (adds an infinite edge source→v); idempotent.
+    @raise Invalid_argument if [v] was not kept. *)
+val attach_source : t -> Hypergraph.Hgraph.node -> unit
+
+(** [attach_sink t v] merges [v] into the sink set (edge v→sink). *)
+val attach_sink : t -> Hypergraph.Hgraph.node -> unit
+
+(** [in_source_set t v] / [in_sink_set t v] report merges done so far. *)
+val in_source_set : t -> Hypergraph.Hgraph.node -> bool
+
+val in_sink_set : t -> Hypergraph.Hgraph.node -> bool
+
+(** [run t] augments the flow to a maximum and returns the cut value
+    (total accumulated flow). *)
+val run : t -> int
+
+(** [source_side t] is, after {!run}, the set of {e hypergraph} nodes on
+    the source side of the induced minimum cut (indexed by hypergraph
+    node id; excluded nodes are [false]). *)
+val source_side : t -> bool array

@@ -1,0 +1,48 @@
+(** Classical Fiduccia–Mattheyses bipartition refinement.
+
+    Operates on two designated blocks of a {!Partition.State.t},
+    minimising the hypergraph cut under per-block size windows.  Each
+    pass tentatively moves every movable node once (highest-gain-first,
+    LIFO buckets, nodes lock after moving) and finally rewinds to the
+    best prefix — best cut, ties broken by better size balance, exactly
+    as in the 1982 paper.  Passes repeat until a pass fails to improve
+    the cut or [max_passes] is reached.
+
+    This engine is both the baseline bipartitioner of the k-way.x
+    reproduction and the differential-testing reference for the
+    multi-way Sanchis engine restricted to two blocks. *)
+
+(** Size windows for the two blocks: a move is legal when the source
+    block stays at or above its [lo] and the destination stays at or
+    below its [hi]. *)
+type limits = {
+  lo0 : int;
+  hi0 : int;
+  lo1 : int;
+  hi1 : int;
+}
+
+(** [limits_of_tolerance ~total ~tolerance] is the classical symmetric
+    balance criterion: each side must hold within
+    [total/2 ± tolerance·total] (e.g. [tolerance = 0.1]). *)
+val limits_of_tolerance : total:int -> tolerance:float -> limits
+
+type result = {
+  initial_cut : int;
+  final_cut : int;
+  passes : int;      (** Number of passes executed. *)
+  moves : int;       (** Number of retained (non-rewound) moves. *)
+}
+
+(** [refine st ~block0 ~block1 ~limits ~max_passes] runs FM between the
+    two blocks of [st], mutating [st] to the best solution found.
+    Nodes outside the two blocks are untouched; pads are movable (size
+    0).  @raise Invalid_argument if the blocks coincide or are out of
+    range. *)
+val refine :
+  Partition.State.t ->
+  block0:int ->
+  block1:int ->
+  limits:limits ->
+  max_passes:int ->
+  result

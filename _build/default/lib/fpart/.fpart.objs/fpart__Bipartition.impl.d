@@ -1,0 +1,1 @@
+lib/fpart/bipartition.ml: Array Hypergraph List Partition Prng Ratio_cut Seed_merge

@@ -1,0 +1,1 @@
+lib/fpart/bipartition.mli: Partition Prng

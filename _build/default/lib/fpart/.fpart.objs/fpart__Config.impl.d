@@ -1,0 +1,1 @@
+lib/fpart/config.ml: Device Gainbucket Partition Sanchis

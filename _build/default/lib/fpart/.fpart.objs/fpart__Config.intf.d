@@ -1,0 +1,1 @@
+lib/fpart/config.mli: Device Gainbucket Partition Sanchis

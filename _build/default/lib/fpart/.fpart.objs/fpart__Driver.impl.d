@@ -1,0 +1,1 @@
+lib/fpart/driver.ml: Array Bipartition Cluster Config Fun Hypergraph Improve List Partition Prng Sanchis Schedule Sys Trace

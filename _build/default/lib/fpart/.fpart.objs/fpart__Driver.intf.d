@@ -1,0 +1,1 @@
+lib/fpart/driver.mli: Config Device Hypergraph Partition Trace

@@ -1,0 +1,1 @@
+lib/fpart/hetero.ml: Array Config Device Driver Hypergraph List Partition Sanchis Seed_merge Sys

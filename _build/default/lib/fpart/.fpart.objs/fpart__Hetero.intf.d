@@ -1,0 +1,1 @@
+lib/fpart/hetero.mli: Config Device Hypergraph

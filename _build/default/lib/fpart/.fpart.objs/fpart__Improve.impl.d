@@ -1,0 +1,1 @@
+lib/fpart/improve.ml: Array Config Partition Sanchis Trace

@@ -1,0 +1,1 @@
+lib/fpart/improve.mli: Config Partition Trace

@@ -1,0 +1,1 @@
+lib/fpart/kwayx.ml: Array Device Fm Hypergraph List Partition Seed_merge Sys

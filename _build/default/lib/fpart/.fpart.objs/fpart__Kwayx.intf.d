@@ -1,0 +1,1 @@
+lib/fpart/kwayx.mli: Device Hypergraph

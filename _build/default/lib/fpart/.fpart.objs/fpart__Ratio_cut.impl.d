@@ -1,0 +1,1 @@
+lib/fpart/ratio_cut.ml: Array Bool Gainbucket Hypergraph Partition Queue

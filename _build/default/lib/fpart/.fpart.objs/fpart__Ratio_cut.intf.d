@@ -1,0 +1,1 @@
+lib/fpart/ratio_cut.mli: Hypergraph

@@ -1,0 +1,1 @@
+lib/fpart/schedule.ml: Config Partition

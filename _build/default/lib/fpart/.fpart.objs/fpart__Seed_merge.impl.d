@@ -1,0 +1,1 @@
+lib/fpart/seed_merge.ml: Array Hypergraph List Partition Queue

@@ -1,0 +1,1 @@
+lib/fpart/seed_merge.mli: Hypergraph

@@ -1,0 +1,1 @@
+lib/fpart/trace.ml: Format List Partition String

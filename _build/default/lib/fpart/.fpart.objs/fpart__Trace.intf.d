@@ -1,0 +1,1 @@
+lib/fpart/trace.mli: Format Partition

@@ -1,0 +1,42 @@
+(** Initial partition creation: best of the two constructive methods
+    (paper section 3.2).
+
+    Runs {!Seed_merge} and {!Ratio_cut} on the remainder, materialises
+    each candidate split in the partition state, evaluates both with the
+    lexicographic cost of section 3.4, and keeps the better one.  The
+    winning side that is meant to become a device goes to [p_block];
+    everything else goes to [r_block] (the new remainder). *)
+
+type method_used =
+  | Used_seed_merge
+  | Used_ratio_cut
+  | Used_random
+
+val method_name : method_used -> string
+
+(** [split st ~p_block ~r_block ~params ~ctx ~step_k] splits the nodes
+    currently in [p_block] (the old remainder) between [p_block] and
+    [r_block].  [r_block] must be empty beforehand.
+    @raise Invalid_argument if [r_block] is not empty. *)
+val split :
+  ?salt:int ->
+  Partition.State.t ->
+  p_block:int ->
+  r_block:int ->
+  params:Partition.Cost.params ->
+  ctx:Partition.Cost.context ->
+  step_k:int ->
+  method_used
+
+(** [random_split st ~p_block ~r_block ~s_max ~rng] assigns a uniformly
+    random subset of the remainder of logic size ≤ [s_max] to
+    [p_block] — the baseline the paper dismisses in section 3.2
+    ("randomly created initial partition may lead to poor results");
+    kept for the ablation that reproduces that observation. *)
+val random_split :
+  Partition.State.t ->
+  p_block:int ->
+  r_block:int ->
+  s_max:int ->
+  rng:Prng.Splitmix.t ->
+  unit

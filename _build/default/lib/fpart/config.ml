@@ -1,0 +1,63 @@
+type t = {
+  delta : float option;
+  sigma1 : float;
+  sigma2 : float;
+  n_small : int;
+  cost : Partition.Cost.params;
+  eps_max_multi : float;
+  eps_max_two : float;
+  eps_min_multi : float;
+  eps_min_two : float;
+  stack_depth : int;
+  max_passes : int;
+  gain_levels : int;
+  bucket_discipline : Gainbucket.Bucket_array.discipline;
+  scan_limit : int;
+  gain_mode : Sanchis.gain_mode;
+  drift_limit : int option;
+  random_initial : bool;
+  cluster_size : int option;
+  seed : int;
+}
+
+let default =
+  {
+    delta = None;
+    sigma1 = 0.5;
+    sigma2 = 0.5;
+    n_small = 15;
+    cost = Partition.Cost.default_params;
+    eps_max_multi = 1.05;
+    eps_max_two = 1.05;
+    eps_min_multi = 0.3;
+    eps_min_two = 0.95;
+    stack_depth = 4;
+    max_passes = 8;
+    gain_levels = 2;
+    bucket_discipline = Gainbucket.Bucket_array.Lifo;
+    scan_limit = 16;
+    gain_mode = Sanchis.Cut_gain;
+    drift_limit = None;
+    random_initial = false;
+    cluster_size = None;
+    seed = 0x5eed;
+  }
+
+let delta_for t device =
+  match t.delta with Some d -> d | None -> Device.paper_delta device
+
+let engine t =
+  {
+    Sanchis.gain_levels = t.gain_levels;
+    scan_limit = t.scan_limit;
+    max_passes = t.max_passes;
+    stack_depth = t.stack_depth;
+    gain_mode = t.gain_mode;
+    drift_limit = t.drift_limit;
+    bucket_discipline = t.bucket_discipline;
+    tie_salt = t.seed land 0xFFFF;
+  }
+
+let free_space t ~s_max ~t_max ~size ~pins =
+  (t.sigma1 *. (float_of_int (s_max - size) /. float_of_int s_max))
+  +. (t.sigma2 *. (float_of_int (t_max - pins) /. float_of_int t_max))

@@ -1,0 +1,240 @@
+module Hg = Hypergraph.Hgraph
+module State = Partition.State
+module Cost = Partition.Cost
+
+type priced = { device : Device.t; unit_cost : float }
+
+(* One family only: a circuit is technology-mapped for a single CLB
+   architecture, so mixing XC2000 and XC3000 devices in one partition
+   would compare incomparable size units. *)
+let default_candidates =
+  [
+    { device = Device.xc3020; unit_cost = 1.0 };
+    { device = Device.xc3042; unit_cost = 2.1 };
+    { device = Device.xc3090; unit_cost = 4.6 };
+  ]
+
+type block_info = {
+  blk_device : Device.t;
+  blk_cost : float;
+  blk_size : int;
+  blk_pins : int;
+  blk_flops : int;
+}
+
+type result = {
+  blocks : block_info list;
+  assignment : int array;
+  total_cost : float;
+  feasible : bool;
+  cut : int;
+  cpu_seconds : float;
+}
+
+(* Capacity of a candidate under the config's filling-ratio policy. *)
+let caps config c =
+  let delta = Config.delta_for config c.device in
+  (Device.s_max c.device ~delta, c.device.Device.t_max, Device.ff_max c.device ~delta)
+
+let fits config c ~size ~pins ~flops =
+  let s_max, t_max, f_max = caps config c in
+  size <= s_max
+  && pins <= t_max
+  && match f_max with None -> true | Some f -> flops <= f
+
+(* Pin/size/flop totals of the remaining (unassigned) region. *)
+let rest_totals hg assigned =
+  let size = ref 0 and flops = ref 0 in
+  Hg.iter_cells
+    (fun v ->
+      if assigned.(v) < 0 then begin
+        size := !size + Hg.size hg v;
+        flops := !flops + Hg.flops hg v
+      end)
+    hg;
+  let pins = ref 0 in
+  Hg.iter_nets
+    (fun e ->
+      let ps = Hg.pins hg e in
+      let inside = Array.exists (fun v -> assigned.(v) < 0) ps in
+      if inside then begin
+        let outside = Array.exists (fun v -> assigned.(v) >= 0) ps in
+        let pad_in = Array.exists (fun v -> assigned.(v) < 0 && Hg.is_pad hg v) ps in
+        if outside || pad_in then incr pins
+      end)
+    hg;
+  (!size, !pins, !flops)
+
+(* Tentatively carve a block for candidate [c] out of the rest; returns
+   the achieved (p_side, size, pins, flops) after a two-block
+   improvement, without committing anything. *)
+let carve_for config hg assigned b c =
+  let s_max, t_max, f_max = caps config c in
+  let member v = assigned.(v) < 0 in
+  let sm =
+    Seed_merge.split ~salt:(config.Config.seed land 0xFFFF) hg ~member ~s_max ~t_max
+  in
+  (* improvement between the tentative block [b] and the rest [b+1] *)
+  let st =
+    State.create hg ~k:(b + 2) ~assign:(fun v ->
+        if assigned.(v) >= 0 then assigned.(v)
+        else if sm.Seed_merge.p_side.(v) then b
+        else b + 1)
+  in
+  let ctx =
+    {
+      Cost.s_max;
+      t_max;
+      f_max;
+      m_lower = 1;
+      total_pads = Hg.num_pads hg;
+    }
+  in
+  let lower = Array.make (b + 2) 0 and upper = Array.make (b + 2) max_int in
+  Array.fill lower 0 (b + 1) (int_of_float (config.Config.eps_min_two *. float_of_int s_max));
+  Array.fill upper 0 (b + 1) s_max;
+  let spec =
+    { Sanchis.active = [| b; b + 1 |]; remainder = Some (b + 1); lower; upper }
+  in
+  let eval st = Cost.evaluate config.Config.cost ctx st ~remainder:(Some (b + 1)) ~step_k:1 in
+  ignore (Sanchis.improve st ~spec ~config:(Config.engine config) ~eval);
+  let side = Array.init (Hg.num_nodes hg) (fun v -> State.block_of st v = b) in
+  (side, State.size_of st b, State.pins_of st b, State.flops_of st b)
+
+let run ?(config = Config.default) ?(candidates = default_candidates) hg =
+  if candidates = [] then invalid_arg "Hetero.run: empty candidate list";
+  let t0 = Sys.time () in
+  let n = Hg.num_nodes hg in
+  let assigned = Array.make n (-1) in
+  let blocks = ref [] in
+  let b = ref 0 in
+  let total_cost = ref 0.0 in
+  let feasible = ref true in
+  let commit device cost side =
+    let size = ref 0 and flops = ref 0 in
+    Array.iteri
+      (fun v inside ->
+        if inside && assigned.(v) < 0 then begin
+          assigned.(v) <- !b;
+          size := !size + Hg.size hg v;
+          flops := !flops + Hg.flops hg v
+        end)
+      side;
+    (* pins measured against the whole circuit *)
+    let pins = ref 0 in
+    Hg.iter_nets
+      (fun e ->
+        let ps = Hg.pins hg e in
+        let inside = Array.exists (fun v -> assigned.(v) = !b) ps in
+        if inside then begin
+          let outside = Array.exists (fun v -> assigned.(v) <> !b) ps in
+          let pad_in =
+            Array.exists (fun v -> assigned.(v) = !b && Hg.is_pad hg v) ps
+          in
+          if outside || pad_in then incr pins
+        end)
+      hg;
+    blocks :=
+      {
+        blk_device = device;
+        blk_cost = cost;
+        blk_size = !size;
+        blk_pins = !pins;
+        blk_flops = !flops;
+      }
+      :: !blocks;
+    total_cost := !total_cost +. cost;
+    incr b
+  in
+  let max_blocks =
+    let smallest =
+      List.fold_left (fun acc c -> min acc (let s, _, _ = caps config c in s)) max_int
+        candidates
+    in
+    (2 * Hg.total_size hg / max 1 smallest) + 8
+  in
+  let continue = ref (Hg.num_cells hg > 0) in
+  while !continue do
+    let size, pins, flops = rest_totals hg assigned in
+    (* cheapest candidate the whole rest fits *)
+    let closing =
+      List.filter (fun c -> fits config c ~size ~pins ~flops) candidates
+      |> List.sort (fun a b -> compare a.unit_cost b.unit_cost)
+    in
+    match closing with
+    | c :: _ ->
+      let side = Array.map (fun a -> a < 0) assigned in
+      commit c.device c.unit_cost side;
+      continue := false
+    | [] ->
+      if !b >= max_blocks then begin
+        (* give up: close with the biggest device even though infeasible *)
+        let biggest =
+          List.fold_left
+            (fun acc c ->
+              let s, _, _ = caps config c in
+              match acc with
+              | Some (s', _) when s' >= s -> acc
+              | _ -> Some (s, c))
+            None candidates
+        in
+        (match biggest with
+        | Some (_, c) ->
+          feasible := false;
+          commit c.device c.unit_cost (Array.map (fun a -> a < 0) assigned)
+        | None -> ());
+        continue := false
+      end
+      else begin
+        (* peel: best cost-per-cell candidate *)
+        let best = ref None in
+        List.iter
+          (fun c ->
+            let side, size, pins, flops = carve_for config hg assigned !b c in
+            if size > 0 && fits config c ~size ~pins ~flops then begin
+              let efficiency = c.unit_cost /. float_of_int size in
+              match !best with
+              | Some (e, _, _) when e <= efficiency -> ()
+              | _ -> best := Some (efficiency, c, side)
+            end)
+          candidates;
+        match !best with
+        | Some (_, c, side) -> commit c.device c.unit_cost side
+        | None ->
+          (* no candidate could carve a feasible block: force progress
+             with the biggest device, flagged infeasible if needed *)
+          let c =
+            List.fold_left
+              (fun acc c ->
+                let s, _, _ = caps config c in
+                let s_acc, _, _ = caps config acc in
+                if s > s_acc then c else acc)
+              (List.hd candidates) candidates
+          in
+          let side, size, pins, flops = carve_for config hg assigned !b c in
+          if not (fits config c ~size ~pins ~flops) then feasible := false;
+          if Array.exists2 (fun s a -> s && a < 0) side assigned then
+            commit c.device c.unit_cost side
+          else begin
+            feasible := false;
+            continue := false
+          end
+      end
+  done;
+  (* any stragglers (empty-carve corner): dump into the last block *)
+  let last = max 0 (!b - 1) in
+  Array.iteri (fun v a -> if a < 0 then assigned.(v) <- last) assigned;
+  let k = max 1 !b in
+  let st = State.create hg ~k ~assign:(fun v -> assigned.(v)) in
+  {
+    blocks = List.rev !blocks;
+    assignment = assigned;
+    total_cost = !total_cost;
+    feasible = !feasible;
+    cut = State.cut_size st;
+    cpu_seconds = Sys.time () -. t0;
+  }
+
+let homogeneous_cost ?(config = Config.default) hg priced =
+  let r = Driver.run ~config hg priced.device in
+  float_of_int r.Driver.k *. priced.unit_cost

@@ -1,0 +1,58 @@
+(** Heterogeneous multi-way partitioning with device-cost minimisation.
+
+    The paper's related work (Kuznar/Brglez/Zajc, DAC'94) generalises
+    the problem from "minimum number of identical devices" to "minimum
+    total cost over a heterogeneous device library".  This module
+    implements a greedy cost-efficiency variant of that formulation on
+    top of the same substrates:
+
+    - while the rest of the circuit fits no single candidate device, one
+      block is peeled per iteration: every candidate device carves a
+      tentative block (pin-aware seeded merge at that device's capacity,
+      plus a two-block improvement against the rest), and the candidate
+      with the lowest {e cost per absorbed logic cell} wins;
+    - when the rest fits some device, the {e cheapest} such device
+      closes the partition.
+
+    Prices are user-supplied ({!default_candidates} provides a synthetic
+    catalog roughly proportional to capacity — 1990s street prices are
+    not public data; see DESIGN.md). *)
+
+type priced = {
+  device : Device.t;
+  unit_cost : float;  (** Cost of one copy of this device. *)
+}
+
+(** The XC3000-family catalog with synthetic costs: XC3020 at 1.0,
+    XC3042 at 2.1, XC3090 at 4.6.  One family only — a netlist is
+    technology-mapped for a single CLB architecture, so mixing families
+    would compare incomparable size units. *)
+val default_candidates : priced list
+
+type block_info = {
+  blk_device : Device.t;
+  blk_cost : float;
+  blk_size : int;
+  blk_pins : int;
+  blk_flops : int;
+}
+
+type result = {
+  blocks : block_info list;  (** One entry per block, in peel order. *)
+  assignment : int array;    (** node → block index. *)
+  total_cost : float;
+  feasible : bool;           (** Every block fits its chosen device. *)
+  cut : int;
+  cpu_seconds : float;
+}
+
+(** [run ?config ?candidates h] partitions [h] over the priced device
+    library.  [config] supplies the improvement engine settings and the
+    filling ratio policy ({!Config.delta_for} per device).
+    @raise Invalid_argument if [candidates] is empty. *)
+val run : ?config:Config.t -> ?candidates:priced list -> Hypergraph.Hgraph.t -> result
+
+(** [homogeneous_cost ?config h priced] is the cost of the best
+    single-device-type solution ([FPART k × unit cost]) for comparison
+    against the heterogeneous result. *)
+val homogeneous_cost : ?config:Config.t -> Hypergraph.Hgraph.t -> priced -> float

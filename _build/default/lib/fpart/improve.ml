@@ -1,0 +1,55 @@
+module State = Partition.State
+module Cost = Partition.Cost
+
+type t = {
+  cfg : Config.t;
+  params : Cost.params;
+  ctx : Cost.context;
+  trace : Trace.t;
+}
+
+let scale s_max eps = int_of_float (eps *. float_of_int s_max)
+
+let windows t st ~remainder ~allow_violation ~two_block =
+  let k = State.k st in
+  let s_max = t.ctx.Cost.s_max in
+  let eps_min = if two_block then t.cfg.Config.eps_min_two else t.cfg.Config.eps_min_multi in
+  let eps_max = if two_block then t.cfg.Config.eps_max_two else t.cfg.Config.eps_max_multi in
+  let lower = Array.make k 0 in
+  let upper = Array.make k max_int in
+  for b = 0 to k - 1 do
+    if b <> remainder then begin
+      lower.(b) <- scale s_max eps_min;
+      upper.(b) <- (if allow_violation then scale s_max eps_max else s_max)
+    end
+  done;
+  (lower, upper)
+
+let run t st ~iteration ~remainder ~active ~allow_violation ~two_block ~kind =
+  let lower, upper = windows t st ~remainder ~allow_violation ~two_block in
+  let spec = { Sanchis.active; remainder = Some remainder; lower; upper } in
+  let eval st =
+    Cost.evaluate t.params t.ctx st ~remainder:(Some remainder) ~step_k:iteration
+  in
+  let report = Sanchis.improve st ~spec ~config:(Config.engine t.cfg) ~eval in
+  Trace.record t.trace
+    (Trace.Improve
+       {
+         iteration;
+         kind;
+         blocks = Array.to_list active;
+         value = report.Sanchis.best;
+         passes = report.Sanchis.passes_run;
+         moves = report.Sanchis.moves_applied;
+         restarts = report.Sanchis.restarts;
+       })
+
+let pair t st ~iteration ~remainder ~other ~allow_violation ~kind =
+  if other <> remainder then
+    run t st ~iteration ~remainder ~active:[| other; remainder |] ~allow_violation
+      ~two_block:true ~kind
+
+let all_blocks t st ~iteration ~remainder ~allow_violation =
+  let active = Array.init (State.k st) (fun i -> i) in
+  run t st ~iteration ~remainder ~active ~allow_violation ~two_block:false
+    ~kind:Trace.All_blocks

@@ -1,0 +1,95 @@
+module Hg = Hypergraph.Hgraph
+module State = Partition.State
+
+type result = {
+  k : int;
+  assignment : int array;
+  feasible : bool;
+  iterations : int;
+  cut : int;
+  cpu_seconds : float;
+}
+
+(* Shed cells from block [b] into [r] until the pin budget fits, taking
+   the cell with the best pin gain each time. *)
+let shed_pins st ~b ~r ~t_max =
+  let budget = ref (State.cells_of st b) in
+  while State.pins_of st b > t_max && !budget > 0 && State.cells_of st b > 1 do
+    decr budget;
+    let best = ref (-1) in
+    let best_gain = ref min_int in
+    List.iter
+      (fun v ->
+        let g = State.pin_gain st v r in
+        if g > !best_gain then begin
+          best_gain := g;
+          best := v
+        end)
+      (State.nodes_of_block st b);
+    if !best >= 0 then State.move st !best r else budget := 0
+  done
+
+let run ?delta ?(max_passes = 8) hg device =
+  let t0 = Sys.time () in
+  let delta = match delta with Some d -> d | None -> Device.paper_delta device in
+  let s_max = Device.s_max device ~delta in
+  let t_max = device.Device.t_max in
+  let n = Hg.num_nodes hg in
+  let assign = Array.make n 0 in
+  let block_ok st i = State.size_of st i <= s_max && State.pins_of st i <= t_max in
+  let finish ~k ~iterations =
+    let st = State.create hg ~k ~assign:(fun v -> assign.(v)) in
+    let feasible = ref true in
+    for i = 0 to k - 1 do
+      if not (block_ok st i) then feasible := false
+    done;
+    {
+      k;
+      assignment = Array.copy assign;
+      feasible = !feasible;
+      iterations;
+      cut = State.cut_size st;
+      cpu_seconds = Sys.time () -. t0;
+    }
+  in
+  let whole = State.create hg ~k:1 ~assign:(fun _ -> 0) in
+  if block_ok whole 0 then finish ~k:1 ~iterations:0
+  else begin
+    let m =
+      Device.lower_bound device ~delta ~total_size:(Hg.total_size hg)
+        ~total_pads:(Hg.num_pads hg)
+    in
+    let max_iterations = max ((4 * m) + 12) 16 in
+    let rec iterate j =
+      let iteration = j + 1 in
+      if iteration > max_iterations then finish ~k:(j + 1) ~iterations:j
+      else begin
+        let st = State.create hg ~k:(j + 2) ~assign:(fun v -> assign.(v)) in
+        let r = j + 1 in
+        if State.cells_of st j < 2 then finish ~k:(j + 1) ~iterations:j
+        else begin
+          let member v = State.block_of st v = j in
+          let sm = Seed_merge.split hg ~member ~s_max ~t_max in
+          Hg.iter_nodes
+            (fun v ->
+              if member v then
+                State.move st v (if sm.Seed_merge.p_side.(v) then j else r))
+            hg;
+          let limits =
+            {
+              Fm.lo0 = s_max * 7 / 10;
+              hi0 = s_max;
+              lo1 = 0;
+              hi1 = max_int / 2;
+            }
+          in
+          ignore (Fm.refine st ~block0:j ~block1:r ~limits ~max_passes);
+          shed_pins st ~b:j ~r ~t_max;
+          Array.blit (State.assignment st) 0 assign 0 n;
+          if block_ok st r then finish ~k:(j + 2) ~iterations:iteration
+          else iterate (j + 1)
+        end
+      end
+    in
+    iterate 0
+  end

@@ -1,0 +1,26 @@
+(** The k-way.x baseline (Kuznar/Brglez/Kozminski 1993; the "(p,p)"
+    column of the paper's tables).
+
+    Plain recursive bipartitioning: each iteration carves one block out
+    of the remainder with the greedy constructive merge, refines the cut
+    with classical two-block FM between the new block and the remainder
+    only, greedily sheds cells when the block's pin budget overflows,
+    and never revisits committed blocks.  This is the greedy behaviour
+    whose weaknesses (section 3 of the paper: I/O saturation of late
+    blocks, no cross-block optimisation) FPART was designed to fix — so
+    it must be measurably worse on the same workloads. *)
+
+type result = {
+  k : int;
+  assignment : int array;
+  feasible : bool;
+  iterations : int;
+  cut : int;
+  cpu_seconds : float;
+}
+
+(** [run ?delta ?max_passes h device] partitions [h] onto copies of
+    [device].  [delta] defaults to {!Device.paper_delta};
+    [max_passes] (default 8) bounds FM passes per iteration. *)
+val run :
+  ?delta:float -> ?max_passes:int -> Hypergraph.Hgraph.t -> Device.t -> result

@@ -1,0 +1,25 @@
+(** Constructive initial bipartition by a ratio-cut sweep
+    (Wei/Cheng 1991, paper section 3.2, pass 2).
+
+    From a seed node, the rest of the remainder is swept into the
+    growing block one node at a time, each step taking the node with the
+    highest cut gain.  After every move the ratio
+    [R = C_{1,2} / (S(P_1) · S(P_2))] is recorded; the sweep prefix with
+    the smallest ratio {e among prefixes where at least one side meets
+    the device constraints} is retained.  The whole procedure runs from
+    two far-apart seeds and the better of the two sweeps wins.
+
+    Returns [None] when no prefix of either sweep has a constraint-
+    satisfying side (e.g. a remainder whose every split violates pins). *)
+
+type result = {
+  p_side : bool array;  (** Nodes of the constraint-satisfying side. *)
+  ratio : float;        (** The ratio-cut value of the chosen prefix. *)
+}
+
+val split :
+  Hypergraph.Hgraph.t ->
+  member:(Hypergraph.Hgraph.node -> bool) ->
+  s_max:int ->
+  t_max:int ->
+  result option

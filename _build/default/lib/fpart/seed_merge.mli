@@ -1,0 +1,36 @@
+(** Constructive initial bipartition by greedy seeded node merge
+    (Brasen/Hiol/Saucier cone structures, paper section 3.2, pass 1).
+
+    Two seed nodes are picked inside the remainder — the biggest node,
+    and the node at maximal BFS distance from it.  Two blocks then grow
+    simultaneously, one node per block per round; each block absorbs the
+    frontier candidate maximising the merge cost [S_(i+j) / T_(i+j)]
+    (size gained per terminal paid).  Growth of a block stops when no
+    candidate fits under [S_MAX]; growing both blocks at once tempers
+    the greed of absorbing all well-connected nodes into one cone.  The
+    bigger block becomes the candidate device block [P]; everything else
+    (second block and unabsorbed nodes) stays in the remainder.
+
+    Pin counts are evaluated in the context of the whole partition: the
+    scratch state keeps all already-committed blocks merged as one
+    "external" block, which leaves every block's terminal count exactly
+    as in the real partition. *)
+
+type result = {
+  p_side : bool array;  (** Nodes of the candidate block [P]. *)
+  p_size : int;         (** Its logic size. *)
+  p_pins : int;         (** Its terminal count (in full-partition context). *)
+}
+
+(** [split h ~member ~s_max ~t_max] bipartitions the sub-circuit
+    [{v | member v}].  [salt] (default 0) perturbs the deterministic
+    tie-breaks (seed choice, equal-score merges) so multi-start runs
+    construct different initial partitions.
+    @raise Invalid_argument when the member set is empty. *)
+val split :
+  ?salt:int ->
+  Hypergraph.Hgraph.t ->
+  member:(Hypergraph.Hgraph.node -> bool) ->
+  s_max:int ->
+  t_max:int ->
+  result

@@ -1,0 +1,38 @@
+(** Execution traces of the FPART driver.
+
+    Records which improvement passes were called on which blocks at each
+    iteration of Algorithm 1 — the information Figure 1 of the paper
+    visualises.  The experiment harness replays a trace to regenerate
+    that figure as text. *)
+
+type pass_kind =
+  | Pair_latest      (** Improve(R_k, P_k): the two lately created blocks. *)
+  | All_blocks       (** Improve(P_0 … P_k, R_k) — only when [M ≤ N_small]. *)
+  | Min_size         (** Improve(P_MIN_size, R_k). *)
+  | Min_io           (** Improve(P_MIN_IO, R_k). *)
+  | Max_free         (** Improve(P_MIN_F, R_k). *)
+  | Final_pairs      (** Improve(P_i, R_k) for every i, once k = M. *)
+
+type event =
+  | Bipartition of { iteration : int; p_block : int; r_block : int; method_used : string }
+  | Improve of {
+      iteration : int;
+      kind : pass_kind;
+      blocks : int list;       (** Global block indices involved. *)
+      value : Partition.Cost.value;  (** Solution value after the pass. *)
+      passes : int;            (** FM passes executed by the engine. *)
+      moves : int;             (** Retained (non-rewound) moves. *)
+      restarts : int;          (** Solution-stack restarts. *)
+    }
+  | Committed of { iteration : int; block : int; size : int; pins : int }
+  | Done of { iterations : int; k : int; feasible : bool }
+
+(** A mutable recorder; [record] appends, [events] lists in order. *)
+type t
+
+val create : unit -> t
+val record : t -> event -> unit
+val events : t -> event list
+
+val pp_kind : Format.formatter -> pass_kind -> unit
+val pp_event : Format.formatter -> event -> unit

@@ -1,0 +1,1 @@
+lib/gainbucket/bucket_array.ml: Array Format

@@ -1,0 +1,1 @@
+lib/gainbucket/direction_set.ml: Array Bucket_array

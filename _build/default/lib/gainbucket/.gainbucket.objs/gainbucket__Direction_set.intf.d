@@ -1,0 +1,1 @@
+lib/gainbucket/direction_set.mli: Bucket_array

@@ -1,0 +1,47 @@
+type t = { buckets : Bucket_array.t array; enabled : bool array }
+
+let create ?discipline ~directions ~cells ~max_gain () =
+  {
+    buckets =
+      Array.init directions (fun _ ->
+          Bucket_array.create ?discipline ~cells ~max_gain ());
+    enabled = Array.make directions true;
+  }
+
+let bucket t dir = t.buckets.(dir)
+
+let set_enabled t dir flag = t.enabled.(dir) <- flag
+
+let enabled t dir = t.enabled.(dir)
+
+let best_gain t =
+  let best = ref None in
+  Array.iteri
+    (fun dir b ->
+      if t.enabled.(dir) then
+        match Bucket_array.top_gain b with
+        | Some g -> (
+          match !best with
+          | Some g' when g' >= g -> ()
+          | _ -> best := Some g)
+        | None -> ())
+    t.buckets;
+  !best
+
+let best_dirs t =
+  match best_gain t with
+  | None -> []
+  | Some g ->
+    let out = ref [] in
+    for dir = Array.length t.buckets - 1 downto 0 do
+      if t.enabled.(dir) && Bucket_array.top_gain t.buckets.(dir) = Some g then
+        out := dir :: !out
+    done;
+    !out
+
+let total_cells t =
+  Array.fold_left (fun acc b -> acc + Bucket_array.cardinal b) 0 t.buckets
+
+let clear t =
+  Array.iter Bucket_array.clear t.buckets;
+  Array.fill t.enabled 0 (Array.length t.enabled) true

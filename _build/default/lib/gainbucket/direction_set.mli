@@ -1,0 +1,50 @@
+(** The set of per-direction gain buckets of a multi-way pass.
+
+    The Sanchis engine maintains one {!Bucket_array} per ordered pair of
+    active blocks ("move direction", paper section 3.7) and repeatedly
+    asks for the direction(s) whose best cell has the globally highest
+    gain.  The paper uses a heap for this; with the direction counts
+    that arise in FPGA partitioning (at most [k·(k-1)] with [k ≤ 16] in
+    multi-block passes, and exactly 2 in two-block passes) a linear
+    argmax over direction tops is faster in practice and much simpler,
+    so that is what this module does — it still centralises the
+    enable/disable logic used to retire directions whose blocks hit the
+    feasible-move-region boundary (section 3.5).
+
+    Directions are dense integers [0 .. n-1] chosen by the caller. *)
+
+type t
+
+(** [create ?discipline ~directions ~cells ~max_gain ()] allocates
+    [directions] empty bucket arrays (shared insertion discipline). *)
+val create :
+  ?discipline:Bucket_array.discipline ->
+  directions:int ->
+  cells:int ->
+  max_gain:int ->
+  unit ->
+  t
+
+(** [bucket t dir] is the bucket array of a direction (shared, mutable). *)
+val bucket : t -> int -> Bucket_array.t
+
+(** [set_enabled t dir flag] enables or disables a direction; disabled
+    directions are skipped by {!best_dirs}. *)
+val set_enabled : t -> int -> bool -> unit
+
+(** [enabled t dir] reads the flag (directions start enabled). *)
+val enabled : t -> int -> bool
+
+(** [best_gain t] is the highest top gain over enabled, non-empty
+    directions. *)
+val best_gain : t -> int option
+
+(** [best_dirs t] is all enabled directions whose top gain equals
+    {!best_gain} (empty when all buckets are empty or disabled). *)
+val best_dirs : t -> int list
+
+(** [total_cells t] sums {!Bucket_array.cardinal} over all directions. *)
+val total_cells : t -> int
+
+(** [clear t] empties every bucket and re-enables every direction. *)
+val clear : t -> unit

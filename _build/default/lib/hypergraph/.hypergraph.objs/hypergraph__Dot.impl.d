@@ -1,0 +1,1 @@
+lib/hypergraph/dot.ml: Array Buffer Hgraph Printf String

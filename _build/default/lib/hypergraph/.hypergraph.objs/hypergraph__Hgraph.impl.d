@@ -1,0 +1,1 @@
+lib/hypergraph/hgraph.ml: Array Format List Vec

@@ -1,0 +1,1 @@
+lib/hypergraph/hgraph.mli: Format

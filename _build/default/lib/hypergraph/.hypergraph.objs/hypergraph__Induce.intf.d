@@ -1,0 +1,1 @@
+lib/hypergraph/induce.mli: Hgraph

@@ -1,0 +1,1 @@
+lib/hypergraph/stats.ml: Array Format Hashtbl Hgraph List Prng Queue Traversal

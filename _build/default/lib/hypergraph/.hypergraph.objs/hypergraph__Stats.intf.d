@@ -1,0 +1,1 @@
+lib/hypergraph/stats.mli: Format Hgraph

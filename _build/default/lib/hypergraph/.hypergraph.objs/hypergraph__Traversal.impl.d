@@ -1,0 +1,1 @@
+lib/hypergraph/traversal.ml: Array Hgraph Queue

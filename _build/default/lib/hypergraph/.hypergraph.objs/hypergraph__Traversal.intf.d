@@ -1,0 +1,1 @@
+lib/hypergraph/traversal.mli: Hgraph

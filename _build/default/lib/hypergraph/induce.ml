@@ -1,0 +1,34 @@
+type t = { sub : Hgraph.t; to_sub : int array; to_orig : int array }
+
+let induce h ~keep =
+  let n = Hgraph.num_nodes h in
+  let to_sub = Array.make n (-1) in
+  let b = Hgraph.Builder.create () in
+  let to_orig_rev = ref [] in
+  for v = 0 to n - 1 do
+    if keep v then begin
+      let id =
+        match Hgraph.kind h v with
+        | Hgraph.Cell ->
+          Hgraph.Builder.add_cell b ~flops:(Hgraph.flops h v) ~name:(Hgraph.name h v)
+            ~size:(Hgraph.size h v)
+        | Hgraph.Pad -> Hgraph.Builder.add_pad b ~name:(Hgraph.name h v)
+      in
+      to_sub.(v) <- id;
+      to_orig_rev := v :: !to_orig_rev
+    end
+  done;
+  Hgraph.iter_nets
+    (fun e ->
+      let pins =
+        Array.to_list (Hgraph.pins h e)
+        |> List.filter_map (fun v -> if to_sub.(v) >= 0 then Some to_sub.(v) else None)
+      in
+      if List.length pins >= 2 then
+        ignore (Hgraph.Builder.add_net b ~name:(Hgraph.net_name h e) pins))
+    h;
+  {
+    sub = Hgraph.Builder.freeze b;
+    to_sub;
+    to_orig = Array.of_list (List.rev !to_orig_rev);
+  }

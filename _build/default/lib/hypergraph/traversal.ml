@@ -1,0 +1,71 @@
+let bfs_distances h v0 =
+  let n = Hgraph.num_nodes h in
+  let dist = Array.make n (-1) in
+  let queue = Queue.create () in
+  dist.(v0) <- 0;
+  Queue.add v0 queue;
+  (* [net_seen] avoids rescanning a net once all its pins are enqueued. *)
+  let net_seen = Array.make (Hgraph.num_nets h) false in
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    let d = dist.(v) in
+    Array.iter
+      (fun e ->
+        if not net_seen.(e) then begin
+          net_seen.(e) <- true;
+          Array.iter
+            (fun u ->
+              if dist.(u) < 0 then begin
+                dist.(u) <- d + 1;
+                Queue.add u queue
+              end)
+            (Hgraph.pins h e)
+        end)
+      (Hgraph.nets_of h v)
+  done;
+  dist
+
+let farthest_node h v0 =
+  let dist = bfs_distances h v0 in
+  let best = ref v0 and best_d = ref 0 in
+  Array.iteri
+    (fun u d -> if d > !best_d then begin best := u; best_d := d end)
+    dist;
+  (!best, !best_d)
+
+let components h =
+  let n = Hgraph.num_nodes h in
+  let comp = Array.make n (-1) in
+  let count = ref 0 in
+  let queue = Queue.create () in
+  for v0 = 0 to n - 1 do
+    if comp.(v0) < 0 then begin
+      let c = !count in
+      incr count;
+      comp.(v0) <- c;
+      Queue.add v0 queue;
+      while not (Queue.is_empty queue) do
+        let v = Queue.pop queue in
+        Array.iter
+          (fun e ->
+            Array.iter
+              (fun u ->
+                if comp.(u) < 0 then begin
+                  comp.(u) <- c;
+                  Queue.add u queue
+                end)
+              (Hgraph.pins h e))
+          (Hgraph.nets_of h v)
+      done
+    end
+  done;
+  (comp, !count)
+
+let is_connected h =
+  let _, c = components h in
+  c <= 1
+
+let eccentric_pair h seed =
+  let a, _ = farthest_node h seed in
+  let b, _ = farthest_node h a in
+  (a, b)

@@ -1,0 +1,30 @@
+(** Breadth-first traversals over circuit hypergraphs.
+
+    Two nodes are neighbours when they share a net.  These helpers back
+    the seed selection of the constructive initial-partition methods
+    (section 3.2 of the paper): the second seed is chosen as the node at
+    maximal BFS distance from the first. *)
+
+(** [bfs_distances h v] is an array mapping each node to its hop
+    distance from [v]; unreachable nodes map to [-1]. *)
+val bfs_distances : Hgraph.t -> Hgraph.node -> int array
+
+(** [farthest_node h v] is [(u, d)] where [u] is a node at maximal BFS
+    distance [d] from [v] (ties broken by smallest id).  [v] itself is
+    returned when it has no neighbours. *)
+val farthest_node : Hgraph.t -> Hgraph.node -> Hgraph.node * int
+
+(** [components h] assigns a component index to every node and returns
+    [(comp, count)]: [comp.(v)] is the component of node [v] and [count]
+    the number of connected components. *)
+val components : Hgraph.t -> int array * int
+
+(** [is_connected h] is [true] iff the hypergraph has at most one
+    connected component. *)
+val is_connected : Hgraph.t -> bool
+
+(** [eccentric_pair h seed] runs two BFS sweeps (the classic
+    pseudo-diameter heuristic) and returns a pair of far-apart nodes:
+    first the farthest node from [seed], then the farthest node from
+    that one. *)
+val eccentric_pair : Hgraph.t -> Hgraph.node -> Hgraph.node * Hgraph.node

@@ -1,0 +1,1 @@
+lib/mlevel/mlrb.ml: Array Cluster Fm Fun Hypergraph List Partition Prng Queue Sanchis Sys

@@ -1,0 +1,1 @@
+lib/mlevel/mlrb.mli: Device Hypergraph

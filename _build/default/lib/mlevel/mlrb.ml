@@ -1,0 +1,247 @@
+module Hg = Hypergraph.Hgraph
+module Induce = Hypergraph.Induce
+module State = Partition.State
+module Cost = Partition.Cost
+module Rng = Prng.Splitmix
+
+type config = {
+  coarsen_to : int;
+  cluster_size : int;
+  fm_passes : int;
+  balance_tol : float;
+  delta : float;
+  max_extra_k : int;
+  seed : int;
+}
+
+let default_config =
+  {
+    coarsen_to = 24;
+    cluster_size = 4;
+    fm_passes = 6;
+    balance_tol = 0.1;
+    delta = 0.9;
+    max_extra_k = 8;
+    seed = 0x41;
+  }
+
+type outcome = {
+  assignment : int array;
+  k : int;
+  feasible : bool;
+  cut : int;
+  cpu_seconds : float;
+}
+
+(* The side-0 weight window [lo0, hi0] is capacity-derived by the caller
+   (side 0 must hold at most k0 devices' worth and leave the rest at
+   most k1 devices' worth); the balance tolerance only widens it when
+   the capacity window is slack. *)
+let limits_for config total ~lo0 ~hi0 =
+  let slack =
+    int_of_float (config.balance_tol *. float_of_int total /. 4.0)
+  in
+  let lo0 = max 0 (min lo0 (total - 0)) in
+  let hi0 = min total hi0 in
+  let lo0' = max 0 (lo0 - slack) and hi0' = min total (hi0 + slack) in
+  ignore lo0';
+  ignore hi0';
+  {
+    Fm.lo0;
+    hi0;
+    lo1 = total - hi0;
+    hi1 = total - lo0;
+  }
+
+(* Greedy BFS-grown initial bisection of [hg] with side 0 holding
+   [target0] of the logic weight, followed by FM refinement. *)
+let flat_bisect _config rng hg ~lo0 ~hi0 =
+  let n = Hg.num_nodes hg in
+  let total = Hg.total_size hg in
+  let want = min total ((lo0 + hi0) / 2) in
+  let side = Array.make n false in
+  if total > 0 && want > 0 then begin
+    let cells =
+      Hg.fold_nodes (fun acc v -> if Hg.is_pad hg v then acc else v :: acc) [] hg
+      |> Array.of_list
+    in
+    if Array.length cells > 0 then begin
+      let start = Rng.choose rng cells in
+      let seen = Array.make n false in
+      let q = Queue.create () in
+      seen.(start) <- true;
+      Queue.add start q;
+      let grown = ref 0 in
+      while !grown < want && not (Queue.is_empty q) do
+        let v = Queue.pop q in
+        if !grown + Hg.size hg v <= want || !grown = 0 then begin
+          side.(v) <- true;
+          grown := !grown + Hg.size hg v
+        end;
+        Array.iter
+          (fun e ->
+            Array.iter
+              (fun u ->
+                if not seen.(u) then begin
+                  seen.(u) <- true;
+                  Queue.add u q
+                end)
+              (Hg.pins hg e))
+          (Hg.nets_of hg v)
+      done;
+      (* disconnected leftovers: top up side 0 with arbitrary cells *)
+      if !grown < want then
+        Array.iter
+          (fun v ->
+            if (not side.(v)) && !grown + Hg.size hg v <= want then begin
+              side.(v) <- true;
+              grown := !grown + Hg.size hg v
+            end)
+          cells
+    end
+  end;
+  side
+
+let refine config hg side ~lo0 ~hi0 =
+  let st = State.create hg ~k:2 ~assign:(fun v -> if side.(v) then 0 else 1) in
+  let limits = limits_for config (Hg.total_size hg) ~lo0 ~hi0 in
+  ignore (Fm.refine st ~block0:0 ~block1:1 ~limits ~max_passes:config.fm_passes);
+  (* FM respects windows only for moves; if the initial side overshot,
+     drain the violating side greedily (cheapest pin damage first) *)
+  let drain from_b to_b over =
+    let budget = ref (State.cells_of st from_b) in
+    while State.size_of st from_b > over && !budget > 0 do
+      decr budget;
+      let best = ref (-1) and best_gain = ref min_int in
+      List.iter
+        (fun v ->
+          if Hg.size hg v > 0 then begin
+            let g = State.cut_gain st v to_b in
+            if g > !best_gain then begin
+              best_gain := g;
+              best := v
+            end
+          end)
+        (State.nodes_of_block st from_b);
+      if !best >= 0 then State.move st !best to_b else budget := 0
+    done
+  in
+  let total = Hg.total_size hg in
+  drain 0 1 hi0;
+  drain 1 0 (total - lo0);
+  Array.init (Hg.num_nodes hg) (fun v -> State.block_of st v = 0)
+
+(* Multilevel bisection: coarsen until small, bisect, project + refine. *)
+let rec ml_bisect config rng hg ~lo0 ~hi0 =
+  let n = Hg.num_nodes hg in
+  if n <= config.coarsen_to then
+    refine config hg (flat_bisect config rng hg ~lo0 ~hi0) ~lo0 ~hi0
+  else begin
+    let cl =
+      Cluster.build hg ~max_cluster_size:config.cluster_size
+        ~seed:(Rng.int rng 1_000_000)
+    in
+    let coarse = Cluster.coarse cl in
+    if Hg.num_nodes coarse * 20 >= n * 19 then
+      (* coarsening stalled: fall back to a flat bisection *)
+      refine config hg (flat_bisect config rng hg ~lo0 ~hi0) ~lo0 ~hi0
+    else begin
+      let coarse_side = ml_bisect config rng coarse ~lo0 ~hi0 in
+      let side =
+        Array.init n (fun v -> coarse_side.(Cluster.coarse_of cl v))
+      in
+      refine config hg side ~lo0 ~hi0
+    end
+  end
+
+(* Recursive k-way over the original node ids: nodes with [keep] get
+   blocks [base .. base+k-1] written into [assignment]. *)
+let rec kway config rng hg assignment ~s_max ~keep ~base ~k =
+  if k <= 1 then
+    Array.iteri (fun v inside -> if inside then assignment.(v) <- base) keep
+  else begin
+    let ind = Induce.induce hg ~keep:(fun v -> keep.(v)) in
+    let k0 = (k + 1) / 2 in
+    let total = Hg.total_size ind.Induce.sub in
+    (* capacity window: side 0 hosts k0 devices, side 1 the other k-k0 *)
+    let lo0 = max 0 (total - ((k - k0) * s_max)) in
+    let hi0 = min total (k0 * s_max) in
+    let side = ml_bisect config rng ind.Induce.sub ~lo0 ~hi0 in
+    let n = Hg.num_nodes hg in
+    let left = Array.make n false and right = Array.make n false in
+    Array.iteri
+      (fun sub_v orig_v ->
+        if side.(sub_v) then left.(orig_v) <- true else right.(orig_v) <- true)
+      ind.Induce.to_orig;
+    kway config rng hg assignment ~s_max ~keep:left ~base ~k:k0;
+    kway config rng hg assignment ~s_max ~keep:right ~base:(base + k0) ~k:(k - k0)
+  end
+
+(* Flat multi-block cleanup: restore pin feasibility after the balance-
+   driven bisections (ring of pairwise passes for large k). *)
+let fixup _config hg assignment k ctx =
+  let st = State.create hg ~k ~assign:(fun v -> assignment.(v)) in
+  let lower = Array.make k 0 and upper = Array.make k ctx.Cost.s_max in
+  let eval st = Cost.evaluate Cost.default_params ctx st ~remainder:None ~step_k:k in
+  let engine = { Sanchis.default_config with max_passes = 4 } in
+  if k = 1 then ()
+  else if k <= 16 then
+    ignore
+      (Sanchis.improve st
+         ~spec:{ Sanchis.active = Array.init k Fun.id; remainder = None; lower; upper }
+         ~config:engine ~eval)
+  else
+    for i = 0 to k - 1 do
+      let j = (i + 1) mod k in
+      ignore
+        (Sanchis.improve st
+           ~spec:{ Sanchis.active = [| i; j |]; remainder = None; lower; upper }
+           ~config:engine ~eval)
+    done;
+  st
+
+let partition hg device config =
+  let t0 = Sys.time () in
+  let ctx = Cost.context_of device ~delta:config.delta hg in
+  let m = ctx.Cost.m_lower in
+  let n = Hg.num_nodes hg in
+  let best = ref None in
+  let consider st k =
+    let report = Partition.Check.of_state st ~ctx in
+    let candidate = (report.Partition.Check.violations, k, st) in
+    (match !best with
+    | Some (v, k', _) when (v, k') <= (report.Partition.Check.violations, k) -> ()
+    | _ -> best := Some candidate);
+    report.Partition.Check.feasible
+  in
+  let rec probe k =
+    if k > m + config.max_extra_k then ()
+    else begin
+      let rng = Rng.create (config.seed + k) in
+      let assignment = Array.make n 0 in
+      kway config rng hg assignment ~s_max:ctx.Cost.s_max
+        ~keep:(Array.make n true) ~base:0 ~k;
+      let st = fixup config hg assignment k ctx in
+      if not (consider st k) then probe (k + 1)
+    end
+  in
+  probe (max 1 m);
+  match !best with
+  | None ->
+    (* max_extra_k < 0 corner: return the trivial single block *)
+    let st = State.create hg ~k:1 ~assign:(fun _ -> 0) in
+    {
+      assignment = State.assignment st;
+      k = 1;
+      feasible = Cost.classify ctx st = Cost.Feasible;
+      cut = State.cut_size st;
+      cpu_seconds = Sys.time () -. t0;
+    }
+  | Some (violations, k, st) ->
+    {
+      assignment = State.assignment st;
+      k;
+      feasible = violations = 0;
+      cut = State.cut_size st;
+      cpu_seconds = Sys.time () -. t0;
+    }

@@ -1,0 +1,39 @@
+(** Multilevel recursive bisection — a post-paper baseline.
+
+    The technique that superseded flat FM shortly after the paper
+    (hMETIS, Karypis et al. 1997): coarsen the circuit through a
+    hierarchy of connectivity clusterings, bipartition the smallest
+    level, then project back level by level with FM refinement at each.
+    k-way partitions come from recursive bisection with proportional
+    size targets; device feasibility (the pin constraint in particular)
+    is restored by a final flat multi-block improvement pass.
+
+    The driver probes k = M, M+1, ... until every block meets the
+    device constraints, mirroring the problem statement of the paper
+    ("find a feasible partition with minimum k"). *)
+
+type config = {
+  coarsen_to : int;    (** Stop coarsening below this many nodes (≥ 8). *)
+  cluster_size : int;  (** Max cluster logic size per coarsening level. *)
+  fm_passes : int;     (** FM passes per refinement level. *)
+  balance_tol : float; (** Allowed deviation from proportional split. *)
+  delta : float;       (** Filling ratio. *)
+  max_extra_k : int;   (** Probe at most M + this many block counts. *)
+  seed : int;
+}
+
+val default_config : config
+
+type outcome = {
+  assignment : int array;
+  k : int;
+  feasible : bool;
+  cut : int;
+  cpu_seconds : float;
+}
+
+(** [partition h device config] splits the circuit onto copies of
+    [device].  Always terminates; when even [M + max_extra_k] blocks
+    cannot be made feasible the best attempt is returned with
+    [feasible = false]. *)
+val partition : Hypergraph.Hgraph.t -> Device.t -> config -> outcome

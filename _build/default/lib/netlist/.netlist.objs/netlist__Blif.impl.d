@@ -1,0 +1,1 @@
+lib/netlist/blif.ml: Array Buffer Format Hashtbl Hypergraph List Printf String

@@ -1,0 +1,1 @@
+lib/netlist/generator.ml: Array Hashtbl Hypergraph List Printf Prng

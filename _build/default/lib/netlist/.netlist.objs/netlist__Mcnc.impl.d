@@ -1,0 +1,1 @@
+lib/netlist/mcnc.ml: Char Device Generator List String

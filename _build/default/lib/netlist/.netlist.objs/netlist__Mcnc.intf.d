@@ -1,0 +1,1 @@
+lib/netlist/mcnc.mli: Device Hypergraph

@@ -1,0 +1,1 @@
+lib/netlist/partfile.ml: Array Buffer Hashtbl Hypergraph List Printf String

@@ -1,0 +1,1 @@
+lib/netlist/partfile.mli: Hypergraph

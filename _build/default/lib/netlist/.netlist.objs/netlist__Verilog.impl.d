@@ -1,0 +1,1 @@
+lib/netlist/verilog.ml: Array Buffer Format Hashtbl Hypergraph List Printf String

@@ -1,0 +1,1 @@
+lib/netlist/xnf.ml: Array Buffer Filename Hashtbl Hypergraph List Printf String

@@ -1,0 +1,166 @@
+module Hg = Hypergraph.Hgraph
+module Rng = Prng.Splitmix
+
+type spec = {
+  gen_name : string;
+  cells : int;
+  pads : int;
+  rent : float;
+  leaf_size : int;
+  wiring : float;
+  max_fanout : int;
+  flop_ratio : float;
+  seed : int;
+}
+
+let default_spec ~name ~cells ~pads ~seed =
+  {
+    gen_name = name;
+    cells;
+    pads;
+    rent = 0.6;
+    leaf_size = 8;
+    wiring = 0.27;
+    max_fanout = 12;
+    flop_ratio = 0.0;
+    seed;
+  }
+
+(* Pick [k] distinct values from the integer range [lo, hi); [k] must not
+   exceed the range width.  Rejection sampling is fine: k is tiny. *)
+let pick_distinct rng lo hi k =
+  let width = hi - lo in
+  assert (k <= width);
+  let seen = Hashtbl.create (k * 2) in
+  let out = ref [] in
+  let n = ref 0 in
+  while !n < k do
+    let v = lo + Rng.int rng width in
+    if not (Hashtbl.mem seen v) then begin
+      Hashtbl.replace seen v ();
+      out := v :: !out;
+      incr n
+    end
+  done;
+  !out
+
+(* Sample a net degree: 2 + geometric tail, capped.  Mean ≈ 3. *)
+let sample_degree rng max_fanout =
+  let d = 1 + Rng.geometric rng 0.55 in
+  min d (max max_fanout 2)
+
+let generate spec =
+  if spec.cells < 2 then invalid_arg "Generator.generate: cells < 2";
+  if spec.pads < 1 then invalid_arg "Generator.generate: pads < 1";
+  let rng = Rng.create spec.seed in
+  let b = Hg.Builder.create () in
+  let cell_id = Array.make spec.cells 0 in
+  for i = 0 to spec.cells - 1 do
+    let flops = if Rng.float rng < spec.flop_ratio then 1 else 0 in
+    cell_id.(i) <-
+      Hg.Builder.add_cell b ~flops
+        ~name:(Printf.sprintf "%s_c%d" spec.gen_name i)
+        ~size:1
+  done;
+  let net_count = ref 0 in
+  let fresh_net_name () =
+    incr net_count;
+    Printf.sprintf "%s_n%d" spec.gen_name !net_count
+  in
+  let add_net pins =
+    match List.sort_uniq compare pins with
+    | _ :: _ :: _ as pins -> ignore (Hg.Builder.add_net b ~name:(fresh_net_name ()) pins)
+    | _ -> ()
+  in
+  (* Recursive bisection over the index range [lo, hi): leaf clusters get
+     local nets; each internal level gets Rent-scaled crossing nets whose
+     pins are drawn from both halves. *)
+  let rec wire lo hi =
+    let s = hi - lo in
+    if s <= spec.leaf_size then begin
+      (* roughly one local net per cell, 2..max pins inside the leaf *)
+      for _ = 1 to max 1 s do
+        let d = min (sample_degree rng spec.max_fanout) s in
+        if d >= 2 then add_net (List.map (fun i -> cell_id.(i)) (pick_distinct rng lo hi d))
+      done
+    end
+    else begin
+      let mid = lo + (s / 2) in
+      wire lo mid;
+      wire mid hi;
+      let crossing =
+        int_of_float (ceil (spec.wiring *. (float_of_int s ** spec.rent)))
+      in
+      for _ = 1 to max 1 crossing do
+        let d = min (sample_degree rng spec.max_fanout) s in
+        if d >= 2 then begin
+          (* at least one pin on each side so the net really crosses *)
+          let left = lo + Rng.int rng (mid - lo) in
+          let right = mid + Rng.int rng (hi - mid) in
+          let rest =
+            if d > 2 then pick_distinct rng lo hi (d - 2) else []
+          in
+          add_net (cell_id.(left) :: cell_id.(right) :: List.map (fun i -> cell_id.(i)) rest)
+        end
+      done
+    end
+  in
+  wire 0 spec.cells;
+  (* Pads: even ids are inputs (fan out to 2-5 cells clustered in one
+     region), odd ids are outputs (driven by a single cell, plus the pad). *)
+  for p = 0 to spec.pads - 1 do
+    let pad = Hg.Builder.add_pad b ~name:(Printf.sprintf "%s_io%d" spec.gen_name p) in
+    if p land 1 = 0 then begin
+      let fanout = min (2 + Rng.int rng 4) spec.cells in
+      (* Input cones are tightly local in mapped netlists: the fanout
+         stays inside one leaf-size neighbourhood so pad nets survive
+         partitioning uncut (this is what makes the I/O-critical MCNC
+         circuits partitionable at their pin-derived lower bounds). *)
+      let window = max fanout (min spec.cells (2 * spec.leaf_size)) in
+      let start = Rng.int rng (max 1 (spec.cells - window)) in
+      let sinks =
+        pick_distinct rng start (min spec.cells (start + window)) fanout
+      in
+      add_net (pad :: List.map (fun i -> cell_id.(i)) sinks)
+    end
+    else begin
+      let driver = Rng.int rng spec.cells in
+      add_net [ pad; cell_id.(driver) ]
+    end
+  done;
+  let h = Hg.Builder.freeze b in
+  (* Stitch disconnected components together with 2-pin nets so that BFS
+     seed selection (section 3.2) works on the whole circuit. *)
+  let comp, count = Hypergraph.Traversal.components h in
+  if count <= 1 then h
+  else begin
+    let b2 = Hg.Builder.create () in
+    (* Rebuild: copy nodes and nets, then add stitches. *)
+    let n = Hg.num_nodes h in
+    for v = 0 to n - 1 do
+      ignore
+        (match Hg.kind h v with
+        | Hg.Cell ->
+          Hg.Builder.add_cell b2 ~flops:(Hg.flops h v) ~name:(Hg.name h v)
+            ~size:(Hg.size h v)
+        | Hg.Pad -> Hg.Builder.add_pad b2 ~name:(Hg.name h v))
+    done;
+    Hg.iter_nets
+      (fun e ->
+        ignore
+          (Hg.Builder.add_net b2 ~name:(Hg.net_name h e)
+             (Array.to_list (Hg.pins h e))))
+      h;
+    (* one representative cell (or pad) per component *)
+    let rep = Array.make count (-1) in
+    for v = n - 1 downto 0 do
+      if not (Hg.is_pad h v) || rep.(comp.(v)) < 0 then rep.(comp.(v)) <- v
+    done;
+    for c = 1 to count - 1 do
+      ignore
+        (Hg.Builder.add_net b2
+           ~name:(Printf.sprintf "%s_stitch%d" spec.gen_name c)
+           [ rep.(0); rep.(c) ])
+    done;
+    Hg.Builder.freeze b2
+  end

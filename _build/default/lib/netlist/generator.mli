@@ -1,0 +1,45 @@
+(** Synthetic clustered circuit generator.
+
+    The MCNC Partitioning93 benchmark netlists used in the paper are not
+    redistributable here, so experiments run on surrogate circuits
+    produced by this generator (see DESIGN.md, "Substitutions").  A
+    surrogate matches a real circuit's published interface exactly — the
+    number of terminal nodes (IOBs) and the number of interior cells
+    (CLBs) from Table 1 — and approximates its internal structure:
+
+    - {b locality}: cells are organised in a recursive-bisection
+      hierarchy; most nets connect cells inside a small cluster, and the
+      number of nets crossing a cluster of size [s] scales like
+      [s^rent] (Rent's rule), so recursive partitioners find natural cut
+      lines the same way they do on real netlists;
+    - {b fanout}: net degrees follow a geometric-ish distribution with
+      mean ≈ 3 pins and a bounded tail, like mapped LUT netlists;
+    - {b I/O structure}: input pads fan out to a handful of cells in one
+      region; output pads are driven by a single cell.
+
+    Generation is deterministic given [seed]. *)
+
+type spec = {
+  gen_name : string;   (** Circuit name (used for node/net names). *)
+  cells : int;         (** Number of interior nodes, each of size 1. *)
+  pads : int;          (** Number of terminal nodes. *)
+  rent : float;        (** Rent exponent for inter-cluster wiring, in (0,1). *)
+  leaf_size : int;     (** Cluster size at the bottom of the hierarchy. *)
+  wiring : float;      (** Inter-cluster nets per [s^rent] unit (densities). *)
+  max_fanout : int;    (** Hard cap on net degree. *)
+  flop_ratio : float;
+      (** Fraction of cells carrying one flip-flop (sequential density;
+          0 for combinational circuits). *)
+  seed : int;          (** PRNG seed. *)
+}
+
+(** [default_spec ~name ~cells ~pads ~seed] fills the structural knobs
+    with values calibrated to give avg net degree ≈ 3 and a Rent
+    exponent ≈ 0.6 (typical of the MCNC suite). *)
+val default_spec : name:string -> cells:int -> pads:int -> seed:int -> spec
+
+(** [generate spec] builds the circuit.  The result is connected, has
+    exactly [spec.cells] interior nodes of size 1 and [spec.pads]
+    terminal nodes, and every net has between 2 and [spec.max_fanout]
+    pins.  @raise Invalid_argument if [cells < 2] or [pads < 1]. *)
+val generate : spec -> Hypergraph.Hgraph.t

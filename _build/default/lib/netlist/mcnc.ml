@@ -1,0 +1,66 @@
+type circuit = {
+  circuit_name : string;
+  iobs : int;
+  clbs_xc2000 : int;
+  clbs_xc3000 : int;
+}
+
+let mk circuit_name iobs clbs_xc2000 clbs_xc3000 =
+  { circuit_name; iobs; clbs_xc2000; clbs_xc3000 }
+
+(* Table 1 of the paper, verbatim. *)
+let all =
+  [
+    mk "c3540" 72 373 283;
+    mk "c5315" 301 535 377;
+    mk "c6288" 64 833 833;
+    mk "c7552" 313 611 489;
+    mk "s5378" 86 500 381;
+    mk "s9234" 43 565 454;
+    mk "s13207" 154 1038 915;
+    mk "s15850" 102 1013 842;
+    mk "s38417" 136 2763 2221;
+    mk "s38584" 292 3956 2904;
+  ]
+
+let find name = List.find_opt (fun c -> c.circuit_name = name) all
+
+let table5_subset =
+  List.filter_map find [ "c3540"; "c5315"; "c7552"; "c6288" ]
+
+let clbs c = function
+  | Device.XC2000 -> c.clbs_xc2000
+  | Device.XC3000 -> c.clbs_xc3000
+
+(* Stable seed from circuit name + family so surrogates are reproducible
+   across runs and processes (no Hashtbl.hash dependence). *)
+let seed_of c family =
+  let tag = match family with Device.XC2000 -> "xc2000" | Device.XC3000 -> "xc3000" in
+  let s = c.circuit_name ^ ":" ^ tag in
+  let h = ref 5381 in
+  String.iter (fun ch -> h := (!h * 33) + Char.code ch) s;
+  !h land 0x3FFFFFFF
+
+let surrogate c family =
+  let cells = clbs c family in
+  let spec =
+    Generator.default_spec ~name:c.circuit_name ~cells ~pads:c.iobs
+      ~seed:(seed_of c family)
+  in
+  (* Pad-heavy circuits (c5315, c7552: one I/O per ~1.5 cells) are
+     shallow, I/O-dominated netlists; their internal wiring density is
+     correspondingly lower than that of the deep sequential s-circuits.
+     Without this, the surrogate is intrinsically harder to partition at
+     the pin-derived lower bound than the real circuit. *)
+  let ratio = float_of_int c.iobs /. float_of_int cells in
+  let spec =
+    if ratio > 0.3 then { spec with Generator.wiring = 0.18 } else spec
+  in
+  (* s-circuits are sequential (ISCAS'89): roughly a third of their
+     mapped CLBs carry a flip-flop; c-circuits (ISCAS'85) are pure
+     combinational logic. *)
+  let spec =
+    if c.circuit_name.[0] = 's' then { spec with Generator.flop_ratio = 0.3 }
+    else spec
+  in
+  Generator.generate spec

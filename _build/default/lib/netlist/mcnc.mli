@@ -1,0 +1,35 @@
+(** MCNC Partitioning93 benchmark surrogates.
+
+    Table 1 of the paper lists ten MCNC circuits with their primary I/O
+    counts and CLB counts after technology mapping onto the Xilinx
+    XC2000 and XC3000 families.  This module records those published
+    characteristics and builds deterministic surrogate circuits with the
+    exact same interface numbers (see {!Generator} and DESIGN.md for why
+    this substitution preserves the experiments' behaviour). *)
+
+type circuit = {
+  circuit_name : string;
+  iobs : int;      (** Primary I/O count ([#IOBs], Table 1). *)
+  clbs_xc2000 : int;  (** CLBs after mapping to XC2000 ([#CLBs], Table 1). *)
+  clbs_xc3000 : int;  (** CLBs after mapping to XC3000 ([#CLBs], Table 1). *)
+}
+
+(** The ten circuits of Table 1, in the paper's order: c3540, c5315,
+    c6288, c7552, s5378, s9234, s13207, s15850, s38417, s38584. *)
+val all : circuit list
+
+(** The four combinational circuits used in Table 5 (XC2064): c3540,
+    c5315, c7552, c6288 — in the paper's Table 5 row order. *)
+val table5_subset : circuit list
+
+(** [find name] looks a circuit up by name. *)
+val find : string -> circuit option
+
+(** [clbs c family] selects the CLB count for a device family. *)
+val clbs : circuit -> Device.family -> int
+
+(** [surrogate c family] generates the surrogate hypergraph for circuit
+    [c] mapped onto [family]: [clbs c family] unit-size cells and
+    [c.iobs] pads.  Deterministic (the seed is derived from the circuit
+    name and family). *)
+val surrogate : circuit -> Device.family -> Hypergraph.Hgraph.t

@@ -1,0 +1,140 @@
+module Hg = Hypergraph.Hgraph
+
+type t = {
+  circuit : string;
+  delta : float;
+  block_devices : string array;
+  assignment : (string * int) list;
+}
+
+let of_assignment hg ~circuit ~delta ~block_devices ~assignment =
+  if Array.length assignment <> Hg.num_nodes hg then
+    invalid_arg "Partfile.of_assignment: wrong assignment length";
+  let k = Array.length block_devices in
+  Array.iter
+    (fun b ->
+      if b < 0 || b >= k then
+        invalid_arg "Partfile.of_assignment: block out of range")
+    assignment;
+  let assignment_list =
+    Hg.fold_nodes (fun acc v -> (Hg.name hg v, assignment.(v)) :: acc) [] hg
+    |> List.rev
+  in
+  { circuit; delta; block_devices; assignment = assignment_list }
+
+let to_string t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "# fpart partition\n";
+  Buffer.add_string buf (Printf.sprintf "circuit %s\n" t.circuit);
+  Buffer.add_string buf (Printf.sprintf "delta %.4f\n" t.delta);
+  Buffer.add_string buf (Printf.sprintf "blocks %d\n" (Array.length t.block_devices));
+  Array.iteri
+    (fun i d -> Buffer.add_string buf (Printf.sprintf "block %d device %s\n" i d))
+    t.block_devices;
+  List.iter
+    (fun (name, b) -> Buffer.add_string buf (Printf.sprintf "node %s %d\n" name b))
+    t.assignment;
+  Buffer.contents buf
+
+let parse_string text =
+  let lines = String.split_on_char '\n' text in
+  let circuit = ref None in
+  let delta = ref 1.0 in
+  let blocks = ref None in
+  let devices : (int * string) list ref = ref [] in
+  let nodes = ref [] in
+  let err lineno msg = Error (Printf.sprintf "line %d: %s" lineno msg) in
+  let rec go lineno = function
+    | [] -> (
+      match (!circuit, !blocks) with
+      | None, _ -> Error "missing 'circuit' line"
+      | _, None -> Error "missing 'blocks' line"
+      | Some c, Some k ->
+        let block_devices = Array.make k "?" in
+        List.iter
+          (fun (i, d) -> if i >= 0 && i < k then block_devices.(i) <- d)
+          !devices;
+        Ok
+          {
+            circuit = c;
+            delta = !delta;
+            block_devices;
+            assignment = List.rev !nodes;
+          })
+    | line :: rest -> (
+      let line = String.trim line in
+      let tokens =
+        String.split_on_char ' ' line |> List.filter (fun s -> s <> "")
+      in
+      match tokens with
+      | [] -> go (lineno + 1) rest
+      | tok :: _ when tok.[0] = '#' -> go (lineno + 1) rest
+      | [ "circuit"; name ] ->
+        circuit := Some name;
+        go (lineno + 1) rest
+      | [ "delta"; d ] -> (
+        match float_of_string_opt d with
+        | Some f ->
+          delta := f;
+          go (lineno + 1) rest
+        | None -> err lineno "bad delta")
+      | [ "blocks"; k ] -> (
+        match int_of_string_opt k with
+        | Some k when k >= 1 ->
+          blocks := Some k;
+          go (lineno + 1) rest
+        | _ -> err lineno "bad block count")
+      | [ "block"; i; "device"; d ] -> (
+        match int_of_string_opt i with
+        | Some i ->
+          devices := (i, d) :: !devices;
+          go (lineno + 1) rest
+        | None -> err lineno "bad block line")
+      | [ "node"; name; b ] -> (
+        match int_of_string_opt b with
+        | Some b ->
+          nodes := (name, b) :: !nodes;
+          go (lineno + 1) rest
+        | None -> err lineno "bad node line")
+      | _ -> err lineno (Printf.sprintf "unrecognised line %S" line))
+  in
+  go 1 lines
+
+let write_file path t =
+  let oc = open_out_bin path in
+  output_string oc (to_string t);
+  close_out oc
+
+let parse_file path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let text = really_input_string ic len in
+  close_in ic;
+  parse_string text
+
+let apply t hg =
+  let k = Array.length t.block_devices in
+  let by_name = Hashtbl.create (Hg.num_nodes hg * 2) in
+  Hg.iter_nodes (fun v -> Hashtbl.replace by_name (Hg.name hg v) v) hg;
+  let assignment = Array.make (Hg.num_nodes hg) (-1) in
+  let error = ref None in
+  List.iter
+    (fun (name, b) ->
+      if !error = None then
+        match Hashtbl.find_opt by_name name with
+        | None -> error := Some (Printf.sprintf "unknown node %S" name)
+        | Some v ->
+          if b < 0 || b >= k then
+            error := Some (Printf.sprintf "node %S assigned to bad block %d" name b)
+          else assignment.(v) <- b)
+    t.assignment;
+  match !error with
+  | Some e -> Error e
+  | None ->
+    let missing = ref [] in
+    Array.iteri
+      (fun v b -> if b < 0 then missing := Hg.name hg v :: !missing)
+      assignment;
+    (match !missing with
+    | [] -> Ok (assignment, k)
+    | name :: _ -> Error (Printf.sprintf "node %S has no assignment" name))

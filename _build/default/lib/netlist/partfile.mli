@@ -1,0 +1,57 @@
+(** Reader/writer for partition result files.
+
+    A simple line-oriented text format so partitions can be saved,
+    diffed and reloaded (e.g. to hand a placement to downstream tools or
+    to archive experiment outputs):
+
+    {v
+    # fpart partition
+    circuit demo
+    device XC3020
+    delta 0.90
+    blocks 3
+    block 0 device XC3020
+    node a 0
+    node b 0
+    node io1 2
+    ...
+    v}
+
+    Node lines map node {e names} (not ids) to block indices, so a
+    partition file survives any re-numbering of the hypergraph as long
+    as names are stable.  Heterogeneous partitions record one device per
+    block; homogeneous writers repeat the same device. *)
+
+type t = {
+  circuit : string;
+  delta : float;
+  block_devices : string array;  (** Device name per block. *)
+  assignment : (string * int) list;  (** node name → block. *)
+}
+
+(** [of_assignment h ~circuit ~delta ~block_devices ~assignment] builds
+    the file content from a result.
+    @raise Invalid_argument if lengths disagree. *)
+val of_assignment :
+  Hypergraph.Hgraph.t ->
+  circuit:string ->
+  delta:float ->
+  block_devices:string array ->
+  assignment:int array ->
+  t
+
+(** [to_string t] renders the file. *)
+val to_string : t -> string
+
+(** [parse_string s] parses; [Error msg] carries a line number. *)
+val parse_string : string -> (t, string) result
+
+(** [write_file path t] / [parse_file path]. *)
+val write_file : string -> t -> unit
+
+val parse_file : string -> (t, string) result
+
+(** [apply t h] resolves the node names against hypergraph [h] and
+    returns [(assignment, k)].  Nodes of [h] missing from the file, or
+    file entries naming unknown nodes, yield [Error]. *)
+val apply : t -> Hypergraph.Hgraph.t -> (int array * int, string) result

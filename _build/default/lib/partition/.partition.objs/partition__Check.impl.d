@@ -1,0 +1,1 @@
+lib/partition/check.ml: Array Cost Format Hypergraph List State

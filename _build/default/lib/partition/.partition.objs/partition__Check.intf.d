@@ -1,0 +1,1 @@
+lib/partition/check.mli: Cost Format Hypergraph State

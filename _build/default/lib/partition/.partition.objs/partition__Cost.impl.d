@@ -1,0 +1,1 @@
+lib/partition/cost.ml: Device Format Hypergraph State

@@ -1,0 +1,1 @@
+lib/partition/cost.mli: Device Format Hypergraph State

@@ -1,0 +1,1 @@
+lib/partition/metrics.ml: Format Hypergraph State

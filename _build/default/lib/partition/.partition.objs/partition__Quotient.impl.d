@@ -1,0 +1,1 @@
+lib/partition/quotient.ml: Array Format Hashtbl Hypergraph List Printf State

@@ -1,0 +1,1 @@
+lib/partition/quotient.mli: Format Hypergraph State

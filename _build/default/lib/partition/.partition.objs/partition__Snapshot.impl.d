@@ -1,0 +1,1 @@
+lib/partition/snapshot.ml: Cost State

@@ -1,0 +1,1 @@
+lib/partition/snapshot.mli: Cost State

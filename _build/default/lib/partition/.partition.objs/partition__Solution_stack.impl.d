@@ -1,0 +1,1 @@
+lib/partition/solution_stack.ml: List Snapshot

@@ -1,0 +1,1 @@
+lib/partition/state.ml: Array Format Hypergraph Printf

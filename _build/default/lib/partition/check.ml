@@ -1,0 +1,75 @@
+type block_report = {
+  index : int;
+  size : int;
+  flops : int;
+  pins : int;
+  pads : int;
+  nodes : int;
+  size_ok : bool;
+  pins_ok : bool;
+  flops_ok : bool;
+}
+
+type report = {
+  blocks : block_report list;
+  feasible : bool;
+  violations : int;
+  cut : int;
+  total_pins : int;
+}
+
+let of_state st ~ctx =
+  let k = State.k st in
+  let blocks = ref [] in
+  let violations = ref 0 in
+  for i = k - 1 downto 0 do
+    let size = State.size_of st i in
+    let pins = State.pins_of st i in
+    let flops = State.flops_of st i in
+    let size_ok = size <= ctx.Cost.s_max in
+    let pins_ok = pins <= ctx.Cost.t_max in
+    let flops_ok = match ctx.Cost.f_max with None -> true | Some f -> flops <= f in
+    if not (size_ok && pins_ok && flops_ok) then incr violations;
+    blocks :=
+      {
+        index = i;
+        size;
+        flops;
+        pins;
+        pads = State.pads_of st i;
+        nodes = State.cells_of st i;
+        size_ok;
+        pins_ok;
+        flops_ok;
+      }
+      :: !blocks
+  done;
+  {
+    blocks = !blocks;
+    feasible = !violations = 0;
+    violations = !violations;
+    cut = State.cut_size st;
+    total_pins = State.total_pins st;
+  }
+
+let of_assignment hg ~k ~assignment ~ctx =
+  if Array.length assignment <> Hypergraph.Hgraph.num_nodes hg then
+    invalid_arg "Check.of_assignment: wrong assignment length";
+  Array.iter
+    (fun b ->
+      if b < 0 || b >= k then invalid_arg "Check.of_assignment: block out of range")
+    assignment;
+  of_state (State.create hg ~k ~assign:(fun v -> assignment.(v))) ~ctx
+
+let pp ppf r =
+  List.iter
+    (fun b ->
+      let flag ok = if ok then ' ' else '!' in
+      Format.fprintf ppf "block %2d: size %4d%c pins %4d%c flops %4d%c pads %3d@."
+        b.index b.size (flag b.size_ok) b.pins (flag b.pins_ok) b.flops
+        (flag b.flops_ok) b.pads)
+    r.blocks;
+  Format.fprintf ppf "%d blocks, %s (%d violating), cut %d, total pins %d@."
+    (List.length r.blocks)
+    (if r.feasible then "feasible" else "INFEASIBLE")
+    r.violations r.cut r.total_pins

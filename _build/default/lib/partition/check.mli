@@ -1,0 +1,37 @@
+(** Partition validation reports.
+
+    One place that answers "does this assignment really satisfy the
+    device constraints?" — used by the CLI, the drivers' tests and the
+    experiment harness instead of each re-deriving per-block checks. *)
+
+type block_report = {
+  index : int;
+  size : int;
+  flops : int;
+  pins : int;
+  pads : int;
+  nodes : int;
+  size_ok : bool;
+  pins_ok : bool;
+  flops_ok : bool;
+}
+
+type report = {
+  blocks : block_report list;  (** One per block, in index order. *)
+  feasible : bool;             (** All blocks pass all constraints. *)
+  violations : int;            (** Number of failing blocks. *)
+  cut : int;
+  total_pins : int;
+}
+
+(** [of_assignment h ~k ~assignment ~ctx] builds the report.
+    @raise Invalid_argument on a wrong-length assignment or an
+    out-of-range block id. *)
+val of_assignment :
+  Hypergraph.Hgraph.t -> k:int -> assignment:int array -> ctx:Cost.context -> report
+
+(** [of_state st ~ctx] is the report of a live partition state. *)
+val of_state : State.t -> ctx:Cost.context -> report
+
+(** [pp] prints one line per block plus a summary. *)
+val pp : Format.formatter -> report -> unit

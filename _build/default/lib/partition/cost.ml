@@ -1,0 +1,132 @@
+type params = {
+  lambda_s : float;
+  lambda_t : float;
+  lambda_r : float;
+  lambda_f : float;
+}
+
+let default_params = { lambda_s = 0.4; lambda_t = 0.6; lambda_r = 0.1; lambda_f = 0.4 }
+
+type context = {
+  s_max : int;
+  t_max : int;
+  f_max : int option;
+  m_lower : int;
+  total_pads : int;
+}
+
+let context_of device ~delta h =
+  let module Hg = Hypergraph.Hgraph in
+  {
+    s_max = Device.s_max device ~delta;
+    t_max = device.Device.t_max;
+    f_max = Device.ff_max device ~delta;
+    m_lower =
+      Device.lower_bound device ~delta ~total_size:(Hg.total_size h)
+        ~total_pads:(Hg.num_pads h);
+    total_pads = Hg.num_pads h;
+  }
+
+let block_feasible ctx ~size ~pins ~flops =
+  size <= ctx.s_max
+  && pins <= ctx.t_max
+  && match ctx.f_max with None -> true | Some f -> flops <= f
+
+let over num cap =
+  if num > cap then float_of_int (num - cap) /. float_of_int cap else 0.0
+
+let block_distance p ctx ~size ~pins ~flops =
+  (p.lambda_s *. over size ctx.s_max)
+  +. (p.lambda_t *. over pins ctx.t_max)
+  +. (match ctx.f_max with None -> 0.0 | Some f -> p.lambda_f *. over flops f)
+
+type classification = Feasible | Semi_feasible of int | Infeasible of int list
+
+let classify ctx st =
+  let bad = ref [] in
+  for i = State.k st - 1 downto 0 do
+    if
+      not
+        (block_feasible ctx ~size:(State.size_of st i) ~pins:(State.pins_of st i)
+           ~flops:(State.flops_of st i))
+    then bad := i :: !bad
+  done;
+  match !bad with
+  | [] -> Feasible
+  | [ i ] -> Semi_feasible i
+  | l -> Infeasible l
+
+let deviation_penalty ctx ~remainder_size ~step_k =
+  let remaining = max 1 (ctx.m_lower - step_k + 1) in
+  let s_avg = float_of_int remainder_size /. float_of_int remaining in
+  let s_max = float_of_int ctx.s_max in
+  if s_avg > s_max then s_avg /. s_max else 0.0
+
+let infeasibility p ctx st ~remainder ~step_k =
+  let sum = ref 0.0 in
+  for i = 0 to State.k st - 1 do
+    sum :=
+      !sum
+      +. block_distance p ctx ~size:(State.size_of st i) ~pins:(State.pins_of st i)
+           ~flops:(State.flops_of st i)
+  done;
+  (match remainder with
+  | Some r ->
+    sum :=
+      !sum
+      +. p.lambda_r *. deviation_penalty ctx ~remainder_size:(State.size_of st r) ~step_k
+  | None -> ());
+  !sum
+
+let io_balance ctx st =
+  if ctx.total_pads = 0 || ctx.m_lower = 0 then 0.0
+  else begin
+    let t_avg = float_of_int ctx.total_pads /. float_of_int ctx.m_lower in
+    let sum = ref 0.0 in
+    for i = 0 to State.k st - 1 do
+      let te = float_of_int (State.pads_of st i) in
+      if te < t_avg then sum := !sum +. ((t_avg -. te) /. t_avg)
+    done;
+    !sum
+  end
+
+type value = {
+  feasible_blocks : int;
+  distance : float;
+  t_sum : int;
+  io_bal : float;
+}
+
+let evaluate p ctx st ~remainder ~step_k =
+  let f = ref 0 in
+  for i = 0 to State.k st - 1 do
+    if
+      block_feasible ctx ~size:(State.size_of st i) ~pins:(State.pins_of st i)
+        ~flops:(State.flops_of st i)
+    then incr f
+  done;
+  {
+    feasible_blocks = !f;
+    distance = infeasibility p ctx st ~remainder ~step_k;
+    t_sum = State.total_pins st;
+    io_bal = io_balance ctx st;
+  }
+
+let eps = 1e-9
+
+let cmp_float a b = if a < b -. eps then -1 else if a > b +. eps then 1 else 0
+
+let compare_value a b =
+  (* more feasible blocks first *)
+  let c = compare b.feasible_blocks a.feasible_blocks in
+  if c <> 0 then c
+  else
+    let c = cmp_float a.distance b.distance in
+    if c <> 0 then c
+    else
+      let c = compare a.t_sum b.t_sum in
+      if c <> 0 then c else cmp_float a.io_bal b.io_bal
+
+let pp_value ppf v =
+  Format.fprintf ppf "(f=%d, d=%.4f, T=%d, dE=%.4f)" v.feasible_blocks v.distance
+    v.t_sum v.io_bal

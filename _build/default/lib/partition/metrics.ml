@@ -1,0 +1,56 @@
+module Hg = Hypergraph.Hgraph
+
+type t = {
+  m_cut : int;
+  m_soed : int;
+  m_connectivity : int;
+  m_absorption : float;
+  m_imbalance : float;
+}
+
+let all st =
+  let hg = State.hypergraph st in
+  let k = State.k st in
+  let cut = ref 0 and soed = ref 0 and conn = ref 0 in
+  let absorption = ref 0.0 in
+  Hg.iter_nets
+    (fun e ->
+      let span = State.net_span st e in
+      if span >= 2 then begin
+        incr cut;
+        soed := !soed + span;
+        conn := !conn + (span - 1)
+      end;
+      let d = Hg.net_degree hg e in
+      if d >= 2 then
+        for b = 0 to k - 1 do
+          let c = State.net_count st e b in
+          if c >= 1 then
+            absorption := !absorption +. (float_of_int (c - 1) /. float_of_int (d - 1))
+        done)
+    hg;
+  let total = Hg.total_size hg in
+  let avg = float_of_int total /. float_of_int k in
+  let max_size = ref 0 in
+  for b = 0 to k - 1 do
+    max_size := max !max_size (State.size_of st b)
+  done;
+  let imbalance = if total = 0 then 0.0 else (float_of_int !max_size /. avg) -. 1.0 in
+  {
+    m_cut = !cut;
+    m_soed = !soed;
+    m_connectivity = !conn;
+    m_absorption = !absorption;
+    m_imbalance = imbalance;
+  }
+
+let cut_net st = (all st).m_cut
+let soed st = (all st).m_soed
+let connectivity st = (all st).m_connectivity
+let absorption st = (all st).m_absorption
+let imbalance st = (all st).m_imbalance
+
+let pp ppf m =
+  Format.fprintf ppf
+    "cut=%d soed=%d (K-1)=%d absorption=%.1f imbalance=%.3f" m.m_cut m.m_soed
+    m.m_connectivity m.m_absorption m.m_imbalance

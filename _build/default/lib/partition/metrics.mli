@@ -1,0 +1,39 @@
+(** Standard hypergraph-partitioning quality metrics.
+
+    The paper evaluates device count only, but partitioning literature
+    (and any downstream user comparing tools) also reports the classical
+    cut metrics; this module computes them from a partition state:
+
+    - {!cut_net}: nets spanning ≥ 2 blocks (the FM objective, identical
+      to {!State.cut_size});
+    - {!soed}: sum over cut nets of the number of blocks they touch
+      ("sum of external degrees");
+    - {!connectivity}: the (K-1) metric, [Σ (span_e - 1)] — what k-way
+      tools like hMETIS optimise;
+    - {!absorption}: Σ over blocks and nets of
+      [(pins in block - 1) / (degree - 1)] — higher is better (1.0 per
+      fully absorbed net);
+    - {!imbalance}: max block size over the average block size, minus 1. *)
+
+val cut_net : State.t -> int
+
+val soed : State.t -> int
+
+val connectivity : State.t -> int
+
+val absorption : State.t -> float
+
+val imbalance : State.t -> float
+
+(** Everything at once (single pass over the nets). *)
+type t = {
+  m_cut : int;
+  m_soed : int;
+  m_connectivity : int;
+  m_absorption : float;
+  m_imbalance : float;
+}
+
+val all : State.t -> t
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,94 @@
+module Hg = Hypergraph.Hgraph
+
+let interconnect st =
+  let hg = State.hypergraph st in
+  let k = State.k st in
+  let b = Hg.Builder.create () in
+  let block_node =
+    Array.init k (fun i ->
+        Hg.Builder.add_cell b
+          ~name:(Printf.sprintf "block%d" i)
+          ~size:(max 1 (State.size_of st i))
+          ~flops:(State.flops_of st i))
+  in
+  (* pads: one quotient pad per original pad, wired to its block through
+     the cut nets below (collect the pad's block memberships per net) *)
+  let pad_node = Hashtbl.create 64 in
+  Hg.iter_pads
+    (fun p -> Hashtbl.replace pad_node p (Hg.Builder.add_pad b ~name:(Hg.name hg p)))
+    hg;
+  Hg.iter_nets
+    (fun e ->
+      let span = State.net_span st e in
+      let pads = Array.to_list (Hg.pins hg e) |> List.filter (Hg.is_pad hg) in
+      if span >= 2 || pads <> [] then begin
+        let blocks = ref [] in
+        for i = k - 1 downto 0 do
+          if State.net_count st e i > 0 then blocks := block_node.(i) :: !blocks
+        done;
+        let pad_pins = List.map (fun p -> Hashtbl.find pad_node p) pads in
+        match !blocks @ pad_pins with
+        | _ :: _ :: _ as pins ->
+          ignore (Hg.Builder.add_net b ~name:(Hg.net_name hg e) pins)
+        | _ -> ()
+      end)
+    hg;
+  Hg.Builder.freeze b
+
+let wire_matrix st =
+  let hg = State.hypergraph st in
+  let k = State.k st in
+  let m = Array.make_matrix k k 0 in
+  Hg.iter_nets
+    (fun e ->
+      if State.net_span st e >= 2 then begin
+        let touched = ref [] in
+        for i = k - 1 downto 0 do
+          if State.net_count st e i > 0 then touched := i :: !touched
+        done;
+        let rec pairs = function
+          | [] -> ()
+          | i :: rest ->
+            List.iter
+              (fun j ->
+                m.(i).(j) <- m.(i).(j) + 1;
+                m.(j).(i) <- m.(j).(i) + 1)
+              rest;
+            pairs rest
+        in
+        pairs !touched
+      end)
+    hg;
+  m
+
+let io_utilization st ~t_max =
+  List.init (State.k st) (fun i ->
+      let pins = State.pins_of st i in
+      (i, pins, t_max, float_of_int pins /. float_of_int (max 1 t_max)))
+
+let pp_report ppf st ~t_max =
+  let k = State.k st in
+  Format.fprintf ppf "board view: %d devices, %d inter-device signals@." k
+    (State.cut_size st);
+  List.iter
+    (fun (i, pins, cap, ratio) ->
+      Format.fprintf ppf "  device %2d: %3d/%d pins (%.0f%%)@." i pins cap
+        (100.0 *. ratio))
+    (io_utilization st ~t_max);
+  let m = wire_matrix st in
+  let buses = ref [] in
+  for i = 0 to k - 1 do
+    for j = i + 1 to k - 1 do
+      if m.(i).(j) > 0 then buses := (m.(i).(j), i, j) :: !buses
+    done
+  done;
+  let buses = List.sort (fun a b -> compare b a) !buses in
+  let rec take n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | x :: rest -> x :: take (n - 1) rest
+  in
+  Format.fprintf ppf "  densest buses:@.";
+  List.iter
+    (fun (w, i, j) -> Format.fprintf ppf "    %2d <-> %2d : %d signals@." i j w)
+    (take 5 buses)

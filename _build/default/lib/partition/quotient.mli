@@ -1,0 +1,28 @@
+(** Board-level (quotient) view of a partition.
+
+    Once a circuit is split over k devices, the downstream artifact a
+    multi-FPGA flow consumes is the {e board netlist}: one node per
+    device, one net per cut signal.  This module builds that quotient
+    hypergraph and the pairwise wire counts, which is also what a board
+    router or a cable-count estimate needs. *)
+
+(** [interconnect st] is the quotient hypergraph: node [i] is block [i]
+    (an interior node of size [S_i] named ["block<i>"]); every cut net
+    of the circuit becomes a net over the blocks it touches; every
+    original pad becomes a pad attached to its block through the nets
+    that carried it.  Nets internal to one block disappear. *)
+val interconnect : State.t -> Hypergraph.Hgraph.t
+
+(** [wire_matrix st] is the symmetric [k × k] matrix of signal counts:
+    entry [i][j] counts cut nets touching both block [i] and block [j]
+    (a net spanning three blocks increments three pairs).  The diagonal
+    is zero. *)
+val wire_matrix : State.t -> int array array
+
+(** [io_utilization st ~t_max] lists [(block, pins, t_max, ratio)] for
+    every block — the per-device I/O budget view. *)
+val io_utilization : State.t -> t_max:int -> (int * int * int * float) list
+
+(** [pp_report ppf st ~t_max] prints the board summary: per-device I/O
+    budgets and the densest inter-device buses. *)
+val pp_report : Format.formatter -> State.t -> t_max:int -> unit

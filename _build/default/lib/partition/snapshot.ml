@@ -1,0 +1,10 @@
+type t = { assign : int array; value : Cost.value; cut : int }
+
+let capture st ~value =
+  { assign = State.assignment st; value; cut = State.cut_size st }
+
+let restore snap st = State.load_assignment st snap.assign
+
+let same_assignment a b = a.assign = b.assign
+
+let compare a b = Cost.compare_value a.value b.value

@@ -1,0 +1,26 @@
+(** Immutable captures of a partition state.
+
+    The iterative improvement passes remember the best solution seen so
+    far, and the solution stacks (section 3.6) store several candidate
+    restart points.  A snapshot carries the full node→block assignment
+    plus the solution value it was captured with, so comparisons never
+    re-evaluate. *)
+
+type t = {
+  assign : int array;   (** node → block, frozen. *)
+  value : Cost.value;   (** the lexicographic value at capture time. *)
+  cut : int;            (** cut size at capture time (for reporting). *)
+}
+
+(** [capture st ~value] freezes the current assignment of [st]. *)
+val capture : State.t -> value:Cost.value -> t
+
+(** [restore snap st] drives [st] back to the captured assignment. *)
+val restore : t -> State.t -> unit
+
+(** [same_assignment a b] is [true] when the two snapshots assign every
+    node identically (used for stack deduplication). *)
+val same_assignment : t -> t -> bool
+
+(** [compare a b] orders snapshots by {!Cost.compare_value}. *)
+val compare : t -> t -> int

@@ -1,0 +1,30 @@
+type t = { depth : int; mutable items : Snapshot.t list (* best first *) }
+
+let create ~depth =
+  if depth < 1 then invalid_arg "Solution_stack.create: depth < 1";
+  { depth; items = [] }
+
+let offer t snap =
+  if List.exists (Snapshot.same_assignment snap) t.items then false
+  else begin
+    (* Stored items go first so an equal-value newcomer ranks after them
+       (stable merge): earlier discoveries win ties. *)
+    let merged = List.merge Snapshot.compare t.items [ snap ] in
+    let rec take n = function
+      | [] -> []
+      | _ when n = 0 -> []
+      | x :: rest -> x :: take (n - 1) rest
+    in
+    let kept = take t.depth merged in
+    let inserted = List.memq snap kept in
+    t.items <- kept;
+    inserted
+  end
+
+let contents t = t.items
+
+let best t = match t.items with [] -> None | x :: _ -> Some x
+
+let length t = List.length t.items
+
+let clear t = t.items <- []

@@ -1,0 +1,34 @@
+(** Bounded best-solutions stack (paper section 3.6).
+
+    The first FM execution of an [Improve] call records a fixed number
+    ([D_stack], paper value 4) of the best solutions it encounters; a
+    series of passes is then restarted from each of them.  Two stacks
+    run in parallel — one for semi-feasible and one for infeasible
+    solutions — so that promising infeasible solutions can pull the
+    search out of local minima.
+
+    The stack keeps at most [depth] snapshots, ordered best-first by
+    {!Cost.compare_value}, with duplicate assignments suppressed. *)
+
+type t
+
+(** [create ~depth] is an empty stack holding at most [depth] snapshots.
+    @raise Invalid_argument if [depth < 1]. *)
+val create : depth:int -> t
+
+(** [offer t snap] inserts [snap] if it is better than the current tail
+    or the stack is not full; returns [true] if the snapshot was kept.
+    A snapshot equal (same assignment) to a stored one is rejected. *)
+val offer : t -> Snapshot.t -> bool
+
+(** [contents t] lists the stored snapshots, best first. *)
+val contents : t -> Snapshot.t list
+
+(** [best t] is the best stored snapshot, if any. *)
+val best : t -> Snapshot.t option
+
+(** [length t] is the number of stored snapshots. *)
+val length : t -> int
+
+(** [clear t] empties the stack. *)
+val clear : t -> unit

@@ -1,0 +1,49 @@
+(** Deterministic SplitMix64 pseudo-random number generator.
+
+    Every stochastic component of the library (circuit generator,
+    tie-break shuffles, sampling in statistics) draws from an explicit
+    [Splitmix.t] state so that all experiments are reproducible from a
+    single integer seed.  The algorithm is Steele, Lea & Flood's
+    SplitMix64 (JDK 8 [SplittableRandom]). *)
+
+type t
+
+(** [create seed] is a fresh generator.  Equal seeds yield equal
+    streams. *)
+val create : int -> t
+
+(** [copy t] is an independent generator with the same state. *)
+val copy : t -> t
+
+(** [split t] derives a new statistically independent generator and
+    advances [t]. *)
+val split : t -> t
+
+(** [bits64 t] is the next raw 64-bit output. *)
+val bits64 : t -> int64
+
+(** [int t bound] is uniform in [0, bound).
+    @raise Invalid_argument if [bound <= 0]. *)
+val int : t -> int -> int
+
+(** [int_in t lo hi] is uniform in [lo, hi] inclusive.
+    @raise Invalid_argument if [hi < lo]. *)
+val int_in : t -> int -> int -> int
+
+(** [float t] is uniform in [0, 1). *)
+val float : t -> float
+
+(** [bool t] is a fair coin flip. *)
+val bool : t -> bool
+
+(** [shuffle t a] permutes [a] in place (Fisher-Yates). *)
+val shuffle : t -> 'a array -> unit
+
+(** [choose t a] is a uniformly random element of [a].
+    @raise Invalid_argument if [a] is empty. *)
+val choose : t -> 'a array -> 'a
+
+(** [geometric t p] samples a geometric variate [>= 1] with success
+    probability [p] in (0, 1]; the mean is [1/p].  Capped at 10^6 to
+    stay total for tiny [p]. *)
+val geometric : t -> float -> int

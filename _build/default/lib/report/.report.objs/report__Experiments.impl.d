@@ -1,0 +1,1 @@
+lib/report/experiments.ml: Anneal Array Buffer Device Flow Format Fpart Gainbucket Hashtbl Hypergraph List Mlevel Netlist Option Partition Printf Published Sanchis String Sys Table

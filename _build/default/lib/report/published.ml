@@ -1,0 +1,132 @@
+type row = {
+  circuit : string;
+  kwayx : int option;
+  rp0 : int option;
+  prop_pop : int option;
+  prop_prop : int option;
+  sc : int option;
+  wcdp : int option;
+  fbb_mw : int option;
+  fpart : int option;
+  m : int;
+}
+
+let blank circuit m =
+  {
+    circuit;
+    kwayx = None;
+    rp0 = None;
+    prop_pop = None;
+    prop_prop = None;
+    sc = None;
+    wcdp = None;
+    fbb_mw = None;
+    fpart = None;
+    m;
+  }
+
+(* Table 2: XC3020, delta = 0.9. *)
+let t2 circuit kwayx rp0 pop prop fbb fpart m =
+  {
+    (blank circuit m) with
+    kwayx = Some kwayx;
+    rp0 = Some rp0;
+    prop_pop = Some pop;
+    prop_prop = Some prop;
+    fbb_mw = Some fbb;
+    fpart = Some fpart;
+  }
+
+let table2 =
+  [
+    t2 "c3540" 6 6 6 6 6 6 5;
+    t2 "c5315" 9 8 9 8 8 9 7;
+    t2 "c6288" 16 16 12 12 15 15 15;
+    t2 "c7552" 10 10 9 9 9 9 9;
+    t2 "s5378" 11 10 11 9 9 9 7;
+    t2 "s9234" 10 10 9 9 8 8 8;
+    t2 "s13207" 23 23 21 19 18 18 16;
+    t2 "s15850" 19 19 17 16 15 15 15;
+    t2 "s38417" 46 48 44 44 41 39 39;
+    t2 "s38584" 60 60 60 56 54 52 51;
+  ]
+
+(* Table 3: XC3042, delta = 0.9. *)
+let table3 =
+  [
+    t2 "c3540" 3 3 2 2 3 3 3;
+    t2 "c5315" 5 5 4 4 4 5 4;
+    t2 "c6288" 7 7 6 5 7 7 7;
+    t2 "c7552" 4 4 5 4 4 4 4;
+    t2 "s5378" 5 4 4 4 4 4 3;
+    t2 "s9234" 4 4 4 4 4 4 4;
+    t2 "s13207" 11 10 9 8 9 9 8;
+    t2 "s15850" 8 9 8 7 8 7 7;
+    t2 "s38417" 20 20 20 19 18 18 18;
+    t2 "s38584" 27 27 25 25 23 23 23;
+  ]
+
+(* Table 4: XC3090, delta = 0.9.  Small circuits have only k-way.x,
+   r+p.0 and FPART columns. *)
+let t4 circuit kwayx rp0 sc wcdp fbb fpart m =
+  {
+    (blank circuit m) with
+    kwayx = Some kwayx;
+    rp0 = Some rp0;
+    sc;
+    wcdp;
+    fbb_mw = fbb;
+    fpart = Some fpart;
+  }
+
+let table4 =
+  [
+    t4 "c3540" 1 1 None None None 1 1;
+    t4 "c5315" 3 3 None None None 3 3;
+    t4 "c6288" 3 3 None None None 3 3;
+    t4 "c7552" 3 3 None None None 3 3;
+    t4 "s5378" 2 2 None None None 2 2;
+    t4 "s9234" 2 2 None None None 2 2;
+    t4 "s13207" 7 4 (Some 6) (Some 6) (Some 5) 5 4;
+    t4 "s15850" 4 3 (Some 3) (Some 3) (Some 3) 3 3;
+    t4 "s38417" 9 8 (Some 10) (Some 8) (Some 8) 8 8;
+    t4 "s38584" 14 11 (Some 14) (Some 12) (Some 11) 11 11;
+  ]
+
+(* Table 5: XC2064, delta = 1.0; c-circuits only. *)
+let t5 circuit kwayx sc wcdp fbb fpart m =
+  {
+    (blank circuit m) with
+    kwayx = Some kwayx;
+    sc = Some sc;
+    wcdp = Some wcdp;
+    fbb_mw = Some fbb;
+    fpart = Some fpart;
+  }
+
+let table5 =
+  [
+    t5 "c3540" 6 6 7 6 6 6;
+    t5 "c5315" 11 12 12 10 10 9;
+    t5 "c7552" 11 11 11 10 10 10;
+    t5 "c6288" 14 14 14 14 14 14;
+  ]
+
+let find rows circuit = List.find_opt (fun r -> r.circuit = circuit) rows
+
+(* Table 6: FPART CPU seconds on a SUN Sparc Ultra 5. *)
+let cpu_times =
+  [
+    ("c3540", Some 15.59, Some 2.75, Some 1.00, Some 11.2);
+    ("c5315", Some 43.99, Some 16.12, Some 6.15, Some 34.74);
+    ("c6288", Some 89.14, Some 36.45, Some 10.83, Some 64.62);
+    ("c7552", Some 46.23, Some 14.11, Some 6.05, Some 40.89);
+    ("s5378", Some 52.09, Some 22.01, Some 3.87, None);
+    ("s9234", Some 59.47, Some 23.65, Some 3.45, None);
+    ("s13207", Some 121.51, Some 95.18, Some 91.61, None);
+    ("s15850", Some 156.25, Some 61.54, Some 15.61, None);
+    ("s38417", Some 464.66, Some 131.48, Some 78.54, None);
+    ("s38584", Some 875.26, Some 258.73, Some 184.12, None);
+  ]
+
+let cell = function None -> "-" | Some v -> string_of_int v

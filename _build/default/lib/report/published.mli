@@ -1,0 +1,42 @@
+(** Literature results quoted in the paper's Tables 2–5 and 6.
+
+    These numbers are {e data}, not measurements: they are the columns
+    the paper reprints from \[11\], \[12\], \[16\], \[3\], \[6\] plus
+    the paper's own FPART results and CPU times, stored verbatim so the
+    experiment harness can print our measured columns side by side with
+    the published ones.  [None] marks a "-" (not reported) entry. *)
+
+type row = {
+  circuit : string;
+  kwayx : int option;        (** k-way.x, "(p,p)" \[11\]. *)
+  rp0 : int option;          (** r+p.0, "(p,r,p)" \[11\]. *)
+  prop_pop : int option;     (** PROP "(p,o,p)" \[12\]. *)
+  prop_prop : int option;    (** PROP "(p,r,o,p)" \[12\]. *)
+  sc : int option;           (** Set covering \[3\]. *)
+  wcdp : int option;         (** WCDP \[6\]. *)
+  fbb_mw : int option;       (** FBB-MW \[16\]. *)
+  fpart : int option;        (** The paper's FPART. *)
+  m : int;                   (** Lower bound M as printed. *)
+}
+
+(** Rows of Table 2 (XC3020), in the paper's order. *)
+val table2 : row list
+
+(** Rows of Table 3 (XC3042). *)
+val table3 : row list
+
+(** Rows of Table 4 (XC3090). *)
+val table4 : row list
+
+(** Rows of Table 5 (XC2064). *)
+val table5 : row list
+
+(** [find rows circuit] looks a row up by circuit name. *)
+val find : row list -> string -> row option
+
+(** Table 6: the paper's FPART CPU seconds on a SUN Sparc Ultra 5, per
+    circuit, for XC3020/XC3042/XC3090/XC2064 ([None] = "-"). *)
+val cpu_times : (string * float option * float option * float option * float option) list
+
+(** Pretty-print an [int option] ("-" for [None]). *)
+val cell : int option -> string

@@ -1,0 +1,51 @@
+type align = Left | Right
+
+let render ~title ~header ?(align = []) rows =
+  let ncols = List.length header in
+  List.iter
+    (fun row ->
+      if List.length row > ncols then
+        invalid_arg "Table.render: row wider than header")
+    rows;
+  let aligns =
+    Array.init ncols (fun i ->
+        match List.nth_opt align i with Some a -> a | None -> Right)
+  in
+  let widths = Array.make ncols 0 in
+  let measure row =
+    List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)) row
+  in
+  measure header;
+  List.iter measure rows;
+  let pad i cell =
+    let w = widths.(i) in
+    let len = String.length cell in
+    if len >= w then cell
+    else
+      let fill = String.make (w - len) ' ' in
+      match aligns.(i) with Left -> cell ^ fill | Right -> fill ^ cell
+  in
+  let line row =
+    let cells = List.mapi pad row in
+    (* rows may be narrower than the header; missing cells are blank *)
+    let missing = ncols - List.length row in
+    let blanks = List.init missing (fun j -> pad (List.length row + j) "") in
+    String.concat "  " (cells @ blanks)
+  in
+  let rule =
+    String.concat "--"
+      (Array.to_list (Array.map (fun w -> String.make w '-') widths))
+  in
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf title;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (line header);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf rule;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string buf (line row);
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf

@@ -1,0 +1,13 @@
+(** Plain-text table rendering for the experiment reports. *)
+
+type align =
+  | Left
+  | Right
+
+(** [render ~title ~header ~align rows] lays the table out with column
+    widths fitted to content, a rule under the header, and one leading
+    title line.  [align] defaults to right-aligned everywhere; when
+    shorter than the header it is padded with [Right].
+    @raise Invalid_argument if a row is wider than the header. *)
+val render :
+  title:string -> header:string list -> ?align:align list -> string list list -> string

@@ -1,0 +1,416 @@
+module Hg = Hypergraph.Hgraph
+module State = Partition.State
+module Cost = Partition.Cost
+module Snapshot = Partition.Snapshot
+module Stack = Partition.Solution_stack
+module Bucket = Gainbucket.Bucket_array
+
+type gain_mode = Cut_gain | Pin_gain
+
+type config = {
+  gain_levels : int;
+  scan_limit : int;
+  max_passes : int;
+  stack_depth : int;
+  gain_mode : gain_mode;
+  drift_limit : int option;
+  tie_salt : int;
+  bucket_discipline : Bucket.discipline;
+}
+
+let default_config =
+  {
+    gain_levels = 2;
+    scan_limit = 16;
+    max_passes = 8;
+    stack_depth = 4;
+    gain_mode = Cut_gain;
+    drift_limit = None;
+    tie_salt = 0;
+    bucket_discipline = Bucket.Lifo;
+  }
+
+type spec = {
+  active : int array;
+  remainder : int option;
+  lower : int array;
+  upper : int array;
+}
+
+type report = {
+  best : Cost.value;
+  passes_run : int;
+  moves_applied : int;
+  restarts : int;
+}
+
+(* Per-improve-call mutable context shared by all passes. *)
+type ctx = {
+  st : State.t;
+  hg : Hg.t;
+  cfg : config;
+  spec : spec;
+  eval : State.t -> Cost.value;
+  nb : int;                     (* number of active blocks *)
+  pos : int array;              (* global block -> active index, or -1 *)
+  buckets : Bucket.t array;     (* cells; nb*nb, diagonal unused *)
+  pad_buckets : Bucket.t array; (* pads: size-neutral, never window-gated *)
+  locked : bool array;          (* per node, reset each pass *)
+  locked_cnt : int array array; (* net -> per-(global)-block locked pins *)
+}
+
+let dir_index ctx ai bi = (ai * ctx.nb) + bi
+
+let make_ctx st spec cfg eval =
+  let hg = State.hypergraph st in
+  let k = State.k st in
+  let nb = Array.length spec.active in
+  if nb < 2 then invalid_arg "Sanchis.improve: fewer than two active blocks";
+  let pos = Array.make k (-1) in
+  Array.iteri
+    (fun i b ->
+      if b < 0 || b >= k then invalid_arg "Sanchis.improve: block out of range";
+      if pos.(b) >= 0 then invalid_arg "Sanchis.improve: repeated active block";
+      pos.(b) <- i)
+    spec.active;
+  if Array.length spec.lower < k || Array.length spec.upper < k then
+    invalid_arg "Sanchis.improve: lower/upper must cover all blocks";
+  let n = Hg.num_nodes hg in
+  let max_gain =
+    let d = max 1 (Hg.max_node_degree hg) in
+    match cfg.gain_mode with Cut_gain -> d | Pin_gain -> 2 * d
+  in
+  {
+    st;
+    hg;
+    cfg;
+    spec;
+    eval;
+    nb;
+    pos;
+    buckets =
+      Array.init (nb * nb) (fun _ ->
+          Bucket.create ~discipline:cfg.bucket_discipline ~cells:n ~max_gain ());
+    pad_buckets =
+      Array.init (nb * nb) (fun _ ->
+          Bucket.create ~discipline:cfg.bucket_discipline ~cells:n ~max_gain ());
+    locked = Array.make n false;
+    locked_cnt = Array.init (Hg.num_nets hg) (fun _ -> Array.make k 0);
+  }
+
+(* Direction (a -> b) is open when block [a] may still shed size and
+   block [b] may still absorb it (block-level test, paper section 3.5:
+   buckets are retired as blocks hit the move-region boundary). *)
+let direction_open ctx a b =
+  State.size_of ctx.st a > ctx.spec.lower.(a)
+  && State.size_of ctx.st b < ctx.spec.upper.(b)
+
+(* Exact per-cell size legality (matters for weighted cells).  Pads are
+   size-neutral and therefore always legal: on I/O-critical designs the
+   terminals must keep migrating even when the size windows have closed
+   a direction for logic cells. *)
+let cell_legal ctx v b =
+  let s = Hg.size ctx.hg v in
+  s = 0
+  ||
+  let a = State.block_of ctx.st v in
+  State.size_of ctx.st a - s >= ctx.spec.lower.(a)
+  && State.size_of ctx.st b + s <= ctx.spec.upper.(b)
+
+(* Lock-aware level-[i] lookahead gain for moving [v] from [a] to [b]:
+   Krishnamurthy's formula (positive when the net frees after [i-1] more
+   source-side moves, negative when the move cements a net the other
+   side could still have freed), restricted to nets inside a∪b. *)
+let level_gain ctx v ~a ~b ~level =
+  Array.fold_left
+    (fun acc e ->
+      let d = Hg.net_degree ctx.hg e in
+      let ca = State.net_count ctx.st e a and cb = State.net_count ctx.st e b in
+      if ca + cb <> d then acc
+      else begin
+        let la = ctx.locked_cnt.(e).(a) and lb = ctx.locked_cnt.(e).(b) in
+        let acc = if la = 0 && ca = level then acc + 1 else acc in
+        if lb = 0 && cb = level - 1 then acc - 1 else acc
+      end)
+    0 (Hg.nets_of ctx.hg v)
+
+let buckets_for ctx v = if Hg.is_pad ctx.hg v then ctx.pad_buckets else ctx.buckets
+
+(* Primary gain: classical cut gain, or the paper's future-work variant
+   that scores moves by the real change in total pin count. *)
+let primary_gain ctx v b =
+  match ctx.cfg.gain_mode with
+  | Cut_gain -> State.cut_gain ctx.st v b
+  | Pin_gain -> State.pin_gain ctx.st v b
+
+let insert_cell ctx v =
+  let a = State.block_of ctx.st v in
+  let ai = ctx.pos.(a) in
+  let buckets = buckets_for ctx v in
+  Array.iteri
+    (fun bi b ->
+      if b <> a then
+        Bucket.insert buckets.(dir_index ctx ai bi) v (primary_gain ctx v b))
+    ctx.spec.active
+
+let remove_cell ctx v =
+  let a = State.block_of ctx.st v in
+  let ai = ctx.pos.(a) in
+  let buckets = buckets_for ctx v in
+  for bi = 0 to ctx.nb - 1 do
+    if bi <> ai then Bucket.remove buckets.(dir_index ctx ai bi) v
+  done
+
+let update_cell ctx v =
+  let a = State.block_of ctx.st v in
+  let ai = ctx.pos.(a) in
+  let buckets = buckets_for ctx v in
+  Array.iteri
+    (fun bi b ->
+      if b <> a then begin
+        let bucket = buckets.(dir_index ctx ai bi) in
+        if Bucket.mem bucket v then Bucket.update bucket v (primary_gain ctx v b)
+      end)
+    ctx.spec.active
+
+(* Candidate chosen at one selection round. *)
+type candidate = {
+  cand_cell : int;
+  cand_to : int;
+  cand_lookahead : int list;  (* gains at levels 2..gain_levels *)
+  cand_bal : int;
+}
+
+let better_candidate ~salt c1 c2 =
+  (* g1 equal by construction; compare (lookahead vector desc, balance
+     desc, salted id asc — the salt lets multi-start runs break ties
+     differently) *)
+  match c2 with
+  | None -> true
+  | Some c2 ->
+    if c1.cand_lookahead <> c2.cand_lookahead then
+      compare c1.cand_lookahead c2.cand_lookahead > 0
+    else if c1.cand_bal <> c2.cand_bal then c1.cand_bal > c2.cand_bal
+    else c1.cand_cell lxor salt < c2.cand_cell lxor salt
+
+(* Select the next move.  Scans the top buckets of the open directions
+   with the globally highest gain; cells failing the exact size test are
+   popped into a stash (reinserted by the caller after the move). *)
+let select ctx stash =
+  let rec attempt () =
+    (* best top gain over open cell directions and all pad directions *)
+    let best_gain = ref min_int in
+    Array.iteri
+      (fun ai a ->
+        Array.iteri
+          (fun bi b ->
+            if b <> a then begin
+              let dir = dir_index ctx ai bi in
+              if direction_open ctx a b then begin
+                match Bucket.top_gain ctx.buckets.(dir) with
+                | Some g when g > !best_gain -> best_gain := g
+                | Some _ | None -> ()
+              end;
+              match Bucket.top_gain ctx.pad_buckets.(dir) with
+              | Some g when g > !best_gain -> best_gain := g
+              | Some _ | None -> ()
+            end)
+          ctx.spec.active)
+      ctx.spec.active;
+    if !best_gain = min_int then None
+    else begin
+      let best = ref None in
+      let stashed_this_round = ref false in
+      let scan_bucket ~gate_cells ai a bi b bucket =
+        if Bucket.top_gain bucket = Some !best_gain then begin
+          let scanned =
+            Bucket.fold_top bucket ~limit:ctx.cfg.scan_limit ~init:[]
+              ~f:(fun acc c -> c :: acc)
+          in
+          let any_legal = ref false in
+          List.iter
+            (fun v ->
+              if cell_legal ctx v b then begin
+                any_legal := true;
+                let lookahead =
+                  List.init
+                    (max 0 (ctx.cfg.gain_levels - 1))
+                    (fun i -> level_gain ctx v ~a ~b ~level:(i + 2))
+                in
+                let bal = State.size_of ctx.st a - State.size_of ctx.st b in
+                let c =
+                  { cand_cell = v; cand_to = b; cand_lookahead = lookahead; cand_bal = bal }
+                in
+                if better_candidate ~salt:ctx.cfg.tie_salt c !best then best := Some c
+              end)
+            scanned;
+          if gate_cells && not !any_legal then begin
+            (* whole scanned prefix illegal: pop it so deeper or
+               other-gain cells surface next round *)
+            List.iter
+              (fun v ->
+                Bucket.remove bucket v;
+                stash := (ai, bi, v, !best_gain) :: !stash)
+              scanned;
+            stashed_this_round := true
+          end
+        end
+      in
+      Array.iteri
+        (fun ai a ->
+          Array.iteri
+            (fun bi b ->
+              if b <> a then begin
+                let dir = dir_index ctx ai bi in
+                if direction_open ctx a b then
+                  scan_bucket ~gate_cells:true ai a bi b ctx.buckets.(dir);
+                scan_bucket ~gate_cells:false ai a bi b ctx.pad_buckets.(dir)
+              end)
+            ctx.spec.active)
+        ctx.spec.active;
+      match !best with
+      | Some c -> Some c
+      | None -> if !stashed_this_round then attempt () else None
+    end
+  in
+  attempt ()
+
+(* Offered to the solution stacks at improvement points of the first
+   execution (section 3.6): semi-feasible solutions in one stack,
+   infeasible ones in the other. *)
+let offer_to_stacks ~k ~semi ~infeasible snap =
+  let f = snap.Snapshot.value.Cost.feasible_blocks in
+  if f >= k - 1 then ignore (Stack.offer semi snap)
+  else ignore (Stack.offer infeasible snap)
+
+(* One pass.  Returns [(best_value, retained_moves)]; [ctx.st] ends at
+   the best prefix.  When [collect] is set, improvement points are
+   offered to the stacks. *)
+let run_pass ctx ~collect ~semi ~infeasible =
+  let st = ctx.st in
+  Array.fill ctx.locked 0 (Array.length ctx.locked) false;
+  Array.iter (fun cnt -> Array.fill cnt 0 (Array.length cnt) 0) ctx.locked_cnt;
+  Array.iter Bucket.clear ctx.buckets;
+  Array.iter Bucket.clear ctx.pad_buckets;
+  Hg.iter_nodes
+    (fun v -> if ctx.pos.(State.block_of st v) >= 0 then insert_cell ctx v)
+    ctx.hg;
+  let k = State.k st in
+  let best_value = ref (ctx.eval st) in
+  let best_prefix = ref 0 in
+  let n_moves = ref 0 in
+  let trail = ref [] in
+  let stash = ref [] in
+  let continue = ref true in
+  let drifted () =
+    match ctx.cfg.drift_limit with
+    | None -> false
+    | Some limit -> !n_moves - !best_prefix > limit
+  in
+  while !continue do
+    if drifted () then continue := false
+    else begin
+    stash := [];
+    match select ctx stash with
+    | None -> continue := false
+    | Some { cand_cell = v; cand_to = b; _ } ->
+      let a = State.block_of st v in
+      remove_cell ctx v;
+      State.move st v b;
+      ctx.locked.(v) <- true;
+      Array.iter
+        (fun e -> ctx.locked_cnt.(e).(b) <- ctx.locked_cnt.(e).(b) + 1)
+        (Hg.nets_of ctx.hg v);
+      trail := (v, a) :: !trail;
+      incr n_moves;
+      (* Reinsert stashed cells: sizes changed, they may be legal now.
+         The chosen cell [v] can itself sit in the stash (stashed from
+         one direction, selected from another): locked cells must never
+         come back or they would be moved again. *)
+      List.iter
+        (fun (ai, bi, c, g) ->
+          let bucket = ctx.buckets.(dir_index ctx ai bi) in
+          if (not ctx.locked.(c)) && not (Bucket.mem bucket c) then
+            Bucket.insert bucket c g)
+        !stash;
+      (* refresh gains of unlocked neighbours *)
+      Array.iter
+        (fun e ->
+          Array.iter
+            (fun u ->
+              if u <> v && (not ctx.locked.(u)) && ctx.pos.(State.block_of st u) >= 0
+              then update_cell ctx u)
+            (Hg.pins ctx.hg e))
+        (Hg.nets_of ctx.hg v);
+      let value = ctx.eval st in
+      if Cost.compare_value value !best_value < 0 then begin
+        best_value := value;
+        best_prefix := !n_moves;
+        if collect then
+          offer_to_stacks ~k ~semi ~infeasible (Snapshot.capture st ~value)
+      end
+    end
+  done;
+  (* rewind to the best prefix *)
+  let rec rewind i = function
+    | [] -> ()
+    | (v, a) :: rest ->
+      if i > !best_prefix then begin
+        State.move st v a;
+        rewind (i - 1) rest
+      end
+  in
+  rewind !n_moves !trail;
+  (!best_value, !best_prefix)
+
+(* A series of passes from the current solution; stops when a pass fails
+   to improve the value. *)
+let run_execution ctx ~collect ~semi ~infeasible =
+  let passes = ref 0 in
+  let moves = ref 0 in
+  let best = ref (ctx.eval ctx.st) in
+  let continue = ref true in
+  while !continue && !passes < ctx.cfg.max_passes do
+    incr passes;
+    let value, retained = run_pass ctx ~collect ~semi ~infeasible in
+    moves := !moves + retained;
+    if retained = 0 || Cost.compare_value value !best >= 0 then continue := false;
+    if Cost.compare_value value !best < 0 then best := value
+  done;
+  (!best, !passes, !moves)
+
+let improve st ~spec ~config ~eval =
+  let ctx = make_ctx st spec config eval in
+  let depth = max config.stack_depth 1 in
+  let semi = Stack.create ~depth and infeasible = Stack.create ~depth in
+  let collect = config.stack_depth > 0 in
+  let value0, passes0, moves0 = run_execution ctx ~collect ~semi ~infeasible in
+  let global_best = ref (Snapshot.capture st ~value:value0) in
+  let passes = ref passes0 in
+  let moves = ref moves0 in
+  let restarts = ref 0 in
+  if collect then begin
+    let try_restart snap =
+      (* Skip restarts that coincide with the retained solution. *)
+      if not (Snapshot.same_assignment snap !global_best) then begin
+        incr restarts;
+        Snapshot.restore snap st;
+        let value, p, m =
+          run_execution ctx ~collect:false ~semi ~infeasible
+        in
+        passes := !passes + p;
+        moves := !moves + m;
+        if Cost.compare_value value !global_best.Snapshot.value < 0 then
+          global_best := Snapshot.capture st ~value
+      end
+    in
+    List.iter try_restart (Stack.contents semi);
+    List.iter try_restart (Stack.contents infeasible)
+  end;
+  Snapshot.restore !global_best st;
+  {
+    best = !global_best.Snapshot.value;
+    passes_run = !passes;
+    moves_applied = !moves;
+    restarts = !restarts;
+  }

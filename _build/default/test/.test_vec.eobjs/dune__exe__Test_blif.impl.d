@@ -1,0 +1,1 @@
+test/test_blif.ml: Alcotest Filename Gen Hypergraph List Netlist QCheck QCheck_alcotest String Sys

@@ -1,0 +1,1 @@
+test/test_bruteforce.ml: Alcotest Array Device Flow Fm Fpart Hypergraph List Netlist Partition Printf String

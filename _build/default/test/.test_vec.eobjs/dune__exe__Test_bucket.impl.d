@@ -1,0 +1,1 @@
+test/test_bucket.ml: Alcotest Gainbucket Hashtbl List QCheck QCheck_alcotest Test

@@ -1,0 +1,1 @@
+test/test_cluster.ml: Alcotest Array Cluster Device Fpart Fun Hypergraph List Netlist Partition Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_cost.ml: Alcotest Array Device Float Hypergraph List Netlist Partition QCheck QCheck_alcotest

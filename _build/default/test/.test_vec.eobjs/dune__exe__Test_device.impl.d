@@ -1,0 +1,1 @@
+test/test_device.ml: Alcotest Device List Netlist QCheck QCheck_alcotest

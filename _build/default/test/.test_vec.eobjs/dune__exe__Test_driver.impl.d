@@ -1,0 +1,1 @@
+test/test_driver.ml: Alcotest Array Device Fpart Hypergraph List Netlist Partition Printf QCheck QCheck_alcotest

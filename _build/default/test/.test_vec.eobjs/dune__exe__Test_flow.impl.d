@@ -1,0 +1,1 @@
+test/test_flow.ml: Alcotest Array Device Flow Hypergraph List Netlist Partition Prng QCheck QCheck_alcotest

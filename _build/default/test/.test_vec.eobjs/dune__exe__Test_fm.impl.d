@@ -1,0 +1,1 @@
+test/test_fm.ml: Alcotest Array Fm Hypergraph List Netlist Partition Printf QCheck QCheck_alcotest

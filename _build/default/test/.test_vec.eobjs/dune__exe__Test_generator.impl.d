@@ -1,0 +1,1 @@
+test/test_generator.ml: Alcotest Hypergraph List Netlist Printf Prng QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_hetero.ml: Alcotest Array Device Fpart Hypergraph List Netlist Partition QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_hgraph.ml: Alcotest Array Hypergraph List Printf Prng QCheck QCheck_alcotest

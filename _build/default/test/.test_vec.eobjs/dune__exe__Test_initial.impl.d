@@ -1,0 +1,1 @@
+test/test_initial.ml: Alcotest Array Device Fpart Fun Hypergraph List Netlist Partition QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_mcnc.ml: Alcotest Device Hypergraph List Netlist Option

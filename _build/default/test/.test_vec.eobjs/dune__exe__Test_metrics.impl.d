@@ -1,0 +1,1 @@
+test/test_metrics.ml: Alcotest Hypergraph List Netlist Partition QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_mlrb.ml: Alcotest Array Device Hypergraph List Mlevel Netlist Partition QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_partfile_check.ml: Alcotest Array Device Filename Fpart Hypergraph List Netlist Partition QCheck QCheck_alcotest String Sys

@@ -1,0 +1,1 @@
+test/test_partfile_check.mli:

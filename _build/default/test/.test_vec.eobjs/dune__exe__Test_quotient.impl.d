@@ -1,0 +1,1 @@
+test/test_quotient.ml: Alcotest Array Device Filename Format Fpart Hypergraph List Netlist Partition Printf QCheck QCheck_alcotest String Sys

@@ -1,0 +1,1 @@
+test/test_sa.ml: Alcotest Anneal Array Device Hypergraph List Netlist Partition QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_sanchis.ml: Alcotest Array Device Fun Hypergraph List Netlist Partition Printf QCheck QCheck_alcotest Sanchis

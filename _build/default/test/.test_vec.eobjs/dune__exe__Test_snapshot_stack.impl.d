@@ -1,0 +1,1 @@
+test/test_snapshot_stack.ml: Alcotest Array Hypergraph List Netlist Partition QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_state.ml: Alcotest Fun Hypergraph List Netlist Partition Printf Prng QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Hypergraph List Netlist Prng QCheck QCheck_alcotest

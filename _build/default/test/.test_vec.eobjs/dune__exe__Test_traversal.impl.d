@@ -1,0 +1,1 @@
+test/test_traversal.ml: Alcotest Array Hypergraph List Netlist Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_vec.ml: Alcotest Array Hypergraph List QCheck QCheck_alcotest

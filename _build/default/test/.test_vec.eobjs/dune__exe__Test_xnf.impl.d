@@ -1,0 +1,1 @@
+test/test_xnf.ml: Alcotest Filename Hypergraph List Netlist QCheck QCheck_alcotest String Sys

@@ -1,0 +1,211 @@
+(* Blif: reader/writer for the BLIF netlist subset. *)
+
+module Hg = Hypergraph.Hgraph
+module Blif = Netlist.Blif
+
+let sample =
+  {|# a tiny circuit
+.model tiny
+.inputs a b
+.outputs y
+.names a b t1
+11 1
+.names t1 y
+1 1
+.end
+|}
+
+let parse_ok text =
+  match Blif.parse_string text with
+  | Ok m -> m
+  | Error e -> Alcotest.failf "parse failed: %s" e
+
+let test_parse_basic () =
+  let m = parse_ok sample in
+  Alcotest.(check string) "model name" "tiny" m.Blif.model_name;
+  let h = m.Blif.graph in
+  (* 2 .names cells; pads a, b, y *)
+  Alcotest.(check int) "cells" 2 (Hg.num_cells h);
+  Alcotest.(check int) "pads" 3 (Hg.num_pads h);
+  (* nets: a{pad,g1} b{pad,g1} t1{g1,g2} y{g2,pad} *)
+  Alcotest.(check int) "nets" 4 (Hg.num_nets h)
+
+let test_parse_latch () =
+  let m =
+    parse_ok
+      {|.model seq
+.inputs d clk
+.outputs q
+.latch d q re clk 0
+.end
+|}
+  in
+  let h = m.Blif.graph in
+  Alcotest.(check int) "one latch cell" 1 (Hg.num_cells h);
+  Alcotest.(check int) "pads" 3 (Hg.num_pads h);
+  (* nets d, q, clk all have >= 2 pins (pad + latch) *)
+  Alcotest.(check int) "nets" 3 (Hg.num_nets h)
+
+let test_parse_gate () =
+  let m =
+    parse_ok
+      {|.model g
+.inputs a b
+.outputs y
+.gate NAND2 A=a B=b O=y
+.end
+|}
+  in
+  let h = m.Blif.graph in
+  Alcotest.(check int) "gate cell" 1 (Hg.num_cells h);
+  Alcotest.(check int) "nets" 3 (Hg.num_nets h)
+
+let test_continuation_lines () =
+  let m =
+    parse_ok
+      ".model cont\n.inputs a \\\nb c\n.outputs y\n.names a b c y\n111 1\n.end\n"
+  in
+  let h = m.Blif.graph in
+  Alcotest.(check int) "pads" 4 (Hg.num_pads h);
+  Alcotest.(check int) "cell" 1 (Hg.num_cells h)
+
+let test_comments_and_blanks () =
+  let m =
+    parse_ok
+      "# header\n\n.model c # trailing\n.inputs a\n.outputs y\n\n.names a y\n1 1\n.end\n"
+  in
+  Alcotest.(check string) "name" "c" m.Blif.model_name
+
+let test_dangling_signal_dropped () =
+  (* t is driven but never read: its net has one pin and is dropped *)
+  let m =
+    parse_ok ".model d\n.inputs a\n.outputs y\n.names a y\n1 1\n.names t\n1\n.end\n"
+  in
+  let h = m.Blif.graph in
+  Alcotest.(check int) "cells" 2 (Hg.num_cells h);
+  Alcotest.(check int) "nets (t dropped)" 2 (Hg.num_nets h)
+
+let test_errors () =
+  (match Blif.parse_string ".inputs a\n" with
+  | Error e -> Alcotest.(check bool) "no model" true (e = "no .model found")
+  | Ok _ -> Alcotest.fail "expected error");
+  (match Blif.parse_string ".model m\n.names\n.end\n" with
+  | Error e ->
+    Alcotest.(check bool) "names without signals" true
+      (String.length e > 0 && String.sub e 0 4 = "line")
+  | Ok _ -> Alcotest.fail "expected error");
+  match Blif.parse_string ".model m\n.latch x\n.end\n" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected latch arity error"
+
+let test_unknown_directives_ignored () =
+  let m =
+    parse_ok
+      ".model u\n.wire_load_slope 0.1\n.inputs a\n.outputs y\n.names a y\n1 1\n.end\n"
+  in
+  Alcotest.(check int) "cells" 1 (Hg.num_cells m.Blif.graph)
+
+let test_roundtrip () =
+  let m = parse_ok sample in
+  let text = Blif.to_string m in
+  let m2 = parse_ok text in
+  let h = m.Blif.graph and h2 = m2.Blif.graph in
+  Alcotest.(check int) "cells" (Hg.num_cells h) (Hg.num_cells h2);
+  Alcotest.(check int) "pads" (Hg.num_pads h) (Hg.num_pads h2);
+  Alcotest.(check int) "nets" (Hg.num_nets h) (Hg.num_nets h2)
+
+let test_roundtrip_generated () =
+  let spec = Netlist.Generator.default_spec ~name:"gen" ~cells:120 ~pads:16 ~seed:3 in
+  let h = Netlist.Generator.generate spec in
+  let m = Blif.of_hypergraph ~name:"gen" h in
+  let m2 = parse_ok (Blif.to_string m) in
+  let h2 = m2.Blif.graph in
+  Alcotest.(check int) "cells" (Hg.num_cells h) (Hg.num_cells h2);
+  Alcotest.(check int) "pads" (Hg.num_pads h) (Hg.num_pads h2);
+  Alcotest.(check int) "nets" (Hg.num_nets h) (Hg.num_nets h2);
+  Alcotest.(check int) "total size" (Hg.total_size h) (Hg.total_size h2)
+
+let test_file_io () =
+  let m = parse_ok sample in
+  let path = Filename.temp_file "fpart_test" ".blif" in
+  Blif.write_file path m;
+  (match Blif.parse_file path with
+  | Ok m2 -> Alcotest.(check string) "name survives" "tiny" m2.Blif.model_name
+  | Error e -> Alcotest.failf "reparse failed: %s" e);
+  Sys.remove path
+
+let test_latch_flops_roundtrip () =
+  let m =
+    parse_ok ".model seq\n.inputs d\n.outputs q\n.latch d q re d 0\n.end\n"
+  in
+  let h = m.Blif.graph in
+  let total = Hg.total_flops h in
+  Alcotest.(check int) "latch carries a flop" 1 total;
+  (* and it survives printing + reparsing *)
+  let m2 = parse_ok (Blif.to_string m) in
+  Alcotest.(check int) "flop survives roundtrip" 1 (Hg.total_flops m2.Blif.graph)
+
+(* The parser must never raise: any byte soup yields Ok or Error. *)
+let prop_parser_total =
+  QCheck.Test.make ~count:300 ~name:"parser is total on arbitrary text"
+    QCheck.(string_gen_of_size (Gen.int_bound 200) Gen.printable)
+    (fun text ->
+      match Blif.parse_string text with Ok _ | Error _ -> true)
+
+let prop_parser_total_bliflike =
+  (* byte soup biased towards BLIF keywords to reach deeper code paths *)
+  let fragment =
+    QCheck.Gen.oneofl
+      [ ".model m"; ".inputs a b"; ".outputs y"; ".names a b y"; "11 1";
+        ".latch a b re c 0"; ".latch x"; ".gate G A=a O=y"; ".subckt s x=y";
+        ".end"; "#c"; "\\"; ""; "a b"; ".names"; ".model"; ".wire 1" ]
+  in
+  let gen =
+    QCheck.Gen.(map (String.concat "\n") (list_size (int_bound 20) fragment))
+  in
+  QCheck.Test.make ~count:300 ~name:"parser is total on BLIF-like soup"
+    (QCheck.make gen)
+    (fun text ->
+      match Blif.parse_string text with
+      | Ok m -> Hg.validate m.Netlist.Blif.graph = Ok ()
+      | Error _ -> true)
+
+let prop_generated_roundtrip =
+  QCheck.Test.make ~count:25 ~name:"generated circuits round-trip through BLIF"
+    QCheck.(pair (int_range 10 150) (int_range 2 30))
+    (fun (cells, pads) ->
+      let spec =
+        Netlist.Generator.default_spec ~name:"rt" ~cells ~pads ~seed:(cells + pads)
+      in
+      let h = Netlist.Generator.generate spec in
+      match Blif.parse_string (Blif.to_string (Blif.of_hypergraph ~name:"rt" h)) with
+      | Error _ -> false
+      | Ok m2 ->
+        let h2 = m2.Netlist.Blif.graph in
+        Hg.num_cells h = Hg.num_cells h2
+        && Hg.num_pads h = Hg.num_pads h2
+        && Hg.num_nets h = Hg.num_nets h2)
+
+let () =
+  Alcotest.run "blif"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "parse basic" `Quick test_parse_basic;
+          Alcotest.test_case "parse latch" `Quick test_parse_latch;
+          Alcotest.test_case "parse gate" `Quick test_parse_gate;
+          Alcotest.test_case "continuations" `Quick test_continuation_lines;
+          Alcotest.test_case "comments" `Quick test_comments_and_blanks;
+          Alcotest.test_case "dangling dropped" `Quick test_dangling_signal_dropped;
+          Alcotest.test_case "errors" `Quick test_errors;
+          Alcotest.test_case "unknown directives" `Quick test_unknown_directives_ignored;
+          Alcotest.test_case "roundtrip sample" `Quick test_roundtrip;
+          Alcotest.test_case "roundtrip generated" `Quick test_roundtrip_generated;
+          Alcotest.test_case "file io" `Quick test_file_io;
+          Alcotest.test_case "latch flops roundtrip" `Quick test_latch_flops_roundtrip;
+        ] );
+      ( "property",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_generated_roundtrip; prop_parser_total; prop_parser_total_bliflike ]
+      );
+    ]

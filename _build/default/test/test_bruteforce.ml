@@ -1,0 +1,189 @@
+(* Brute-force oracles on tiny instances: exhaustive enumeration checks
+   the pin model, the hyperedge min-cut of the flow network, and the
+   optimality gap of the full drivers. *)
+
+module Hg = Hypergraph.Hgraph
+module State = Partition.State
+
+let tiny_circuit ?(cells = 7) ?(pads = 2) seed =
+  Netlist.Generator.generate
+    (Netlist.Generator.default_spec ~name:"bf" ~cells ~pads ~seed)
+
+(* Reference (slow) implementations of the pin model. *)
+let ref_pins hg assign k =
+  let pins = Array.make k 0 in
+  Hg.iter_nets
+    (fun e ->
+      let ps = Hg.pins hg e in
+      let blocks = Array.to_list ps |> List.map (fun v -> assign v) |> List.sort_uniq compare in
+      let has_pad = Array.exists (fun v -> Hg.is_pad hg v) ps in
+      List.iter
+        (fun b -> if has_pad || List.length blocks >= 2 then pins.(b) <- pins.(b) + 1)
+        blocks)
+    hg;
+  pins
+
+let ref_cut hg assign =
+  Hg.fold_nets
+    (fun acc e ->
+      let ps = Hg.pins hg e in
+      let blocks =
+        Array.to_list ps |> List.map assign |> List.sort_uniq compare
+      in
+      if List.length blocks >= 2 then acc + 1 else acc)
+    0 hg
+
+(* Enumerate every assignment of [n] nodes into [k] blocks. *)
+let iter_assignments n k f =
+  let assign = Array.make n 0 in
+  let rec go i = if i = n then f assign
+    else
+      for b = 0 to k - 1 do
+        assign.(i) <- b;
+        go (i + 1)
+      done
+  in
+  go 0
+
+let test_pin_model_exhaustive () =
+  let hg = tiny_circuit ~cells:6 ~pads:2 1 in
+  let n = Hg.num_nodes hg in
+  let k = 2 in
+  iter_assignments n k (fun assign ->
+      let st = State.create hg ~k ~assign:(fun v -> assign.(v)) in
+      let expected = ref_pins hg (fun v -> assign.(v)) k in
+      for b = 0 to k - 1 do
+        if State.pins_of st b <> expected.(b) then
+          Alcotest.failf "pins mismatch on %s: block %d got %d want %d"
+            (String.concat "" (Array.to_list (Array.map string_of_int assign)))
+            b (State.pins_of st b) expected.(b)
+      done;
+      if State.cut_size st <> ref_cut hg (fun v -> assign.(v)) then
+        Alcotest.fail "cut mismatch")
+
+let test_pin_model_exhaustive_3way () =
+  let hg = tiny_circuit ~cells:5 ~pads:1 2 in
+  let n = Hg.num_nodes hg in
+  let k = 3 in
+  iter_assignments n k (fun assign ->
+      let st = State.create hg ~k ~assign:(fun v -> assign.(v)) in
+      let expected = ref_pins hg (fun v -> assign.(v)) k in
+      for b = 0 to k - 1 do
+        Alcotest.(check int) "pins" expected.(b) (State.pins_of st b)
+      done)
+
+(* Exhaustive min net cut separating two seeds vs. the FBB flow value. *)
+let test_flow_mincut_exhaustive () =
+  List.iter
+    (fun seed ->
+      let hg = tiny_circuit ~cells:8 ~pads:2 seed in
+      let n = Hg.num_nodes hg in
+      let seed_s = 0 and seed_t = 5 in
+      (* brute force: min cut over all bipartitions with s in 0, t in 1 *)
+      let best = ref max_int in
+      iter_assignments n 2 (fun assign ->
+          if assign.(seed_s) = 0 && assign.(seed_t) = 1 then
+            best := min !best (ref_cut hg (fun v -> assign.(v))));
+      (* flow network: attach seeds and run to completion *)
+      let net = Flow.Flownet.build hg ~keep:(fun _ -> true) in
+      Flow.Flownet.attach_source net seed_s;
+      Flow.Flownet.attach_sink net seed_t;
+      let flow_cut = Flow.Flownet.run net in
+      Alcotest.(check int) (Printf.sprintf "seed %d min cut" seed) !best flow_cut)
+    [ 3; 4; 5; 6 ]
+
+(* Exhaustive minimum feasible k vs. the drivers. *)
+let min_feasible_k hg ~s_max ~t_max ~k_max =
+  let n = Hg.num_nodes hg in
+  let rec try_k k =
+    if k > k_max then None
+    else begin
+      let found = ref false in
+      iter_assignments n k (fun assign ->
+          if not !found then begin
+            let st = State.create hg ~k ~assign:(fun v -> assign.(v)) in
+            let ok = ref true in
+            for b = 0 to k - 1 do
+              if State.size_of st b > s_max || State.pins_of st b > t_max then
+                ok := false
+            done;
+            if !ok then found := true
+          end);
+      if !found then Some k else try_k (k + 1)
+    end
+  in
+  try_k 1
+
+let test_driver_vs_exhaustive () =
+  (* tiny custom device so 2-3 blocks are needed *)
+  let device = { Device.dev_name = "TINY"; family = Device.XC3000; s_ds = 4; t_max = 6 } in
+  List.iter
+    (fun seed ->
+      let hg = tiny_circuit ~cells:7 ~pads:2 seed in
+      match min_feasible_k hg ~s_max:4 ~t_max:6 ~k_max:4 with
+      | None -> () (* not partitionable within 4 blocks: skip *)
+      | Some opt ->
+        let config = { Fpart.Config.default with delta = Some 1.0 } in
+        let r = Fpart.Driver.run ~config hg device in
+        if not r.Fpart.Driver.feasible then Alcotest.failf "seed %d: infeasible" seed;
+        if r.Fpart.Driver.k < opt then
+          Alcotest.failf "seed %d: k=%d below exhaustive optimum %d (bug!)" seed
+            r.Fpart.Driver.k opt;
+        if r.Fpart.Driver.k > opt + 1 then
+          Alcotest.failf "seed %d: k=%d far above optimum %d" seed r.Fpart.Driver.k opt)
+    [ 11; 12; 13; 14; 15 ]
+
+let test_fm_vs_exhaustive_cut () =
+  (* FM from a few starts on a tiny graph should find the optimal
+     balanced bipartition cut (it is near-exhaustive at this size) *)
+  List.iter
+    (fun seed ->
+      let hg = tiny_circuit ~cells:8 ~pads:2 seed in
+      let n = Hg.num_nodes hg in
+      let half = 4 in
+      let best = ref max_int in
+      iter_assignments n 2 (fun assign ->
+          let st = State.create hg ~k:2 ~assign:(fun v -> assign.(v)) in
+          if abs (State.size_of st 0 - State.size_of st 1) <= 2 then
+            best := min !best (State.cut_size st));
+      let limits = { Fm.lo0 = half - 1; hi0 = half + 1; lo1 = half - 1; hi1 = half + 1 } in
+      let achieved = ref max_int in
+      List.iter
+        (fun start ->
+          let st =
+            State.create hg ~k:2 ~assign:(fun v ->
+                if Hg.is_pad hg v then 0 else (v + start) land 1)
+          in
+          if
+            State.size_of st 0 >= limits.Fm.lo0
+            && State.size_of st 0 <= limits.Fm.hi0
+          then begin
+            let r = Fm.refine st ~block0:0 ~block1:1 ~limits ~max_passes:10 in
+            achieved := min !achieved r.Fm.final_cut
+          end)
+        [ 0; 1 ];
+      if !achieved < !best then
+        Alcotest.failf "seed %d: FM cut %d below exhaustive %d (oracle bug)" seed
+          !achieved !best;
+      (* allow a 1-net gap: FM is a heuristic, the oracle allows slack 2 *)
+      if !achieved <> max_int && !achieved > !best + 2 then
+        Alcotest.failf "seed %d: FM cut %d far above optimal %d" seed !achieved !best)
+    [ 21; 22; 23 ]
+
+let () =
+  Alcotest.run "bruteforce"
+    [
+      ( "oracles",
+        [
+          Alcotest.test_case "pin model, all 2-way assignments" `Quick
+            test_pin_model_exhaustive;
+          Alcotest.test_case "pin model, all 3-way assignments" `Quick
+            test_pin_model_exhaustive_3way;
+          Alcotest.test_case "flow = exhaustive min cut" `Quick
+            test_flow_mincut_exhaustive;
+          Alcotest.test_case "driver near exhaustive optimum" `Quick
+            test_driver_vs_exhaustive;
+          Alcotest.test_case "FM near exhaustive optimum" `Quick
+            test_fm_vs_exhaustive_cut;
+        ] );
+    ]

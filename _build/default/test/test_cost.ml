@@ -1,0 +1,198 @@
+(* Cost: infeasibility distances and the lexicographic solution value
+   (paper sections 3.3-3.4). *)
+
+module Hg = Hypergraph.Hgraph
+module State = Partition.State
+module Cost = Partition.Cost
+
+let params = Cost.default_params
+let ctx = { Cost.s_max = 100; t_max = 50; f_max = None; m_lower = 4; total_pads = 40 }
+
+let test_default_params () =
+  Alcotest.(check (float 0.0)) "lambda_s" 0.4 params.Cost.lambda_s;
+  Alcotest.(check (float 0.0)) "lambda_t" 0.6 params.Cost.lambda_t;
+  Alcotest.(check (float 0.0)) "lambda_r" 0.1 params.Cost.lambda_r
+
+let test_block_distance_feasible () =
+  Alcotest.(check (float 1e-9)) "inside" 0.0
+    (Cost.block_distance params ctx ~size:100 ~pins:50 ~flops:0)
+
+let test_block_distance_size () =
+  (* size 150: d^S = 0.5, weighted 0.4 * 0.5 = 0.2 *)
+  Alcotest.(check (float 1e-9)) "size overflow" 0.2
+    (Cost.block_distance params ctx ~size:150 ~pins:10 ~flops:0)
+
+let test_block_distance_pins () =
+  (* pins 75: d^T = 0.5, weighted 0.6 * 0.5 = 0.3 *)
+  Alcotest.(check (float 1e-9)) "pin overflow" 0.3
+    (Cost.block_distance params ctx ~size:10 ~pins:75 ~flops:0)
+
+let test_block_distance_both () =
+  Alcotest.(check (float 1e-9)) "both" 0.5
+    (Cost.block_distance params ctx ~size:150 ~pins:75 ~flops:0)
+
+let test_io_weight_dominates () =
+  (* equal relative violations: the pin term must weigh more *)
+  let d_size = Cost.block_distance params ctx ~size:120 ~pins:0 ~flops:0 in
+  let d_pins = Cost.block_distance params ctx ~size:0 ~pins:60 ~flops:0 in
+  Alcotest.(check bool) "lambda_t > lambda_s" true (d_pins > d_size)
+
+let test_deviation_penalty () =
+  (* remainder 350, step 1: remaining = 4 - 1 + 1 = 4 -> S_AVG = 87.5 <= 100 *)
+  Alcotest.(check (float 1e-9)) "fits" 0.0
+    (Cost.deviation_penalty ctx ~remainder_size:350 ~step_k:1);
+  (* remainder 350, step 2: remaining = 3 -> S_AVG ~ 116.7 > 100 *)
+  let expected = 350.0 /. 3.0 /. 100.0 in
+  Alcotest.(check (float 1e-9)) "penalised" expected
+    (Cost.deviation_penalty ctx ~remainder_size:350 ~step_k:2);
+  (* beyond M the denominator clamps to 1 *)
+  let expected = 350.0 /. 100.0 in
+  Alcotest.(check (float 1e-9)) "clamped" expected
+    (Cost.deviation_penalty ctx ~remainder_size:350 ~step_k:9)
+
+let simple_state sizes =
+  (* one cell per block with the requested size; no nets *)
+  let b = Hg.Builder.create () in
+  Array.iteri
+    (fun i s -> ignore (Hg.Builder.add_cell b ~name:(string_of_int i) ~size:s))
+    sizes;
+  let h = Hg.Builder.freeze b in
+  State.create h ~k:(Array.length sizes) ~assign:(fun v -> v)
+
+let test_classify () =
+  let st = simple_state [| 50; 80; 100 |] in
+  Alcotest.(check bool) "feasible" true (Cost.classify ctx st = Cost.Feasible);
+  let st = simple_state [| 50; 80; 150 |] in
+  Alcotest.(check bool) "semi" true (Cost.classify ctx st = Cost.Semi_feasible 2);
+  let st = simple_state [| 150; 80; 150 |] in
+  Alcotest.(check bool) "infeasible" true
+    (Cost.classify ctx st = Cost.Infeasible [ 0; 2 ])
+
+let test_infeasibility_sum () =
+  let st = simple_state [| 150; 150 |] in
+  (* two blocks at 0.2 each, no remainder penalty *)
+  Alcotest.(check (float 1e-9)) "sum" 0.4
+    (Cost.infeasibility params ctx st ~remainder:None ~step_k:1);
+  (* with remainder = block 1 of size 150, step 4: remaining=1,
+     S_AVG=150 > 100 -> d_R = 1.5 weighted by 0.1 *)
+  Alcotest.(check (float 1e-9)) "with penalty" (0.4 +. 0.15)
+    (Cost.infeasibility params ctx st ~remainder:(Some 1) ~step_k:4)
+
+let test_io_balance () =
+  (* T^E_AVG = 40/4 = 10.  Blocks with fewer pads contribute. *)
+  let b = Hg.Builder.create () in
+  for i = 0 to 39 do
+    ignore (Hg.Builder.add_pad b ~name:(string_of_int i))
+  done;
+  let h = Hg.Builder.freeze b in
+  (* block0: 20 pads, block1: 20, block2: 0, block3: 0 *)
+  let st = State.create h ~k:4 ~assign:(fun v -> if v < 20 then 0 else 1) in
+  Alcotest.(check (float 1e-9)) "two starving blocks" 2.0 (Cost.io_balance ctx st);
+  (* perfectly balanced: zero *)
+  let st = State.create h ~k:4 ~assign:(fun v -> v mod 4) in
+  Alcotest.(check (float 1e-9)) "balanced" 0.0 (Cost.io_balance ctx st)
+
+let v ~f ~d ~t ~e = { Cost.feasible_blocks = f; distance = d; t_sum = t; io_bal = e }
+
+let test_compare_feasible_first () =
+  let better = v ~f:3 ~d:9.0 ~t:999 ~e:9.0 in
+  let worse = v ~f:2 ~d:0.0 ~t:0 ~e:0.0 in
+  Alcotest.(check bool) "f wins" true (Cost.compare_value better worse < 0)
+
+let test_compare_distance_second () =
+  let a = v ~f:2 ~d:0.1 ~t:999 ~e:9.0 in
+  let b = v ~f:2 ~d:0.2 ~t:0 ~e:0.0 in
+  Alcotest.(check bool) "d wins" true (Cost.compare_value a b < 0)
+
+let test_compare_tsum_third () =
+  let a = v ~f:2 ~d:0.1 ~t:10 ~e:9.0 in
+  let b = v ~f:2 ~d:0.1 ~t:11 ~e:0.0 in
+  Alcotest.(check bool) "t wins" true (Cost.compare_value a b < 0)
+
+let test_compare_iobal_last () =
+  let a = v ~f:2 ~d:0.1 ~t:10 ~e:0.5 in
+  let b = v ~f:2 ~d:0.1 ~t:10 ~e:0.6 in
+  Alcotest.(check bool) "e wins" true (Cost.compare_value a b < 0);
+  Alcotest.(check int) "equal" 0 (Cost.compare_value a a)
+
+let test_compare_float_tolerance () =
+  let a = v ~f:2 ~d:0.1 ~t:10 ~e:0.0 in
+  let b = v ~f:2 ~d:(0.1 +. 1e-12) ~t:10 ~e:0.0 in
+  Alcotest.(check int) "noise ignored" 0 (Cost.compare_value a b)
+
+let test_ff_constraint () =
+  let ctx_ff = { ctx with Cost.f_max = Some 20 } in
+  Alcotest.(check bool) "within" true
+    (Cost.block_feasible ctx_ff ~size:10 ~pins:10 ~flops:20);
+  Alcotest.(check bool) "over" false
+    (Cost.block_feasible ctx_ff ~size:10 ~pins:10 ~flops:21);
+  (* 30 flops vs cap 20: overflow 0.5, weighted by lambda_f = 0.4 *)
+  Alcotest.(check (float 1e-9)) "ff distance" 0.2
+    (Cost.block_distance params ctx_ff ~size:0 ~pins:0 ~flops:30);
+  (* disabled when f_max is None *)
+  Alcotest.(check bool) "disabled" true
+    (Cost.block_feasible ctx ~size:10 ~pins:10 ~flops:1_000_000)
+
+let test_context_of () =
+  let spec = Netlist.Generator.default_spec ~name:"c" ~cells:283 ~pads:72 ~seed:1 in
+  let h = Netlist.Generator.generate spec in
+  let c = Cost.context_of Device.xc3020 ~delta:0.9 h in
+  Alcotest.(check int) "s_max" 57 c.Cost.s_max;
+  Alcotest.(check int) "t_max" 64 c.Cost.t_max;
+  Alcotest.(check int) "m (c3540 case)" 5 c.Cost.m_lower;
+  Alcotest.(check int) "pads" 72 c.Cost.total_pads;
+  Alcotest.(check (option int)) "ff capacity (2 FF/CLB derated)" (Some 114) c.Cost.f_max
+
+let arb_value =
+  QCheck.map
+    (fun (f, d, t, e) ->
+      v ~f:(f mod 8) ~d:(Float.abs d) ~t:(t mod 1000) ~e:(Float.abs e))
+    QCheck.(quad (int_bound 100) (float_bound_inclusive 5.0) (int_bound 10_000)
+              (float_bound_inclusive 5.0))
+
+let prop_compare_antisym =
+  QCheck.Test.make ~count:300 ~name:"compare_value is antisymmetric"
+    (QCheck.pair arb_value arb_value)
+    (fun (a, b) ->
+      let ab = Cost.compare_value a b and ba = Cost.compare_value b a in
+      (ab > 0 && ba < 0) || (ab < 0 && ba > 0) || (ab = 0 && ba = 0))
+
+let prop_compare_transitive =
+  QCheck.Test.make ~count:300 ~name:"compare_value is transitive on <="
+    (QCheck.triple arb_value arb_value arb_value)
+    (fun (a, b, c) ->
+      let le x y = Cost.compare_value x y <= 0 in
+      (not (le a b && le b c)) || le a c)
+
+let prop_distance_nonneg =
+  QCheck.Test.make ~count:200 ~name:"block distance is non-negative"
+    QCheck.(pair (int_bound 500) (int_bound 300))
+    (fun (size, pins) -> Cost.block_distance params ctx ~size ~pins ~flops:0 >= 0.0)
+
+let () =
+  Alcotest.run "cost"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "published lambdas" `Quick test_default_params;
+          Alcotest.test_case "distance feasible" `Quick test_block_distance_feasible;
+          Alcotest.test_case "distance size" `Quick test_block_distance_size;
+          Alcotest.test_case "distance pins" `Quick test_block_distance_pins;
+          Alcotest.test_case "distance both" `Quick test_block_distance_both;
+          Alcotest.test_case "io weight dominates" `Quick test_io_weight_dominates;
+          Alcotest.test_case "deviation penalty" `Quick test_deviation_penalty;
+          Alcotest.test_case "classify" `Quick test_classify;
+          Alcotest.test_case "infeasibility sum" `Quick test_infeasibility_sum;
+          Alcotest.test_case "io balance" `Quick test_io_balance;
+          Alcotest.test_case "ff constraint" `Quick test_ff_constraint;
+          Alcotest.test_case "compare: f first" `Quick test_compare_feasible_first;
+          Alcotest.test_case "compare: d second" `Quick test_compare_distance_second;
+          Alcotest.test_case "compare: T third" `Quick test_compare_tsum_third;
+          Alcotest.test_case "compare: dE last" `Quick test_compare_iobal_last;
+          Alcotest.test_case "compare: tolerance" `Quick test_compare_float_tolerance;
+          Alcotest.test_case "context_of" `Quick test_context_of;
+        ] );
+      ( "property",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_compare_antisym; prop_compare_transitive; prop_distance_nonneg ] );
+    ]

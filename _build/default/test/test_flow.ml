@@ -1,0 +1,266 @@
+(* Flow: Dinic max-flow, the hypergraph flow network, FBB and FBB-MW. *)
+
+module Hg = Hypergraph.Hgraph
+module Maxflow = Flow.Maxflow
+module Flownet = Flow.Flownet
+module Fbb = Flow.Fbb
+module Fbb_mw = Flow.Fbb_mw
+
+(* --- Maxflow ------------------------------------------------------- *)
+
+let test_maxflow_simple () =
+  (* s -> a -> t with caps 3 and 2: flow 2 *)
+  let g = Maxflow.create ~nodes:3 in
+  ignore (Maxflow.add_edge g ~src:0 ~dst:1 ~cap:3);
+  ignore (Maxflow.add_edge g ~src:1 ~dst:2 ~cap:2);
+  Alcotest.(check int) "flow" 2 (Maxflow.max_flow g ~source:0 ~sink:2)
+
+let test_maxflow_diamond () =
+  (* classic diamond with a cross edge *)
+  let g = Maxflow.create ~nodes:4 in
+  ignore (Maxflow.add_edge g ~src:0 ~dst:1 ~cap:10);
+  ignore (Maxflow.add_edge g ~src:0 ~dst:2 ~cap:10);
+  ignore (Maxflow.add_edge g ~src:1 ~dst:3 ~cap:4);
+  ignore (Maxflow.add_edge g ~src:2 ~dst:3 ~cap:9);
+  ignore (Maxflow.add_edge g ~src:1 ~dst:2 ~cap:6);
+  Alcotest.(check int) "flow" 13 (Maxflow.max_flow g ~source:0 ~sink:3)
+
+let test_maxflow_disconnected () =
+  let g = Maxflow.create ~nodes:4 in
+  ignore (Maxflow.add_edge g ~src:0 ~dst:1 ~cap:5);
+  ignore (Maxflow.add_edge g ~src:2 ~dst:3 ~cap:5);
+  Alcotest.(check int) "no path" 0 (Maxflow.max_flow g ~source:0 ~sink:3)
+
+let test_maxflow_incremental () =
+  (* adding edges after a first max-flow continues from the old flow *)
+  let g = Maxflow.create ~nodes:3 in
+  ignore (Maxflow.add_edge g ~src:0 ~dst:1 ~cap:1);
+  ignore (Maxflow.add_edge g ~src:1 ~dst:2 ~cap:5);
+  Alcotest.(check int) "first" 1 (Maxflow.max_flow g ~source:0 ~sink:2);
+  ignore (Maxflow.add_edge g ~src:0 ~dst:1 ~cap:2);
+  Alcotest.(check int) "incremental addition" 2 (Maxflow.max_flow g ~source:0 ~sink:2);
+  Alcotest.(check int) "total accumulates" 3 (Maxflow.total_flow g)
+
+let test_source_side () =
+  let g = Maxflow.create ~nodes:4 in
+  ignore (Maxflow.add_edge g ~src:0 ~dst:1 ~cap:5);
+  ignore (Maxflow.add_edge g ~src:1 ~dst:2 ~cap:1);
+  ignore (Maxflow.add_edge g ~src:2 ~dst:3 ~cap:5);
+  ignore (Maxflow.max_flow g ~source:0 ~sink:3);
+  let side = Maxflow.source_side g ~source:0 in
+  Alcotest.(check (array bool)) "min cut at the bottleneck"
+    [| true; true; false; false |] side
+
+let test_maxflow_errors () =
+  let g = Maxflow.create ~nodes:2 in
+  Alcotest.check_raises "bad node" (Invalid_argument "Maxflow.add_edge: node out of range")
+    (fun () -> ignore (Maxflow.add_edge g ~src:0 ~dst:5 ~cap:1));
+  Alcotest.check_raises "negative cap"
+    (Invalid_argument "Maxflow.add_edge: negative capacity") (fun () ->
+      ignore (Maxflow.add_edge g ~src:0 ~dst:1 ~cap:(-1)));
+  Alcotest.check_raises "source=sink"
+    (Invalid_argument "Maxflow.max_flow: source = sink") (fun () ->
+      ignore (Maxflow.max_flow g ~source:0 ~sink:0))
+
+(* --- Flownet ------------------------------------------------------- *)
+
+(* path a - b - c (2-pin nets): min net cut between a and c is 1 *)
+let path3 () =
+  let b = Hg.Builder.create () in
+  let a = Hg.Builder.add_cell b ~name:"a" ~size:1 in
+  let bb = Hg.Builder.add_cell b ~name:"b" ~size:1 in
+  let c = Hg.Builder.add_cell b ~name:"c" ~size:1 in
+  ignore (Hg.Builder.add_net b ~name:"ab" [ a; bb ]);
+  ignore (Hg.Builder.add_net b ~name:"bc" [ bb; c ]);
+  (Hg.Builder.freeze b, a, bb, c)
+
+let test_flownet_path () =
+  let h, a, _, c = path3 () in
+  let net = Flownet.build h ~keep:(fun _ -> true) in
+  Flownet.attach_source net a;
+  Flownet.attach_sink net c;
+  Alcotest.(check int) "unit net cut" 1 (Flownet.run net);
+  let side = Flownet.source_side net in
+  Alcotest.(check bool) "a on source side" true side.(a);
+  Alcotest.(check bool) "c on sink side" false side.(c)
+
+let test_flownet_hyperedge_counts_once () =
+  (* one 3-pin net between s-side and t-side costs exactly 1 *)
+  let b = Hg.Builder.create () in
+  let s = Hg.Builder.add_cell b ~name:"s" ~size:1 in
+  let x = Hg.Builder.add_cell b ~name:"x" ~size:1 in
+  let t = Hg.Builder.add_cell b ~name:"t" ~size:1 in
+  ignore (Hg.Builder.add_net b ~name:"n" [ s; x; t ]);
+  let h = Hg.Builder.freeze b in
+  let net = Flownet.build h ~keep:(fun _ -> true) in
+  Flownet.attach_source net s;
+  Flownet.attach_sink net t;
+  Alcotest.(check int) "hyperedge cut 1" 1 (Flownet.run net)
+
+let test_flownet_restriction () =
+  let h, a, bb, c = path3 () in
+  (* exclude b: a and c become disconnected, cut 0 *)
+  let net = Flownet.build h ~keep:(fun v -> v <> bb) in
+  Flownet.attach_source net a;
+  Flownet.attach_sink net c;
+  Alcotest.(check int) "disconnected" 0 (Flownet.run net);
+  Alcotest.check_raises "excluded node" (Invalid_argument "Flownet: node was not kept")
+    (fun () -> Flownet.attach_source net bb)
+
+let test_flownet_idempotent_attach () =
+  let h, a, _, c = path3 () in
+  let net = Flownet.build h ~keep:(fun _ -> true) in
+  Flownet.attach_source net a;
+  Flownet.attach_source net a;
+  Flownet.attach_sink net c;
+  Alcotest.(check bool) "marked" true (Flownet.in_source_set net a);
+  Alcotest.(check int) "still unit cut" 1 (Flownet.run net)
+
+(* --- FBB ----------------------------------------------------------- *)
+
+let gen_circuit cells seed =
+  Netlist.Generator.generate
+    (Netlist.Generator.default_spec ~name:"flow" ~cells ~pads:4 ~seed)
+
+let test_fbb_window () =
+  let h = gen_circuit 120 3 in
+  let rng = Prng.Splitmix.create 1 in
+  let seed_s = 0 and seed_t = 100 in
+  match
+    Fbb.bipartition h ~keep:(fun _ -> true) ~seed_s ~seed_t ~lo:40 ~hi:70 ~rng
+  with
+  | None -> Alcotest.fail "FBB failed to find a window cut"
+  | Some r ->
+    let w = ref 0 in
+    Array.iteri (fun v s -> if s then w := !w + Hg.size h v) r.Fbb.side;
+    Alcotest.(check bool) "weight in window" true (!w >= 40 && !w <= 70);
+    Alcotest.(check bool) "seed_s inside" true r.Fbb.side.(seed_s);
+    Alcotest.(check bool) "seed_t outside" false r.Fbb.side.(seed_t);
+    (* the reported cut matches the actual boundary nets *)
+    let member v = r.Fbb.side.(v) in
+    let cut =
+      Hg.fold_nets
+        (fun acc e ->
+          let pins = Hg.pins h e in
+          if Array.exists member pins && Array.exists (fun v -> not (member v)) pins
+          then acc + 1
+          else acc)
+        0 h
+    in
+    Alcotest.(check int) "cut consistent" cut r.Fbb.cut
+
+let test_fbb_errors () =
+  let h = gen_circuit 20 5 in
+  let rng = Prng.Splitmix.create 1 in
+  Alcotest.check_raises "seeds coincide"
+    (Invalid_argument "Fbb.bipartition: seeds coincide") (fun () ->
+      ignore (Fbb.bipartition h ~keep:(fun _ -> true) ~seed_s:1 ~seed_t:1 ~lo:1 ~hi:5 ~rng));
+  Alcotest.check_raises "lo > hi" (Invalid_argument "Fbb.bipartition: lo > hi")
+    (fun () ->
+      ignore (Fbb.bipartition h ~keep:(fun _ -> true) ~seed_s:0 ~seed_t:1 ~lo:9 ~hi:3 ~rng))
+
+let test_fbb_unattainable () =
+  (* window above the total weight can never be met *)
+  let h = gen_circuit 20 7 in
+  let rng = Prng.Splitmix.create 2 in
+  Alcotest.(check bool) "None on impossible window" true
+    (Fbb.bipartition h ~keep:(fun _ -> true) ~seed_s:0 ~seed_t:5 ~lo:1000 ~hi:2000 ~rng
+     = None)
+
+(* --- FBB-MW -------------------------------------------------------- *)
+
+let test_fbbmw_end_to_end () =
+  let h = gen_circuit 200 9 in
+  let cfg = { Fbb_mw.default_config with delta = 0.9 } in
+  let r = Fbb_mw.partition h Device.xc3020 cfg in
+  Alcotest.(check bool) "feasible" true r.Fbb_mw.feasible;
+  let s_max = Device.s_max Device.xc3020 ~delta:0.9 in
+  let m =
+    Device.lower_bound Device.xc3020 ~delta:0.9 ~total_size:(Hg.total_size h)
+      ~total_pads:(Hg.num_pads h)
+  in
+  Alcotest.(check bool) "k >= M" true (r.Fbb_mw.k >= m);
+  (* verify the blocks truly meet constraints *)
+  let st = Partition.State.create h ~k:r.Fbb_mw.k ~assign:(fun v -> r.Fbb_mw.assignment.(v)) in
+  for b = 0 to r.Fbb_mw.k - 1 do
+    Alcotest.(check bool) "size ok" true (Partition.State.size_of st b <= s_max);
+    Alcotest.(check bool) "pins ok" true
+      (Partition.State.pins_of st b <= Device.xc3020.Device.t_max)
+  done
+
+let test_fbbmw_every_node_assigned () =
+  let h = gen_circuit 90 13 in
+  let r = Fbb_mw.partition h Device.xc3042 { Fbb_mw.default_config with delta = 0.9 } in
+  Array.iteri
+    (fun v b ->
+      if b < 0 || b >= r.Fbb_mw.k then Alcotest.failf "node %d unassigned (%d)" v b)
+    r.Fbb_mw.assignment
+
+let test_fbbmw_single_block () =
+  (* a circuit that already fits one device *)
+  let h = gen_circuit 30 11 in
+  let r = Fbb_mw.partition h Device.xc3090 { Fbb_mw.default_config with delta = 0.9 } in
+  Alcotest.(check int) "one block" 1 r.Fbb_mw.k;
+  Alcotest.(check bool) "feasible" true r.Fbb_mw.feasible
+
+let prop_maxflow_min_cut =
+  (* flow value equals capacity across the returned source side *)
+  QCheck.Test.make ~count:60 ~name:"max-flow equals min-cut capacity"
+    QCheck.(pair (int_range 4 12) (int_range 0 10_000))
+    (fun (n, seed) ->
+      let rng = Prng.Splitmix.create seed in
+      let g = Maxflow.create ~nodes:n in
+      let edges = ref [] in
+      for _ = 1 to 3 * n do
+        let a = Prng.Splitmix.int rng n and b = Prng.Splitmix.int rng n in
+        if a <> b then begin
+          let cap = 1 + Prng.Splitmix.int rng 9 in
+          let _ = Maxflow.add_edge g ~src:a ~dst:b ~cap in
+          edges := (a, b, cap) :: !edges
+        end
+      done;
+      let flow = Maxflow.max_flow g ~source:0 ~sink:(n - 1) in
+      let side = Maxflow.source_side g ~source:0 in
+      if side.(n - 1) then flow = 0 (* impossible: sink unreachable only if flow capped *)
+      else begin
+        let cut_cap =
+          List.fold_left
+            (fun acc (a, b, cap) -> if side.(a) && not side.(b) then acc + cap else acc)
+            0 !edges
+        in
+        flow = cut_cap
+      end)
+
+let () =
+  Alcotest.run "flow"
+    [
+      ( "maxflow",
+        [
+          Alcotest.test_case "simple" `Quick test_maxflow_simple;
+          Alcotest.test_case "diamond" `Quick test_maxflow_diamond;
+          Alcotest.test_case "disconnected" `Quick test_maxflow_disconnected;
+          Alcotest.test_case "incremental" `Quick test_maxflow_incremental;
+          Alcotest.test_case "source side" `Quick test_source_side;
+          Alcotest.test_case "errors" `Quick test_maxflow_errors;
+        ] );
+      ( "flownet",
+        [
+          Alcotest.test_case "path" `Quick test_flownet_path;
+          Alcotest.test_case "hyperedge once" `Quick test_flownet_hyperedge_counts_once;
+          Alcotest.test_case "restriction" `Quick test_flownet_restriction;
+          Alcotest.test_case "idempotent attach" `Quick test_flownet_idempotent_attach;
+        ] );
+      ( "fbb",
+        [
+          Alcotest.test_case "window" `Quick test_fbb_window;
+          Alcotest.test_case "errors" `Quick test_fbb_errors;
+          Alcotest.test_case "unattainable" `Quick test_fbb_unattainable;
+        ] );
+      ( "fbb-mw",
+        [
+          Alcotest.test_case "end to end" `Quick test_fbbmw_end_to_end;
+          Alcotest.test_case "all assigned" `Quick test_fbbmw_every_node_assigned;
+          Alcotest.test_case "single block" `Quick test_fbbmw_single_block;
+        ] );
+      ("property", List.map QCheck_alcotest.to_alcotest [ prop_maxflow_min_cut ]);
+    ]

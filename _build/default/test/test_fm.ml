@@ -1,0 +1,156 @@
+(* Fm: classical Fiduccia-Mattheyses bipartition refinement. *)
+
+module Hg = Hypergraph.Hgraph
+module State = Partition.State
+
+let wide_limits = { Fm.lo0 = 0; hi0 = max_int / 2; lo1 = 0; hi1 = max_int / 2 }
+
+(* Two 4-cliques joined by a single bridge net; the optimal bipartition
+   cuts exactly that bridge. *)
+let two_clusters () =
+  let b = Hg.Builder.create () in
+  let c = Array.init 8 (fun i -> Hg.Builder.add_cell b ~name:(string_of_int i) ~size:1) in
+  let clique lo =
+    for i = lo to lo + 3 do
+      for j = i + 1 to lo + 3 do
+        ignore (Hg.Builder.add_net b ~name:(Printf.sprintf "e%d_%d" i j) [ c.(i); c.(j) ])
+      done
+    done
+  in
+  clique 0;
+  clique 4;
+  ignore (Hg.Builder.add_net b ~name:"bridge" [ c.(3); c.(4) ]);
+  (Hg.Builder.freeze b, c)
+
+let test_finds_optimal_cut () =
+  let h, c = two_clusters () in
+  (* start from a bad split: even/odd *)
+  let st = State.create h ~k:2 ~assign:(fun v -> v land 1) in
+  let limits = Fm.limits_of_tolerance ~total:8 ~tolerance:0.1 in
+  let r = Fm.refine st ~block0:0 ~block1:1 ~limits ~max_passes:10 in
+  Alcotest.(check int) "optimal cut" 1 r.Fm.final_cut;
+  Alcotest.(check int) "state cut agrees" 1 (State.cut_size st);
+  (* the two cliques ended up separated *)
+  let b0 = State.block_of st c.(0) in
+  for i = 1 to 3 do
+    Alcotest.(check int) "clique 1 together" b0 (State.block_of st c.(i))
+  done;
+  let b4 = State.block_of st c.(4) in
+  for i = 5 to 7 do
+    Alcotest.(check int) "clique 2 together" b4 (State.block_of st c.(i))
+  done;
+  Alcotest.(check bool) "separated" true (b0 <> b4)
+
+let test_never_worse () =
+  let spec = Netlist.Generator.default_spec ~name:"f" ~cells:80 ~pads:8 ~seed:4 in
+  let h = Netlist.Generator.generate spec in
+  let st = State.create h ~k:2 ~assign:(fun v -> v land 1) in
+  let before = State.cut_size st in
+  let r = Fm.refine st ~block0:0 ~block1:1 ~limits:wide_limits ~max_passes:6 in
+  Alcotest.(check bool) "cut not worse" true (r.Fm.final_cut <= before);
+  Alcotest.(check int) "initial recorded" before r.Fm.initial_cut;
+  match State.check st with Ok () -> () | Error e -> Alcotest.fail e
+
+let test_respects_limits () =
+  let spec = Netlist.Generator.default_spec ~name:"f" ~cells:60 ~pads:6 ~seed:9 in
+  let h = Netlist.Generator.generate spec in
+  let st = State.create h ~k:2 ~assign:(fun v -> if v < 30 then 0 else 1) in
+  let limits = { Fm.lo0 = 25; hi0 = 35; lo1 = 25; hi1 = 35 } in
+  ignore (Fm.refine st ~block0:0 ~block1:1 ~limits ~max_passes:8);
+  let s0 = State.size_of st 0 and s1 = State.size_of st 1 in
+  Alcotest.(check bool) "block0 window" true (s0 >= 25 && s0 <= 35);
+  Alcotest.(check bool) "block1 window" true (s1 >= 25 && s1 <= 35)
+
+let test_untouched_blocks () =
+  let spec = Netlist.Generator.default_spec ~name:"f" ~cells:40 ~pads:4 ~seed:2 in
+  let h = Netlist.Generator.generate spec in
+  let st = State.create h ~k:3 ~assign:(fun v -> v mod 3) in
+  let frozen = State.nodes_of_block st 2 in
+  ignore (Fm.refine st ~block0:0 ~block1:1 ~limits:wide_limits ~max_passes:4);
+  Alcotest.(check (list int)) "block 2 untouched" frozen (State.nodes_of_block st 2)
+
+let test_errors () =
+  let spec = Netlist.Generator.default_spec ~name:"f" ~cells:10 ~pads:2 ~seed:1 in
+  let h = Netlist.Generator.generate spec in
+  let st = State.create h ~k:2 ~assign:(fun _ -> 0) in
+  Alcotest.check_raises "same block" (Invalid_argument "Fm.refine: blocks coincide")
+    (fun () -> ignore (Fm.refine st ~block0:1 ~block1:1 ~limits:wide_limits ~max_passes:1));
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Fm.refine: block out of range") (fun () ->
+      ignore (Fm.refine st ~block0:0 ~block1:5 ~limits:wide_limits ~max_passes:1))
+
+let test_limits_of_tolerance () =
+  let l = Fm.limits_of_tolerance ~total:100 ~tolerance:0.1 in
+  Alcotest.(check int) "lo0" 40 l.Fm.lo0;
+  Alcotest.(check int) "hi0" 60 l.Fm.hi0;
+  (* a balanced split is legal under these limits *)
+  Alcotest.(check bool) "balanced legal" true (l.Fm.lo0 <= 50 && 50 <= l.Fm.hi0)
+
+let test_pads_move () =
+  (* a pad on the wrong side of an otherwise internal net gets pulled over *)
+  let b = Hg.Builder.create () in
+  let x = Hg.Builder.add_cell b ~name:"x" ~size:1 in
+  let y = Hg.Builder.add_cell b ~name:"y" ~size:1 in
+  let z = Hg.Builder.add_cell b ~name:"z" ~size:1 in
+  let p = Hg.Builder.add_pad b ~name:"p" in
+  ignore (Hg.Builder.add_net b ~name:"n1" [ x; y ]);
+  ignore (Hg.Builder.add_net b ~name:"n2" [ y; z ]);
+  ignore (Hg.Builder.add_net b ~name:"np" [ z; p ]);
+  let h = Hg.Builder.freeze b in
+  (* p alone in block 0; cells in block 1: np is cut *)
+  let st = State.create h ~k:2 ~assign:(fun v -> if v = p then 0 else 1) in
+  Alcotest.(check int) "initially cut" 1 (State.cut_size st);
+  let r = Fm.refine st ~block0:0 ~block1:1 ~limits:wide_limits ~max_passes:4 in
+  Alcotest.(check int) "uncut after refine" 0 r.Fm.final_cut
+
+let prop_never_worse =
+  QCheck.Test.make ~count:40 ~name:"refine never increases the cut"
+    QCheck.(triple (int_range 10 120) (int_range 1 10_000) (int_range 2 10))
+    (fun (cells, seed, passes) ->
+      let spec = Netlist.Generator.default_spec ~name:"f" ~cells ~pads:4 ~seed in
+      let h = Netlist.Generator.generate spec in
+      let st = State.create h ~k:2 ~assign:(fun v -> (v * 7) land 1) in
+      let before = State.cut_size st in
+      let r = Fm.refine st ~block0:0 ~block1:1 ~limits:wide_limits ~max_passes:passes in
+      r.Fm.final_cut <= before && State.check st = Ok ())
+
+let prop_respects_random_limits =
+  QCheck.Test.make ~count:30 ~name:"size windows hold whenever they held initially"
+    QCheck.(pair (int_range 20 80) (int_range 1 10_000))
+    (fun (cells, seed) ->
+      let spec = Netlist.Generator.default_spec ~name:"f" ~cells ~pads:2 ~seed in
+      let h = Netlist.Generator.generate spec in
+      let half = cells / 2 in
+      let st = State.create h ~k:2 ~assign:(fun v -> if v < half then 0 else 1) in
+      let slack = max 2 (cells / 5) in
+      let limits =
+        {
+          Fm.lo0 = State.size_of st 0 - slack;
+          hi0 = State.size_of st 0 + slack;
+          lo1 = State.size_of st 1 - slack;
+          hi1 = State.size_of st 1 + slack;
+        }
+      in
+      ignore (Fm.refine st ~block0:0 ~block1:1 ~limits ~max_passes:5);
+      State.size_of st 0 >= limits.Fm.lo0
+      && State.size_of st 0 <= limits.Fm.hi0
+      && State.size_of st 1 >= limits.Fm.lo1
+      && State.size_of st 1 <= limits.Fm.hi1)
+
+let () =
+  Alcotest.run "fm"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "optimal on two clusters" `Quick test_finds_optimal_cut;
+          Alcotest.test_case "never worse" `Quick test_never_worse;
+          Alcotest.test_case "respects limits" `Quick test_respects_limits;
+          Alcotest.test_case "other blocks untouched" `Quick test_untouched_blocks;
+          Alcotest.test_case "errors" `Quick test_errors;
+          Alcotest.test_case "limits_of_tolerance" `Quick test_limits_of_tolerance;
+          Alcotest.test_case "pads move" `Quick test_pads_move;
+        ] );
+      ( "property",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_never_worse; prop_respects_random_limits ] );
+    ]

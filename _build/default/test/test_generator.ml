@@ -1,0 +1,119 @@
+(* Generator: the synthetic MCNC-surrogate circuit builder. *)
+
+module Hg = Hypergraph.Hgraph
+module Gen = Netlist.Generator
+
+let gen ?(seed = 1) cells pads =
+  Gen.generate (Gen.default_spec ~name:"g" ~cells ~pads ~seed)
+
+let test_exact_counts () =
+  let h = gen 200 30 in
+  Alcotest.(check int) "cells" 200 (Hg.num_cells h);
+  Alcotest.(check int) "pads" 30 (Hg.num_pads h);
+  Alcotest.(check int) "unit sizes sum" 200 (Hg.total_size h)
+
+let test_determinism () =
+  let h1 = gen ~seed:77 150 20 in
+  let h2 = gen ~seed:77 150 20 in
+  Alcotest.(check int) "same nets" (Hg.num_nets h1) (Hg.num_nets h2);
+  let pins h = Hg.fold_nets (fun acc e -> acc + Hg.net_degree h e) 0 h in
+  Alcotest.(check int) "same pins" (pins h1) (pins h2);
+  (* different seed changes the structure *)
+  let h3 = gen ~seed:78 150 20 in
+  Alcotest.(check bool) "seed sensitivity" true
+    (Hg.num_nets h1 <> Hg.num_nets h3 || pins h1 <> pins h3)
+
+let test_connected () =
+  List.iter
+    (fun (c, p, s) ->
+      let h = gen ~seed:s c p in
+      Alcotest.(check bool)
+        (Printf.sprintf "connected %d/%d" c p)
+        true
+        (Hypergraph.Traversal.is_connected h))
+    [ (10, 2, 1); (64, 8, 2); (500, 50, 3); (283, 72, 4) ]
+
+let test_net_degree_bounds () =
+  let spec = Gen.default_spec ~name:"g" ~cells:300 ~pads:40 ~seed:9 in
+  let h = Gen.generate spec in
+  Hg.iter_nets
+    (fun e ->
+      let d = Hg.net_degree h e in
+      if d < 2 then Alcotest.failf "net %d has %d pins" e d;
+      if d > spec.Gen.max_fanout then Alcotest.failf "net %d exceeds max fanout" e)
+    h
+
+let test_validates () =
+  let h = gen 120 15 in
+  match Hg.validate h with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "invalid: %s" e
+
+let test_avg_degree_realistic () =
+  let h = gen 800 60 in
+  let s = Hypergraph.Stats.summary h in
+  (* mapped LUT netlists sit around 2.5-4 pins per net *)
+  if s.Hypergraph.Stats.avg_net_degree < 2.0 || s.Hypergraph.Stats.avg_net_degree > 5.0
+  then Alcotest.failf "avg net degree %f unrealistic" s.Hypergraph.Stats.avg_net_degree
+
+let test_pad_structure () =
+  let h = gen 100 12 in
+  (* every pad has exactly one net (inputs fan out through one net;
+     outputs are driven through one net) *)
+  Hg.iter_pads
+    (fun v ->
+      Alcotest.(check int)
+        (Printf.sprintf "pad %d single net" v)
+        1 (Hg.node_degree h v))
+    h
+
+let test_invalid_specs () =
+  Alcotest.check_raises "cells < 2" (Invalid_argument "Generator.generate: cells < 2")
+    (fun () -> ignore (gen 1 1));
+  Alcotest.check_raises "pads < 1" (Invalid_argument "Generator.generate: pads < 1")
+    (fun () -> ignore (gen 10 0))
+
+let test_locality () =
+  (* Inter-cluster wiring follows Rent scaling: a contiguous index
+     window of cells should have far fewer external nets than a random
+     scatter of the same size. *)
+  let h = gen ~seed:21 512 30 in
+  let window = List.init 64 (fun i -> i) in
+  let rng = Prng.Splitmix.create 5 in
+  let scatter =
+    List.init 64 (fun _ -> Prng.Splitmix.int rng 512)
+    |> List.sort_uniq compare
+  in
+  let ext = Hypergraph.Stats.external_nets h in
+  if ext window >= ext scatter then
+    Alcotest.failf "no locality: window %d vs scatter %d" (ext window) (ext scatter)
+
+let prop_counts =
+  QCheck.Test.make ~count:50 ~name:"exact cell/pad counts for any spec"
+    QCheck.(triple (int_range 2 300) (int_range 1 80) (int_range 0 10_000))
+    (fun (cells, pads, seed) ->
+      let h = gen ~seed cells pads in
+      Hg.num_cells h = cells && Hg.num_pads h = pads)
+
+let prop_valid =
+  QCheck.Test.make ~count:50 ~name:"generated graphs validate"
+    QCheck.(pair (int_range 2 200) (int_range 1 40))
+    (fun (cells, pads) -> Hg.validate (gen ~seed:(cells * pads) cells pads) = Ok ())
+
+let () =
+  Alcotest.run "generator"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "exact counts" `Quick test_exact_counts;
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "connected" `Quick test_connected;
+          Alcotest.test_case "net degree bounds" `Quick test_net_degree_bounds;
+          Alcotest.test_case "validates" `Quick test_validates;
+          Alcotest.test_case "realistic degree" `Quick test_avg_degree_realistic;
+          Alcotest.test_case "pad structure" `Quick test_pad_structure;
+          Alcotest.test_case "invalid specs" `Quick test_invalid_specs;
+          Alcotest.test_case "locality" `Quick test_locality;
+        ] );
+      ("property", List.map QCheck_alcotest.to_alcotest [ prop_counts; prop_valid ]);
+    ]

@@ -1,0 +1,145 @@
+(* Hetero: heterogeneous-device partitioning with cost minimisation,
+   plus the Driver.run_best multi-start wrapper. *)
+
+module Hg = Hypergraph.Hgraph
+module State = Partition.State
+module Hetero = Fpart.Hetero
+
+let circuit ?(cells = 250) ?(pads = 30) seed =
+  Netlist.Generator.generate
+    (Netlist.Generator.default_spec ~name:"het" ~cells ~pads ~seed)
+
+let check_blocks hg (r : Hetero.result) config =
+  let k = List.length r.Hetero.blocks in
+  let st = State.create hg ~k ~assign:(fun v -> r.Hetero.assignment.(v)) in
+  List.iteri
+    (fun b info ->
+      let delta = Fpart.Config.delta_for config info.Hetero.blk_device in
+      let s_max = Device.s_max info.Hetero.blk_device ~delta in
+      Alcotest.(check int) "size recorded" (State.size_of st b) info.Hetero.blk_size;
+      Alcotest.(check int) "pins recorded" (State.pins_of st b) info.Hetero.blk_pins;
+      if r.Hetero.feasible then begin
+        Alcotest.(check bool) "size fits" true (info.Hetero.blk_size <= s_max);
+        Alcotest.(check bool) "pins fit" true
+          (info.Hetero.blk_pins <= info.Hetero.blk_device.Device.t_max)
+      end)
+    r.Hetero.blocks
+
+let test_end_to_end () =
+  let hg = circuit 1 in
+  let r = Hetero.run hg in
+  Alcotest.(check bool) "feasible" true r.Hetero.feasible;
+  Alcotest.(check bool) "at least one block" true (r.Hetero.blocks <> []);
+  Alcotest.(check (float 1e-9)) "cost is the sum"
+    (List.fold_left (fun acc b -> acc +. b.Hetero.blk_cost) 0.0 r.Hetero.blocks)
+    r.Hetero.total_cost;
+  check_blocks hg r Fpart.Config.default
+
+let test_all_assigned () =
+  let hg = circuit 2 in
+  let r = Hetero.run hg in
+  let k = List.length r.Hetero.blocks in
+  Array.iteri
+    (fun v b -> if b < 0 || b >= k then Alcotest.failf "node %d unassigned" v)
+    r.Hetero.assignment
+
+let test_small_circuit_single_cheapest () =
+  (* fits the cheapest device outright: one block, minimal cost *)
+  let hg = circuit ~cells:30 ~pads:10 3 in
+  let r = Hetero.run hg in
+  Alcotest.(check int) "one block" 1 (List.length r.Hetero.blocks);
+  (match r.Hetero.blocks with
+  | [ b ] -> Alcotest.(check string) "cheapest device" "XC3020" b.Hetero.blk_device.Device.dev_name
+  | _ -> Alcotest.fail "expected one block");
+  Alcotest.(check (float 1e-9)) "cost 1.0" 1.0 r.Hetero.total_cost
+
+let test_competitive_with_homogeneous () =
+  (* heterogeneous should be within 1.5x of the best single-device cost
+     (greedy, not optimal — but never absurd) *)
+  let hg = circuit ~cells:400 ~pads:40 4 in
+  let r = Hetero.run hg in
+  let best_homo =
+    List.fold_left
+      (fun acc p -> min acc (Hetero.homogeneous_cost hg p))
+      infinity Hetero.default_candidates
+  in
+  Alcotest.(check bool) "within 1.5x of homogeneous" true
+    (r.Hetero.total_cost <= 1.5 *. best_homo)
+
+let test_custom_candidates () =
+  let hg = circuit ~cells:100 ~pads:12 5 in
+  let only_big = [ { Hetero.device = Device.xc3090; unit_cost = 4.6 } ] in
+  let r = Hetero.run ~candidates:only_big hg in
+  Alcotest.(check bool) "feasible" true r.Hetero.feasible;
+  List.iter
+    (fun b ->
+      Alcotest.(check string) "forced device" "XC3090" b.Hetero.blk_device.Device.dev_name)
+    r.Hetero.blocks
+
+let test_empty_candidates () =
+  let hg = circuit 6 in
+  Alcotest.check_raises "empty" (Invalid_argument "Hetero.run: empty candidate list")
+    (fun () -> ignore (Hetero.run ~candidates:[] hg))
+
+let test_deterministic () =
+  let hg = circuit 7 in
+  let a = Hetero.run hg and b = Hetero.run hg in
+  Alcotest.(check (float 1e-9)) "same cost" a.Hetero.total_cost b.Hetero.total_cost;
+  Alcotest.(check (array int)) "same assignment" a.Hetero.assignment b.Hetero.assignment
+
+(* --- Driver.run_best ----------------------------------------------- *)
+
+let test_run_best_not_worse () =
+  let hg = circuit ~cells:300 ~pads:40 8 in
+  let single = Fpart.Driver.run hg Device.xc3020 in
+  let best = Fpart.Driver.run_best ~runs:3 hg Device.xc3020 in
+  Alcotest.(check bool) "k not worse" true (best.Fpart.Driver.k <= single.Fpart.Driver.k);
+  Alcotest.(check bool) "feasible" true best.Fpart.Driver.feasible;
+  if best.Fpart.Driver.k = single.Fpart.Driver.k then
+    Alcotest.(check bool) "cut not worse at equal k" true
+      (best.Fpart.Driver.cut <= single.Fpart.Driver.cut)
+
+let test_run_best_one_run_is_run () =
+  let hg = circuit ~cells:120 9 in
+  let single = Fpart.Driver.run hg Device.xc3042 in
+  let best = Fpart.Driver.run_best ~runs:1 hg Device.xc3042 in
+  Alcotest.(check int) "same k" single.Fpart.Driver.k best.Fpart.Driver.k;
+  Alcotest.(check (array int)) "same assignment" single.Fpart.Driver.assignment
+    best.Fpart.Driver.assignment
+
+let test_run_best_invalid () =
+  let hg = circuit 10 in
+  Alcotest.check_raises "runs 0" (Invalid_argument "Driver.run_best: runs < 1")
+    (fun () -> ignore (Fpart.Driver.run_best ~runs:0 hg Device.xc3020))
+
+let prop_hetero_valid =
+  QCheck.Test.make ~count:8 ~name:"hetero returns valid feasible partitions"
+    QCheck.(pair (int_range 50 250) (int_range 0 1000))
+    (fun (cells, seed) ->
+      let hg = circuit ~cells ~pads:(max 4 (cells / 8)) seed in
+      let r = Hetero.run hg in
+      let k = List.length r.Hetero.blocks in
+      r.Hetero.feasible && k >= 1
+      && Array.for_all (fun b -> b >= 0 && b < k) r.Hetero.assignment)
+
+let () =
+  Alcotest.run "hetero"
+    [
+      ( "hetero",
+        [
+          Alcotest.test_case "end to end" `Quick test_end_to_end;
+          Alcotest.test_case "all assigned" `Quick test_all_assigned;
+          Alcotest.test_case "small circuit" `Quick test_small_circuit_single_cheapest;
+          Alcotest.test_case "competitive" `Quick test_competitive_with_homogeneous;
+          Alcotest.test_case "custom candidates" `Quick test_custom_candidates;
+          Alcotest.test_case "empty candidates" `Quick test_empty_candidates;
+          Alcotest.test_case "deterministic" `Quick test_deterministic;
+        ] );
+      ( "run-best",
+        [
+          Alcotest.test_case "not worse" `Quick test_run_best_not_worse;
+          Alcotest.test_case "one run" `Quick test_run_best_one_run_is_run;
+          Alcotest.test_case "invalid" `Quick test_run_best_invalid;
+        ] );
+      ("property", List.map QCheck_alcotest.to_alcotest [ prop_hetero_valid ]);
+    ]

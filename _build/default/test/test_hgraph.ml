@@ -1,0 +1,171 @@
+(* Hgraph: the immutable circuit hypergraph and its builder. *)
+
+module Hg = Hypergraph.Hgraph
+
+(* A small reference circuit used across cases:
+
+     pads : p0, p1
+     cells: a(2), b(1), c(3)
+     nets : n0 = {p0, a}, n1 = {a, b, c}, n2 = {b, c}, n3 = {c, p1}   *)
+let small () =
+  let b = Hg.Builder.create () in
+  let a = Hg.Builder.add_cell b ~name:"a" ~size:2 in
+  let bb = Hg.Builder.add_cell b ~name:"b" ~size:1 in
+  let c = Hg.Builder.add_cell b ~name:"c" ~size:3 in
+  let p0 = Hg.Builder.add_pad b ~name:"p0" in
+  let p1 = Hg.Builder.add_pad b ~name:"p1" in
+  let n0 = Hg.Builder.add_net b ~name:"n0" [ p0; a ] in
+  let n1 = Hg.Builder.add_net b ~name:"n1" [ a; bb; c ] in
+  let n2 = Hg.Builder.add_net b ~name:"n2" [ bb; c ] in
+  let n3 = Hg.Builder.add_net b ~name:"n3" [ c; p1 ] in
+  (Hg.Builder.freeze b, (a, bb, c, p0, p1), (n0, n1, n2, n3))
+
+let test_counts () =
+  let h, _, _ = small () in
+  Alcotest.(check int) "nodes" 5 (Hg.num_nodes h);
+  Alcotest.(check int) "cells" 3 (Hg.num_cells h);
+  Alcotest.(check int) "pads" 2 (Hg.num_pads h);
+  Alcotest.(check int) "nets" 4 (Hg.num_nets h);
+  Alcotest.(check int) "total size" 6 (Hg.total_size h)
+
+let test_kinds_sizes () =
+  let h, (a, _, c, p0, _), _ = small () in
+  Alcotest.(check bool) "a is cell" false (Hg.is_pad h a);
+  Alcotest.(check bool) "p0 is pad" true (Hg.is_pad h p0);
+  Alcotest.(check int) "size a" 2 (Hg.size h a);
+  Alcotest.(check int) "size c" 3 (Hg.size h c);
+  Alcotest.(check int) "size p0" 0 (Hg.size h p0)
+
+let test_names () =
+  let h, (a, _, _, p0, _), (n0, _, _, _) = small () in
+  Alcotest.(check string) "node name" "a" (Hg.name h a);
+  Alcotest.(check string) "pad name" "p0" (Hg.name h p0);
+  Alcotest.(check string) "net name" "n0" (Hg.net_name h n0)
+
+let test_incidence () =
+  let h, (a, bb, c, _, _), (n0, n1, n2, n3) = small () in
+  Alcotest.(check int) "net degree n1" 3 (Hg.net_degree h n1);
+  Alcotest.(check int) "node degree c" 3 (Hg.node_degree h c);
+  let nets_of_a = Array.to_list (Hg.nets_of h a) |> List.sort compare in
+  Alcotest.(check (list int)) "nets of a" [ n0; n1 ] nets_of_a;
+  let pins_n2 = Array.to_list (Hg.pins h n2) |> List.sort compare in
+  Alcotest.(check (list int)) "pins of n2" [ bb; c ] pins_n2;
+  Alcotest.(check int) "max net degree" 3 (Hg.max_net_degree h);
+  Alcotest.(check int) "max node degree" 3 (Hg.max_node_degree h);
+  Alcotest.(check bool) "n3 has pad" true (Hg.net_has_pad h n3);
+  Alcotest.(check bool) "n2 has no pad" false (Hg.net_has_pad h n2)
+
+let test_duplicate_pins_collapse () =
+  let b = Hg.Builder.create () in
+  let x = Hg.Builder.add_cell b ~name:"x" ~size:1 in
+  let y = Hg.Builder.add_cell b ~name:"y" ~size:1 in
+  let n = Hg.Builder.add_net b ~name:"n" [ x; y; x; y; x ] in
+  let h = Hg.Builder.freeze b in
+  Alcotest.(check int) "collapsed" 2 (Hg.net_degree h n)
+
+let test_builder_errors () =
+  let b = Hg.Builder.create () in
+  Alcotest.check_raises "size 0" (Invalid_argument "Hgraph.Builder.add_cell: size <= 0")
+    (fun () -> ignore (Hg.Builder.add_cell b ~name:"bad" ~size:0));
+  let _ = Hg.Builder.add_cell b ~name:"ok" ~size:1 in
+  Alcotest.check_raises "unknown pin"
+    (Invalid_argument "Hgraph.Builder.add_net: unknown node id") (fun () ->
+      ignore (Hg.Builder.add_net b ~name:"n" [ 5 ]));
+  Alcotest.check_raises "empty net"
+    (Invalid_argument "Hgraph.Builder.add_net: empty net") (fun () ->
+      ignore (Hg.Builder.add_net b ~name:"n" []))
+
+let test_validate_ok () =
+  let h, _, _ = small () in
+  match Hg.validate h with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "expected valid, got %s" e
+
+let test_iterators () =
+  let h, _, _ = small () in
+  let cells = ref 0 and pads = ref 0 and nodes = ref 0 and nets = ref 0 in
+  Hg.iter_cells (fun _ -> incr cells) h;
+  Hg.iter_pads (fun _ -> incr pads) h;
+  Hg.iter_nodes (fun _ -> incr nodes) h;
+  Hg.iter_nets (fun _ -> incr nets) h;
+  Alcotest.(check int) "cells" 3 !cells;
+  Alcotest.(check int) "pads" 2 !pads;
+  Alcotest.(check int) "nodes" 5 !nodes;
+  Alcotest.(check int) "nets" 4 !nets;
+  Alcotest.(check int) "fold_nodes" 10 (Hg.fold_nodes ( + ) 0 h);
+  Alcotest.(check int) "fold_nets" 6 (Hg.fold_nets ( + ) 0 h)
+
+let test_freeze_reusable () =
+  let b = Hg.Builder.create () in
+  let x = Hg.Builder.add_cell b ~name:"x" ~size:1 in
+  let h1 = Hg.Builder.freeze b in
+  let y = Hg.Builder.add_cell b ~name:"y" ~size:1 in
+  ignore (Hg.Builder.add_net b ~name:"n" [ x; y ]);
+  let h2 = Hg.Builder.freeze b in
+  Alcotest.(check int) "first freeze unchanged" 1 (Hg.num_nodes h1);
+  Alcotest.(check int) "second freeze grew" 2 (Hg.num_nodes h2);
+  Alcotest.(check int) "second freeze has the net" 1 (Hg.num_nets h2)
+
+(* Random builder inputs always freeze into a valid hypergraph. *)
+let arbitrary_graph_spec =
+  QCheck.(pair (int_range 2 40) (int_range 1 60))
+
+let prop_random_valid =
+  QCheck.Test.make ~count:100 ~name:"random builds validate"
+    arbitrary_graph_spec
+    (fun (n_cells, n_nets) ->
+      let rng = Prng.Splitmix.create (n_cells + (1000 * n_nets)) in
+      let b = Hg.Builder.create () in
+      let cells =
+        Array.init n_cells (fun i ->
+            Hg.Builder.add_cell b ~name:(string_of_int i)
+              ~size:(1 + Prng.Splitmix.int rng 5))
+      in
+      for j = 0 to n_nets - 1 do
+        let d = 1 + Prng.Splitmix.int rng 4 in
+        let pins = List.init d (fun _ -> Prng.Splitmix.choose rng cells) in
+        ignore (Hg.Builder.add_net b ~name:(Printf.sprintf "n%d" j) pins)
+      done;
+      let h = Hg.Builder.freeze b in
+      Hg.validate h = Ok ())
+
+let prop_pin_symmetry =
+  QCheck.Test.make ~count:100 ~name:"pins and nets_of are inverse incidences"
+    arbitrary_graph_spec
+    (fun (n_cells, n_nets) ->
+      let rng = Prng.Splitmix.create (7 + n_cells + (13 * n_nets)) in
+      let b = Hg.Builder.create () in
+      let cells =
+        Array.init n_cells (fun i -> Hg.Builder.add_cell b ~name:(string_of_int i) ~size:1)
+      in
+      for j = 0 to n_nets - 1 do
+        let d = 2 + Prng.Splitmix.int rng 3 in
+        let pins = List.init d (fun _ -> Prng.Splitmix.choose rng cells) in
+        (try ignore (Hg.Builder.add_net b ~name:(Printf.sprintf "n%d" j) pins)
+         with Invalid_argument _ -> ())
+      done;
+      let h = Hg.Builder.freeze b in
+      (* total pins counted from nets equals total counted from nodes *)
+      let from_nets = Hg.fold_nets (fun acc e -> acc + Hg.net_degree h e) 0 h in
+      let from_nodes = Hg.fold_nodes (fun acc v -> acc + Hg.node_degree h v) 0 h in
+      from_nets = from_nodes)
+
+let () =
+  Alcotest.run "hgraph"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "counts" `Quick test_counts;
+          Alcotest.test_case "kinds and sizes" `Quick test_kinds_sizes;
+          Alcotest.test_case "names" `Quick test_names;
+          Alcotest.test_case "incidence" `Quick test_incidence;
+          Alcotest.test_case "duplicate pins" `Quick test_duplicate_pins_collapse;
+          Alcotest.test_case "builder errors" `Quick test_builder_errors;
+          Alcotest.test_case "validate ok" `Quick test_validate_ok;
+          Alcotest.test_case "iterators" `Quick test_iterators;
+          Alcotest.test_case "freeze reusable" `Quick test_freeze_reusable;
+        ] );
+      ( "property",
+        List.map QCheck_alcotest.to_alcotest [ prop_random_valid; prop_pin_symmetry ]
+      );
+    ]

@@ -1,0 +1,250 @@
+(* Initial partition creation: Seed_merge, Ratio_cut, Bipartition,
+   plus the Schedule block selectors and Config derivations. *)
+
+module Hg = Hypergraph.Hgraph
+module State = Partition.State
+module Cost = Partition.Cost
+
+let circuit ?(cells = 120) ?(pads = 12) seed =
+  Netlist.Generator.generate
+    (Netlist.Generator.default_spec ~name:"init" ~cells ~pads ~seed)
+
+let all v _ = v
+
+(* --- Seed_merge ---------------------------------------------------- *)
+
+let test_seed_merge_basic () =
+  let h = circuit 1 in
+  let r = Fpart.Seed_merge.split h ~member:(fun _ -> true) ~s_max:40 ~t_max:64 in
+  Alcotest.(check bool) "p nonempty" true (Array.exists Fun.id r.Fpart.Seed_merge.p_side);
+  Alcotest.(check bool) "p not everything" true
+    (Array.exists not r.Fpart.Seed_merge.p_side);
+  Alcotest.(check bool) "p within s_max" true (r.Fpart.Seed_merge.p_size <= 40);
+  (* reported size/pins match the side *)
+  let size = ref 0 in
+  Array.iteri
+    (fun v s -> if s then size := !size + Hg.size h v)
+    r.Fpart.Seed_merge.p_side;
+  Alcotest.(check int) "size consistent" !size r.Fpart.Seed_merge.p_size
+
+let test_seed_merge_respects_member () =
+  let h = circuit 2 in
+  (* only even nodes belong to the remainder *)
+  let member v = v land 1 = 0 in
+  let r = Fpart.Seed_merge.split h ~member ~s_max:20 ~t_max:64 in
+  Array.iteri
+    (fun v s -> if s && not (member v) then Alcotest.failf "non-member %d in P" v)
+    r.Fpart.Seed_merge.p_side
+
+let test_seed_merge_fills () =
+  let h = circuit ~cells:200 3 in
+  let r = Fpart.Seed_merge.split h ~member:(fun _ -> true) ~s_max:50 ~t_max:64 in
+  (* greedy growth should get close to the capacity *)
+  Alcotest.(check bool) "good filling" true (r.Fpart.Seed_merge.p_size >= 40)
+
+let test_seed_merge_empty_member () =
+  let h = circuit 4 in
+  Alcotest.check_raises "empty" (Invalid_argument "Seed_merge.split: empty member set")
+    (fun () -> ignore (Fpart.Seed_merge.split h ~member:(fun _ -> false) ~s_max:10 ~t_max:64))
+
+let test_seed_merge_singleton () =
+  let h = circuit 5 in
+  let r = Fpart.Seed_merge.split h ~member:(fun v -> v = 3) ~s_max:10 ~t_max:64 in
+  Alcotest.(check bool) "the singleton is P" true r.Fpart.Seed_merge.p_side.(3)
+
+(* --- Ratio_cut ----------------------------------------------------- *)
+
+let test_ratio_cut_basic () =
+  let h = circuit 7 in
+  match Fpart.Ratio_cut.split h ~member:(fun _ -> true) ~s_max:60 ~t_max:64 with
+  | None -> Alcotest.fail "expected a split"
+  | Some r ->
+    Alcotest.(check bool) "nonempty" true (Array.exists Fun.id r.Fpart.Ratio_cut.p_side);
+    Alcotest.(check bool) "proper" true (Array.exists not r.Fpart.Ratio_cut.p_side);
+    Alcotest.(check bool) "ratio positive" true (r.Fpart.Ratio_cut.ratio > 0.0);
+    (* the P side satisfies the device constraints, as promised *)
+    let st =
+      State.create h ~k:2 ~assign:(fun v -> if r.Fpart.Ratio_cut.p_side.(v) then 0 else 1)
+    in
+    Alcotest.(check bool) "P feasible" true
+      (State.size_of st 0 <= 60 && State.pins_of st 0 <= 64)
+
+let test_ratio_cut_respects_member () =
+  let h = circuit 8 in
+  let member v = v mod 3 <> 0 in
+  match Fpart.Ratio_cut.split h ~member ~s_max:30 ~t_max:64 with
+  | None -> Alcotest.fail "expected a split"
+  | Some r ->
+    Array.iteri
+      (fun v s -> if s && not (member v) then Alcotest.failf "non-member %d in P" v)
+      r.Fpart.Ratio_cut.p_side
+
+let test_ratio_cut_infeasible_none () =
+  (* t_max = 0 makes every side infeasible: no prefix qualifies *)
+  let h = circuit ~cells:30 9 in
+  Alcotest.(check bool) "None" true
+    (Fpart.Ratio_cut.split h ~member:(fun _ -> true) ~s_max:1 ~t_max:0 = None)
+
+(* --- Bipartition --------------------------------------------------- *)
+
+let test_bipartition_splits () =
+  let h = circuit ~cells:150 10 in
+  let ctx = Cost.context_of Device.xc3020 ~delta:0.9 h in
+  let st = State.create h ~k:2 ~assign:(all 0) in
+  let _method =
+    Fpart.Bipartition.split st ~p_block:0 ~r_block:1 ~params:Cost.default_params
+      ~ctx ~step_k:1
+  in
+  Alcotest.(check bool) "both blocks populated" true
+    (State.cells_of st 0 > 0 && State.cells_of st 1 > 0);
+  (* the P side respects the capacity *)
+  Alcotest.(check bool) "P within s_max" true (State.size_of st 0 <= ctx.Cost.s_max);
+  match State.check st with Ok () -> () | Error e -> Alcotest.fail e
+
+let test_bipartition_requires_empty_r () =
+  let h = circuit 11 in
+  let ctx = Cost.context_of Device.xc3020 ~delta:0.9 h in
+  let st = State.create h ~k:2 ~assign:(fun v -> v land 1) in
+  Alcotest.check_raises "r not empty"
+    (Invalid_argument "Bipartition.split: r_block not empty") (fun () ->
+      ignore
+        (Fpart.Bipartition.split st ~p_block:0 ~r_block:1 ~params:Cost.default_params
+           ~ctx ~step_k:1))
+
+let test_bipartition_only_remainder_moves () =
+  let h = circuit ~cells:90 12 in
+  let ctx = Cost.context_of Device.xc3042 ~delta:0.9 h in
+  (* block 0 committed, block 1 remainder, block 2 empty *)
+  let st = State.create h ~k:3 ~assign:(fun v -> if v < 20 then 0 else 1) in
+  let committed = State.nodes_of_block st 0 in
+  ignore
+    (Fpart.Bipartition.split st ~p_block:1 ~r_block:2 ~params:Cost.default_params
+       ~ctx ~step_k:1);
+  Alcotest.(check (list int)) "committed untouched" committed (State.nodes_of_block st 0)
+
+(* --- Schedule ------------------------------------------------------ *)
+
+let sized_state sizes =
+  let b = Hg.Builder.create () in
+  Array.iter
+    (fun s ->
+      ignore (Hg.Builder.add_cell b ~name:(string_of_int s) ~size:s))
+    sizes;
+  let h = Hg.Builder.freeze b in
+  State.create h ~k:(Array.length sizes) ~assign:(fun v -> v)
+
+let test_schedule_min_size () =
+  let st = sized_state [| 30; 10; 20; 99 |] in
+  Alcotest.(check (option int)) "min size" (Some 1)
+    (Fpart.Schedule.min_size_block st ~except:3);
+  Alcotest.(check (option int)) "except wins" (Some 0)
+    (Fpart.Schedule.min_size_block (sized_state [| 5; 9 |]) ~except:1)
+
+let test_schedule_no_other () =
+  let st = sized_state [| 5 |] in
+  Alcotest.(check (option int)) "none" None (Fpart.Schedule.min_size_block st ~except:0)
+
+let test_schedule_min_io_max_free () =
+  let h = circuit ~cells:60 13 in
+  let st = State.create h ~k:3 ~assign:(fun v -> v mod 3) in
+  (match Fpart.Schedule.min_io_block st ~except:2 with
+  | Some b ->
+    let other = 1 - b in
+    Alcotest.(check bool) "fewest pins" true
+      (State.pins_of st b <= State.pins_of st other)
+  | None -> Alcotest.fail "expected a block");
+  match
+    Fpart.Schedule.max_free_block Fpart.Config.default st ~except:2 ~s_max:57 ~t_max:64
+  with
+  | Some b -> Alcotest.(check bool) "valid block" true (b = 0 || b = 1)
+  | None -> Alcotest.fail "expected a block"
+
+(* --- Config -------------------------------------------------------- *)
+
+let test_config_published_values () =
+  let c = Fpart.Config.default in
+  Alcotest.(check int) "N_small" 15 c.Fpart.Config.n_small;
+  Alcotest.(check int) "D_stack" 4 c.Fpart.Config.stack_depth;
+  Alcotest.(check (float 0.0)) "sigma1" 0.5 c.Fpart.Config.sigma1;
+  Alcotest.(check (float 0.0)) "eps_max" 1.05 c.Fpart.Config.eps_max_multi;
+  Alcotest.(check (float 0.0)) "eps_min_two" 0.95 c.Fpart.Config.eps_min_two;
+  Alcotest.(check (float 0.0)) "eps_min_multi" 0.3 c.Fpart.Config.eps_min_multi
+
+let test_config_delta_resolution () =
+  let c = Fpart.Config.default in
+  Alcotest.(check (float 0.0)) "xc3000 default" 0.9
+    (Fpart.Config.delta_for c Device.xc3020);
+  Alcotest.(check (float 0.0)) "xc2000 default" 1.0
+    (Fpart.Config.delta_for c Device.xc2064);
+  let c = { c with Fpart.Config.delta = Some 0.8 } in
+  Alcotest.(check (float 0.0)) "override" 0.8 (Fpart.Config.delta_for c Device.xc2064)
+
+let test_config_free_space () =
+  let c = Fpart.Config.default in
+  (* empty block: F = 0.5 + 0.5 = 1 *)
+  Alcotest.(check (float 1e-9)) "empty" 1.0
+    (Fpart.Config.free_space c ~s_max:100 ~t_max:50 ~size:0 ~pins:0);
+  (* full block: F = 0 *)
+  Alcotest.(check (float 1e-9)) "full" 0.0
+    (Fpart.Config.free_space c ~s_max:100 ~t_max:50 ~size:100 ~pins:50)
+
+let prop_seed_merge_within_capacity =
+  QCheck.Test.make ~count:30 ~name:"seed merge P never exceeds s_max"
+    QCheck.(triple (int_range 20 150) (int_range 10 60) (int_range 0 10_000))
+    (fun (cells, s_max, seed) ->
+      let h = circuit ~cells seed in
+      let r = Fpart.Seed_merge.split h ~member:(fun _ -> true) ~s_max ~t_max:64 in
+      r.Fpart.Seed_merge.p_size <= s_max)
+
+let prop_bipartition_partitions =
+  QCheck.Test.make ~count:20 ~name:"bipartition assigns every member to P or R"
+    QCheck.(pair (int_range 30 120) (int_range 0 10_000))
+    (fun (cells, seed) ->
+      let h = circuit ~cells seed in
+      let ctx = Cost.context_of Device.xc3020 ~delta:0.9 h in
+      let st = State.create h ~k:2 ~assign:(all 0) in
+      ignore
+        (Fpart.Bipartition.split st ~p_block:0 ~r_block:1 ~params:Cost.default_params
+           ~ctx ~step_k:1);
+      State.cells_of st 0 + State.cells_of st 1 = Hg.num_nodes h
+      && State.check st = Ok ())
+
+let () =
+  Alcotest.run "initial"
+    [
+      ( "seed-merge",
+        [
+          Alcotest.test_case "basic" `Quick test_seed_merge_basic;
+          Alcotest.test_case "member respected" `Quick test_seed_merge_respects_member;
+          Alcotest.test_case "fills" `Quick test_seed_merge_fills;
+          Alcotest.test_case "empty member" `Quick test_seed_merge_empty_member;
+          Alcotest.test_case "singleton" `Quick test_seed_merge_singleton;
+        ] );
+      ( "ratio-cut",
+        [
+          Alcotest.test_case "basic" `Quick test_ratio_cut_basic;
+          Alcotest.test_case "member respected" `Quick test_ratio_cut_respects_member;
+          Alcotest.test_case "infeasible -> None" `Quick test_ratio_cut_infeasible_none;
+        ] );
+      ( "bipartition",
+        [
+          Alcotest.test_case "splits" `Quick test_bipartition_splits;
+          Alcotest.test_case "requires empty R" `Quick test_bipartition_requires_empty_r;
+          Alcotest.test_case "committed untouched" `Quick test_bipartition_only_remainder_moves;
+        ] );
+      ( "schedule",
+        [
+          Alcotest.test_case "min size" `Quick test_schedule_min_size;
+          Alcotest.test_case "no other block" `Quick test_schedule_no_other;
+          Alcotest.test_case "min io / max free" `Quick test_schedule_min_io_max_free;
+        ] );
+      ( "config",
+        [
+          Alcotest.test_case "published values" `Quick test_config_published_values;
+          Alcotest.test_case "delta resolution" `Quick test_config_delta_resolution;
+          Alcotest.test_case "free space" `Quick test_config_free_space;
+        ] );
+      ( "property",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_seed_merge_within_capacity; prop_bipartition_partitions ] );
+    ]

@@ -1,0 +1,91 @@
+(* Mcnc: the Table 1 data and surrogate construction. *)
+
+module Hg = Hypergraph.Hgraph
+module Mcnc = Netlist.Mcnc
+
+(* Table 1 verbatim. *)
+let table1 =
+  [
+    ("c3540", 72, 373, 283);
+    ("c5315", 301, 535, 377);
+    ("c6288", 64, 833, 833);
+    ("c7552", 313, 611, 489);
+    ("s5378", 86, 500, 381);
+    ("s9234", 43, 565, 454);
+    ("s13207", 154, 1038, 915);
+    ("s15850", 102, 1013, 842);
+    ("s38417", 136, 2763, 2221);
+    ("s38584", 292, 3956, 2904);
+  ]
+
+let test_table1_data () =
+  Alcotest.(check int) "ten circuits" 10 (List.length Mcnc.all);
+  List.iter
+    (fun (name, iobs, c2000, c3000) ->
+      match Mcnc.find name with
+      | None -> Alcotest.failf "missing %s" name
+      | Some c ->
+        Alcotest.(check int) (name ^ " iobs") iobs c.Mcnc.iobs;
+        Alcotest.(check int) (name ^ " clbs2000") c2000 c.Mcnc.clbs_xc2000;
+        Alcotest.(check int) (name ^ " clbs3000") c3000 c.Mcnc.clbs_xc3000)
+    table1
+
+let test_order_matches_paper () =
+  Alcotest.(check (list string))
+    "paper row order"
+    [ "c3540"; "c5315"; "c6288"; "c7552"; "s5378"; "s9234"; "s13207"; "s15850";
+      "s38417"; "s38584" ]
+    (List.map (fun c -> c.Mcnc.circuit_name) Mcnc.all)
+
+let test_table5_subset () =
+  Alcotest.(check (list string))
+    "table 5 rows" [ "c3540"; "c5315"; "c7552"; "c6288" ]
+    (List.map (fun c -> c.Mcnc.circuit_name) Mcnc.table5_subset)
+
+let test_clbs_selector () =
+  let c = Option.get (Mcnc.find "c7552") in
+  Alcotest.(check int) "xc2000" 611 (Mcnc.clbs c Device.XC2000);
+  Alcotest.(check int) "xc3000" 489 (Mcnc.clbs c Device.XC3000)
+
+let test_surrogate_interface () =
+  List.iter
+    (fun (name, iobs, c2000, c3000) ->
+      let c = Option.get (Mcnc.find name) in
+      (* skip the two largest in this loop to keep the test quick *)
+      if c2000 <= 1100 then begin
+        let h2 = Mcnc.surrogate c Device.XC2000 in
+        Alcotest.(check int) (name ^ " 2000 cells") c2000 (Hg.num_cells h2);
+        Alcotest.(check int) (name ^ " 2000 pads") iobs (Hg.num_pads h2);
+        let h3 = Mcnc.surrogate c Device.XC3000 in
+        Alcotest.(check int) (name ^ " 3000 cells") c3000 (Hg.num_cells h3);
+        Alcotest.(check int) (name ^ " 3000 pads") iobs (Hg.num_pads h3)
+      end)
+    table1
+
+let test_surrogate_deterministic () =
+  let c = Option.get (Mcnc.find "c3540") in
+  let h1 = Mcnc.surrogate c Device.XC3000 in
+  let h2 = Mcnc.surrogate c Device.XC3000 in
+  Alcotest.(check int) "same structure" (Hg.num_nets h1) (Hg.num_nets h2);
+  let h2000 = Mcnc.surrogate c Device.XC2000 in
+  Alcotest.(check bool) "families differ" true (Hg.num_cells h1 <> Hg.num_cells h2000)
+
+let test_surrogate_connected () =
+  let c = Option.get (Mcnc.find "s9234") in
+  Alcotest.(check bool) "connected" true
+    (Hypergraph.Traversal.is_connected (Mcnc.surrogate c Device.XC3000))
+
+let () =
+  Alcotest.run "mcnc"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "table1 data" `Quick test_table1_data;
+          Alcotest.test_case "paper order" `Quick test_order_matches_paper;
+          Alcotest.test_case "table5 subset" `Quick test_table5_subset;
+          Alcotest.test_case "clbs selector" `Quick test_clbs_selector;
+          Alcotest.test_case "surrogate interface" `Quick test_surrogate_interface;
+          Alcotest.test_case "surrogate deterministic" `Quick test_surrogate_deterministic;
+          Alcotest.test_case "surrogate connected" `Quick test_surrogate_connected;
+        ] );
+    ]

@@ -1,0 +1,72 @@
+(* Metrics: classical hypergraph-partitioning quality measures. *)
+
+module Hg = Hypergraph.Hgraph
+module State = Partition.State
+module Metrics = Partition.Metrics
+
+(* nets: n1={a,b} internal to 0; n2={b,c} cut 2 ways; n3={a,c,d} spans 3 *)
+let fixture () =
+  let bld = Hg.Builder.create () in
+  let a = Hg.Builder.add_cell bld ~name:"a" ~size:1 in
+  let b = Hg.Builder.add_cell bld ~name:"b" ~size:1 in
+  let c = Hg.Builder.add_cell bld ~name:"c" ~size:2 in
+  let d = Hg.Builder.add_cell bld ~name:"d" ~size:1 in
+  ignore (Hg.Builder.add_net bld ~name:"n1" [ a; b ]);
+  ignore (Hg.Builder.add_net bld ~name:"n2" [ b; c ]);
+  ignore (Hg.Builder.add_net bld ~name:"n3" [ a; c; d ]);
+  let h = Hg.Builder.freeze bld in
+  (* blocks: {a,b}=0, {c}=1, {d}=2 *)
+  State.create h ~k:3 ~assign:(fun v -> if v = a || v = b then 0 else if v = c then 1 else 2)
+
+let test_values () =
+  let st = fixture () in
+  let m = Metrics.all st in
+  Alcotest.(check int) "cut" 2 m.Metrics.m_cut;
+  (* n2 spans 2, n3 spans 3 *)
+  Alcotest.(check int) "soed" 5 m.Metrics.m_soed;
+  Alcotest.(check int) "K-1" 3 m.Metrics.m_connectivity;
+  (* absorption: n1 fully absorbed (1.0); n2: 0; n3: each block holds 1 pin -> 0 *)
+  Alcotest.(check (float 1e-9)) "absorption" 1.0 m.Metrics.m_absorption;
+  (* sizes 2,2,1; avg 5/3; max 2 -> imbalance = 2/(5/3)-1 = 0.2 *)
+  Alcotest.(check (float 1e-9)) "imbalance" 0.2 m.Metrics.m_imbalance
+
+let test_single_block () =
+  let spec = Netlist.Generator.default_spec ~name:"m" ~cells:30 ~pads:4 ~seed:3 in
+  let h = Netlist.Generator.generate spec in
+  let st = State.create h ~k:1 ~assign:(fun _ -> 0) in
+  let m = Metrics.all st in
+  Alcotest.(check int) "no cut" 0 m.Metrics.m_cut;
+  Alcotest.(check int) "no soed" 0 m.Metrics.m_soed;
+  Alcotest.(check (float 1e-9)) "no imbalance" 0.0 m.Metrics.m_imbalance
+
+let test_cut_agrees_with_state () =
+  let spec = Netlist.Generator.default_spec ~name:"m" ~cells:80 ~pads:8 ~seed:5 in
+  let h = Netlist.Generator.generate spec in
+  let st = State.create h ~k:4 ~assign:(fun v -> v mod 4) in
+  Alcotest.(check int) "cut = State.cut_size" (State.cut_size st) (Metrics.cut_net st)
+
+let prop_inequalities =
+  QCheck.Test.make ~count:60 ~name:"cut <= K-1 <= soed and absorption bounded"
+    QCheck.(triple (int_range 8 80) (int_range 2 5) (int_range 0 10_000))
+    (fun (cells, k, seed) ->
+      let spec = Netlist.Generator.default_spec ~name:"m" ~cells ~pads:4 ~seed in
+      let h = Netlist.Generator.generate spec in
+      let st = State.create h ~k ~assign:(fun v -> (v * 13) mod k) in
+      let m = Metrics.all st in
+      m.Metrics.m_cut <= m.Metrics.m_connectivity
+      && m.Metrics.m_connectivity <= m.Metrics.m_soed
+      && m.Metrics.m_absorption >= 0.0
+      && m.Metrics.m_absorption <= float_of_int (Hg.num_nets h)
+      && m.Metrics.m_imbalance >= 0.0)
+
+let () =
+  Alcotest.run "metrics"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "values" `Quick test_values;
+          Alcotest.test_case "single block" `Quick test_single_block;
+          Alcotest.test_case "cut agrees" `Quick test_cut_agrees_with_state;
+        ] );
+      ("property", List.map QCheck_alcotest.to_alcotest [ prop_inequalities ]);
+    ]

@@ -1,0 +1,150 @@
+(* Mlrb: multilevel recursive bisection (post-paper baseline), and the
+   Induce subhypergraph extraction it relies on. *)
+
+module Hg = Hypergraph.Hgraph
+module Induce = Hypergraph.Induce
+module Mlrb = Mlevel.Mlrb
+module State = Partition.State
+
+let circuit ?(cells = 200) ?(pads = 24) seed =
+  Netlist.Generator.generate
+    (Netlist.Generator.default_spec ~name:"ml" ~cells ~pads ~seed)
+
+(* --- Induce -------------------------------------------------------- *)
+
+let test_induce_identity () =
+  let h = circuit 1 in
+  let ind = Induce.induce h ~keep:(fun _ -> true) in
+  Alcotest.(check int) "same nodes" (Hg.num_nodes h) (Hg.num_nodes ind.Induce.sub);
+  Alcotest.(check int) "same nets" (Hg.num_nets h) (Hg.num_nets ind.Induce.sub);
+  Alcotest.(check int) "same size" (Hg.total_size h) (Hg.total_size ind.Induce.sub)
+
+let test_induce_subset () =
+  let h = circuit 2 in
+  let keep v = v mod 2 = 0 in
+  let ind = Induce.induce h ~keep in
+  (* mappings are mutually inverse on the kept set *)
+  Array.iteri
+    (fun sub_v orig_v ->
+      Alcotest.(check int) "roundtrip" sub_v ind.Induce.to_sub.(orig_v);
+      Alcotest.(check bool) "kept" true (keep orig_v);
+      (* attributes preserved *)
+      Alcotest.(check int) "size" (Hg.size h orig_v) (Hg.size ind.Induce.sub sub_v);
+      Alcotest.(check bool) "kind" (Hg.is_pad h orig_v) (Hg.is_pad ind.Induce.sub sub_v))
+    ind.Induce.to_orig;
+  Hg.iter_nodes
+    (fun v -> if not (keep v) then Alcotest.(check int) "dropped" (-1) ind.Induce.to_sub.(v))
+    h;
+  (* induced nets have >= 2 pins and validate *)
+  Alcotest.(check bool) "validates" true (Hg.validate ind.Induce.sub = Ok ());
+  Hg.iter_nets
+    (fun e ->
+      if Hg.net_degree ind.Induce.sub e < 2 then Alcotest.fail "degenerate net kept")
+    ind.Induce.sub
+
+let test_induce_net_restriction () =
+  (* a 3-pin net with one pin dropped becomes a 2-pin net *)
+  let b = Hg.Builder.create () in
+  let x = Hg.Builder.add_cell b ~name:"x" ~size:1 in
+  let y = Hg.Builder.add_cell b ~name:"y" ~size:1 in
+  let z = Hg.Builder.add_cell b ~name:"z" ~size:1 in
+  ignore (Hg.Builder.add_net b ~name:"n" [ x; y; z ]);
+  let h = Hg.Builder.freeze b in
+  let ind = Induce.induce h ~keep:(fun v -> v <> z) in
+  Alcotest.(check int) "net kept" 1 (Hg.num_nets ind.Induce.sub);
+  Alcotest.(check int) "restricted degree" 2 (Hg.net_degree ind.Induce.sub 0);
+  (* with two pins dropped the net disappears *)
+  let ind2 = Induce.induce h ~keep:(fun v -> v = x) in
+  Alcotest.(check int) "net dropped" 0 (Hg.num_nets ind2.Induce.sub)
+
+(* --- Mlrb ---------------------------------------------------------- *)
+
+let check_feasible hg (r : Mlrb.outcome) device delta =
+  let st = State.create hg ~k:r.Mlrb.k ~assign:(fun v -> r.Mlrb.assignment.(v)) in
+  let s_max = Device.s_max device ~delta in
+  for b = 0 to r.Mlrb.k - 1 do
+    if State.size_of st b > s_max then Alcotest.failf "block %d oversize" b;
+    if State.pins_of st b > device.Device.t_max then
+      Alcotest.failf "block %d pins over" b
+  done
+
+let test_end_to_end () =
+  let hg = circuit 3 in
+  let r = Mlrb.partition hg Device.xc3020 Mlrb.default_config in
+  Alcotest.(check bool) "feasible" true r.Mlrb.feasible;
+  check_feasible hg r Device.xc3020 0.9;
+  let m =
+    Device.lower_bound Device.xc3020 ~delta:0.9 ~total_size:(Hg.total_size hg)
+      ~total_pads:(Hg.num_pads hg)
+  in
+  Alcotest.(check bool) "k >= M" true (r.Mlrb.k >= m)
+
+let test_single_block () =
+  let hg = circuit ~cells:40 4 in
+  let r = Mlrb.partition hg Device.xc3090 Mlrb.default_config in
+  Alcotest.(check int) "one block" 1 r.Mlrb.k;
+  Alcotest.(check bool) "feasible" true r.Mlrb.feasible
+
+let test_deterministic () =
+  let hg = circuit 5 in
+  let a = Mlrb.partition hg Device.xc3020 Mlrb.default_config in
+  let b = Mlrb.partition hg Device.xc3020 Mlrb.default_config in
+  Alcotest.(check int) "same k" a.Mlrb.k b.Mlrb.k;
+  Alcotest.(check (array int)) "same assignment" a.Mlrb.assignment b.Mlrb.assignment
+
+let test_all_assigned () =
+  let hg = circuit 6 in
+  let r = Mlrb.partition hg Device.xc3042 Mlrb.default_config in
+  Array.iter
+    (fun b -> if b < 0 || b >= r.Mlrb.k then Alcotest.fail "bad block id")
+    r.Mlrb.assignment
+
+let test_cut_consistent () =
+  let hg = circuit 7 in
+  let r = Mlrb.partition hg Device.xc3020 Mlrb.default_config in
+  let st = State.create hg ~k:r.Mlrb.k ~assign:(fun v -> r.Mlrb.assignment.(v)) in
+  Alcotest.(check int) "cut" (State.cut_size st) r.Mlrb.cut
+
+let test_infeasible_flagged () =
+  (* a device too tiny for the probe range: must terminate with
+     feasible=false rather than loop *)
+  let hg = circuit ~cells:100 ~pads:60 8 in
+  let tiny = { Device.dev_name = "TINY"; family = Device.XC3000; s_ds = 8; t_max = 4 } in
+  let config = { Mlrb.default_config with delta = 1.0; max_extra_k = 2 } in
+  let r = Mlrb.partition hg tiny config in
+  Alcotest.(check bool) "flagged infeasible" false r.Mlrb.feasible
+
+let prop_valid_partitions =
+  QCheck.Test.make ~count:8 ~name:"MLRB returns valid feasible partitions"
+    QCheck.(pair (int_range 60 250) (int_range 0 1000))
+    (fun (cells, seed) ->
+      let hg = circuit ~cells ~pads:(max 4 (cells / 10)) seed in
+      let r = Mlrb.partition hg Device.xc3042 Mlrb.default_config in
+      let st = State.create hg ~k:r.Mlrb.k ~assign:(fun v -> r.Mlrb.assignment.(v)) in
+      let s_max = Device.s_max Device.xc3042 ~delta:0.9 in
+      let ok = ref r.Mlrb.feasible in
+      for b = 0 to r.Mlrb.k - 1 do
+        if State.size_of st b > s_max || State.pins_of st b > 96 then ok := false
+      done;
+      !ok)
+
+let () =
+  Alcotest.run "mlrb"
+    [
+      ( "induce",
+        [
+          Alcotest.test_case "identity" `Quick test_induce_identity;
+          Alcotest.test_case "subset" `Quick test_induce_subset;
+          Alcotest.test_case "net restriction" `Quick test_induce_net_restriction;
+        ] );
+      ( "mlrb",
+        [
+          Alcotest.test_case "end to end" `Quick test_end_to_end;
+          Alcotest.test_case "single block" `Quick test_single_block;
+          Alcotest.test_case "deterministic" `Quick test_deterministic;
+          Alcotest.test_case "all assigned" `Quick test_all_assigned;
+          Alcotest.test_case "cut consistent" `Quick test_cut_consistent;
+          Alcotest.test_case "infeasible flagged" `Quick test_infeasible_flagged;
+        ] );
+      ("property", List.map QCheck_alcotest.to_alcotest [ prop_valid_partitions ]);
+    ]

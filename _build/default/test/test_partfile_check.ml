@@ -1,0 +1,214 @@
+(* Partfile (partition save/load) and Check (validation reports),
+   plus the random-initial-partition ablation option. *)
+
+module Hg = Hypergraph.Hgraph
+module State = Partition.State
+module Cost = Partition.Cost
+module Check = Partition.Check
+module Partfile = Netlist.Partfile
+
+let circuit ?(cells = 120) ?(pads = 14) seed =
+  Netlist.Generator.generate
+    (Netlist.Generator.default_spec ~name:"pf" ~cells ~pads ~seed)
+
+(* --- Check --------------------------------------------------------- *)
+
+let test_check_feasible () =
+  let hg = circuit 1 in
+  let r = Fpart.Driver.run hg Device.xc3020 in
+  let ctx = Cost.context_of Device.xc3020 ~delta:r.Fpart.Driver.delta hg in
+  let report =
+    Check.of_assignment hg ~k:r.Fpart.Driver.k ~assignment:r.Fpart.Driver.assignment
+      ~ctx
+  in
+  Alcotest.(check bool) "feasible agrees" r.Fpart.Driver.feasible report.Check.feasible;
+  Alcotest.(check int) "violations" 0 report.Check.violations;
+  Alcotest.(check int) "cut agrees" r.Fpart.Driver.cut report.Check.cut;
+  Alcotest.(check int) "one entry per block" r.Fpart.Driver.k
+    (List.length report.Check.blocks)
+
+let test_check_detects_violations () =
+  let hg = circuit 2 in
+  (* everything in one block: size way over a tiny cap *)
+  let ctx = { Cost.s_max = 10; t_max = 5; f_max = None; m_lower = 1; total_pads = 14 } in
+  let report = Check.of_assignment hg ~k:1 ~assignment:(Array.make (Hg.num_nodes hg) 0) ~ctx in
+  Alcotest.(check bool) "infeasible" false report.Check.feasible;
+  Alcotest.(check int) "one violating block" 1 report.Check.violations;
+  match report.Check.blocks with
+  | [ b ] ->
+    Alcotest.(check bool) "size flagged" false b.Check.size_ok;
+    Alcotest.(check bool) "pins flagged" false b.Check.pins_ok
+  | _ -> Alcotest.fail "expected one block"
+
+let test_check_ff_violation () =
+  let b = Hg.Builder.create () in
+  let x = Hg.Builder.add_cell b ~flops:5 ~name:"x" ~size:1 in
+  let y = Hg.Builder.add_cell b ~flops:5 ~name:"y" ~size:1 in
+  ignore (Hg.Builder.add_net b ~name:"n" [ x; y ]);
+  let hg = Hg.Builder.freeze b in
+  let ctx = { Cost.s_max = 10; t_max = 10; f_max = Some 8; m_lower = 1; total_pads = 0 } in
+  let report = Check.of_assignment hg ~k:1 ~assignment:[| 0; 0 |] ~ctx in
+  Alcotest.(check bool) "ff violation caught" false report.Check.feasible;
+  match report.Check.blocks with
+  | [ blk ] -> Alcotest.(check bool) "flops_ok false" false blk.Check.flops_ok
+  | _ -> Alcotest.fail "one block expected"
+
+let test_check_errors () =
+  let hg = circuit 3 in
+  let ctx = Cost.context_of Device.xc3020 ~delta:0.9 hg in
+  Alcotest.check_raises "wrong length"
+    (Invalid_argument "Check.of_assignment: wrong assignment length") (fun () ->
+      ignore (Check.of_assignment hg ~k:2 ~assignment:[| 0 |] ~ctx));
+  Alcotest.check_raises "bad block"
+    (Invalid_argument "Check.of_assignment: block out of range") (fun () ->
+      ignore
+        (Check.of_assignment hg ~k:1
+           ~assignment:(Array.make (Hg.num_nodes hg) 3)
+           ~ctx))
+
+(* --- Partfile ------------------------------------------------------ *)
+
+let test_partfile_roundtrip () =
+  let hg = circuit 4 in
+  let r = Fpart.Driver.run hg Device.xc3042 in
+  let pf =
+    Partfile.of_assignment hg ~circuit:"pf4" ~delta:r.Fpart.Driver.delta
+      ~block_devices:(Array.make r.Fpart.Driver.k "XC3042")
+      ~assignment:r.Fpart.Driver.assignment
+  in
+  let text = Partfile.to_string pf in
+  match Partfile.parse_string text with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok pf2 -> (
+    Alcotest.(check string) "circuit" "pf4" pf2.Partfile.circuit;
+    Alcotest.(check int) "blocks" r.Fpart.Driver.k
+      (Array.length pf2.Partfile.block_devices);
+    match Partfile.apply pf2 hg with
+    | Error e -> Alcotest.failf "apply failed: %s" e
+    | Ok (assignment, k) ->
+      Alcotest.(check int) "k" r.Fpart.Driver.k k;
+      Alcotest.(check (array int)) "assignment survives" r.Fpart.Driver.assignment
+        assignment)
+
+let test_partfile_file_io () =
+  let hg = circuit 5 in
+  let pf =
+    Partfile.of_assignment hg ~circuit:"pf5" ~delta:0.9
+      ~block_devices:[| "XC3020"; "XC3020" |]
+      ~assignment:(Array.init (Hg.num_nodes hg) (fun v -> v land 1))
+  in
+  let path = Filename.temp_file "fpart_part" ".part" in
+  Partfile.write_file path pf;
+  (match Partfile.parse_file path with
+  | Ok pf2 -> Alcotest.(check int) "nodes" (Hg.num_nodes hg)
+                (List.length pf2.Partfile.assignment)
+  | Error e -> Alcotest.failf "reparse: %s" e);
+  Sys.remove path
+
+let test_partfile_errors () =
+  (match Partfile.parse_string "node a 0\n" with
+  | Error e -> Alcotest.(check bool) "missing header" true (String.length e > 0)
+  | Ok _ -> Alcotest.fail "expected error");
+  (match Partfile.parse_string "circuit c\nblocks x\n" with
+  | Error e ->
+    Alcotest.(check bool) "bad blocks line" true
+      (String.length e > 0 && String.sub e 0 4 = "line")
+  | Ok _ -> Alcotest.fail "expected error");
+  (* apply: unknown node *)
+  let hg = circuit 6 in
+  let pf =
+    {
+      Partfile.circuit = "c";
+      delta = 0.9;
+      block_devices = [| "XC3020" |];
+      assignment = [ ("no_such_node", 0) ];
+    }
+  in
+  match Partfile.apply pf hg with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected unknown-node error"
+
+let test_partfile_missing_node () =
+  let hg = circuit 7 in
+  let pf =
+    {
+      Partfile.circuit = "c";
+      delta = 0.9;
+      block_devices = [| "XC3020" |];
+      assignment = [ (Hg.name hg 0, 0) ];  (* only one node listed *)
+    }
+  in
+  match Partfile.apply pf hg with
+  | Error e -> Alcotest.(check bool) "reports missing" true (String.length e > 0)
+  | Ok _ -> Alcotest.fail "expected missing-assignment error"
+
+(* --- random-initial ablation --------------------------------------- *)
+
+let test_random_initial_runs_and_is_worse_or_equal () =
+  let hg = circuit ~cells:400 ~pads:40 8 in
+  let base = Fpart.Driver.run hg Device.xc3020 in
+  let config = { Fpart.Config.default with random_initial = true } in
+  let rand = Fpart.Driver.run ~config hg Device.xc3020 in
+  (* random construction must never beat the constructive one here by
+     more than noise; typically it is strictly worse *)
+  Alcotest.(check bool) "constructive at least as good" true
+    (base.Fpart.Driver.k <= rand.Fpart.Driver.k);
+  (* and the run must still deliver a usable partition *)
+  Alcotest.(check bool) "k sane" true (rand.Fpart.Driver.k >= rand.Fpart.Driver.m_lower)
+
+let test_random_initial_traced () =
+  let hg = circuit ~cells:200 9 in
+  let config = { Fpart.Config.default with random_initial = true } in
+  let r = Fpart.Driver.run ~config hg Device.xc3020 in
+  let used_random =
+    List.exists
+      (function
+        | Fpart.Trace.Bipartition { method_used = "random"; _ } -> true
+        | _ -> false)
+      r.Fpart.Driver.trace
+  in
+  Alcotest.(check bool) "trace says random" true used_random
+
+let prop_partfile_roundtrip =
+  QCheck.Test.make ~count:20 ~name:"partfile round-trips any assignment"
+    QCheck.(triple (int_range 10 80) (int_range 1 5) (int_range 0 10_000))
+    (fun (cells, k, seed) ->
+      let hg = circuit ~cells ~pads:3 seed in
+      let assignment = Array.init (Hg.num_nodes hg) (fun v -> (v * 7) mod k) in
+      let pf =
+        Partfile.of_assignment hg ~circuit:"q" ~delta:1.0
+          ~block_devices:(Array.make k "XC3020")
+          ~assignment
+      in
+      match Partfile.parse_string (Partfile.to_string pf) with
+      | Error _ -> false
+      | Ok pf2 -> (
+        match Partfile.apply pf2 hg with
+        | Error _ -> false
+        | Ok (a, k') -> k' = k && a = assignment))
+
+let () =
+  Alcotest.run "partfile-check"
+    [
+      ( "check",
+        [
+          Alcotest.test_case "feasible report" `Quick test_check_feasible;
+          Alcotest.test_case "violations" `Quick test_check_detects_violations;
+          Alcotest.test_case "ff violation" `Quick test_check_ff_violation;
+          Alcotest.test_case "errors" `Quick test_check_errors;
+        ] );
+      ( "partfile",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_partfile_roundtrip;
+          Alcotest.test_case "file io" `Quick test_partfile_file_io;
+          Alcotest.test_case "errors" `Quick test_partfile_errors;
+          Alcotest.test_case "missing node" `Quick test_partfile_missing_node;
+        ] );
+      ( "random-initial",
+        [
+          Alcotest.test_case "worse or equal" `Quick
+            test_random_initial_runs_and_is_worse_or_equal;
+          Alcotest.test_case "traced" `Quick test_random_initial_traced;
+        ] );
+      ("property", List.map QCheck_alcotest.to_alcotest [ prop_partfile_roundtrip ]);
+    ]

@@ -1,0 +1,126 @@
+(* Splitmix: the deterministic PRNG behind every stochastic component. *)
+
+module R = Prng.Splitmix
+
+let test_determinism () =
+  let a = R.create 42 and b = R.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (R.bits64 a) (R.bits64 b)
+  done
+
+let test_seed_sensitivity () =
+  let a = R.create 1 and b = R.create 2 in
+  Alcotest.(check bool) "different streams" true (R.bits64 a <> R.bits64 b)
+
+let test_copy_independent () =
+  let a = R.create 7 in
+  ignore (R.bits64 a);
+  let b = R.copy a in
+  Alcotest.(check int64) "copy continues identically" (R.bits64 a) (R.bits64 b);
+  ignore (R.bits64 a);
+  (* advancing a does not advance b *)
+  let a' = R.bits64 a and b' = R.bits64 b in
+  Alcotest.(check bool) "diverged" true (a' <> b')
+
+let test_split () =
+  let a = R.create 9 in
+  let b = R.split a in
+  Alcotest.(check bool) "split differs from parent" true (R.bits64 a <> R.bits64 b)
+
+let test_int_bounds () =
+  let r = R.create 3 in
+  for _ = 1 to 1000 do
+    let v = R.int r 17 in
+    if v < 0 || v >= 17 then Alcotest.fail "int out of [0,17)"
+  done
+
+let test_int_invalid () =
+  let r = R.create 3 in
+  Alcotest.check_raises "bound 0" (Invalid_argument "Splitmix.int: bound <= 0")
+    (fun () -> ignore (R.int r 0))
+
+let test_int_in () =
+  let r = R.create 5 in
+  for _ = 1 to 1000 do
+    let v = R.int_in r (-3) 4 in
+    if v < -3 || v > 4 then Alcotest.fail "int_in out of range"
+  done
+
+let test_float_range () =
+  let r = R.create 11 in
+  for _ = 1 to 1000 do
+    let f = R.float r in
+    if f < 0.0 || f >= 1.0 then Alcotest.fail "float out of [0,1)"
+  done
+
+let test_shuffle_permutation () =
+  let r = R.create 13 in
+  let a = Array.init 50 (fun i -> i) in
+  R.shuffle r a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 50 (fun i -> i)) sorted
+
+let test_choose () =
+  let r = R.create 17 in
+  let a = [| 5; 6; 7 |] in
+  for _ = 1 to 100 do
+    let v = R.choose r a in
+    if v < 5 || v > 7 then Alcotest.fail "choose outside array"
+  done;
+  Alcotest.check_raises "empty" (Invalid_argument "Splitmix.choose: empty array")
+    (fun () -> ignore (R.choose r [||]))
+
+let test_geometric () =
+  let r = R.create 19 in
+  for _ = 1 to 1000 do
+    if R.geometric r 0.5 < 1 then Alcotest.fail "geometric < 1"
+  done;
+  (* p = 1 is always exactly 1 *)
+  for _ = 1 to 10 do
+    Alcotest.(check int) "p=1" 1 (R.geometric r 1.0)
+  done
+
+let test_geometric_mean () =
+  let r = R.create 23 in
+  let n = 20_000 in
+  let sum = ref 0 in
+  for _ = 1 to n do
+    sum := !sum + R.geometric r 0.25
+  done;
+  let mean = float_of_int !sum /. float_of_int n in
+  (* true mean is 4; allow generous tolerance *)
+  if mean < 3.6 || mean > 4.4 then
+    Alcotest.failf "geometric mean %f too far from 4" mean
+
+let prop_int_uniformish =
+  QCheck.Test.make ~count:50 ~name:"int hits every residue of a small bound"
+    QCheck.(int_range 2 8)
+    (fun bound ->
+      let r = R.create bound in
+      let seen = Array.make bound false in
+      for _ = 1 to 1000 do
+        seen.(R.int r bound) <- true
+      done;
+      Array.for_all (fun b -> b) seen)
+
+let () =
+  Alcotest.run "prng"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+          Alcotest.test_case "copy" `Quick test_copy_independent;
+          Alcotest.test_case "split" `Quick test_split;
+          Alcotest.test_case "int bounds" `Quick test_int_bounds;
+          Alcotest.test_case "int invalid" `Quick test_int_invalid;
+          Alcotest.test_case "int_in" `Quick test_int_in;
+          Alcotest.test_case "float range" `Quick test_float_range;
+          Alcotest.test_case "shuffle permutation" `Quick test_shuffle_permutation;
+          Alcotest.test_case "choose" `Quick test_choose;
+          Alcotest.test_case "geometric support" `Quick test_geometric;
+          Alcotest.test_case "geometric mean" `Quick test_geometric_mean;
+        ] );
+      ("property", List.map QCheck_alcotest.to_alcotest [ prop_int_uniformish ]);
+    ]

@@ -1,0 +1,152 @@
+(* Quotient (board-level view) and Dot (Graphviz export). *)
+
+module Hg = Hypergraph.Hgraph
+module State = Partition.State
+module Quotient = Partition.Quotient
+
+(* blocks: {a,b}=0, {c}=1, {d,p}=2; nets n1={a,b} internal, n2={b,c},
+   n3={a,c,d}, np={d,p} (pad net inside block 2) *)
+let fixture () =
+  let bld = Hg.Builder.create () in
+  let a = Hg.Builder.add_cell bld ~name:"a" ~size:1 in
+  let b = Hg.Builder.add_cell bld ~name:"b" ~size:1 in
+  let c = Hg.Builder.add_cell bld ~name:"c" ~size:2 in
+  let d = Hg.Builder.add_cell bld ~name:"d" ~size:1 in
+  let p = Hg.Builder.add_pad bld ~name:"p" in
+  ignore (Hg.Builder.add_net bld ~name:"n1" [ a; b ]);
+  ignore (Hg.Builder.add_net bld ~name:"n2" [ b; c ]);
+  ignore (Hg.Builder.add_net bld ~name:"n3" [ a; c; d ]);
+  ignore (Hg.Builder.add_net bld ~name:"np" [ d; p ]);
+  let h = Hg.Builder.freeze bld in
+  State.create h ~k:3 ~assign:(fun v ->
+      if v = a || v = b then 0 else if v = c then 1 else 2)
+
+let test_interconnect () =
+  let st = fixture () in
+  let q = Quotient.interconnect st in
+  (* 3 block nodes + 1 pad *)
+  Alcotest.(check int) "cells" 3 (Hg.num_cells q);
+  Alcotest.(check int) "pads" 1 (Hg.num_pads q);
+  (* nets surviving: n2 (blocks 0,1), n3 (0,1,2), np (block2 + pad) *)
+  Alcotest.(check int) "nets" 3 (Hg.num_nets q);
+  (* block sizes preserved *)
+  Alcotest.(check int) "total size" (Hg.total_size (State.hypergraph st))
+    (Hg.total_size q)
+
+let test_interconnect_pins_match () =
+  (* the quotient's per-block pin counts equal the original partition's *)
+  let spec = Netlist.Generator.default_spec ~name:"q" ~cells:120 ~pads:14 ~seed:9 in
+  let h = Netlist.Generator.generate spec in
+  let r = Fpart.Driver.run h Device.xc3042 in
+  let st = Fpart.Driver.final_state r h in
+  let q = Quotient.interconnect st in
+  (* in the quotient, each block is one node: its pin count is its
+     number of incident nets (every quotient net is cut or pad-carrying) *)
+  let qst = Partition.State.create q ~k:r.Fpart.Driver.k ~assign:(fun v ->
+      if Hg.is_pad q v then 0 (* pads land with block 0 for this check *)
+      else v)
+  in
+  ignore qst;
+  for b = 0 to r.Fpart.Driver.k - 1 do
+    (* count quotient nets incident to block node b *)
+    let incident = Hg.node_degree q b in
+    Alcotest.(check int) (Printf.sprintf "block %d pins" b)
+      (State.pins_of st b) incident
+  done
+
+let test_wire_matrix () =
+  let st = fixture () in
+  let m = Quotient.wire_matrix st in
+  (* n2 joins (0,1); n3 joins (0,1),(0,2),(1,2) *)
+  Alcotest.(check int) "0-1" 2 m.(0).(1);
+  Alcotest.(check int) "0-2" 1 m.(0).(2);
+  Alcotest.(check int) "1-2" 1 m.(1).(2);
+  Alcotest.(check int) "symmetric" m.(1).(0) m.(0).(1);
+  Alcotest.(check int) "diagonal" 0 m.(0).(0)
+
+let test_io_utilization () =
+  let st = fixture () in
+  let l = Quotient.io_utilization st ~t_max:10 in
+  Alcotest.(check int) "entries" 3 (List.length l);
+  List.iter
+    (fun (b, pins, cap, ratio) ->
+      Alcotest.(check int) "pins consistent" (State.pins_of st b) pins;
+      Alcotest.(check int) "cap" 10 cap;
+      Alcotest.(check (float 1e-9)) "ratio" (float_of_int pins /. 10.0) ratio)
+    l
+
+let test_report_renders () =
+  let st = fixture () in
+  let s = Format.asprintf "%a" (fun ppf -> Quotient.pp_report ppf ~t_max:10) st in
+  Alcotest.(check bool) "mentions devices" true
+    (String.length s > 0 && String.sub s 0 10 = "board view")
+
+(* --- Dot ----------------------------------------------------------- *)
+
+let contains ~affix s =
+  let n = String.length affix and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = affix || go (i + 1)) in
+  n = 0 || go 0
+
+let test_dot_basic () =
+  let st = fixture () in
+  let h = State.hypergraph st in
+  let dot = Hypergraph.Dot.to_dot h in
+  Alcotest.(check bool) "graph header" true (contains ~affix:"graph" dot);
+  Alcotest.(check bool) "cell node" true (contains ~affix:"\"a\"" dot);
+  Alcotest.(check bool) "pad circle" true (contains ~affix:"circle" dot);
+  (* 3-pin net n3 gets a junction *)
+  Alcotest.(check bool) "junction" true (contains ~affix:"shape=point" dot)
+
+let test_dot_colored () =
+  let st = fixture () in
+  let h = State.hypergraph st in
+  let dot = Hypergraph.Dot.to_dot ~assignment:(State.assignment st) h in
+  Alcotest.(check bool) "filled" true (contains ~affix:"fillcolor" dot)
+
+let test_dot_bad_assignment () =
+  let st = fixture () in
+  let h = State.hypergraph st in
+  Alcotest.check_raises "length" (Invalid_argument "Dot.to_dot: wrong assignment length")
+    (fun () -> ignore (Hypergraph.Dot.to_dot ~assignment:[| 0 |] h))
+
+let test_dot_file () =
+  let st = fixture () in
+  let h = State.hypergraph st in
+  let path = Filename.temp_file "fpart_dot" ".dot" in
+  Hypergraph.Dot.write_file path h;
+  let ic = open_in path in
+  let line = input_line ic in
+  close_in ic;
+  Sys.remove path;
+  Alcotest.(check bool) "starts with graph" true (contains ~affix:"graph" line)
+
+let prop_quotient_valid =
+  QCheck.Test.make ~count:30 ~name:"quotient hypergraphs validate"
+    QCheck.(triple (int_range 10 80) (int_range 2 5) (int_range 0 10_000))
+    (fun (cells, k, seed) ->
+      let spec = Netlist.Generator.default_spec ~name:"q" ~cells ~pads:4 ~seed in
+      let h = Netlist.Generator.generate spec in
+      let st = State.create h ~k ~assign:(fun v -> (v * 11) mod k) in
+      Hg.validate (Quotient.interconnect st) = Ok ())
+
+let () =
+  Alcotest.run "quotient-dot"
+    [
+      ( "quotient",
+        [
+          Alcotest.test_case "interconnect" `Quick test_interconnect;
+          Alcotest.test_case "pins match" `Quick test_interconnect_pins_match;
+          Alcotest.test_case "wire matrix" `Quick test_wire_matrix;
+          Alcotest.test_case "io utilization" `Quick test_io_utilization;
+          Alcotest.test_case "report" `Quick test_report_renders;
+        ] );
+      ( "dot",
+        [
+          Alcotest.test_case "basic" `Quick test_dot_basic;
+          Alcotest.test_case "colored" `Quick test_dot_colored;
+          Alcotest.test_case "bad assignment" `Quick test_dot_bad_assignment;
+          Alcotest.test_case "file" `Quick test_dot_file;
+        ] );
+      ("property", List.map QCheck_alcotest.to_alcotest [ prop_quotient_valid ]);
+    ]

@@ -1,0 +1,84 @@
+(* Sa: the simulated-annealing baseline. *)
+
+module Hg = Hypergraph.Hgraph
+module State = Partition.State
+module Sa = Anneal.Sa
+
+let circuit ?(cells = 150) ?(pads = 18) seed =
+  Netlist.Generator.generate
+    (Netlist.Generator.default_spec ~name:"sa" ~cells ~pads ~seed)
+
+(* a fast schedule for tests *)
+let quick = { Sa.default_config with moves_factor = 3; initial_temp = 0.3; cooling = 0.85 }
+
+let test_end_to_end () =
+  let hg = circuit 1 in
+  let r = Sa.partition hg Device.xc3020 quick in
+  Alcotest.(check bool) "feasible" true r.Sa.feasible;
+  let st = State.create hg ~k:r.Sa.k ~assign:(fun v -> r.Sa.assignment.(v)) in
+  let s_max = Device.s_max Device.xc3020 ~delta:0.9 in
+  for b = 0 to r.Sa.k - 1 do
+    Alcotest.(check bool) "size" true (State.size_of st b <= s_max);
+    Alcotest.(check bool) "pins" true (State.pins_of st b <= 64)
+  done;
+  let m =
+    Device.lower_bound Device.xc3020 ~delta:0.9 ~total_size:(Hg.total_size hg)
+      ~total_pads:(Hg.num_pads hg)
+  in
+  Alcotest.(check bool) "k >= M" true (r.Sa.k >= m)
+
+let test_deterministic () =
+  let hg = circuit 2 in
+  let a = Sa.partition hg Device.xc3042 quick in
+  let b = Sa.partition hg Device.xc3042 quick in
+  Alcotest.(check int) "same k" a.Sa.k b.Sa.k;
+  Alcotest.(check (array int)) "same assignment" a.Sa.assignment b.Sa.assignment
+
+let test_seed_changes_search () =
+  let hg = circuit 3 in
+  let a = Sa.partition hg Device.xc3020 quick in
+  let b = Sa.partition hg Device.xc3020 { quick with Sa.seed = quick.Sa.seed + 1 } in
+  (* different random walks almost surely differ somewhere *)
+  Alcotest.(check bool) "assignments differ" true (a.Sa.assignment <> b.Sa.assignment)
+
+let test_trials_counted () =
+  let hg = circuit 4 in
+  let r = Sa.partition hg Device.xc3042 quick in
+  Alcotest.(check bool) "trials > 0" true (r.Sa.trials > 0)
+
+let test_cut_consistent () =
+  let hg = circuit 5 in
+  let r = Sa.partition hg Device.xc3020 quick in
+  let st = State.create hg ~k:r.Sa.k ~assign:(fun v -> r.Sa.assignment.(v)) in
+  Alcotest.(check int) "cut" (State.cut_size st) r.Sa.cut
+
+let test_infeasible_flagged () =
+  let hg = circuit ~cells:100 ~pads:60 6 in
+  let tiny = { Device.dev_name = "TINY"; family = Device.XC3000; s_ds = 8; t_max = 3 } in
+  let cfg = { quick with Sa.delta = 1.0; max_extra_k = 1 } in
+  let r = Sa.partition hg tiny cfg in
+  Alcotest.(check bool) "flagged" false r.Sa.feasible
+
+let prop_valid =
+  QCheck.Test.make ~count:6 ~name:"SA returns valid feasible partitions"
+    QCheck.(pair (int_range 50 160) (int_range 0 1000))
+    (fun (cells, seed) ->
+      let hg = circuit ~cells ~pads:(max 4 (cells / 10)) seed in
+      let r = Sa.partition hg Device.xc3042 quick in
+      r.Sa.feasible
+      && Array.for_all (fun b -> b >= 0 && b < r.Sa.k) r.Sa.assignment)
+
+let () =
+  Alcotest.run "sa"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "end to end" `Quick test_end_to_end;
+          Alcotest.test_case "deterministic" `Quick test_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_seed_changes_search;
+          Alcotest.test_case "trials counted" `Quick test_trials_counted;
+          Alcotest.test_case "cut consistent" `Quick test_cut_consistent;
+          Alcotest.test_case "infeasible flagged" `Quick test_infeasible_flagged;
+        ] );
+      ("property", List.map QCheck_alcotest.to_alcotest [ prop_valid ]);
+    ]

@@ -1,0 +1,155 @@
+(* Snapshot and Solution_stack (paper section 3.6). *)
+
+module Hg = Hypergraph.Hgraph
+module State = Partition.State
+module Cost = Partition.Cost
+module Snapshot = Partition.Snapshot
+module Stack = Partition.Solution_stack
+
+let circuit () =
+  let spec = Netlist.Generator.default_spec ~name:"s" ~cells:20 ~pads:3 ~seed:11 in
+  Netlist.Generator.generate spec
+
+let value ~f ~d =
+  { Cost.feasible_blocks = f; distance = d; t_sum = 0; io_bal = 0.0 }
+
+let test_capture_restore () =
+  let h = circuit () in
+  let st = State.create h ~k:3 ~assign:(fun v -> v mod 3) in
+  let snap = Snapshot.capture st ~value:(value ~f:1 ~d:0.5) in
+  (* scramble *)
+  for v = 0 to Hg.num_nodes h - 1 do
+    State.move st v 0
+  done;
+  Snapshot.restore snap st;
+  Alcotest.(check (array int)) "assignment restored" snap.Snapshot.assign
+    (State.assignment st);
+  match State.check st with Ok () -> () | Error e -> Alcotest.fail e
+
+let test_snapshot_frozen () =
+  let h = circuit () in
+  let st = State.create h ~k:2 ~assign:(fun _ -> 0) in
+  let snap = Snapshot.capture st ~value:(value ~f:1 ~d:0.0) in
+  State.move st 0 1;
+  Alcotest.(check int) "capture is a copy" 0 snap.Snapshot.assign.(0)
+
+let test_same_assignment () =
+  let h = circuit () in
+  let st = State.create h ~k:2 ~assign:(fun _ -> 0) in
+  let a = Snapshot.capture st ~value:(value ~f:1 ~d:0.0) in
+  let b = Snapshot.capture st ~value:(value ~f:0 ~d:9.0) in
+  Alcotest.(check bool) "same" true (Snapshot.same_assignment a b);
+  State.move st 0 1;
+  let c = Snapshot.capture st ~value:(value ~f:1 ~d:0.0) in
+  Alcotest.(check bool) "different" false (Snapshot.same_assignment a c)
+
+let test_snapshot_compare () =
+  let h = circuit () in
+  let st = State.create h ~k:2 ~assign:(fun _ -> 0) in
+  let good = Snapshot.capture st ~value:(value ~f:2 ~d:0.0) in
+  let bad = Snapshot.capture st ~value:(value ~f:1 ~d:1.0) in
+  Alcotest.(check bool) "ordered" true (Snapshot.compare good bad < 0)
+
+(* Stack tests use distinct assignments via a counter cell. *)
+let snap_with st i value =
+  State.move st 0 i;
+  Snapshot.capture st ~value
+
+let test_stack_ordering () =
+  let h = circuit () in
+  let st = State.create h ~k:4 ~assign:(fun _ -> 0) in
+  let stack = Stack.create ~depth:3 in
+  let s1 = snap_with st 1 (value ~f:1 ~d:0.5) in
+  let s2 = snap_with st 2 (value ~f:1 ~d:0.1) in
+  let s3 = snap_with st 3 (value ~f:1 ~d:0.9) in
+  Alcotest.(check bool) "offer s1" true (Stack.offer stack s1);
+  Alcotest.(check bool) "offer s2" true (Stack.offer stack s2);
+  Alcotest.(check bool) "offer s3" true (Stack.offer stack s3);
+  (match Stack.best stack with
+  | Some b -> Alcotest.(check (float 0.0)) "best is s2" 0.1 b.Snapshot.value.Cost.distance
+  | None -> Alcotest.fail "empty");
+  let ds = List.map (fun s -> s.Snapshot.value.Cost.distance) (Stack.contents stack) in
+  Alcotest.(check (list (float 0.0))) "best first" [ 0.1; 0.5; 0.9 ] ds
+
+let test_stack_bounded () =
+  let h = circuit () in
+  let st = State.create h ~k:4 ~assign:(fun _ -> 0) in
+  let stack = Stack.create ~depth:2 in
+  ignore (Stack.offer stack (snap_with st 1 (value ~f:1 ~d:0.5)));
+  ignore (Stack.offer stack (snap_with st 2 (value ~f:1 ~d:0.3)));
+  (* worse than the tail and stack full: rejected *)
+  Alcotest.(check bool) "reject worse" false
+    (Stack.offer stack (snap_with st 3 (value ~f:1 ~d:0.9)));
+  (* better: accepted, evicting the tail *)
+  Alcotest.(check bool) "accept better" true
+    (Stack.offer stack (snap_with st 0 (value ~f:1 ~d:0.1)));
+  Alcotest.(check int) "still depth 2" 2 (Stack.length stack);
+  let ds = List.map (fun s -> s.Snapshot.value.Cost.distance) (Stack.contents stack) in
+  Alcotest.(check (list (float 0.0))) "kept the best two" [ 0.1; 0.3 ] ds
+
+let test_stack_dedup () =
+  let h = circuit () in
+  let st = State.create h ~k:2 ~assign:(fun _ -> 0) in
+  let stack = Stack.create ~depth:4 in
+  let s = Snapshot.capture st ~value:(value ~f:1 ~d:0.5) in
+  let s' = Snapshot.capture st ~value:(value ~f:1 ~d:0.2) in
+  Alcotest.(check bool) "first" true (Stack.offer stack s);
+  Alcotest.(check bool) "duplicate assignment rejected" false (Stack.offer stack s');
+  Alcotest.(check int) "one entry" 1 (Stack.length stack)
+
+let test_stack_clear () =
+  let h = circuit () in
+  let st = State.create h ~k:2 ~assign:(fun _ -> 0) in
+  let stack = Stack.create ~depth:2 in
+  ignore (Stack.offer stack (Snapshot.capture st ~value:(value ~f:1 ~d:0.5)));
+  Stack.clear stack;
+  Alcotest.(check int) "cleared" 0 (Stack.length stack);
+  Alcotest.(check bool) "no best" true (Stack.best stack = None)
+
+let test_stack_depth_invalid () =
+  Alcotest.check_raises "depth 0" (Invalid_argument "Solution_stack.create: depth < 1")
+    (fun () -> ignore (Stack.create ~depth:0))
+
+let prop_stack_sorted_and_bounded =
+  QCheck.Test.make ~count:100 ~name:"stack stays sorted, unique and bounded"
+    QCheck.(pair (int_range 1 6) (small_list (pair (int_bound 4) (int_bound 100))))
+    (fun (depth, offers) ->
+      let h = circuit () in
+      let st = State.create h ~k:5 ~assign:(fun _ -> 0) in
+      let stack = Stack.create ~depth in
+      List.iteri
+        (fun i (f, d100) ->
+          State.move st (i mod Hg.num_nodes h) (i mod 5);
+          let snap =
+            Snapshot.capture st ~value:(value ~f ~d:(float_of_int d100 /. 100.0))
+          in
+          ignore (Stack.offer stack snap))
+        offers;
+      let contents = Stack.contents stack in
+      let rec sorted = function
+        | a :: (b :: _ as rest) -> Snapshot.compare a b <= 0 && sorted rest
+        | _ -> true
+      in
+      List.length contents <= depth && sorted contents)
+
+let () =
+  Alcotest.run "snapshot-stack"
+    [
+      ( "snapshot",
+        [
+          Alcotest.test_case "capture/restore" `Quick test_capture_restore;
+          Alcotest.test_case "frozen copy" `Quick test_snapshot_frozen;
+          Alcotest.test_case "same_assignment" `Quick test_same_assignment;
+          Alcotest.test_case "compare" `Quick test_snapshot_compare;
+        ] );
+      ( "stack",
+        [
+          Alcotest.test_case "ordering" `Quick test_stack_ordering;
+          Alcotest.test_case "bounded" `Quick test_stack_bounded;
+          Alcotest.test_case "dedup" `Quick test_stack_dedup;
+          Alcotest.test_case "clear" `Quick test_stack_clear;
+          Alcotest.test_case "invalid depth" `Quick test_stack_depth_invalid;
+        ] );
+      ( "property",
+        List.map QCheck_alcotest.to_alcotest [ prop_stack_sorted_and_bounded ] );
+    ]

@@ -1,0 +1,104 @@
+(* Stats: hypergraph summaries, external-net counting, Rent estimate. *)
+
+module Hg = Hypergraph.Hgraph
+module Stats = Hypergraph.Stats
+
+let small () =
+  let b = Hg.Builder.create () in
+  let a = Hg.Builder.add_cell b ~name:"a" ~size:2 in
+  let c = Hg.Builder.add_cell b ~name:"c" ~size:1 in
+  let d = Hg.Builder.add_cell b ~name:"d" ~size:1 in
+  let p = Hg.Builder.add_pad b ~name:"p" in
+  ignore (Hg.Builder.add_net b ~name:"n0" [ a; c ]);
+  ignore (Hg.Builder.add_net b ~name:"n1" [ a; c; d ]);
+  ignore (Hg.Builder.add_net b ~name:"n2" [ d; p ]);
+  (Hg.Builder.freeze b, a, c, d, p)
+
+let test_summary () =
+  let h, _, _, _, _ = small () in
+  let s = Stats.summary h in
+  Alcotest.(check int) "nodes" 4 s.Stats.nodes;
+  Alcotest.(check int) "cells" 3 s.Stats.cells;
+  Alcotest.(check int) "pads" 1 s.Stats.pads;
+  Alcotest.(check int) "nets" 3 s.Stats.nets;
+  Alcotest.(check int) "total size" 4 s.Stats.total_size;
+  Alcotest.(check int) "max net degree" 3 s.Stats.max_net_degree;
+  Alcotest.(check (float 1e-9)) "avg net degree" (7.0 /. 3.0) s.Stats.avg_net_degree;
+  Alcotest.(check int) "components" 1 s.Stats.components
+
+let test_histogram () =
+  let h, _, _, _, _ = small () in
+  let hist = Stats.net_degree_histogram h in
+  Alcotest.(check int) "2-pin nets" 2 hist.(2);
+  Alcotest.(check int) "3-pin nets" 1 hist.(3)
+
+let test_external_nets () =
+  let h, a, c, d, p = small () in
+  (* {a, c}: n0 internal, n1 crosses to d -> 1 external net *)
+  Alcotest.(check int) "a,c" 1 (Stats.external_nets h [ a; c ]);
+  (* {a, c, d}: n2 crosses to pad -> 1 *)
+  Alcotest.(check int) "a,c,d" 1 (Stats.external_nets h [ a; c; d ]);
+  (* everything incl. pad: n2 has a pad inside -> still 1 (pad pin) *)
+  Alcotest.(check int) "all" 1 (Stats.external_nets h [ a; c; d; p ]);
+  (* {d}: n1 crosses, n2 crosses -> 2 *)
+  Alcotest.(check int) "d" 2 (Stats.external_nets h [ d ])
+
+let test_external_nets_empty () =
+  let h, _, _, _, _ = small () in
+  Alcotest.(check int) "empty set" 0 (Stats.external_nets h [])
+
+let test_rent_small_is_none () =
+  let h, _, _, _, _ = small () in
+  Alcotest.(check bool) "too small" true
+    (Stats.rent_exponent h ~rng_seed:1 ~samples:3 = None)
+
+let test_rent_generated () =
+  let spec = Netlist.Generator.default_spec ~name:"r" ~cells:600 ~pads:40 ~seed:5 in
+  let h = Netlist.Generator.generate spec in
+  match Stats.rent_exponent h ~rng_seed:11 ~samples:4 with
+  | None -> Alcotest.fail "expected a Rent estimate on a 600-cell circuit"
+  | Some p ->
+    (* Rent exponents of realistic circuits live well inside (0, 1). *)
+    if p < 0.1 || p > 1.1 then Alcotest.failf "implausible Rent exponent %f" p
+
+let prop_external_vs_bruteforce =
+  QCheck.Test.make ~count:60 ~name:"external_nets matches brute force"
+    QCheck.(pair (int_range 6 40) (int_range 1 1000))
+    (fun (n, seed) ->
+      let spec = Netlist.Generator.default_spec ~name:"x" ~cells:n ~pads:3 ~seed in
+      let h = Netlist.Generator.generate spec in
+      let rng = Prng.Splitmix.create (seed * 7) in
+      let inside =
+        Hg.fold_nodes
+          (fun acc v -> if Prng.Splitmix.bool rng then v :: acc else acc)
+          [] h
+      in
+      let member = Array.make (Hg.num_nodes h) false in
+      List.iter (fun v -> member.(v) <- true) inside;
+      let brute =
+        Hg.fold_nets
+          (fun acc e ->
+            let pins = Hg.pins h e in
+            let has_in = Array.exists (fun v -> member.(v)) pins in
+            let has_out = Array.exists (fun v -> not member.(v)) pins in
+            let pad_in = Array.exists (fun v -> member.(v) && Hg.is_pad h v) pins in
+            if has_in && (has_out || pad_in) then acc + 1 else acc)
+          0 h
+      in
+      Stats.external_nets h inside = brute)
+
+let () =
+  Alcotest.run "stats"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "summary" `Quick test_summary;
+          Alcotest.test_case "histogram" `Quick test_histogram;
+          Alcotest.test_case "external nets" `Quick test_external_nets;
+          Alcotest.test_case "external empty" `Quick test_external_nets_empty;
+          Alcotest.test_case "rent too small" `Quick test_rent_small_is_none;
+          Alcotest.test_case "rent generated" `Quick test_rent_generated;
+        ] );
+      ( "property",
+        List.map QCheck_alcotest.to_alcotest [ prop_external_vs_bruteforce ] );
+    ]

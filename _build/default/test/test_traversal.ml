@@ -1,0 +1,103 @@
+(* Traversal: BFS distances, components, eccentric seeds. *)
+
+module Hg = Hypergraph.Hgraph
+module T = Hypergraph.Traversal
+
+(* A path of cells c0 - c1 - c2 - c3 (2-pin nets), plus an isolated pair
+   c4 - c5 in a second component. *)
+let path_plus_island () =
+  let b = Hg.Builder.create () in
+  let c = Array.init 6 (fun i -> Hg.Builder.add_cell b ~name:(Printf.sprintf "c%d" i) ~size:1) in
+  ignore (Hg.Builder.add_net b ~name:"e01" [ c.(0); c.(1) ]);
+  ignore (Hg.Builder.add_net b ~name:"e12" [ c.(1); c.(2) ]);
+  ignore (Hg.Builder.add_net b ~name:"e23" [ c.(2); c.(3) ]);
+  ignore (Hg.Builder.add_net b ~name:"e45" [ c.(4); c.(5) ]);
+  (Hg.Builder.freeze b, c)
+
+let test_bfs_distances () =
+  let h, c = path_plus_island () in
+  let d = T.bfs_distances h c.(0) in
+  Alcotest.(check int) "d(c0)" 0 d.(c.(0));
+  Alcotest.(check int) "d(c1)" 1 d.(c.(1));
+  Alcotest.(check int) "d(c2)" 2 d.(c.(2));
+  Alcotest.(check int) "d(c3)" 3 d.(c.(3));
+  Alcotest.(check int) "unreachable" (-1) d.(c.(4))
+
+let test_farthest () =
+  let h, c = path_plus_island () in
+  let u, dist = T.farthest_node h c.(0) in
+  Alcotest.(check int) "farthest node" c.(3) u;
+  Alcotest.(check int) "distance" 3 dist
+
+let test_farthest_isolated () =
+  let b = Hg.Builder.create () in
+  let x = Hg.Builder.add_cell b ~name:"x" ~size:1 in
+  let _ = Hg.Builder.add_net b ~name:"n" [ x ] in
+  let h = Hg.Builder.freeze b in
+  let u, dist = T.farthest_node h x in
+  Alcotest.(check int) "self" x u;
+  Alcotest.(check int) "zero" 0 dist
+
+let test_components () =
+  let h, c = path_plus_island () in
+  let comp, count = T.components h in
+  Alcotest.(check int) "two components" 2 count;
+  Alcotest.(check bool) "same component" true (comp.(c.(0)) = comp.(c.(3)));
+  Alcotest.(check bool) "different components" true (comp.(c.(0)) <> comp.(c.(4)));
+  Alcotest.(check bool) "not connected" false (T.is_connected h)
+
+let test_hyperedge_distance () =
+  (* one 4-pin net: all pins at distance 1 from each other *)
+  let b = Hg.Builder.create () in
+  let c = Array.init 4 (fun i -> Hg.Builder.add_cell b ~name:(string_of_int i) ~size:1) in
+  ignore (Hg.Builder.add_net b ~name:"n" (Array.to_list c));
+  let h = Hg.Builder.freeze b in
+  let d = T.bfs_distances h c.(0) in
+  for i = 1 to 3 do
+    Alcotest.(check int) "hyperedge hop" 1 d.(c.(i))
+  done
+
+let test_eccentric_pair () =
+  let h, c = path_plus_island () in
+  let a, b = T.eccentric_pair h c.(1) in
+  (* from c1 the farthest is c3 (hmm, distance 2) or c0+c3... BFS from c1
+     reaches c3 at distance 2, c0 at 1; farthest = c3; from c3 farthest = c0 *)
+  Alcotest.(check int) "first sweep" c.(3) a;
+  Alcotest.(check int) "second sweep" c.(0) b
+
+let prop_components_cover =
+  QCheck.Test.make ~count:50 ~name:"component count is within [1, nodes]"
+    QCheck.(int_range 2 80)
+    (fun n ->
+      let spec =
+        Netlist.Generator.default_spec ~name:"t" ~cells:n ~pads:2 ~seed:n
+      in
+      let h = Netlist.Generator.generate spec in
+      let _, count = T.components h in
+      count >= 1 && count <= Hg.num_nodes h)
+
+let prop_generated_connected =
+  QCheck.Test.make ~count:30 ~name:"generator output is connected"
+    QCheck.(int_range 8 200)
+    (fun n ->
+      let spec =
+        Netlist.Generator.default_spec ~name:"t" ~cells:n ~pads:4 ~seed:(n * 3)
+      in
+      T.is_connected (Netlist.Generator.generate spec))
+
+let () =
+  Alcotest.run "traversal"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "bfs distances" `Quick test_bfs_distances;
+          Alcotest.test_case "farthest" `Quick test_farthest;
+          Alcotest.test_case "farthest isolated" `Quick test_farthest_isolated;
+          Alcotest.test_case "components" `Quick test_components;
+          Alcotest.test_case "hyperedge distance" `Quick test_hyperedge_distance;
+          Alcotest.test_case "eccentric pair" `Quick test_eccentric_pair;
+        ] );
+      ( "property",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_components_cover; prop_generated_connected ] );
+    ]

@@ -1,0 +1,183 @@
+(* Verilog: structural subset reader/writer. *)
+
+module Hg = Hypergraph.Hgraph
+module V = Netlist.Verilog
+
+let parse_ok text =
+  match V.parse_string text with
+  | Ok m -> m
+  | Error e -> Alcotest.failf "parse failed: %s" e
+
+let sample =
+  {|// tiny circuit
+module tiny (a, b, y);
+  input a, b;
+  output y;
+  wire t1;
+  AND2 g1 (a, b, t1);
+  INV g2 (t1, y);
+endmodule
+|}
+
+let test_parse_basic () =
+  let m = parse_ok sample in
+  Alcotest.(check string) "name" "tiny" m.V.mod_name;
+  let h = m.V.graph in
+  Alcotest.(check int) "cells" 2 (Hg.num_cells h);
+  Alcotest.(check int) "pads" 3 (Hg.num_pads h);
+  (* nets a, b, t1, y *)
+  Alcotest.(check int) "nets" 4 (Hg.num_nets h)
+
+let test_named_connections () =
+  let m =
+    parse_ok
+      "module n (a, y);\n input a;\n output y;\n BUF u1 (.A(a), .Y(y));\nendmodule\n"
+  in
+  Alcotest.(check int) "cells" 1 (Hg.num_cells m.V.graph);
+  Alcotest.(check int) "nets" 2 (Hg.num_nets m.V.graph)
+
+let test_parameters () =
+  let m =
+    parse_ok
+      "module p (a, y);\n input a;\n output y;\n CELL #(.SIZE(3), .FLOPS(2)) u (a, y);\nendmodule\n"
+  in
+  let h = m.V.graph in
+  Alcotest.(check int) "size" 3 (Hg.total_size h);
+  Alcotest.(check int) "flops" 2 (Hg.total_flops h)
+
+let test_assign_is_buffer () =
+  let m =
+    parse_ok "module a (x, y);\n input x;\n output y;\n assign y = x;\nendmodule\n"
+  in
+  Alcotest.(check int) "buffer cell" 1 (Hg.num_cells m.V.graph)
+
+let test_comments () =
+  let m =
+    parse_ok
+      "module c (a, y); // ports\n input a; /* multi\nline */ output y;\n BUF u (a, y);\nendmodule\n"
+  in
+  Alcotest.(check int) "cells" 1 (Hg.num_cells m.V.graph)
+
+let test_inout () =
+  let m =
+    parse_ok "module io (a, b);\n input a;\n inout b;\n BUF u (a, b);\nendmodule\n"
+  in
+  Alcotest.(check int) "pads incl. inout" 2 (Hg.num_pads m.V.graph)
+
+let test_unconnected_port () =
+  let m =
+    parse_ok
+      "module u (a, y);\n input a;\n output y;\n C g (.A(a), .B(), .Y(y));\nendmodule\n"
+  in
+  Alcotest.(check int) "cells" 1 (Hg.num_cells m.V.graph)
+
+let test_errors () =
+  let is_line_err = function
+    | Error e -> String.length e >= 4 && String.sub e 0 4 = "line"
+    | Ok _ -> false
+  in
+  Alcotest.(check bool) "no module" true
+    (is_line_err (V.parse_string "wire x;\n"));
+  Alcotest.(check bool) "missing endmodule" true
+    (is_line_err (V.parse_string "module m (a);\n input a;\n"));
+  Alcotest.(check bool) "bad decl" true
+    (is_line_err (V.parse_string "module m (a);\n input a,;\nendmodule\n"));
+  Alcotest.(check bool) "bad size" true
+    (match V.parse_string
+             "module m (a, y);\n input a;\n output y;\n C #(.SIZE(0)) u (a, y);\nendmodule\n"
+     with
+    | Error _ -> true
+    | Ok _ -> false)
+
+let test_roundtrip_sample () =
+  let m = parse_ok sample in
+  let m2 = parse_ok (V.to_string m) in
+  Alcotest.(check int) "cells" (Hg.num_cells m.V.graph) (Hg.num_cells m2.V.graph);
+  Alcotest.(check int) "pads" (Hg.num_pads m.V.graph) (Hg.num_pads m2.V.graph);
+  Alcotest.(check int) "nets" (Hg.num_nets m.V.graph) (Hg.num_nets m2.V.graph)
+
+let test_roundtrip_weights () =
+  (* weighted circuits round-trip exactly, including flip-flops *)
+  let b = Hg.Builder.create () in
+  let x = Hg.Builder.add_cell b ~flops:2 ~name:"x" ~size:3 in
+  let y = Hg.Builder.add_cell b ~name:"y" ~size:5 in
+  let p = Hg.Builder.add_pad b ~name:"p" in
+  ignore (Hg.Builder.add_net b ~name:"nx" [ x; y ]);
+  ignore (Hg.Builder.add_net b ~name:"np" [ y; p ]);
+  let h = Hg.Builder.freeze b in
+  let m2 = parse_ok (V.to_string (V.of_hypergraph ~name:"w" h)) in
+  let h2 = m2.V.graph in
+  Alcotest.(check int) "total size" (Hg.total_size h) (Hg.total_size h2);
+  Alcotest.(check int) "total flops" (Hg.total_flops h) (Hg.total_flops h2);
+  Alcotest.(check int) "nets" (Hg.num_nets h) (Hg.num_nets h2)
+
+let test_file_io () =
+  let m = parse_ok sample in
+  let path = Filename.temp_file "fpart_v" ".v" in
+  V.write_file path m;
+  (match V.parse_file path with
+  | Ok m2 -> Alcotest.(check string) "name" "tiny" m2.V.mod_name
+  | Error e -> Alcotest.failf "reparse: %s" e);
+  Sys.remove path
+
+let prop_generated_roundtrip =
+  QCheck.Test.make ~count:25 ~name:"generated circuits round-trip through Verilog"
+    QCheck.(pair (int_range 10 120) (int_range 2 24))
+    (fun (cells, pads) ->
+      let spec =
+        Netlist.Generator.default_spec ~name:"vr" ~cells ~pads ~seed:(cells * pads)
+      in
+      let h = Netlist.Generator.generate spec in
+      match V.parse_string (V.to_string (V.of_hypergraph ~name:"vr" h)) with
+      | Error _ -> false
+      | Ok m2 ->
+        let h2 = m2.V.graph in
+        Hg.num_cells h = Hg.num_cells h2
+        && Hg.num_pads h = Hg.num_pads h2
+        && Hg.num_nets h = Hg.num_nets h2
+        && Hg.total_size h = Hg.total_size h2
+        && Hg.total_flops h = Hg.total_flops h2)
+
+let prop_parser_total =
+  QCheck.Test.make ~count:300 ~name:"parser is total on arbitrary text"
+    QCheck.(string_gen_of_size (Gen.int_bound 200) Gen.printable)
+    (fun text -> match V.parse_string text with Ok _ | Error _ -> true)
+
+let prop_parser_total_veriloglike =
+  let fragment =
+    QCheck.Gen.oneofl
+      [ "module m (a);"; "input a;"; "output y;"; "wire w;"; "inout b;";
+        "BUF u (a, y);"; "C #(.SIZE(2)) i (.A(a));"; "assign y = a;";
+        "endmodule"; "// c"; "/*"; "*/"; "("; ")"; ";"; "#"; "..";
+        "module"; "assign y ="; "C u (a," ]
+  in
+  let gen = QCheck.Gen.(map (String.concat "\n") (list_size (int_bound 16) fragment)) in
+  QCheck.Test.make ~count:300 ~name:"parser is total on Verilog-like soup"
+    (QCheck.make gen)
+    (fun text ->
+      match V.parse_string text with
+      | Ok m -> Hg.validate m.V.graph = Ok ()
+      | Error _ -> true)
+
+let () =
+  Alcotest.run "verilog"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "parse basic" `Quick test_parse_basic;
+          Alcotest.test_case "named connections" `Quick test_named_connections;
+          Alcotest.test_case "parameters" `Quick test_parameters;
+          Alcotest.test_case "assign" `Quick test_assign_is_buffer;
+          Alcotest.test_case "comments" `Quick test_comments;
+          Alcotest.test_case "inout" `Quick test_inout;
+          Alcotest.test_case "unconnected port" `Quick test_unconnected_port;
+          Alcotest.test_case "errors" `Quick test_errors;
+          Alcotest.test_case "roundtrip sample" `Quick test_roundtrip_sample;
+          Alcotest.test_case "roundtrip weights" `Quick test_roundtrip_weights;
+          Alcotest.test_case "file io" `Quick test_file_io;
+        ] );
+      ( "property",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_generated_roundtrip; prop_parser_total; prop_parser_total_veriloglike ]
+      );
+    ]

@@ -1,0 +1,131 @@
+(* Xnf: Xilinx Netlist Format subset. *)
+
+module Hg = Hypergraph.Hgraph
+module Xnf = Netlist.Xnf
+
+let parse_ok ?name text =
+  match Xnf.parse_string ?name text with
+  | Ok d -> d
+  | Error e -> Alcotest.failf "parse failed: %s" e
+
+let sample =
+  {|LCANET, 4
+PROG, tool
+PART, 3020PC68
+# two gates
+SYM, g1, AND, SIZE=1
+PIN, A, I, neta
+PIN, B, I, netb
+PIN, Y, O, nett
+END
+SYM, g2, INV
+PIN, I, I, nett
+PIN, O, O, nety
+END
+EXT, neta, I
+EXT, netb, I
+EXT, nety, O
+EOF
+|}
+
+let test_parse_basic () =
+  let d = parse_ok ~name:"s" sample in
+  Alcotest.(check (option string)) "part" (Some "3020PC68") d.Xnf.part;
+  let h = d.Xnf.graph in
+  Alcotest.(check int) "cells" 2 (Hg.num_cells h);
+  Alcotest.(check int) "pads" 3 (Hg.num_pads h);
+  Alcotest.(check int) "nets" 4 (Hg.num_nets h)
+
+let test_attributes () =
+  let d =
+    parse_ok
+      "SYM, g, C, SIZE=4, FLOPS=2\nPIN, A, I, n1\nEND\nSYM, h, C\nPIN, A, I, n1\nEND\nEOF\n"
+  in
+  let hg = d.Xnf.graph in
+  Alcotest.(check int) "size" 5 (Hg.total_size hg);
+  Alcotest.(check int) "flops" 2 (Hg.total_flops hg)
+
+let test_errors () =
+  let is_err = function Error _ -> true | Ok _ -> false in
+  Alcotest.(check bool) "pin outside sym" true
+    (is_err (Xnf.parse_string "PIN, A, I, n\nEOF\n"));
+  Alcotest.(check bool) "nested sym" true
+    (is_err (Xnf.parse_string "SYM, a, C\nSYM, b, C\n"));
+  Alcotest.(check bool) "unterminated" true
+    (is_err (Xnf.parse_string "SYM, a, C\nPIN, A, I, n\n"));
+  Alcotest.(check bool) "bad size" true
+    (is_err (Xnf.parse_string "SYM, a, C, SIZE=0\nPIN, A, I, n\nEND\nEOF\n"));
+  Alcotest.(check bool) "unknown record" true
+    (is_err (Xnf.parse_string "FROB, x\n"))
+
+let test_eof_optional () =
+  let d = parse_ok "SYM, a, C\nPIN, A, I, n1\nEND\nEXT, n1, I\n" in
+  Alcotest.(check int) "cells" 1 (Hg.num_cells d.Xnf.graph)
+
+let test_roundtrip () =
+  let d = parse_ok ~name:"rt" sample in
+  let d2 = parse_ok ~name:"rt" (Xnf.to_string d) in
+  let h = d.Xnf.graph and h2 = d2.Xnf.graph in
+  Alcotest.(check int) "cells" (Hg.num_cells h) (Hg.num_cells h2);
+  Alcotest.(check int) "pads" (Hg.num_pads h) (Hg.num_pads h2);
+  Alcotest.(check int) "nets" (Hg.num_nets h) (Hg.num_nets h2);
+  Alcotest.(check (option string)) "part survives" d.Xnf.part d2.Xnf.part
+
+let test_file_io () =
+  let d = parse_ok ~name:"f" sample in
+  let path = Filename.temp_file "fpart_xnf" ".xnf" in
+  Xnf.write_file path d;
+  (match Xnf.parse_file path with
+  | Ok d2 -> Alcotest.(check int) "cells" 2 (Hg.num_cells d2.Xnf.graph)
+  | Error e -> Alcotest.failf "reparse: %s" e);
+  Sys.remove path
+
+let prop_generated_roundtrip =
+  QCheck.Test.make ~count:25 ~name:"generated circuits round-trip through XNF"
+    QCheck.(pair (int_range 10 120) (int_range 2 24))
+    (fun (cells, pads) ->
+      let spec =
+        Netlist.Generator.default_spec ~name:"xr" ~cells ~pads ~seed:(7 * cells + pads)
+      in
+      let h = Netlist.Generator.generate spec in
+      match Xnf.parse_string (Xnf.to_string (Xnf.of_hypergraph ~name:"xr" h)) with
+      | Error _ -> false
+      | Ok d2 ->
+        let h2 = d2.Xnf.graph in
+        Hg.num_cells h = Hg.num_cells h2
+        && Hg.num_pads h = Hg.num_pads h2
+        && Hg.num_nets h = Hg.num_nets h2
+        && Hg.total_size h = Hg.total_size h2
+        && Hg.total_flops h = Hg.total_flops h2)
+
+let prop_parser_total =
+  let fragment =
+    QCheck.Gen.oneofl
+      [ "LCANET, 4"; "PROG, x"; "PART, 3020"; "SYM, a, C, SIZE=2"; "SYM, a";
+        "PIN, A, I, n1"; "PIN"; "END"; "EXT, n1, I"; "EXT"; "EOF"; "#c"; "";
+        "SYM, b, C, SIZE=x"; "JUNK, 1" ]
+  in
+  let gen = QCheck.Gen.(map (String.concat "\n") (list_size (int_bound 16) fragment)) in
+  QCheck.Test.make ~count:300 ~name:"parser is total on XNF-like soup"
+    (QCheck.make gen)
+    (fun text ->
+      match Xnf.parse_string text with
+      | Ok d -> Hg.validate d.Xnf.graph = Ok ()
+      | Error _ -> true)
+
+let () =
+  Alcotest.run "xnf"
+    [
+      ( "unit",
+        [
+          Alcotest.test_case "parse basic" `Quick test_parse_basic;
+          Alcotest.test_case "attributes" `Quick test_attributes;
+          Alcotest.test_case "errors" `Quick test_errors;
+          Alcotest.test_case "EOF optional" `Quick test_eof_optional;
+          Alcotest.test_case "roundtrip" `Quick test_roundtrip;
+          Alcotest.test_case "file io" `Quick test_file_io;
+        ] );
+      ( "property",
+        List.map QCheck_alcotest.to_alcotest [ prop_generated_roundtrip; prop_parser_total ]
+      );
+    ]
