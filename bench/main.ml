@@ -3,7 +3,13 @@
    tables are produced by bin/run_experiments.exe), plus
    micro-benchmarks of the hot data structures.
 
-   Run with: dune exec bench/main.exe *)
+   Run with: dune exec bench/main.exe
+
+   Besides the stdout table, every run writes BENCH_fpart.json — the
+   machine-readable perf snapshot that perf PRs diff against.
+   Environment knobs (both optional):
+     FPART_BENCH_QUOTA  seconds of sampling per benchmark (default 1.0)
+     FPART_BENCH_ONLY   substring filter on benchmark names *)
 
 open Bechamel
 open Toolkit
@@ -165,28 +171,80 @@ let bench_hetero =
   Test.make ~name:"ext/hetero-c3540"
     (Staged.stage (fun () -> ignore (Fpart.Hetero.run (Lazy.force c3540_3000))))
 
+let all_tests =
+  [
+    bench_table1;
+    bench_table2_fpart;
+    bench_table2_kwayx;
+    bench_table2_fbbmw;
+    bench_table3;
+    bench_table4;
+    bench_table5;
+    bench_table6;
+    bench_figure1;
+    bench_figure2;
+    bench_figure3;
+    bench_state_move;
+    bench_cut_gain;
+    bench_bucket;
+    bench_fbb;
+    bench_cluster_build;
+    bench_fpart_clustered;
+    bench_hetero;
+  ]
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let quota =
+  match Sys.getenv_opt "FPART_BENCH_QUOTA" with
+  | Some s -> (
+    match float_of_string_opt s with Some q when q > 0.0 -> q | _ -> 1.0)
+  | None -> 1.0
+
 let tests =
-  Test.make_grouped ~name:"fpart"
-    [
-      bench_table1;
-      bench_table2_fpart;
-      bench_table2_kwayx;
-      bench_table2_fbbmw;
-      bench_table3;
-      bench_table4;
-      bench_table5;
-      bench_table6;
-      bench_figure1;
-      bench_figure2;
-      bench_figure3;
-      bench_state_move;
-      bench_cut_gain;
-      bench_bucket;
-      bench_fbb;
-      bench_cluster_build;
-      bench_fpart_clustered;
-      bench_hetero;
-    ]
+  let kept =
+    match Sys.getenv_opt "FPART_BENCH_ONLY" with
+    | None -> all_tests
+    | Some pat -> List.filter (fun t -> contains (Test.name t) pat) all_tests
+  in
+  if kept = [] then begin
+    prerr_endline "bench: FPART_BENCH_ONLY matched no benchmarks";
+    exit 1
+  end;
+  Test.make_grouped ~name:"fpart" kept
+
+module Json = Fpart_obs.Json
+
+let snapshot_path = "BENCH_fpart.json"
+
+let write_snapshot rows =
+  let benchmarks =
+    List.map
+      (fun (name, est) ->
+        Json.Obj
+          [
+            ("name", Json.Str name);
+            ( "time_ns",
+              match est with Some e -> Json.Float e | None -> Json.Null );
+          ])
+      rows
+  in
+  let json =
+    Json.Obj
+      [
+        ("schema", Json.Str "fpart-bench/1");
+        ("quota_s", Json.Float quota);
+        ("unix_time", Json.Float (Unix.gettimeofday ()));
+        ("benchmarks", Json.List benchmarks);
+      ]
+  in
+  let oc = open_out snapshot_path in
+  output_string oc (Json.to_string json);
+  output_char oc '\n';
+  close_out oc
 
 let () =
   let ols =
@@ -194,32 +252,41 @@ let () =
   in
   let instances = Instance.[ monotonic_clock ] in
   let cfg =
-    Benchmark.cfg ~limit:200 ~quota:(Time.second 1.0) ~stabilize:false ()
+    Benchmark.cfg ~limit:200 ~quota:(Time.second quota) ~stabilize:false ()
   in
   let raw = Benchmark.all cfg instances tests in
   let results =
     List.map (fun instance -> Analyze.all ols instance raw) instances
   in
   let merged = Analyze.merge ols instances results in
-  Printf.printf "%-42s %15s\n" "benchmark" "time/run";
-  Printf.printf "%s\n" (String.make 58 '-');
+  let rows = ref [] in
   Hashtbl.iter
     (fun _measure tbl ->
-      let rows =
-        Hashtbl.fold (fun name ols acc -> (name, ols) :: acc) tbl []
-        |> List.sort compare
+      Hashtbl.iter
+        (fun name ols ->
+          let est =
+            match Analyze.OLS.estimates ols with
+            | Some [ est ] -> Some est
+            | _ -> None
+          in
+          rows := (name, est) :: !rows)
+        tbl)
+    merged;
+  let rows = List.sort compare !rows in
+  Printf.printf "%-42s %15s\n" "benchmark" "time/run";
+  Printf.printf "%s\n" (String.make 58 '-');
+  List.iter
+    (fun (name, est) ->
+      let pretty =
+        match est with
+        | None -> "n/a"
+        | Some est ->
+          if est >= 1e9 then Printf.sprintf "%.2f s" (est /. 1e9)
+          else if est >= 1e6 then Printf.sprintf "%.2f ms" (est /. 1e6)
+          else if est >= 1e3 then Printf.sprintf "%.2f us" (est /. 1e3)
+          else Printf.sprintf "%.0f ns" est
       in
-      List.iter
-        (fun (name, ols) ->
-          match Analyze.OLS.estimates ols with
-          | Some [ est ] ->
-            let pretty =
-              if est >= 1e9 then Printf.sprintf "%.2f s" (est /. 1e9)
-              else if est >= 1e6 then Printf.sprintf "%.2f ms" (est /. 1e6)
-              else if est >= 1e3 then Printf.sprintf "%.2f us" (est /. 1e3)
-              else Printf.sprintf "%.0f ns" est
-            in
-            Printf.printf "%-42s %15s\n" name pretty
-          | _ -> Printf.printf "%-42s %15s\n" name "n/a")
-        rows)
-    merged
+      Printf.printf "%-42s %15s\n" name pretty)
+    rows;
+  write_snapshot rows;
+  Printf.printf "perf snapshot written to %s\n" snapshot_path

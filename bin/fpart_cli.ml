@@ -37,6 +37,43 @@ let load_circuit input generate seed =
 
 type algo = Algo_fpart | Algo_kwayx | Algo_fbb_mw
 
+type log_level = Quiet | Info | Debug
+
+(* Observability wiring: --trace/--stats/--log-level all enable the
+   Fpart_obs layer; the sinks compose (JSONL file + pretty stderr).
+   Info shows the algorithm narrative (trace events), debug adds the
+   span records. *)
+let setup_obs ~trace ~stats ~log_level =
+  let obs_on = stats || trace <> None || log_level <> Quiet in
+  if obs_on then begin
+    Fpart_obs.Clock.set_source Unix.gettimeofday;
+    Fpart_obs.Metrics.set_enabled true;
+    let sinks =
+      match trace with
+      | Some path -> (
+        try [ Fpart_obs.Sink.jsonl (open_out path) ]
+        with Sys_error msg ->
+          prerr_endline ("fpart: cannot open trace file: " ^ msg);
+          exit 1)
+      | None -> []
+    in
+    let sinks =
+      match log_level with
+      | Quiet -> sinks
+      | Debug -> Fpart_obs.Sink.pretty Format.err_formatter :: sinks
+      | Info ->
+        Fpart_obs.Sink.filtered
+          ~keep:(fun j ->
+            Fpart_obs.Json.member "type" j = Some (Fpart_obs.Json.Str "trace"))
+          (Fpart_obs.Sink.pretty Format.err_formatter)
+        :: sinks
+    in
+    match sinks with
+    | [] -> () (* --stats alone: metrics on, no record stream *)
+    | [ s ] -> Fpart_obs.Sink.set s
+    | sinks -> Fpart_obs.Sink.set (Fpart_obs.Sink.tee sinks)
+  end
+
 let algo_conv =
   let parse = function
     | "fpart" -> Ok Algo_fpart
@@ -60,15 +97,16 @@ let partition algo hg device delta seed runs cluster =
       { Fpart.Config.default with delta; seed; cluster_size = cluster }
     in
     let r = Fpart.Driver.run_best ~config ~runs hg device in
-    (r.Fpart.Driver.k, r.Fpart.Driver.assignment, r.Fpart.Driver.feasible)
+    (r.Fpart.Driver.k, r.Fpart.Driver.assignment, r.Fpart.Driver.feasible,
+     r.Fpart.Driver.trace)
   | Algo_kwayx ->
     let r = Fpart.Kwayx.run ?delta hg device in
-    (r.Fpart.Kwayx.k, r.Fpart.Kwayx.assignment, r.Fpart.Kwayx.feasible)
+    (r.Fpart.Kwayx.k, r.Fpart.Kwayx.assignment, r.Fpart.Kwayx.feasible, [])
   | Algo_fbb_mw ->
     let d = match delta with Some d -> d | None -> Device.paper_delta device in
     let cfg = { Flow.Fbb_mw.default_config with delta = d; rng_seed = seed } in
     let r = Flow.Fbb_mw.partition hg device cfg in
-    (r.Flow.Fbb_mw.k, r.Flow.Fbb_mw.assignment, r.Flow.Fbb_mw.feasible)
+    (r.Flow.Fbb_mw.k, r.Flow.Fbb_mw.assignment, r.Flow.Fbb_mw.feasible, [])
 
 let write_blocks prefix name hg assignment k =
   for b = 0 to k - 1 do
@@ -128,7 +166,9 @@ let check_mode path hg device delta =
       Format.printf "%a" Partition.Check.pp report;
       if report.Partition.Check.feasible then Ok () else Error "partition is infeasible")
 
-let main input generate device_name delta algo seed runs cluster output save check board dot =
+let main input generate device_name delta algo seed runs cluster output save check board
+    dot trace stats log_level trace_log =
+  setup_obs ~trace ~stats ~log_level;
   let result =
     match Device.find device_name with
     | None ->
@@ -144,7 +184,7 @@ let main input generate device_name delta algo seed runs cluster output save che
           let d = match delta with Some d -> d | None -> Device.paper_delta device in
           check_mode path hg device d
         | None ->
-        let k, assignment, feasible =
+        let k, assignment, feasible, trace_events =
           partition algo hg device delta seed runs cluster
         in
         let st = Partition.State.create hg ~k ~assign:(fun v -> assignment.(v)) in
@@ -160,6 +200,16 @@ let main input generate device_name delta algo seed runs cluster output save che
         let report = Partition.Check.of_state st ~ctx in
         Format.printf "%a" Partition.Check.pp report;
         if board then Format.printf "%a" (fun ppf -> Partition.Quotient.pp_report ppf ~t_max:device.Device.t_max) st;
+        if trace_log then begin
+          if trace_events = [] then
+            Format.printf "trace log: no events recorded for this algorithm@."
+          else begin
+            Format.printf "trace log:@.";
+            List.iter
+              (fun e -> Format.printf "  %a@." Fpart.Trace.pp_event e)
+              trace_events
+          end
+        end;
         (match dot with
         | Some path ->
           Hypergraph.Dot.write_file path ~assignment ~name hg;
@@ -180,6 +230,8 @@ let main input generate device_name delta algo seed runs cluster output save che
         | None -> ());
         Ok ()))
   in
+  if stats then Format.eprintf "%a" Fpart_obs.Metrics.pp_report ();
+  Fpart_obs.Sink.close_current ();
   match result with
   | Ok () -> 0
   | Error e ->
@@ -262,12 +314,40 @@ let dot =
     & info [ "dot" ] ~docv:"FILE"
         ~doc:"Write a Graphviz rendering of the circuit coloured by block to FILE.")
 
+let trace =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE.jsonl"
+        ~doc:
+          "Stream observability records (driver/improve spans, trace events) to FILE as JSON Lines.")
+
+let stats =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:"Print the metrics report (counters, span histograms) to stderr at exit.")
+
+let log_level =
+  Arg.(
+    value
+    & opt (enum [ ("quiet", Quiet); ("info", Info); ("debug", Debug) ]) Quiet
+    & info [ "log-level" ] ~docv:"LEVEL"
+        ~doc:
+          "Narrate the run on stderr: $(b,quiet) (default), $(b,info) (algorithm trace events) or $(b,debug) (everything, including spans).")
+
+let trace_log =
+  Arg.(
+    value & flag
+    & info [ "trace-log" ]
+        ~doc:"Print the recorded driver event log (human-readable) after the report.")
+
 let cmd =
   let doc = "multi-way FPGA netlist partitioning (FPART reproduction)" in
   Cmd.v
     (Cmd.info "fpart" ~doc)
     Term.(
       const main $ input $ generate $ device $ delta $ algo $ seed $ runs $ cluster
-      $ output $ save $ check $ board $ dot)
+      $ output $ save $ check $ board $ dot $ trace $ stats $ log_level $ trace_log)
 
 let () = exit (Cmd.eval' cmd)

@@ -86,3 +86,31 @@ A partition checked against a too-small device fails:
 
   $ fpart --generate 120x16 --device XC3020 --seed 7 --check rt.part 2>&1 | tail -1
   fpart: partition is infeasible
+
+Observability: --stats prints a metrics report on stderr and --trace
+streams span/trace records as JSON Lines:
+
+  $ fpart --generate 200x24 --device XC2064 --seed 7 --stats --trace out.jsonl > /dev/null 2> stats.txt
+  $ head -1 stats.txt
+  == fpart_obs metrics ==
+  $ grep -q "driver.iterations" stats.txt && echo have-iteration-counter
+  have-iteration-counter
+  $ grep -c '"name":"driver.run"' out.jsonl
+  1
+  $ grep -q '"name":"driver.iteration"' out.jsonl && echo have-iteration-spans
+  have-iteration-spans
+  $ grep -q '"name":"improve.pass"' out.jsonl && echo have-improve-spans
+  have-improve-spans
+  $ grep -q '"type":"trace"' out.jsonl && echo have-trace-events
+  have-trace-events
+
+--trace-log prints the recorded driver event log after the report:
+
+  $ fpart --generate 120x16 --device XC3090 --seed 7 --trace-log | tail -2
+  trace log:
+    done after 0 iterations: k=1 feasible=true
+
+Without observability flags nothing extra is printed:
+
+  $ fpart --generate 120x16 --device XC3090 --seed 7 2>&1 | wc -l
+  4

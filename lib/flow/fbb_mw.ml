@@ -1,5 +1,12 @@
 module Hg = Hypergraph.Hgraph
 module Rng = Prng.Splitmix
+module Obs = Fpart_obs.Metrics
+module Json = Fpart_obs.Json
+
+let c_runs = Obs.counter "fbb_mw.runs"
+let c_carves = Obs.counter "fbb_mw.carves"
+let c_attempts = Obs.counter "fbb_mw.fbb_attempts"
+let c_greedy = Obs.counter "fbb_mw.greedy_carves"
 
 type config = {
   delta : float;
@@ -121,6 +128,8 @@ let refine_boundary hg assigned ~b ~s_max ~passes =
   end
 
 let partition hg device config =
+  Obs.incr c_runs;
+  let sp_run = Obs.span_begin () in
   let s_max = Device.s_max device ~delta:config.delta in
   let t_max = device.Device.t_max in
   let n = Hg.num_nodes hg in
@@ -138,6 +147,7 @@ let partition hg device config =
     Array.of_list !out
   in
   let carve () =
+    Obs.incr c_carves;
     (* try FBB with progressively tighter windows and fresh seeds *)
     let best : (bool array * int) option ref = ref None in
     let consider side =
@@ -149,6 +159,7 @@ let partition hg device config =
     in
     let rem = remaining_nodes () in
     let attempt a =
+      Obs.incr c_attempts;
       let hi =
         max 1 (int_of_float (float_of_int s_max *. (0.88 ** float_of_int a)))
       in
@@ -164,6 +175,7 @@ let partition hg device config =
         match !best with
         | Some (side, _) -> side
         | None ->
+          Obs.incr c_greedy;
           let start = far_node hg ~keep rem.(0) in
           greedy_carve hg ~keep ~start ~hi:s_max
       else
@@ -211,4 +223,6 @@ let partition hg device config =
       || Partition.State.pins_of st i > t_max
     then feasible := false
   done;
+  Obs.span_end sp_run ~name:"fbb_mw.run"
+    ~attrs:[ ("k", Json.Int k); ("feasible", Json.Bool !feasible) ];
   { assignment = assigned; k; feasible = !feasible; cut = Partition.State.cut_size st }

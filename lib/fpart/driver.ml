@@ -1,6 +1,11 @@
 module Hg = Hypergraph.Hgraph
 module State = Partition.State
 module Cost = Partition.Cost
+module Obs = Fpart_obs.Metrics
+module Json = Fpart_obs.Json
+
+let c_runs = Obs.counter "driver.runs"
+let c_iterations = Obs.counter "driver.iterations"
 
 type result = {
   k : int;
@@ -22,6 +27,8 @@ let swap_labels assign a b =
 
 let run_flat config hg device =
   let t0 = Sys.time () in
+  Obs.incr c_runs;
+  let sp_run = Obs.span_begin () in
   let rng = Prng.Splitmix.create config.Config.seed in
   let delta = Config.delta_for config device in
   let ctx = Cost.context_of device ~delta hg in
@@ -33,6 +40,14 @@ let run_flat config hg device =
   let finish ~k ~feasible ~iterations =
     let st = State.create hg ~k ~assign:(fun v -> assign.(v)) in
     Trace.record trace (Trace.Done { iterations; k; feasible });
+    Obs.span_end sp_run ~name:"driver.run"
+      ~attrs:
+        [
+          ("k", Json.Int k);
+          ("feasible", Json.Bool feasible);
+          ("iterations", Json.Int iterations);
+          ("m_lower", Json.Int m);
+        ];
     {
       k;
       assignment = Array.copy assign;
@@ -62,6 +77,8 @@ let run_flat config hg device =
           (* unsplittable remainder *)
           finish ~k:(j + 1) ~feasible:false ~iterations:j
         else begin
+          Obs.incr c_iterations;
+          let sp_it = Obs.span_begin () in
           let method_used =
             if config.Config.random_initial then begin
               Bipartition.random_split st ~p_block:j ~r_block:r
@@ -82,6 +99,8 @@ let run_flat config hg device =
                  r_block = r;
                  method_used = Bipartition.method_name method_used;
                });
+          Obs.incr
+            (Obs.counter ("driver.method." ^ Bipartition.method_name method_used));
           let blocks_now = j + 2 in
           let allow_violation = blocks_now < m in
           (* improvement schedule of section 3.1 *)
@@ -113,6 +132,13 @@ let run_flat config hg device =
                  size = State.size_of st j;
                  pins = State.pins_of st j;
                });
+          Obs.span_end sp_it ~name:"driver.iteration"
+            ~attrs:
+              [
+                ("iteration", Json.Int iteration);
+                ("method", Json.Str (Bipartition.method_name method_used));
+                ("blocks", Json.Int blocks_now);
+              ];
           match Cost.classify ctx st with
           | Cost.Feasible -> finish ~k:blocks_now ~feasible:true ~iterations:iteration
           | Cost.Semi_feasible b ->
@@ -160,7 +186,9 @@ let run_clustered config hg device ~max_cluster_size =
   let st = State.create hg ~k:coarse.k ~assign:(fun v -> assign.(v)) in
   let delta = Config.delta_for config device in
   let ctx = Cost.context_of device ~delta hg in
+  let sp = Obs.span_begin () in
   refine_flat config ctx st;
+  Obs.span_end sp ~name:"driver.refine" ~attrs:[ ("k", Json.Int coarse.k) ];
   let feasible = Cost.classify ctx st = Cost.Feasible in
   {
     coarse with

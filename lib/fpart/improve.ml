@@ -25,13 +25,27 @@ let windows t st ~remainder ~allow_violation ~two_block =
   done;
   (lower, upper)
 
+module Obs = Fpart_obs.Metrics
+module Json = Fpart_obs.Json
+
 let run t st ~iteration ~remainder ~active ~allow_violation ~two_block ~kind =
   let lower, upper = windows t st ~remainder ~allow_violation ~two_block in
   let spec = { Sanchis.active; remainder = Some remainder; lower; upper } in
   let eval st =
     Cost.evaluate t.params t.ctx st ~remainder:(Some remainder) ~step_k:iteration
   in
+  let sp = Obs.span_begin () in
   let report = Sanchis.improve st ~spec ~config:(Config.engine t.cfg) ~eval in
+  Obs.span_end sp ~name:"improve.pass"
+    ~attrs:
+      [
+        ("iteration", Json.Int iteration);
+        ("kind", Json.Str (Trace.kind_name kind));
+        ("blocks", Json.List (Array.to_list (Array.map (fun b -> Json.Int b) active)));
+        ("passes", Json.Int report.Sanchis.passes_run);
+        ("moves", Json.Int report.Sanchis.moves_applied);
+        ("restarts", Json.Int report.Sanchis.restarts);
+      ];
   Trace.record t.trace
     (Trace.Improve
        {

@@ -23,7 +23,70 @@ type event =
 type t = { mutable rev_events : event list }
 
 let create () = { rev_events = [] }
-let record t e = t.rev_events <- e :: t.rev_events
+
+let kind_name = function
+  | Pair_latest -> "pair_latest"
+  | All_blocks -> "all_blocks"
+  | Min_size -> "min_size"
+  | Min_io -> "min_io"
+  | Max_free -> "max_free"
+  | Final_pairs -> "final_pairs"
+
+module Json = Fpart_obs.Json
+
+let value_to_json (v : Partition.Cost.value) =
+  Json.Obj
+    [
+      ("feasible_blocks", Json.Int v.Partition.Cost.feasible_blocks);
+      ("distance", Json.Float v.Partition.Cost.distance);
+      ("t_sum", Json.Int v.Partition.Cost.t_sum);
+      ("io_bal", Json.Float v.Partition.Cost.io_bal);
+    ]
+
+let to_json e =
+  let trace event fields =
+    Json.Obj (("type", Json.Str "trace") :: ("event", Json.Str event) :: fields)
+  in
+  match e with
+  | Bipartition { iteration; p_block; r_block; method_used } ->
+    trace "bipartition"
+      [
+        ("iteration", Json.Int iteration);
+        ("p_block", Json.Int p_block);
+        ("r_block", Json.Int r_block);
+        ("method", Json.Str method_used);
+      ]
+  | Improve { iteration; kind; blocks; value; passes; moves; restarts } ->
+    trace "improve"
+      [
+        ("iteration", Json.Int iteration);
+        ("kind", Json.Str (kind_name kind));
+        ("blocks", Json.List (List.map (fun b -> Json.Int b) blocks));
+        ("value", value_to_json value);
+        ("passes", Json.Int passes);
+        ("moves", Json.Int moves);
+        ("restarts", Json.Int restarts);
+      ]
+  | Committed { iteration; block; size; pins } ->
+    trace "committed"
+      [
+        ("iteration", Json.Int iteration);
+        ("block", Json.Int block);
+        ("size", Json.Int size);
+        ("pins", Json.Int pins);
+      ]
+  | Done { iterations; k; feasible } ->
+    trace "done"
+      [
+        ("iterations", Json.Int iterations);
+        ("k", Json.Int k);
+        ("feasible", Json.Bool feasible);
+      ]
+
+let record t e =
+  t.rev_events <- e :: t.rev_events;
+  if Fpart_obs.Metrics.enabled () then Fpart_obs.Sink.emit (to_json e)
+
 let events t = List.rev t.rev_events
 
 let pp_kind ppf = function

@@ -36,3 +36,13 @@ val events : t -> event list
 
 val pp_kind : Format.formatter -> pass_kind -> unit
 val pp_event : Format.formatter -> event -> unit
+
+(** Stable machine-readable name of a pass kind ([pair_latest],
+    [all_blocks], …) — the [kind] field of the JSON encoding. *)
+val kind_name : pass_kind -> string
+
+(** JSON encoding of an event:
+    [{"type":"trace","event":"bipartition"|"improve"|"committed"|"done",…}].
+    [record] also emits this encoding to the current [Fpart_obs.Sink]
+    whenever observability is enabled. *)
+val to_json : event -> Fpart_obs.Json.t

@@ -3,6 +3,20 @@
    a bucket head; [next.(c)] the successor or -1.  [gain.(c)] is only
    meaningful when [present.(c)]. *)
 
+(* Always-on workload counters (plain int increments, see Fpart_obs).
+   "scans" counts fold_top calls, "scanned_cells" the cells they
+   visited, "settle_steps" the empty buckets skipped while lowering
+   [top] — together they expose how much bucket-walking a pass pays. *)
+module Obs = Fpart_obs.Metrics
+
+let c_inserts = Obs.counter "bucket.inserts"
+let c_removes = Obs.counter "bucket.removes"
+let c_updates = Obs.counter "bucket.updates"
+let c_clears = Obs.counter "bucket.clears"
+let c_scans = Obs.counter "bucket.scans"
+let c_scanned = Obs.counter "bucket.scanned_cells"
+let c_settle = Obs.counter "bucket.settle_steps"
+
 type discipline = Lifo | Fifo
 
 type t = {
@@ -65,6 +79,7 @@ let insert t cell g =
   t.gain.(cell) <- g;
   t.present.(cell) <- true;
   t.count <- t.count + 1;
+  Obs.incr c_inserts;
   if i > t.top then t.top <- i
 
 let remove t cell =
@@ -76,12 +91,14 @@ let remove t cell =
     t.present.(cell) <- false;
     t.prev.(cell) <- -1;
     t.next.(cell) <- -1;
-    t.count <- t.count - 1
+    t.count <- t.count - 1;
+    Obs.incr c_removes
   end
 
 let update t cell g =
   if not t.present.(cell) then invalid_arg "Bucket_array.update: absent cell";
   if g <> t.gain.(cell) then begin
+    Obs.incr c_updates;
     remove t cell;
     insert t cell g
   end
@@ -95,6 +112,7 @@ let settle_top t =
   if t.count = 0 then t.top <- -1
   else begin
     while t.top >= 0 && t.head.(t.top) < 0 do
+      Obs.incr c_settle;
       t.top <- t.top - 1
     done
   end
@@ -107,6 +125,7 @@ let fold_top t ~limit ~init ~f =
   settle_top t;
   if t.top < 0 then init
   else begin
+    Obs.incr c_scans;
     let acc = ref init in
     let cell = ref t.head.(t.top) in
     let n = ref 0 in
@@ -115,6 +134,7 @@ let fold_top t ~limit ~init ~f =
       cell := t.next.(!cell);
       incr n
     done;
+    Obs.add c_scanned !n;
     !acc
   end
 
@@ -122,6 +142,7 @@ let iter t f =
   Array.iteri (fun c p -> if p then f c) t.present
 
 let clear t =
+  Obs.incr c_clears;
   Array.fill t.head 0 (Array.length t.head) (-1);
   Array.fill t.tail 0 (Array.length t.tail) (-1);
   Array.fill t.present 0 (Array.length t.present) false;

@@ -1,0 +1,3 @@
+let source = ref Sys.time
+let now () = !source ()
+let set_source f = source := f

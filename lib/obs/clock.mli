@@ -1,0 +1,9 @@
+(** Time source for spans.
+
+    [now ()] returns seconds on a non-decreasing clock.  The default
+    source is [Sys.time] (process CPU time) so the library stays
+    dependency-free; executables that link [unix] install a wall clock
+    with [set_source Unix.gettimeofday] at startup. *)
+
+val now : unit -> float
+val set_source : (unit -> float) -> unit

@@ -1,0 +1,154 @@
+let enabled_flag = ref false
+let set_enabled b = enabled_flag := b
+let enabled () = !enabled_flag
+
+type counter = { c_name : string; mutable n : int }
+
+type histogram = {
+  h_name : string;
+  mutable samples : float array;
+  mutable len : int;
+}
+
+let counters : (string, counter) Hashtbl.t = Hashtbl.create 32
+let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 32
+
+let counter name =
+  match Hashtbl.find_opt counters name with
+  | Some c -> c
+  | None ->
+    let c = { c_name = name; n = 0 } in
+    Hashtbl.add counters name c;
+    c
+
+let incr c = c.n <- c.n + 1
+let add c k = c.n <- c.n + k
+let counter_value c = c.n
+
+let histogram name =
+  match Hashtbl.find_opt histograms name with
+  | Some h -> h
+  | None ->
+    let h = { h_name = name; samples = [||]; len = 0 } in
+    Hashtbl.add histograms name h;
+    h
+
+let observe h x =
+  if !enabled_flag then begin
+    if h.len = Array.length h.samples then begin
+      let grown = Array.make (max 64 (2 * h.len)) 0.0 in
+      Array.blit h.samples 0 grown 0 h.len;
+      h.samples <- grown
+    end;
+    h.samples.(h.len) <- x;
+    h.len <- h.len + 1
+  end
+
+let count h = h.len
+
+let sorted_samples h =
+  let a = Array.sub h.samples 0 h.len in
+  Array.sort compare a;
+  a
+
+let quantile h p =
+  if h.len = 0 then Float.nan
+  else begin
+    let a = sorted_samples h in
+    (* nearest rank: the ⌈p·N⌉-th smallest sample *)
+    let i = int_of_float (Float.ceil (p *. float_of_int h.len)) - 1 in
+    a.(max 0 (min (h.len - 1) i))
+  end
+
+let hist_max h =
+  if h.len = 0 then Float.nan
+  else begin
+    let m = ref h.samples.(0) in
+    for i = 1 to h.len - 1 do
+      if h.samples.(i) > !m then m := h.samples.(i)
+    done;
+    !m
+  end
+
+let hist_mean h =
+  if h.len = 0 then Float.nan
+  else begin
+    let s = ref 0.0 in
+    for i = 0 to h.len - 1 do
+      s := !s +. h.samples.(i)
+    done;
+    !s /. float_of_int h.len
+  end
+
+type span = float
+
+let span_begin () = if !enabled_flag then Clock.now () else -1.0
+
+let span_end t0 ~name ~attrs =
+  if t0 >= 0.0 then begin
+    let dur_ms = (Clock.now () -. t0) *. 1000.0 in
+    observe (histogram name) dur_ms;
+    Sink.emit
+      (Json.Obj
+         (("type", Json.Str "span")
+         :: ("name", Json.Str name)
+         :: ("dur_ms", Json.Float dur_ms)
+         :: attrs))
+  end
+
+let sorted_values tbl =
+  Hashtbl.fold (fun _ v acc -> v :: acc) tbl []
+
+let active_counters () =
+  sorted_values counters
+  |> List.filter (fun c -> c.n <> 0)
+  |> List.sort (fun a b -> compare a.c_name b.c_name)
+
+let active_histograms () =
+  sorted_values histograms
+  |> List.filter (fun h -> h.len > 0)
+  |> List.sort (fun a b -> compare a.h_name b.h_name)
+
+let hist_summary h =
+  Json.Obj
+    [
+      ("count", Json.Int h.len);
+      ("mean", Json.Float (hist_mean h));
+      ("p50", Json.Float (quantile h 0.5));
+      ("p95", Json.Float (quantile h 0.95));
+      ("max", Json.Float (hist_max h));
+    ]
+
+let report () =
+  Json.Obj
+    [
+      ("type", Json.Str "metrics");
+      ( "counters",
+        Json.Obj (List.map (fun c -> (c.c_name, Json.Int c.n)) (active_counters ())) );
+      ( "histograms",
+        Json.Obj (List.map (fun h -> (h.h_name, hist_summary h)) (active_histograms ()))
+      );
+    ]
+
+let pp_report ppf () =
+  Format.fprintf ppf "== fpart_obs metrics ==@.";
+  let cs = active_counters () and hs = active_histograms () in
+  if cs <> [] then begin
+    Format.fprintf ppf "counters:@.";
+    List.iter (fun c -> Format.fprintf ppf "  %-32s %12d@." c.c_name c.n) cs
+  end;
+  if hs <> [] then begin
+    Format.fprintf ppf "histograms:@.";
+    Format.fprintf ppf "  %-32s %9s %9s %9s %9s %9s@." "" "count" "mean" "p50"
+      "p95" "max";
+    List.iter
+      (fun h ->
+        Format.fprintf ppf "  %-32s %9d %9.3f %9.3f %9.3f %9.3f@." h.h_name
+          h.len (hist_mean h) (quantile h 0.5) (quantile h 0.95) (hist_max h))
+      hs
+  end;
+  if cs = [] && hs = [] then Format.fprintf ppf "  (no activity recorded)@."
+
+let reset () =
+  Hashtbl.iter (fun _ c -> c.n <- 0) counters;
+  Hashtbl.iter (fun _ h -> h.len <- 0) histograms

@@ -1,0 +1,78 @@
+(** Process-wide metrics registry: counters, histograms and spans.
+
+    Designed so that instrumentation can stay in the hot paths
+    permanently:
+
+    - counters are plain [int] field increments, always on, never
+      allocating — cheap enough for per-move / per-bucket-operation
+      call sites;
+    - histogram observations and spans are gated on {!enabled} and cost
+      one branch when the layer is off (spans additionally skip the
+      clock read);
+    - sinks only see records when {!enabled} is set.
+
+    Counters and histograms are interned by name: creating the same
+    name twice returns the same instrument, so modules can create their
+    instruments at initialisation time without coordination. *)
+
+val set_enabled : bool -> unit
+val enabled : unit -> bool
+
+(** {1 Counters} *)
+
+type counter
+
+(** [counter name] interns a monotonically increasing counter. *)
+val counter : string -> counter
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val counter_value : counter -> int
+
+(** {1 Histograms} *)
+
+type histogram
+
+(** [histogram name] interns a histogram of float samples (span
+    durations are recorded in milliseconds; other instruments document
+    their own unit). *)
+val histogram : string -> histogram
+
+(** No-op unless {!enabled}. *)
+val observe : histogram -> float -> unit
+
+val count : histogram -> int
+
+(** [quantile h p] for [p] in [0,1] by nearest rank; [nan] when empty. *)
+val quantile : histogram -> float -> float
+
+val hist_max : histogram -> float
+val hist_mean : histogram -> float
+
+(** {1 Spans}
+
+    A span is a start timestamp; {!span_begin} returns a negative
+    sentinel when the layer is disabled and {!span_end} is then a
+    no-op.  Ending a span records its duration (ms) in the histogram
+    interned under [name] and emits a
+    [{"type":"span","name":...,"dur_ms":...,<attrs>}] record to the
+    current {!Sink}. *)
+
+type span = float
+
+val span_begin : unit -> span
+val span_end : span -> name:string -> attrs:(string * Json.t) list -> unit
+
+(** {1 Reporting} *)
+
+(** Snapshot of every non-idle instrument as a JSON object
+    [{"type":"metrics","counters":{...},"histograms":{name:{count,mean,p50,p95,max}}}],
+    names sorted. *)
+val report : unit -> Json.t
+
+(** Human-readable rendering of {!report}. *)
+val pp_report : Format.formatter -> unit -> unit
+
+(** Zero every counter and empty every histogram (instruments stay
+    registered). *)
+val reset : unit -> unit

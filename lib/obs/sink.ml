@@ -1,0 +1,57 @@
+type t = { emit : Json.t -> unit; close : unit -> unit }
+
+let null = { emit = ignore; close = ignore }
+
+let jsonl oc =
+  {
+    emit =
+      (fun j ->
+        output_string oc (Json.to_string j);
+        output_char oc '\n');
+    close =
+      (fun () ->
+        flush oc;
+        if oc != stdout && oc != stderr then close_out oc);
+  }
+
+(* key=value one-liners; nested values fall back to compact JSON. *)
+let pretty ppf =
+  let pp_field ppf (k, v) =
+    match v with
+    | Json.Str s -> Format.fprintf ppf "%s=%s" k s
+    | Json.Float f -> Format.fprintf ppf "%s=%.3f" k f
+    | v -> Format.fprintf ppf "%s=%s" k (Json.to_string v)
+  in
+  {
+    emit =
+      (fun j ->
+        match j with
+        | Json.Obj fields ->
+          Format.fprintf ppf "%a@."
+            (Format.pp_print_list ~pp_sep:Format.pp_print_space pp_field)
+            fields
+        | j -> Format.fprintf ppf "%s@." (Json.to_string j));
+    close = (fun () -> Format.pp_print_flush ppf ());
+  }
+
+let tee sinks =
+  {
+    emit = (fun j -> List.iter (fun s -> s.emit j) sinks);
+    close = (fun () -> List.iter (fun s -> s.close ()) sinks);
+  }
+
+let filtered ~keep s =
+  { emit = (fun j -> if keep j then s.emit j); close = s.close }
+
+let memory () =
+  let acc = ref [] in
+  ( { emit = (fun j -> acc := j :: !acc); close = ignore },
+    fun () -> List.rev !acc )
+
+let current = ref null
+let set s = current := s
+let emit j = !current.emit j
+
+let close_current () =
+  !current.close ();
+  current := null

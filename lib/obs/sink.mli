@@ -1,0 +1,40 @@
+(** Pluggable destinations for observability records.
+
+    Every record is one {!Json.t} object (spans from {!Metrics}, trace
+    events from [Fpart.Trace], reports).  Instrumented code emits to a
+    single process-wide current sink; composing sinks ([tee],
+    [filtered]) is the caller's job.  The default sink is {!null}, so
+    emission is a no-op until a CLI / bench / test installs one. *)
+
+type t = {
+  emit : Json.t -> unit;
+  close : unit -> unit;  (** Flush and release resources. *)
+}
+
+(** Drops everything. *)
+val null : t
+
+(** One compact JSON object per line. [close] flushes; the channel is
+    closed unless it is stdout/stderr. *)
+val jsonl : out_channel -> t
+
+(** Human-readable one-liners ([key=value] pairs) on a formatter. *)
+val pretty : Format.formatter -> t
+
+(** Fan out to several sinks. *)
+val tee : t list -> t
+
+(** Forward only records satisfying [keep]. *)
+val filtered : keep:(Json.t -> bool) -> t -> t
+
+(** In-memory capture for tests: the second component lists the records
+    emitted so far, in order. *)
+val memory : unit -> t * (unit -> Json.t list)
+
+(** {1 Process-wide current sink} *)
+
+val set : t -> unit
+val emit : Json.t -> unit
+
+(** Close the current sink and reset to {!null}. *)
+val close_current : unit -> unit

@@ -4,6 +4,16 @@ module Cost = Partition.Cost
 module Snapshot = Partition.Snapshot
 module Stack = Partition.Solution_stack
 module Bucket = Gainbucket.Bucket_array
+module Obs = Fpart_obs.Metrics
+
+(* Engine workload counters (always on) and the gain distribution of
+   the applied moves (recorded only while observability is enabled). *)
+let c_improves = Obs.counter "sanchis.improve_calls"
+let c_passes = Obs.counter "sanchis.passes"
+let c_moves = Obs.counter "sanchis.moves"
+let c_rewound = Obs.counter "sanchis.rewound_moves"
+let c_restarts = Obs.counter "sanchis.restarts"
+let h_move_gain = Obs.histogram "sanchis.move_gain"
 
 type gain_mode = Cut_gain | Pin_gain
 
@@ -177,6 +187,7 @@ let update_cell ctx v =
 type candidate = {
   cand_cell : int;
   cand_to : int;
+  cand_gain : int;            (* primary gain (the bucket it came from) *)
   cand_lookahead : int list;  (* gains at levels 2..gain_levels *)
   cand_bal : int;
 }
@@ -239,7 +250,13 @@ let select ctx stash =
                 in
                 let bal = State.size_of ctx.st a - State.size_of ctx.st b in
                 let c =
-                  { cand_cell = v; cand_to = b; cand_lookahead = lookahead; cand_bal = bal }
+                  {
+                    cand_cell = v;
+                    cand_to = b;
+                    cand_gain = !best_gain;
+                    cand_lookahead = lookahead;
+                    cand_bal = bal;
+                  }
                 in
                 if better_candidate ~salt:ctx.cfg.tie_salt c !best then best := Some c
               end)
@@ -287,6 +304,7 @@ let offer_to_stacks ~k ~semi ~infeasible snap =
    the best prefix.  When [collect] is set, improvement points are
    offered to the stacks. *)
 let run_pass ctx ~collect ~semi ~infeasible =
+  Obs.incr c_passes;
   let st = ctx.st in
   Array.fill ctx.locked 0 (Array.length ctx.locked) false;
   Array.iter (fun cnt -> Array.fill cnt 0 (Array.length cnt) 0) ctx.locked_cnt;
@@ -313,7 +331,9 @@ let run_pass ctx ~collect ~semi ~infeasible =
     stash := [];
     match select ctx stash with
     | None -> continue := false
-    | Some { cand_cell = v; cand_to = b; _ } ->
+    | Some { cand_cell = v; cand_to = b; cand_gain; _ } ->
+      Obs.incr c_moves;
+      Obs.observe h_move_gain (float_of_int cand_gain);
       let a = State.block_of st v in
       remove_cell ctx v;
       State.move st v b;
@@ -361,6 +381,7 @@ let run_pass ctx ~collect ~semi ~infeasible =
       end
   in
   rewind !n_moves !trail;
+  Obs.add c_rewound (!n_moves - !best_prefix);
   (!best_value, !best_prefix)
 
 (* A series of passes from the current solution; stops when a pass fails
@@ -380,6 +401,7 @@ let run_execution ctx ~collect ~semi ~infeasible =
   (!best, !passes, !moves)
 
 let improve st ~spec ~config ~eval =
+  Obs.incr c_improves;
   let ctx = make_ctx st spec config eval in
   let depth = max config.stack_depth 1 in
   let semi = Stack.create ~depth and infeasible = Stack.create ~depth in
@@ -394,6 +416,7 @@ let improve st ~spec ~config ~eval =
       (* Skip restarts that coincide with the retained solution. *)
       if not (Snapshot.same_assignment snap !global_best) then begin
         incr restarts;
+        Obs.incr c_restarts;
         Snapshot.restore snap st;
         let value, p, m =
           run_execution ctx ~collect:false ~semi ~infeasible

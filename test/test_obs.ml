@@ -1,0 +1,255 @@
+(* Fpart_obs: JSON round-trips, metrics registry semantics, and the
+   driver instrumentation contract (every Improve event wrapped in a
+   matching improve.pass span). *)
+
+module Json = Fpart_obs.Json
+module Metrics = Fpart_obs.Metrics
+module Sink = Fpart_obs.Sink
+
+let with_obs f =
+  (* capture records in memory with the layer enabled, then restore the
+     disabled default whatever happens *)
+  let sink, drain = Sink.memory () in
+  Metrics.reset ();
+  Metrics.set_enabled true;
+  Sink.set sink;
+  Fun.protect
+    ~finally:(fun () ->
+      Metrics.set_enabled false;
+      Sink.set Sink.null;
+      Metrics.reset ())
+    (fun () -> f drain)
+
+(* --- Json --- *)
+
+let sample =
+  Json.Obj
+    [
+      ("null", Json.Null);
+      ("bools", Json.List [ Json.Bool true; Json.Bool false ]);
+      ("int", Json.Int (-42));
+      ("float", Json.Float 1.5);
+      ("int_float", Json.Float 3.0);
+      ("tiny", Json.Float 6.103515625e-05);
+      ("str", Json.Str "a \"quoted\"\nline\twith\\controls\x01");
+      ("nested", Json.Obj [ ("empty_list", Json.List []); ("empty_obj", Json.Obj []) ]);
+    ]
+
+let test_json_roundtrip () =
+  match Json.of_string (Json.to_string sample) with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok parsed ->
+    Alcotest.(check string) "round trip" (Json.to_string sample) (Json.to_string parsed);
+    Alcotest.(check bool) "structural equality" true (sample = parsed)
+
+let test_json_escapes () =
+  Alcotest.(check string)
+    "escaped" "\"a\\\"b\\\\c\\nd\\u0001\""
+    (Json.to_string (Json.Str "a\"b\\c\nd\x01"));
+  (match Json.of_string "\"\\u0041\\u00e9\"" with
+  | Ok (Json.Str s) -> Alcotest.(check string) "unicode escapes" "A\xc3\xa9" s
+  | _ -> Alcotest.fail "unicode escape parse");
+  Alcotest.(check string) "non-finite is null" "null"
+    (Json.to_string (Json.Float Float.nan))
+
+let test_json_numbers () =
+  (match Json.of_string "[0, -7, 2.5, 1e3, -1.25e-2]" with
+  | Ok
+      (Json.List
+        [ Json.Int 0; Json.Int (-7); Json.Float 2.5; Json.Float 1000.0; Json.Float f ])
+    ->
+    Alcotest.(check (float 1e-12)) "exp number" (-0.0125) f
+  | Ok j -> Alcotest.failf "unexpected shape: %s" (Json.to_string j)
+  | Error e -> Alcotest.failf "parse failed: %s" e);
+  (* integral floats keep their floatness through a round trip *)
+  match Json.of_string (Json.to_string (Json.Float 3.0)) with
+  | Ok (Json.Float 3.0) -> ()
+  | _ -> Alcotest.fail "3.0 must stay a float"
+
+let test_json_rejects () =
+  let bad = [ ""; "{"; "[1,]"; "{\"a\":}"; "tru"; "1 2"; "\"unterminated" ] in
+  List.iter
+    (fun s ->
+      match Json.of_string s with
+      | Ok j -> Alcotest.failf "%S parsed as %s" s (Json.to_string j)
+      | Error _ -> ())
+    bad
+
+(* --- Metrics --- *)
+
+let test_counters () =
+  with_obs (fun _ ->
+      let c = Metrics.counter "test.counter" in
+      Alcotest.(check int) "fresh" 0 (Metrics.counter_value c);
+      Metrics.incr c;
+      Metrics.add c 10;
+      Alcotest.(check int) "incremented" 11 (Metrics.counter_value c);
+      let c' = Metrics.counter "test.counter" in
+      Metrics.incr c';
+      Alcotest.(check int) "interned by name" 12 (Metrics.counter_value c))
+
+let test_histogram_quantiles () =
+  with_obs (fun _ ->
+      let h = Metrics.histogram "test.hist" in
+      for i = 1 to 100 do
+        Metrics.observe h (float_of_int i)
+      done;
+      Alcotest.(check int) "count" 100 (Metrics.count h);
+      Alcotest.(check (float 1e-9)) "p50" 50.0 (Metrics.quantile h 0.5);
+      Alcotest.(check (float 1e-9)) "p95" 95.0 (Metrics.quantile h 0.95);
+      Alcotest.(check (float 1e-9)) "max" 100.0 (Metrics.hist_max h);
+      Alcotest.(check (float 1e-9)) "mean" 50.5 (Metrics.hist_mean h))
+
+let test_disabled_is_inert () =
+  Metrics.reset ();
+  Metrics.set_enabled false;
+  let h = Metrics.histogram "test.inert" in
+  Metrics.observe h 1.0;
+  Alcotest.(check int) "no samples while disabled" 0 (Metrics.count h);
+  let sp = Metrics.span_begin () in
+  Alcotest.(check bool) "span sentinel" true (sp < 0.0);
+  let sink, drain = Sink.memory () in
+  Sink.set sink;
+  Metrics.span_end sp ~name:"test.span" ~attrs:[];
+  Sink.set Sink.null;
+  Alcotest.(check int) "no records while disabled" 0 (List.length (drain ()))
+
+let test_span_emission () =
+  with_obs (fun drain ->
+      let sp = Metrics.span_begin () in
+      Metrics.span_end sp ~name:"test.span" ~attrs:[ ("k", Json.Int 3) ];
+      match drain () with
+      | [ record ] ->
+        Alcotest.(check (option string))
+          "type" (Some "span")
+          Option.(bind (Json.member "type" record) Json.str);
+        Alcotest.(check (option string))
+          "name" (Some "test.span")
+          Option.(bind (Json.member "name" record) Json.str);
+        Alcotest.(check (option int))
+          "attr" (Some 3)
+          Option.(bind (Json.member "k" record) Json.int);
+        Alcotest.(check bool) "duration histogram fed" true
+          (Metrics.count (Metrics.histogram "test.span") = 1)
+      | records -> Alcotest.failf "expected 1 record, got %d" (List.length records))
+
+let test_report_well_formed () =
+  with_obs (fun _ ->
+      Metrics.incr (Metrics.counter "test.report.counter");
+      Metrics.observe (Metrics.histogram "test.report.hist") 2.0;
+      let rendered = Json.to_string (Metrics.report ()) in
+      match Json.of_string rendered with
+      | Error e -> Alcotest.failf "report is not valid JSON: %s (%s)" e rendered
+      | Ok j ->
+        let counters = Json.member "counters" j in
+        Alcotest.(check (option int))
+          "counter present" (Some 1)
+          Option.(bind (bind counters (Json.member "test.report.counter")) Json.int))
+
+(* --- driver instrumentation --- *)
+
+let improve_key = function
+  | Json.Obj _ as j ->
+    ( Option.(bind (Json.member "iteration" j) Json.int),
+      Option.(bind (Json.member "kind" j) Json.str) )
+  | _ -> (None, None)
+
+let test_driver_improve_spans () =
+  (* every Improve trace event must ride inside a matching improve.pass
+     span: same multiset of (iteration, kind) *)
+  let hg =
+    Netlist.Generator.generate
+      (Netlist.Generator.default_spec ~name:"obs" ~cells:300 ~pads:40 ~seed:3)
+  in
+  let result, records =
+    with_obs (fun drain ->
+        let r = Fpart.Driver.run hg Device.xc2064 in
+        (r, drain ()))
+  in
+  let spans name =
+    List.filter
+      (fun j ->
+        Option.(bind (Json.member "type" j) Json.str) = Some "span"
+        && Option.(bind (Json.member "name" j) Json.str) = Some name)
+      records
+  in
+  let improve_events =
+    List.filter
+      (function Fpart.Trace.Improve _ -> true | _ -> false)
+      result.Fpart.Driver.trace
+  in
+  let improve_spans = spans "improve.pass" in
+  Alcotest.(check bool) "multiple iterations exercised" true
+    (result.Fpart.Driver.k > 1);
+  Alcotest.(check int) "one span per Improve event" (List.length improve_events)
+    (List.length improve_spans);
+  let span_keys = List.map improve_key improve_spans |> List.sort compare in
+  let event_keys =
+    List.map
+      (function
+        | Fpart.Trace.Improve { iteration; kind; _ } ->
+          (Some iteration, Some (Fpart.Trace.kind_name kind))
+        | _ -> assert false)
+      improve_events
+    |> List.sort compare
+  in
+  Alcotest.(check bool) "span/event (iteration, kind) multisets match" true
+    (span_keys = event_keys);
+  let iteration_spans = spans "driver.iteration" in
+  let bipartition_events =
+    List.filter
+      (function Fpart.Trace.Bipartition _ -> true | _ -> false)
+      result.Fpart.Driver.trace
+  in
+  Alcotest.(check int) "one span per driver iteration"
+    (List.length bipartition_events)
+    (List.length iteration_spans);
+  Alcotest.(check int) "exactly one run span" 1 (List.length (spans "driver.run"))
+
+let test_trace_event_json () =
+  let e =
+    Fpart.Trace.Improve
+      {
+        iteration = 2;
+        kind = Fpart.Trace.Min_io;
+        blocks = [ 1; 2 ];
+        value =
+          { Partition.Cost.feasible_blocks = 1; distance = 0.5; t_sum = 9; io_bal = 0.0 };
+        passes = 3;
+        moves = 4;
+        restarts = 1;
+      }
+  in
+  let j = Fpart.Trace.to_json e in
+  (match Json.of_string (Json.to_string j) with
+  | Ok j' -> Alcotest.(check bool) "round trips" true (j = j')
+  | Error err -> Alcotest.failf "invalid JSON: %s" err);
+  Alcotest.(check (option string))
+    "kind" (Some "min_io")
+    Option.(bind (Json.member "kind" j) Json.str)
+
+let () =
+  Alcotest.run "obs"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "round trip" `Quick test_json_roundtrip;
+          Alcotest.test_case "escapes" `Quick test_json_escapes;
+          Alcotest.test_case "numbers" `Quick test_json_numbers;
+          Alcotest.test_case "rejects malformed" `Quick test_json_rejects;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "counters" `Quick test_counters;
+          Alcotest.test_case "histogram quantiles" `Quick test_histogram_quantiles;
+          Alcotest.test_case "disabled layer is inert" `Quick test_disabled_is_inert;
+          Alcotest.test_case "span emission" `Quick test_span_emission;
+          Alcotest.test_case "report well-formed" `Quick test_report_well_formed;
+        ] );
+      ( "driver",
+        [
+          Alcotest.test_case "improve events wrapped in spans" `Quick
+            test_driver_improve_spans;
+          Alcotest.test_case "trace event json" `Quick test_trace_event_json;
+        ] );
+    ]
