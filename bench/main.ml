@@ -204,23 +204,65 @@ let quota =
     match float_of_string_opt s with Some q when q > 0.0 -> q | _ -> 1.0)
   | None -> 1.0
 
+let parallel_name = "parallel/run-best-table2"
+
+let parallel_wanted =
+  match Sys.getenv_opt "FPART_BENCH_ONLY" with
+  | None -> true
+  | Some pat -> contains parallel_name pat
+
 let tests =
   let kept =
     match Sys.getenv_opt "FPART_BENCH_ONLY" with
     | None -> all_tests
     | Some pat -> List.filter (fun t -> contains (Test.name t) pat) all_tests
   in
-  if kept = [] then begin
+  if kept = [] && not parallel_wanted then begin
     prerr_endline "bench: FPART_BENCH_ONLY matched no benchmarks";
     exit 1
   end;
-  Test.make_grouped ~name:"fpart" kept
+  match kept with
+  | [] -> None
+  | kept -> Some (Test.make_grouped ~name:"fpart" kept)
 
 module Json = Fpart_obs.Json
 
+(* Parallel speedup: wall time of an 8-start Driver.run_best at jobs=1
+   vs jobs=FPART_BENCH_JOBS (default: recommended_domain_count).  Not a
+   bechamel benchmark — one timed run each is enough for a wall-clock
+   ratio, and bechamel's per-run allocation probes would fight the
+   domain pool.  Reported as its own "parallel" object in the snapshot
+   (the "benchmarks" list keeps its schema). *)
+
+let bench_jobs =
+  match Sys.getenv_opt "FPART_BENCH_JOBS" with
+  | Some s -> (
+    match int_of_string_opt s with
+    | Some n when n >= 1 -> n
+    | _ -> Domain.recommended_domain_count ())
+  | None -> Domain.recommended_domain_count ()
+
+let measure_parallel () =
+  if not parallel_wanted then None
+  else begin
+    let hg = Lazy.force c3540_3000 in
+    let time jobs =
+      let t0 = Unix.gettimeofday () in
+      let r = Fpart.Driver.run_best ~jobs ~runs:8 hg Device.xc3020 in
+      (Unix.gettimeofday () -. t0, r)
+    in
+    let w1, r1 = time 1 in
+    let wn, rn = time bench_jobs in
+    if rn.Fpart.Driver.assignment <> r1.Fpart.Driver.assignment then begin
+      prerr_endline "bench: parallel run_best diverged from sequential";
+      exit 1
+    end;
+    Some (w1, wn)
+  end
+
 let snapshot_path = "BENCH_fpart.json"
 
-let write_snapshot rows =
+let write_snapshot rows parallel =
   let benchmarks =
     List.map
       (fun (name, est) ->
@@ -232,13 +274,27 @@ let write_snapshot rows =
           ])
       rows
   in
+  let parallel_field =
+    match parallel with
+    | None -> Json.Null
+    | Some (w1, wn) ->
+      Json.Obj
+        [
+          ("name", Json.Str parallel_name);
+          ("wall_s_jobs1", Json.Float w1);
+          ("wall_s_jobsN", Json.Float wn);
+          ("speedup", Json.Float (if wn > 0.0 then w1 /. wn else 0.0));
+        ]
+  in
   let json =
     Json.Obj
       [
         ("schema", Json.Str "fpart-bench/1");
         ("quota_s", Json.Float quota);
+        ("jobs", Json.Int bench_jobs);
         ("unix_time", Json.Float (Unix.gettimeofday ()));
         ("benchmarks", Json.List benchmarks);
+        ("parallel", parallel_field);
       ]
   in
   let oc = open_out snapshot_path in
@@ -246,7 +302,7 @@ let write_snapshot rows =
   output_char oc '\n';
   close_out oc
 
-let () =
+let run_bechamel tests =
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
   in
@@ -272,7 +328,10 @@ let () =
           rows := (name, est) :: !rows)
         tbl)
     merged;
-  let rows = List.sort compare !rows in
+  List.sort compare !rows
+
+let () =
+  let rows = match tests with None -> [] | Some tests -> run_bechamel tests in
   Printf.printf "%-42s %15s\n" "benchmark" "time/run";
   Printf.printf "%s\n" (String.make 58 '-');
   List.iter
@@ -288,5 +347,12 @@ let () =
       in
       Printf.printf "%-42s %15s\n" name pretty)
     rows;
-  write_snapshot rows;
+  let parallel = measure_parallel () in
+  (match parallel with
+  | None -> ()
+  | Some (w1, wn) ->
+    Printf.printf "%-42s %15s\n" parallel_name
+      (Printf.sprintf "%.2fx (jobs=%d)" (if wn > 0.0 then w1 /. wn else 0.0)
+         bench_jobs));
+  write_snapshot rows parallel;
   Printf.printf "perf snapshot written to %s\n" snapshot_path

@@ -90,11 +90,11 @@ let algo_conv =
   in
   Arg.conv (parse, print)
 
-let partition algo hg device delta seed runs cluster =
+let partition algo hg device delta seed runs cluster jobs =
   match algo with
   | Algo_fpart ->
     let config =
-      { Fpart.Config.default with delta; seed; cluster_size = cluster }
+      { Fpart.Config.default with delta; seed; cluster_size = cluster; jobs }
     in
     let r = Fpart.Driver.run_best ~config ~runs hg device in
     (r.Fpart.Driver.k, r.Fpart.Driver.assignment, r.Fpart.Driver.feasible,
@@ -166,8 +166,8 @@ let check_mode path hg device delta =
       Format.printf "%a" Partition.Check.pp report;
       if report.Partition.Check.feasible then Ok () else Error "partition is infeasible")
 
-let main input generate device_name delta algo seed runs cluster output save check board
-    dot trace stats log_level trace_log =
+let main input generate device_name delta algo seed runs cluster jobs output save check
+    board dot trace stats log_level trace_log =
   setup_obs ~trace ~stats ~log_level;
   let result =
     match Device.find device_name with
@@ -185,7 +185,7 @@ let main input generate device_name delta algo seed runs cluster output save che
           check_mode path hg device d
         | None ->
         let k, assignment, feasible, trace_events =
-          partition algo hg device delta seed runs cluster
+          partition algo hg device delta seed runs cluster jobs
         in
         let st = Partition.State.create hg ~k ~assign:(fun v -> assignment.(v)) in
         let d = match delta with Some d -> d | None -> Device.paper_delta device in
@@ -282,6 +282,23 @@ let cluster =
     & info [ "cluster" ] ~docv:"SIZE"
         ~doc:"Clustering pre-pass: coarsen into connectivity clusters of logic size <= SIZE before partitioning (fpart only).")
 
+let jobs_conv =
+  let parse s =
+    match int_of_string_opt s with
+    | Some n when n >= 1 -> Ok n
+    | Some _ -> Error (`Msg "JOBS must be at least 1")
+    | None -> Error (`Msg "JOBS must be an integer")
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
+let jobs =
+  Arg.(
+    value
+    & opt jobs_conv 1
+    & info [ "jobs"; "j" ] ~docv:"JOBS"
+        ~doc:
+          "Execution domains: run the multi-start runs (and the initial-bipartition portfolio) on JOBS parallel domains. The result is bit-identical to JOBS=1 (fpart only).")
+
 let output =
   Arg.(
     value
@@ -348,6 +365,7 @@ let cmd =
     (Cmd.info "fpart" ~doc)
     Term.(
       const main $ input $ generate $ device $ delta $ algo $ seed $ runs $ cluster
-      $ output $ save $ check $ board $ dot $ trace $ stats $ log_level $ trace_log)
+      $ jobs $ output $ save $ check $ board $ dot $ trace $ stats $ log_level
+      $ trace_log)
 
 let () = exit (Cmd.eval' cmd)

@@ -28,22 +28,26 @@ let artifacts =
 
 let names = String.concat ", " (List.map fst artifacts)
 
-let run selected =
+let run jobs selected =
   let progress msg =
     prerr_endline ("# " ^ msg);
     flush stderr
   in
-  let t = Report.Experiments.create ~progress () in
-  List.iter
-    (fun name ->
-      match List.assoc_opt name artifacts with
-      | Some f ->
-        print_string (f t);
-        print_newline ()
-      | None ->
-        Printf.eprintf "unknown artifact %S; expected one of: %s\n" name names;
-        exit 2)
-    selected
+  let t = Report.Experiments.create ~progress ~jobs () in
+  Fun.protect
+    ~finally:(fun () -> Report.Experiments.shutdown t)
+    (fun () ->
+      List.iter
+        (fun name ->
+          match List.assoc_opt name artifacts with
+          | Some f ->
+            print_string (f t);
+            print_newline ()
+          | None ->
+            Printf.eprintf "unknown artifact %S; expected one of: %s\n" name
+              names;
+            exit 2)
+        selected)
 
 open Cmdliner
 
@@ -51,8 +55,25 @@ let selected =
   let doc = Printf.sprintf "Artifacts to regenerate: %s." names in
   Arg.(value & pos_all string [ "all" ] & info [] ~docv:"ARTIFACT" ~doc)
 
+let jobs_conv =
+  let parse s =
+    match int_of_string_opt s with
+    | Some n when n >= 1 -> Ok n
+    | Some _ -> Error (`Msg "JOBS must be at least 1")
+    | None -> Error (`Msg "JOBS must be an integer")
+  in
+  Arg.conv (parse, Format.pp_print_int)
+
+let jobs =
+  let doc =
+    "Execution domains for the independent algorithm runs behind the \
+     tables (default 1 = fully sequential).  Output is identical for \
+     every $(docv); only wall-clock time changes."
+  in
+  Arg.(value & opt jobs_conv 1 & info [ "jobs"; "j" ] ~docv:"JOBS" ~doc)
+
 let cmd =
   let doc = "regenerate the FPART paper's tables and figures on MCNC surrogates" in
-  Cmd.v (Cmd.info "run_experiments" ~doc) Term.(const run $ selected)
+  Cmd.v (Cmd.info "run_experiments" ~doc) Term.(const run $ jobs $ selected)
 
 let () = exit (Cmd.eval cmd)

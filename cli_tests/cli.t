@@ -114,3 +114,18 @@ Without observability flags nothing extra is printed:
 
   $ fpart --generate 120x16 --device XC3090 --seed 7 2>&1 | wc -l
   4
+
+Parallel execution: --jobs N runs the multi-start / portfolio machinery
+on N domains and is bit-identical to the sequential run:
+
+  $ fpart --generate 200x24 --device XC2064 --seed 7 --runs 4 --jobs 1 > seq.out
+  $ fpart --generate 200x24 --device XC2064 --seed 7 --runs 4 --jobs 4 > par.out
+  $ diff seq.out par.out && echo identical
+  identical
+
+A jobs count below 1 is rejected up front:
+
+  $ fpart --generate 10x2 --device XC3020 --jobs 0 2>&1 | head -1
+  fpart: option '--jobs': JOBS must be at least 1
+  $ fpart --generate 10x2 --device XC3020 --jobs 0 2> /dev/null
+  [124]

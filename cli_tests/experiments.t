@@ -14,3 +14,8 @@ Figure 3 is static (no partitioning runs needed):
       remainder block  : [0, +inf)  (eps^R_max = infinity)
       once k reaches M : upper bounds tighten to S_MAX = 57 (no size-violating moves)
   
+
+The experiment runner validates --jobs the same way:
+
+  $ run_fpart_experiments --jobs 0 table1 2>&1 | head -1
+  run_experiments: option '--jobs': JOBS must be at least 1

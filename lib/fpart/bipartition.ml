@@ -9,7 +9,7 @@ let method_name = function
   | Used_ratio_cut -> "ratio-cut"
   | Used_random -> "random"
 
-let split ?(salt = 0) st ~p_block ~r_block ~params ~ctx ~step_k =
+let split ?(salt = 0) ?pool st ~p_block ~r_block ~params ~ctx ~step_k =
   if State.cells_of st r_block <> 0 then
     invalid_arg "Bipartition.split: r_block not empty";
   let hg = State.hypergraph st in
@@ -24,8 +24,20 @@ let split ?(salt = 0) st ~p_block ~r_block ~params ~ctx ~step_k =
       members
   in
   let evaluate () = Cost.evaluate params ctx st ~remainder:(Some r_block) ~step_k in
-  let sm = Seed_merge.split ~salt hg ~member ~s_max:ctx.Cost.s_max ~t_max:ctx.Cost.t_max in
-  let rc = Ratio_cut.split hg ~member ~s_max:ctx.Cost.s_max ~t_max:ctx.Cost.t_max in
+  (* The two constructive candidates only read [hg] and [frozen] (each
+     builds its own scratch state), so the portfolio can evaluate them
+     on two domains; the apply/compare below stays on the caller. *)
+  let run_sm () =
+    Seed_merge.split ~salt hg ~member ~s_max:ctx.Cost.s_max ~t_max:ctx.Cost.t_max
+  and run_rc () =
+    Ratio_cut.split hg ~member ~s_max:ctx.Cost.s_max ~t_max:ctx.Cost.t_max
+  in
+  let sm, rc =
+    match pool with
+    | Some pool when Fpart_exec.Pool.jobs pool > 1 ->
+      Fpart_exec.Pool.both pool run_sm run_rc
+    | _ -> (run_sm (), run_rc ())
+  in
   apply sm.Seed_merge.p_side;
   match rc with
   | None -> Used_seed_merge

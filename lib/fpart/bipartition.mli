@@ -17,9 +17,15 @@ val method_name : method_used -> string
 (** [split st ~p_block ~r_block ~params ~ctx ~step_k] splits the nodes
     currently in [p_block] (the old remainder) between [p_block] and
     [r_block].  [r_block] must be empty beforehand.
+
+    With [?pool] (of > 1 jobs), the two constructive candidates are
+    computed as a parallel portfolio on the pool; candidate application
+    and comparison stay on the caller, so the chosen split is identical
+    to the sequential one.
     @raise Invalid_argument if [r_block] is not empty. *)
 val split :
   ?salt:int ->
+  ?pool:Fpart_exec.Pool.t ->
   Partition.State.t ->
   p_block:int ->
   r_block:int ->

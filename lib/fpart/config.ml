@@ -18,6 +18,7 @@ type t = {
   random_initial : bool;
   cluster_size : int option;
   seed : int;
+  jobs : int;
 }
 
 let default =
@@ -41,6 +42,7 @@ let default =
     random_initial = false;
     cluster_size = None;
     seed = 0x5eed;
+    jobs = 1;
   }
 
 let delta_for t device =

@@ -51,6 +51,12 @@ type t = {
           hypergraph, projects back and refines flat.  [None]
           (published behaviour) partitions the flat netlist. *)
   seed : int;             (** PRNG seed for deterministic tie-breaks. *)
+  jobs : int;
+      (** Domain budget for the execution layer ([Fpart_exec]): the
+          multi-start runs of {!Driver.run_best}, the initial-bipartition
+          portfolio and {!Driver.run_batch} fan out over this many
+          domains.  [1] (default) is the exact sequential path.  Results
+          are bit-identical for every value — see docs/PARALLELISM.md. *)
 }
 
 (** The paper's published parameter set. *)

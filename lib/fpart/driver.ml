@@ -25,7 +25,7 @@ let swap_labels assign a b =
     (fun v blk -> if blk = a then assign.(v) <- b else if blk = b then assign.(v) <- a)
     assign
 
-let run_flat config hg device =
+let run_flat ?pool config hg device =
   let t0 = Sys.time () in
   Obs.incr c_runs;
   let sp_run = Obs.span_begin () in
@@ -88,7 +88,7 @@ let run_flat config hg device =
             else
               Bipartition.split
                 ~salt:(config.Config.seed land 0xFFFF)
-                st ~p_block:j ~r_block:r ~params:config.Config.cost ~ctx
+                ?pool st ~p_block:j ~r_block:r ~params:config.Config.cost ~ctx
                 ~step_k:iteration
           in
           Trace.record trace
@@ -177,11 +177,11 @@ let refine_flat config ctx st =
            ~config:engine ~eval)
     done
 
-let run_clustered config hg device ~max_cluster_size =
+let run_clustered ?pool config hg device ~max_cluster_size =
   let t0 = Sys.time () in
   let cl = Cluster.build hg ~max_cluster_size ~seed:config.Config.seed in
   let coarse_config = { config with Config.cluster_size = None } in
-  let coarse = run_flat coarse_config (Cluster.coarse cl) device in
+  let coarse = run_flat ?pool coarse_config (Cluster.coarse cl) device in
   let assign = Cluster.project cl coarse.assignment in
   let st = State.create hg ~k:coarse.k ~assign:(fun v -> assign.(v)) in
   let delta = Config.delta_for config device in
@@ -199,10 +199,10 @@ let run_clustered config hg device ~max_cluster_size =
     cpu_seconds = Sys.time () -. t0;
   }
 
-let run ?(config = Config.default) hg device =
+let run ?(config = Config.default) ?pool hg device =
   match config.Config.cluster_size with
-  | Some cs when cs > 1 -> run_clustered config hg device ~max_cluster_size:cs
-  | Some _ | None -> run_flat config hg device
+  | Some cs when cs > 1 -> run_clustered ?pool config hg device ~max_cluster_size:cs
+  | Some _ | None -> run_flat ?pool config hg device
 
 let better a b =
   (* fewest devices; then feasibility; then cut; then pins *)
@@ -211,19 +211,49 @@ let better a b =
   else if a.cut <> b.cut then a.cut < b.cut
   else a.total_pins < b.total_pins
 
-let run_best ?(config = Config.default) ~runs hg device =
+(* First strictly-better result wins, scanning in run order — the same
+   tie-break the sequential loop applies. *)
+let pick_best results =
+  match
+    Array.fold_left
+      (fun best r ->
+        match best with Some b when not (better r b) -> best | _ -> Some r)
+      None results
+  with
+  | Some r -> r
+  | None -> invalid_arg "Driver.pick_best: no results"
+
+let run_config config i = { config with Config.seed = config.Config.seed + i }
+
+let run_best ?(config = Config.default) ?jobs ~runs hg device =
   if runs < 1 then invalid_arg "Driver.run_best: runs < 1";
+  let jobs = match jobs with Some j -> j | None -> config.Config.jobs in
+  if jobs < 1 then invalid_arg "Driver.run_best: jobs < 1";
   let t0 = Sys.time () in
-  let best = ref None in
-  for i = 0 to runs - 1 do
-    let r = run ~config:{ config with Config.seed = config.Config.seed + i } hg device in
-    match !best with
-    | Some b when not (better r b) -> ()
-    | _ -> best := Some r
-  done;
-  match !best with
-  | Some r -> { r with cpu_seconds = Sys.time () -. t0 }
-  | None -> assert false
+  let r =
+    if jobs = 1 then
+      pick_best (Array.init runs (fun i -> run ~config:(run_config config i) hg device))
+    else
+      Fpart_exec.Pool.with_pool ~jobs (fun pool ->
+          if runs = 1 then
+            (* nothing to multi-start: spend the domains inside the run,
+               on the initial-bipartition portfolio *)
+            run ~config ~pool hg device
+          else
+            pick_best
+              (Fpart_exec.Pool.map pool
+                 (fun i () -> run ~config:(run_config config i) hg device)
+                 (Array.make runs ())))
+  in
+  { r with cpu_seconds = Sys.time () -. t0 }
+
+let run_batch ?(config = Config.default) ?jobs ?timeout_s jobs_list =
+  let jobs = match jobs with Some j -> j | None -> config.Config.jobs in
+  if jobs < 1 then invalid_arg "Driver.run_batch: jobs < 1";
+  Fpart_exec.Pool.with_pool ~jobs (fun pool ->
+      Fpart_exec.Batch.run ?timeout_s ~pool
+        ~f:(fun (hg, device) -> run ~config hg device)
+        jobs_list)
 
 let final_state r hg =
   State.create hg ~k:r.k ~assign:(fun v -> r.assignment.(v))

@@ -29,17 +29,49 @@ type result = {
   trace : Trace.event list;  (** Full improvement schedule (Figure 1). *)
 }
 
-(** [run ?config h device] partitions circuit [h] onto copies of
-    [device].  Deterministic for a given [config.seed]. *)
-val run : ?config:Config.t -> Hypergraph.Hgraph.t -> Device.t -> result
+(** [run ?config ?pool h device] partitions circuit [h] onto copies of
+    [device].  Deterministic for a given [config.seed]; [?pool] only
+    adds parallelism inside the run (the initial-bipartition portfolio)
+    and never changes the result. *)
+val run :
+  ?config:Config.t ->
+  ?pool:Fpart_exec.Pool.t ->
+  Hypergraph.Hgraph.t ->
+  Device.t ->
+  result
 
-(** [run_best ?config ~runs h device] runs FPART [runs] times with
+(** [run_best ?config ?jobs ~runs h device] runs FPART [runs] times with
     seeds [config.seed, config.seed+1, ...] and returns the best result
     (fewest devices; ties broken by cut, then total pins).  "Number of
     runs" is one of the classical FM parameters the paper's introduction
-    lists.  @raise Invalid_argument if [runs < 1]. *)
+    lists.
+
+    [?jobs] (default [config.jobs]) fans the runs out over a domain pool;
+    the reduction applies the lexicographic comparison in run order, so
+    the returned solution is bit-identical for every [jobs] (only
+    [cpu_seconds] varies).  With [runs = 1] the domains are spent inside
+    the single run instead (initial-bipartition portfolio).
+    @raise Invalid_argument if [runs < 1] or [jobs < 1]. *)
 val run_best :
-  ?config:Config.t -> runs:int -> Hypergraph.Hgraph.t -> Device.t -> result
+  ?config:Config.t ->
+  ?jobs:int ->
+  runs:int ->
+  Hypergraph.Hgraph.t ->
+  Device.t ->
+  result
+
+(** [run_batch ?config ?jobs ?timeout_s jobs_list] partitions a list of
+    [(circuit, device)] jobs in parallel on a fresh pool of [jobs]
+    domains (default [config.jobs]), with {!Fpart_exec.Batch} isolation:
+    a crashing or overrunning job yields an [Error] slot and never kills
+    the batch.  Results come back in job order.
+    @raise Invalid_argument if [jobs < 1]. *)
+val run_batch :
+  ?config:Config.t ->
+  ?jobs:int ->
+  ?timeout_s:float ->
+  (Hypergraph.Hgraph.t * Device.t) list ->
+  (result, Fpart_exec.Batch.error) Stdlib.result list
 
 (** [final_state r h] rebuilds the partition state of a result (for
     reporting: per-block sizes and pins). *)

@@ -1,88 +1,133 @@
-let enabled_flag = ref false
-let set_enabled b = enabled_flag := b
-let enabled () = !enabled_flag
+(* Domain-safety layout: an instrument handle is interned once (under
+   [intern_mutex], since dynamically named counters can be created from
+   worker domains) but its storage is one cell *per domain*, held in
+   domain-local storage.  Increments and observations touch only the
+   calling domain's cell, so the hot paths stay unsynchronized; a pool
+   joins worker activity back into the caller's cells through
+   {!snapshot_and_reset} / {!merge}. *)
 
-type counter = { c_name : string; mutable n : int }
+let enabled_flag = Atomic.make false
+let set_enabled b = Atomic.set enabled_flag b
+let enabled () = Atomic.get enabled_flag
 
-type histogram = {
-  h_name : string;
-  mutable samples : float array;
-  mutable len : int;
+type ccell = { mutable n : int }
+type hcell = { mutable samples : float array; mutable len : int }
+
+(* Every cell a domain creates is registered here so the domain can
+   enumerate its own activity when snapshotting. *)
+type local = {
+  mutable lcounters : (string * ccell) list;
+  mutable lhists : (string * hcell) list;
 }
 
+let local_key : local Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> { lcounters = []; lhists = [] })
+
+type counter = { c_name : string; c_cells : ccell Domain.DLS.key }
+type histogram = { h_name : string; h_cells : hcell Domain.DLS.key }
+
+let intern_mutex = Mutex.create ()
 let counters : (string, counter) Hashtbl.t = Hashtbl.create 32
 let histograms : (string, histogram) Hashtbl.t = Hashtbl.create 32
 
 let counter name =
-  match Hashtbl.find_opt counters name with
-  | Some c -> c
-  | None ->
-    let c = { c_name = name; n = 0 } in
-    Hashtbl.add counters name c;
-    c
+  Mutex.protect intern_mutex (fun () ->
+      match Hashtbl.find_opt counters name with
+      | Some c -> c
+      | None ->
+        let c =
+          {
+            c_name = name;
+            c_cells =
+              Domain.DLS.new_key (fun () ->
+                  let cell = { n = 0 } in
+                  let l = Domain.DLS.get local_key in
+                  l.lcounters <- (name, cell) :: l.lcounters;
+                  cell);
+          }
+        in
+        Hashtbl.add counters name c;
+        c)
 
-let incr c = c.n <- c.n + 1
-let add c k = c.n <- c.n + k
-let counter_value c = c.n
+let ccell c = Domain.DLS.get c.c_cells
+let incr c = let cell = ccell c in cell.n <- cell.n + 1
+let add c k = let cell = ccell c in cell.n <- cell.n + k
+let counter_value c = (ccell c).n
 
 let histogram name =
-  match Hashtbl.find_opt histograms name with
-  | Some h -> h
-  | None ->
-    let h = { h_name = name; samples = [||]; len = 0 } in
-    Hashtbl.add histograms name h;
-    h
+  Mutex.protect intern_mutex (fun () ->
+      match Hashtbl.find_opt histograms name with
+      | Some h -> h
+      | None ->
+        let h =
+          {
+            h_name = name;
+            h_cells =
+              Domain.DLS.new_key (fun () ->
+                  let cell = { samples = [||]; len = 0 } in
+                  let l = Domain.DLS.get local_key in
+                  l.lhists <- (name, cell) :: l.lhists;
+                  cell);
+          }
+        in
+        Hashtbl.add histograms name h;
+        h)
 
-let observe h x =
-  if !enabled_flag then begin
-    if h.len = Array.length h.samples then begin
-      let grown = Array.make (max 64 (2 * h.len)) 0.0 in
-      Array.blit h.samples 0 grown 0 h.len;
-      h.samples <- grown
-    end;
-    h.samples.(h.len) <- x;
-    h.len <- h.len + 1
-  end
+let hcell h = Domain.DLS.get h.h_cells
 
-let count h = h.len
+let happend cell x =
+  if cell.len = Array.length cell.samples then begin
+    let grown = Array.make (max 64 (2 * cell.len)) 0.0 in
+    Array.blit cell.samples 0 grown 0 cell.len;
+    cell.samples <- grown
+  end;
+  cell.samples.(cell.len) <- x;
+  cell.len <- cell.len + 1
 
-let sorted_samples h =
-  let a = Array.sub h.samples 0 h.len in
+let observe h x = if Atomic.get enabled_flag then happend (hcell h) x
+
+let count h = (hcell h).len
+
+let sorted_samples cell =
+  let a = Array.sub cell.samples 0 cell.len in
   Array.sort compare a;
   a
 
 let quantile h p =
-  if h.len = 0 then Float.nan
+  let cell = hcell h in
+  if cell.len = 0 then Float.nan
   else begin
-    let a = sorted_samples h in
+    let a = sorted_samples cell in
     (* nearest rank: the ⌈p·N⌉-th smallest sample *)
-    let i = int_of_float (Float.ceil (p *. float_of_int h.len)) - 1 in
-    a.(max 0 (min (h.len - 1) i))
+    let i = int_of_float (Float.ceil (p *. float_of_int cell.len)) - 1 in
+    a.(max 0 (min (cell.len - 1) i))
   end
 
 let hist_max h =
-  if h.len = 0 then Float.nan
+  let cell = hcell h in
+  if cell.len = 0 then Float.nan
   else begin
-    let m = ref h.samples.(0) in
-    for i = 1 to h.len - 1 do
-      if h.samples.(i) > !m then m := h.samples.(i)
+    let m = ref cell.samples.(0) in
+    for i = 1 to cell.len - 1 do
+      if cell.samples.(i) > !m then m := cell.samples.(i)
     done;
     !m
   end
 
 let hist_mean h =
-  if h.len = 0 then Float.nan
+  let cell = hcell h in
+  if cell.len = 0 then Float.nan
   else begin
     let s = ref 0.0 in
-    for i = 0 to h.len - 1 do
-      s := !s +. h.samples.(i)
+    for i = 0 to cell.len - 1 do
+      s := !s +. cell.samples.(i)
     done;
-    !s /. float_of_int h.len
+    !s /. float_of_int cell.len
   end
 
 type span = float
 
-let span_begin () = if !enabled_flag then Clock.now () else -1.0
+let span_begin () = if Atomic.get enabled_flag then Clock.now () else -1.0
 
 let span_end t0 ~name ~attrs =
   if t0 >= 0.0 then begin
@@ -96,23 +141,71 @@ let span_end t0 ~name ~attrs =
          :: attrs))
   end
 
-let sorted_values tbl =
-  Hashtbl.fold (fun _ v acc -> v :: acc) tbl []
+(* {2 Cross-domain snapshots} *)
+
+type snapshot = {
+  snap_counters : (string * int) list;
+  snap_histograms : (string * float array) list;
+}
+
+let snapshot_and_reset () =
+  let l = Domain.DLS.get local_key in
+  let cs =
+    List.filter_map
+      (fun (name, (cell : ccell)) ->
+        if cell.n = 0 then None
+        else begin
+          let n = cell.n in
+          cell.n <- 0;
+          Some (name, n)
+        end)
+      l.lcounters
+  in
+  let hs =
+    List.filter_map
+      (fun (name, (cell : hcell)) ->
+        if cell.len = 0 then None
+        else begin
+          let s = Array.sub cell.samples 0 cell.len in
+          cell.len <- 0;
+          Some (name, s)
+        end)
+      l.lhists
+  in
+  { snap_counters = cs; snap_histograms = hs }
+
+let merge snap =
+  List.iter (fun (name, n) -> add (counter name) n) snap.snap_counters;
+  List.iter
+    (fun (name, samples) ->
+      (* re-gating on [enabled] would drop samples legitimately recorded
+         while the flag was on in the producing domain *)
+      let cell = hcell (histogram name) in
+      Array.iter (happend cell) samples)
+    snap.snap_histograms
+
+(* {2 Reporting (calling domain's cells)} *)
+
+let interned tbl =
+  Mutex.protect intern_mutex (fun () ->
+      Hashtbl.fold (fun _ v acc -> v :: acc) tbl [])
 
 let active_counters () =
-  sorted_values counters
-  |> List.filter (fun c -> c.n <> 0)
-  |> List.sort (fun a b -> compare a.c_name b.c_name)
+  interned counters
+  |> List.filter_map (fun c ->
+         let n = counter_value c in
+         if n = 0 then None else Some (c.c_name, n))
+  |> List.sort compare
 
 let active_histograms () =
-  sorted_values histograms
-  |> List.filter (fun h -> h.len > 0)
+  interned histograms
+  |> List.filter (fun h -> count h > 0)
   |> List.sort (fun a b -> compare a.h_name b.h_name)
 
 let hist_summary h =
   Json.Obj
     [
-      ("count", Json.Int h.len);
+      ("count", Json.Int (count h));
       ("mean", Json.Float (hist_mean h));
       ("p50", Json.Float (quantile h 0.5));
       ("p95", Json.Float (quantile h 0.95));
@@ -124,7 +217,7 @@ let report () =
     [
       ("type", Json.Str "metrics");
       ( "counters",
-        Json.Obj (List.map (fun c -> (c.c_name, Json.Int c.n)) (active_counters ())) );
+        Json.Obj (List.map (fun (name, n) -> (name, Json.Int n)) (active_counters ())) );
       ( "histograms",
         Json.Obj (List.map (fun h -> (h.h_name, hist_summary h)) (active_histograms ()))
       );
@@ -135,7 +228,7 @@ let pp_report ppf () =
   let cs = active_counters () and hs = active_histograms () in
   if cs <> [] then begin
     Format.fprintf ppf "counters:@.";
-    List.iter (fun c -> Format.fprintf ppf "  %-32s %12d@." c.c_name c.n) cs
+    List.iter (fun (name, n) -> Format.fprintf ppf "  %-32s %12d@." name n) cs
   end;
   if hs <> [] then begin
     Format.fprintf ppf "histograms:@.";
@@ -144,11 +237,11 @@ let pp_report ppf () =
     List.iter
       (fun h ->
         Format.fprintf ppf "  %-32s %9d %9.3f %9.3f %9.3f %9.3f@." h.h_name
-          h.len (hist_mean h) (quantile h 0.5) (quantile h 0.95) (hist_max h))
+          (count h) (hist_mean h) (quantile h 0.5) (quantile h 0.95) (hist_max h))
       hs
   end;
   if cs = [] && hs = [] then Format.fprintf ppf "  (no activity recorded)@."
 
 let reset () =
-  Hashtbl.iter (fun _ c -> c.n <- 0) counters;
-  Hashtbl.iter (fun _ h -> h.len <- 0) histograms
+  List.iter (fun c -> (ccell c).n <- 0) (interned counters);
+  List.iter (fun h -> (hcell h).len <- 0) (interned histograms)

@@ -13,7 +13,18 @@
 
     Counters and histograms are interned by name: creating the same
     name twice returns the same instrument, so modules can create their
-    instruments at initialisation time without coordination. *)
+    instruments at initialisation time without coordination.
+
+    {b Domain-safety.}  A handle is process-wide but its storage is one
+    cell per domain ([Domain.DLS]), so increments and observations from
+    concurrent domains never race and never synchronize.  All read
+    operations ({!counter_value}, {!quantile}, {!report}, {!reset}, ...)
+    act on the {e calling} domain's cells.  A fork/join layer makes
+    worker activity visible to its caller by taking a
+    {!snapshot_and_reset} on the worker after each task and {!merge}-ing
+    the snapshots, in task order, on the caller after the join — this is
+    what [Fpart_exec.Pool] does, and it makes the merged totals equal to
+    a sequential run's. *)
 
 val set_enabled : bool -> unit
 val enabled : unit -> bool
@@ -62,6 +73,22 @@ type span = float
 
 val span_begin : unit -> span
 val span_end : span -> name:string -> attrs:(string * Json.t) list -> unit
+
+(** {1 Cross-domain snapshots} *)
+
+(** Activity of one domain between two resets: counter totals and raw
+    histogram samples, by instrument name. *)
+type snapshot
+
+(** [snapshot_and_reset ()] captures and zeroes every instrument cell of
+    the calling domain.  Cheap when idle (instruments with no activity
+    are skipped). *)
+val snapshot_and_reset : unit -> snapshot
+
+(** [merge snap] adds a snapshot's counters and histogram samples into
+    the calling domain's cells.  Merging the per-task snapshots of a
+    fork in task order reproduces the sequential totals exactly. *)
+val merge : snapshot -> unit
 
 (** {1 Reporting} *)
 

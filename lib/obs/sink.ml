@@ -49,9 +49,15 @@ let memory () =
     fun () -> List.rev !acc )
 
 let current = ref null
-let set s = current := s
-let emit j = !current.emit j
+
+(* Individual sinks are not thread-safe (they write to channels or
+   formatters), so the process-wide emission point serializes records
+   from concurrent domains. *)
+let emit_mutex = Mutex.create ()
+let set s = Mutex.protect emit_mutex (fun () -> current := s)
+let emit j = Mutex.protect emit_mutex (fun () -> !current.emit j)
 
 let close_current () =
-  !current.close ();
-  current := null
+  Mutex.protect emit_mutex (fun () ->
+      !current.close ();
+      current := null)

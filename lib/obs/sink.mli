@@ -31,7 +31,11 @@ val filtered : keep:(Json.t -> bool) -> t -> t
     emitted so far, in order. *)
 val memory : unit -> t * (unit -> Json.t list)
 
-(** {1 Process-wide current sink} *)
+(** {1 Process-wide current sink}
+
+    {!emit} serializes concurrent callers behind one mutex, so records
+    from worker domains never interleave mid-record; individual sink
+    implementations need no locking of their own. *)
 
 val set : t -> unit
 val emit : Json.t -> unit

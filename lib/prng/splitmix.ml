@@ -11,6 +11,16 @@ let create seed = { state = Int64.of_int seed }
 
 let copy t = { state = t.state }
 
+let derive ~master ~index =
+  if index < 0 then invalid_arg "Splitmix.derive: index < 0";
+  (* one mix step scatters the (master, index) grid so the derived
+     streams do not overlap the plain [create (master + i)] streams *)
+  let s =
+    Int64.add (Int64.of_int master)
+      (Int64.mul golden_gamma (Int64.of_int (index + 1)))
+  in
+  { state = mix64 s }
+
 let bits64 t =
   t.state <- Int64.add t.state golden_gamma;
   mix64 t.state

@@ -15,6 +15,14 @@ val create : int -> t
 (** [copy t] is an independent generator with the same state. *)
 val copy : t -> t
 
+(** [derive ~master ~index] is the generator for the [index]-th task of
+    a parallel fork seeded by [master]: a pure function of the pair, so
+    every task sees the same stream regardless of how many domains run
+    the fork or in which order tasks are scheduled.  The derived streams
+    are decorrelated from each other and from [create master].
+    @raise Invalid_argument if [index < 0]. *)
+val derive : master:int -> index:int -> t
+
 (** [split t] derives a new statistically independent generator and
     advances [t]. *)
 val split : t -> t

@@ -9,10 +9,38 @@ type t = {
   memo : (string * string * algo, run) Hashtbl.t;
   graphs : (string * Device.family, Hg.t) Hashtbl.t;
   progress : string -> unit;
+  jobs : int;
+  mutable pool : Fpart_exec.Pool.t option;
 }
 
-let create ?(progress = fun _ -> ()) () =
-  { memo = Hashtbl.create 64; graphs = Hashtbl.create 16; progress }
+let create ?(progress = fun _ -> ()) ?(jobs = 1) () =
+  if jobs < 1 then invalid_arg "Experiments.create: jobs < 1";
+  {
+    memo = Hashtbl.create 64;
+    graphs = Hashtbl.create 16;
+    progress;
+    jobs;
+    pool = None;
+  }
+
+(* The pool is created lazily on the first table that can use it, so a
+   [jobs = 1] table run never spawns a domain. *)
+let pool_of t =
+  if t.jobs <= 1 then None
+  else
+    match t.pool with
+    | Some _ as p -> p
+    | None ->
+      let p = Fpart_exec.Pool.create ~jobs:t.jobs in
+      t.pool <- Some p;
+      Some p
+
+let shutdown t =
+  match t.pool with
+  | None -> ()
+  | Some p ->
+    t.pool <- None;
+    Fpart_exec.Pool.shutdown p
 
 let algo_name = function
   | Fpart_algo -> "FPART"
@@ -28,17 +56,10 @@ let graph_of t circuit family =
     Hashtbl.add t.graphs key g;
     g
 
-let run_one t algo circuit device =
-  let key = (circuit.Mcnc.circuit_name, device.Device.dev_name, algo) in
-  match Hashtbl.find_opt t.memo key with
-  | Some r -> r
-  | None ->
-    t.progress
-      (Printf.sprintf "running %s on %s / %s ..." (algo_name algo)
-         circuit.Mcnc.circuit_name device.Device.dev_name);
-    let hg = graph_of t circuit device.Device.family in
-    let r =
-      match algo with
+(* The pure compute step: no memo, no graph cache, no progress — safe to
+   run on a worker domain. *)
+let compute algo hg device =
+  match algo with
       | Fpart_algo ->
         let r = Fpart.Driver.run hg device in
         {
@@ -67,9 +88,69 @@ let run_one t algo circuit device =
           cut = r.Flow.Fbb_mw.cut;
           cpu_seconds = Sys.time () -. t0;
         }
-    in
+
+let memo_key circuit device algo =
+  (circuit.Mcnc.circuit_name, device.Device.dev_name, algo)
+
+let run_one t algo circuit device =
+  let key = memo_key circuit device algo in
+  match Hashtbl.find_opt t.memo key with
+  | Some r -> r
+  | None ->
+    t.progress
+      (Printf.sprintf "running %s on %s / %s ..." (algo_name algo)
+         circuit.Mcnc.circuit_name device.Device.dev_name);
+    let hg = graph_of t circuit device.Device.family in
+    let r = compute algo hg device in
     Hashtbl.add t.memo key r;
     r
+
+(* [prewarm t work] fills the memo for every not-yet-run (algo, circuit,
+   device) triple of [work], fanning the compute steps out on the pool.
+   Graphs are materialised and the memo is written on the caller only —
+   the worker closures are pure — so the tables below behave exactly as
+   in the sequential case, just against a warm memo.  No-op when
+   [jobs = 1]. *)
+let prewarm t work =
+  match pool_of t with
+  | None -> ()
+  | Some pool ->
+    let seen = Hashtbl.create 32 in
+    let fresh =
+      List.filter
+        (fun (algo, c, d) ->
+          let key = memo_key c d algo in
+          if Hashtbl.mem t.memo key || Hashtbl.mem seen key then false
+          else begin
+            Hashtbl.add seen key ();
+            true
+          end)
+        work
+    in
+    if fresh <> [] then begin
+      List.iter
+        (fun (algo, c, d) ->
+          t.progress
+            (Printf.sprintf "running %s on %s / %s ..." (algo_name algo)
+               c.Mcnc.circuit_name d.Device.dev_name))
+        fresh;
+      let tasks =
+        Array.of_list
+          (List.map
+             (fun (algo, c, d) -> (algo, graph_of t c d.Device.family, c, d))
+             fresh)
+      in
+      let results =
+        Fpart_exec.Pool.map pool
+          (fun _ (algo, hg, _c, d) -> compute algo hg d)
+          tasks
+      in
+      Array.iteri
+        (fun i r ->
+          let algo, _, c, d = tasks.(i) in
+          Hashtbl.add t.memo (memo_key c d algo) r)
+        results
+    end
 
 (* ------------------------------------------------------------------ *)
 (* Table 1                                                            *)
@@ -117,6 +198,12 @@ let vs measured published =
   | Some p -> Printf.sprintf "%d(%d)" measured p
 
 let device_table t ~title ~device ~circuits ~published =
+  prewarm t
+    (List.concat_map
+       (fun c ->
+         [ (Kwayx_algo, c, device); (Fbb_mw_algo, c, device);
+           (Fpart_algo, c, device) ])
+       circuits);
   let totals = Array.make 4 0 in
   let paper_totals = Array.make 4 0 in
   let paper_complete = Array.make 4 true in
@@ -206,6 +293,19 @@ let table6 t =
     | Some s -> Printf.sprintf "%.2f" s
   in
   let devices = [ Device.xc3020; Device.xc3042; Device.xc3090 ] in
+  prewarm t
+    (List.concat_map
+       (fun c ->
+         let ds =
+           if
+             List.exists
+               (fun c' -> c'.Mcnc.circuit_name = c.Mcnc.circuit_name)
+               Mcnc.table5_subset
+           then devices @ [ Device.xc2064 ]
+           else devices
+         in
+         List.map (fun d -> (Fpart_algo, c, d)) ds)
+       Mcnc.all);
   let rows =
     List.map
       (fun c ->
@@ -488,19 +588,25 @@ let variance_seeds = [ 1; 2; 3; 4; 5 ]
    the single-seed tables are representative. *)
 let variance t =
   let device = Device.xc3020 in
+  let run_seeds hg =
+    let one seed =
+      let config = { Fpart.Config.default with Fpart.Config.seed } in
+      (Fpart.Driver.run ~config hg device).Fpart.Driver.k
+    in
+    match pool_of t with
+    | None -> List.map one variance_seeds
+    | Some pool ->
+      Array.to_list
+        (Fpart_exec.Pool.map pool
+           (fun _ seed -> one seed)
+           (Array.of_list variance_seeds))
+  in
   let rows =
     List.map
       (fun c ->
         t.progress (Printf.sprintf "variance %s ..." c.Mcnc.circuit_name);
         let hg = graph_of t c device.Device.family in
-        let ks =
-          List.map
-            (fun seed ->
-              let config = { Fpart.Config.default with Fpart.Config.seed } in
-              (Fpart.Driver.run ~config hg device).Fpart.Driver.k)
-            variance_seeds
-          |> List.sort compare
-        in
+        let ks = run_seeds hg |> List.sort compare in
         let arr = Array.of_list ks in
         let n = Array.length arr in
         [

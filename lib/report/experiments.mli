@@ -25,8 +25,19 @@ type run = {
 (** [run_one t algo circuit device] runs (or recalls) one experiment. *)
 type t
 
-(** [create ?progress ()] makes a fresh memo table. *)
-val create : ?progress:(string -> unit) -> unit -> t
+(** [create ?progress ?jobs ()] makes a fresh memo table.  [jobs]
+    (default 1) is the domain budget: with [jobs > 1] the device tables,
+    Table 6 and the variance study fan their independent algorithm runs
+    out on an {!Fpart_exec.Pool} (created lazily, released by
+    {!shutdown}).  Every run is deterministic, so the rendered tables
+    are identical for every [jobs]; only the progress-line order and
+    wall-clock time change.
+    @raise Invalid_argument if [jobs < 1]. *)
+val create : ?progress:(string -> unit) -> ?jobs:int -> unit -> t
+
+(** [shutdown t] joins the worker domains of the lazily created pool, if
+    any.  [t] remains usable (a later table re-creates the pool). *)
+val shutdown : t -> unit
 
 val run_one : t -> algo -> Netlist.Mcnc.circuit -> Device.t -> run
 

@@ -1,0 +1,249 @@
+(* Fpart_exec: domain pool determinism, batch isolation, and the
+   observability merge contract.
+
+   FPART_TEST_JOBS (default 2) sets the widest pool exercised — CI runs
+   the suite a second time with FPART_TEST_JOBS=4. *)
+
+module Pool = Fpart_exec.Pool
+module Batch = Fpart_exec.Batch
+module Driver = Fpart.Driver
+module Metrics = Fpart_obs.Metrics
+module Json = Fpart_obs.Json
+
+let test_jobs =
+  match Sys.getenv_opt "FPART_TEST_JOBS" with
+  | Some s -> ( match int_of_string_opt s with Some n when n >= 1 -> n | _ -> 2)
+  | None -> 2
+
+let circuit ?(cells = 240) ?(pads = 32) seed =
+  Netlist.Generator.generate
+    (Netlist.Generator.default_spec ~name:"exec" ~cells ~pads ~seed)
+
+(* ------------------------------------------------------------------ *)
+(* Pool basics                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_create_invalid () =
+  Alcotest.check_raises "jobs = 0"
+    (Invalid_argument "Fpart_exec.Pool.create: jobs < 1") (fun () ->
+      ignore (Pool.create ~jobs:0))
+
+let test_map_sequential_pool () =
+  Pool.with_pool ~jobs:1 (fun pool ->
+      let out = Pool.map pool (fun i x -> (i * 10) + x) [| 1; 2; 3 |] in
+      Alcotest.(check (array int)) "jobs=1 map" [| 1; 12; 23 |] out)
+
+let test_map_empty () =
+  Pool.with_pool ~jobs:test_jobs (fun pool ->
+      let out = Pool.map pool (fun _ x -> x) [||] in
+      Alcotest.(check int) "empty input" 0 (Array.length out))
+
+let test_map_exception_lowest_index () =
+  Pool.with_pool ~jobs:test_jobs (fun pool ->
+      Alcotest.check_raises "first failing index wins" (Failure "task 2")
+        (fun () ->
+          ignore
+            (Pool.map pool
+               (fun i () -> if i >= 2 then failwith (Printf.sprintf "task %d" i))
+               (Array.make 6 ()))))
+
+let test_pool_reusable_after_exception () =
+  Pool.with_pool ~jobs:test_jobs (fun pool ->
+      (try ignore (Pool.map pool (fun _ () -> failwith "boom") [| () |])
+       with Failure _ -> ());
+      let out = Pool.map pool (fun i () -> i * i) (Array.make 5 ()) in
+      Alcotest.(check (array int)) "pool survives" [| 0; 1; 4; 9; 16 |] out)
+
+let test_both () =
+  Pool.with_pool ~jobs:test_jobs (fun pool ->
+      let a, b = Pool.both pool (fun () -> "left") (fun () -> 42) in
+      Alcotest.(check string) "fst" "left" a;
+      Alcotest.(check int) "snd" 42 b)
+
+let test_run_all () =
+  Pool.with_pool ~jobs:test_jobs (fun pool ->
+      let out = Pool.run_all pool [ (fun () -> 1); (fun () -> 2); (fun () -> 3) ] in
+      Alcotest.(check (list int)) "run_all order" [ 1; 2; 3 ] out)
+
+let test_nested_fork_inlines () =
+  (* a task that forks again on the same pool must not deadlock — the
+     inner fork degrades to inline execution on the worker *)
+  Pool.with_pool ~jobs:test_jobs (fun pool ->
+      let out =
+        Pool.map pool
+          (fun i () ->
+            Array.fold_left ( + ) 0
+              (Pool.map pool (fun j () -> (10 * i) + j) (Array.make 3 ())))
+          (Array.make 4 ())
+      in
+      Alcotest.(check (array int)) "nested totals" [| 3; 33; 63; 93 |] out)
+
+let test_map_seeded_deterministic () =
+  let draw ~rng _ () = Prng.Splitmix.int rng 1_000_000 in
+  let at jobs =
+    Pool.with_pool ~jobs (fun pool ->
+        Pool.map_seeded pool ~master_seed:99 draw (Array.make 8 ()))
+  in
+  let base = at 1 in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check (array int))
+        (Printf.sprintf "map_seeded jobs=%d" jobs)
+        base (at jobs))
+    [ 2; test_jobs ]
+
+(* ------------------------------------------------------------------ *)
+(* QCheck: map is order- and length-preserving                        *)
+(* ------------------------------------------------------------------ *)
+
+let prop_map_order =
+  (* one pool shared across iterations: spawn cost is paid once and the
+     property also exercises pool reuse *)
+  let pool = Pool.create ~jobs:test_jobs in
+  QCheck.Test.make ~count:100 ~name:"Pool.map = Array.mapi"
+    QCheck.(list small_int)
+    (fun xs ->
+      let arr = Array.of_list xs in
+      let f i x = (i * 1009) + (x * 31) in
+      Pool.map pool f arr = Array.mapi f arr)
+
+(* ------------------------------------------------------------------ *)
+(* Driver.run_best determinism                                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_run_best_deterministic () =
+  let h = circuit 5 in
+  let base = Driver.run_best ~jobs:1 ~runs:4 h Device.xc2064 in
+  Alcotest.(check bool) "multi-block" true (base.Driver.k > 1);
+  List.iter
+    (fun jobs ->
+      let r = Driver.run_best ~jobs ~runs:4 h Device.xc2064 in
+      let tag fmt = Printf.sprintf fmt jobs in
+      Alcotest.(check int) (tag "k jobs=%d") base.Driver.k r.Driver.k;
+      Alcotest.(check bool)
+        (tag "feasible jobs=%d")
+        base.Driver.feasible r.Driver.feasible;
+      Alcotest.(check int) (tag "cut jobs=%d") base.Driver.cut r.Driver.cut;
+      Alcotest.(check int)
+        (tag "total_pins jobs=%d")
+        base.Driver.total_pins r.Driver.total_pins;
+      Alcotest.(check (array int))
+        (tag "assignment jobs=%d")
+        base.Driver.assignment r.Driver.assignment)
+    [ 2; 4; test_jobs ]
+
+let test_run_best_improves_or_ties () =
+  let h = circuit 6 in
+  let one = Driver.run ~config:Fpart.Config.default h Device.xc2064 in
+  let best = Driver.run_best ~jobs:test_jobs ~runs:4 h Device.xc2064 in
+  Alcotest.(check bool) "run_best never worse" true (best.Driver.k <= one.Driver.k)
+
+let test_run_best_invalid () =
+  let h = circuit ~cells:40 ~pads:8 1 in
+  Alcotest.check_raises "runs = 0"
+    (Invalid_argument "Driver.run_best: runs < 1") (fun () ->
+      ignore (Driver.run_best ~runs:0 h Device.xc2064));
+  Alcotest.check_raises "jobs = 0"
+    (Invalid_argument "Driver.run_best: jobs < 1") (fun () ->
+      ignore (Driver.run_best ~jobs:0 ~runs:2 h Device.xc2064))
+
+(* ------------------------------------------------------------------ *)
+(* Metrics under domains                                              *)
+(* ------------------------------------------------------------------ *)
+
+let counters_json () =
+  match Metrics.report () with
+  | Json.Obj fields ->
+    Json.to_string (List.assoc "counters" fields)
+  | _ -> Alcotest.fail "report is not an object"
+
+let test_counters_match_sequential () =
+  let h = circuit 7 in
+  let measure jobs =
+    Metrics.reset ();
+    ignore (Driver.run_best ~jobs ~runs:4 h Device.xc2064);
+    let c = counters_json () in
+    Metrics.reset ();
+    c
+  in
+  let sequential = measure 1 in
+  Alcotest.(check string) "counters jobs=N = jobs=1" sequential
+    (measure test_jobs);
+  Alcotest.(check string) "counters jobs=4 = jobs=1" sequential (measure 4)
+
+(* ------------------------------------------------------------------ *)
+(* Batch                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_batch_isolation () =
+  Pool.with_pool ~jobs:test_jobs (fun pool ->
+      let f x = if x = 13 then failwith "unlucky" else x * 2 in
+      match Batch.run ~pool ~f [ 1; 13; 3 ] with
+      | [ Ok 2; Error (Batch.Crashed { exn; _ }); Ok 6 ] ->
+        Alcotest.(check bool) "exn text" true
+          (String.length exn > 0
+          && String.sub exn 0 7 = "Failure")
+      | results ->
+        Alcotest.failf "unexpected batch shape (%d results)"
+          (List.length results))
+
+let test_batch_timeout () =
+  Pool.with_pool ~jobs:test_jobs (fun pool ->
+      let f d = if d > 0.0 then Unix.sleepf d in
+      match Batch.run ~timeout_s:0.05 ~pool ~f [ 0.0; 0.2 ] with
+      | [ Ok (); Error (Batch.Timed_out { elapsed_s; limit_s }) ] ->
+        Alcotest.(check bool) "elapsed over limit" true (elapsed_s > limit_s)
+      | [ Ok (); Ok () ] -> Alcotest.fail "slow job not flagged"
+      | results ->
+        Alcotest.failf "unexpected batch shape (%d results)"
+          (List.length results))
+
+let test_driver_run_batch () =
+  let jobs_list =
+    List.map (fun seed -> (circuit ~cells:80 ~pads:16 seed, Device.xc2064)) [ 1; 2 ]
+  in
+  match Driver.run_batch ~jobs:test_jobs jobs_list with
+  | [ Ok a; Ok b ] ->
+    Alcotest.(check bool) "k positive" true (a.Driver.k >= 1 && b.Driver.k >= 1)
+  | results ->
+    Alcotest.failf "unexpected run_batch shape (%d results)"
+      (List.length results)
+
+let () =
+  Alcotest.run "exec"
+    [
+      ( "pool",
+        [
+          Alcotest.test_case "create invalid" `Quick test_create_invalid;
+          Alcotest.test_case "map jobs=1" `Quick test_map_sequential_pool;
+          Alcotest.test_case "map empty" `Quick test_map_empty;
+          Alcotest.test_case "exception lowest index" `Quick
+            test_map_exception_lowest_index;
+          Alcotest.test_case "reusable after exception" `Quick
+            test_pool_reusable_after_exception;
+          Alcotest.test_case "both" `Quick test_both;
+          Alcotest.test_case "run_all" `Quick test_run_all;
+          Alcotest.test_case "nested fork inlines" `Quick
+            test_nested_fork_inlines;
+          Alcotest.test_case "map_seeded deterministic" `Quick
+            test_map_seeded_deterministic;
+        ] );
+      ("property", List.map QCheck_alcotest.to_alcotest [ prop_map_order ]);
+      ( "driver",
+        [
+          Alcotest.test_case "run_best deterministic across jobs" `Slow
+            test_run_best_deterministic;
+          Alcotest.test_case "run_best improves or ties" `Slow
+            test_run_best_improves_or_ties;
+          Alcotest.test_case "run_best invalid args" `Quick
+            test_run_best_invalid;
+          Alcotest.test_case "counters match sequential" `Slow
+            test_counters_match_sequential;
+        ] );
+      ( "batch",
+        [
+          Alcotest.test_case "exception isolation" `Quick test_batch_isolation;
+          Alcotest.test_case "timeout" `Quick test_batch_timeout;
+          Alcotest.test_case "driver run_batch" `Slow test_driver_run_batch;
+        ] );
+    ]
