@@ -205,11 +205,17 @@ let quota =
   | None -> 1.0
 
 let parallel_name = "parallel/run-best-table2"
+let selfcheck_name = "selfcheck/overhead-table2"
 
 let parallel_wanted =
   match Sys.getenv_opt "FPART_BENCH_ONLY" with
   | None -> true
   | Some pat -> contains parallel_name pat
+
+let selfcheck_wanted =
+  match Sys.getenv_opt "FPART_BENCH_ONLY" with
+  | None -> true
+  | Some pat -> contains selfcheck_name pat
 
 let tests =
   let kept =
@@ -217,7 +223,7 @@ let tests =
     | None -> all_tests
     | Some pat -> List.filter (fun t -> contains (Test.name t) pat) all_tests
   in
-  if kept = [] && not parallel_wanted then begin
+  if kept = [] && not parallel_wanted && not selfcheck_wanted then begin
     prerr_endline "bench: FPART_BENCH_ONLY matched no benchmarks";
     exit 1
   end;
@@ -260,9 +266,33 @@ let measure_parallel () =
     Some (w1, wn)
   end
 
+(* Self-check overhead: wall time of a Driver.run on the table-2
+   workload with selfcheck off vs cheap (pass-boundary oracle
+   validation).  Min of 3 interleaved runs each, so transient noise
+   cannot inflate either side.  The acceptance bar is <= 10% overhead
+   for the cheap level. *)
+
+let measure_selfcheck () =
+  if not selfcheck_wanted then None
+  else begin
+    let hg = Lazy.force c3540_3000 in
+    let time level =
+      let config = { Fpart.Config.default with selfcheck = level } in
+      let t0 = Unix.gettimeofday () in
+      ignore (Fpart.Driver.run ~config hg Device.xc3020);
+      Unix.gettimeofday () -. t0
+    in
+    let best_off = ref infinity and best_cheap = ref infinity in
+    for _ = 1 to 3 do
+      best_off := min !best_off (time Fpart_check.Selfcheck.Off);
+      best_cheap := min !best_cheap (time Fpart_check.Selfcheck.Cheap)
+    done;
+    Some (!best_off, !best_cheap)
+  end
+
 let snapshot_path = "BENCH_fpart.json"
 
-let write_snapshot rows parallel =
+let write_snapshot rows parallel selfcheck =
   let benchmarks =
     List.map
       (fun (name, est) ->
@@ -286,6 +316,19 @@ let write_snapshot rows parallel =
           ("speedup", Json.Float (if wn > 0.0 then w1 /. wn else 0.0));
         ]
   in
+  let selfcheck_field =
+    match selfcheck with
+    | None -> Json.Null
+    | Some (off, cheap) ->
+      Json.Obj
+        [
+          ("name", Json.Str selfcheck_name);
+          ("wall_s_off", Json.Float off);
+          ("wall_s_cheap", Json.Float cheap);
+          ( "overhead",
+            Json.Float (if off > 0.0 then (cheap -. off) /. off else 0.0) );
+        ]
+  in
   let json =
     Json.Obj
       [
@@ -295,6 +338,7 @@ let write_snapshot rows parallel =
         ("unix_time", Json.Float (Unix.gettimeofday ()));
         ("benchmarks", Json.List benchmarks);
         ("parallel", parallel_field);
+        ("selfcheck", selfcheck_field);
       ]
   in
   let oc = open_out snapshot_path in
@@ -354,5 +398,12 @@ let () =
     Printf.printf "%-42s %15s\n" parallel_name
       (Printf.sprintf "%.2fx (jobs=%d)" (if wn > 0.0 then w1 /. wn else 0.0)
          bench_jobs));
-  write_snapshot rows parallel;
+  let selfcheck = measure_selfcheck () in
+  (match selfcheck with
+  | None -> ()
+  | Some (off, cheap) ->
+    Printf.printf "%-42s %15s\n" selfcheck_name
+      (Printf.sprintf "%+.1f%% (cheap)"
+         (if off > 0.0 then 100.0 *. (cheap -. off) /. off else 0.0)));
+  write_snapshot rows parallel selfcheck;
   Printf.printf "perf snapshot written to %s\n" snapshot_path

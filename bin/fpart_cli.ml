@@ -90,11 +90,11 @@ let algo_conv =
   in
   Arg.conv (parse, print)
 
-let partition algo hg device delta seed runs cluster jobs =
+let partition algo hg device delta seed runs cluster jobs selfcheck =
   match algo with
   | Algo_fpart ->
     let config =
-      { Fpart.Config.default with delta; seed; cluster_size = cluster; jobs }
+      { Fpart.Config.default with delta; seed; cluster_size = cluster; jobs; selfcheck }
     in
     let r = Fpart.Driver.run_best ~config ~runs hg device in
     (r.Fpart.Driver.k, r.Fpart.Driver.assignment, r.Fpart.Driver.feasible,
@@ -166,8 +166,8 @@ let check_mode path hg device delta =
       Format.printf "%a" Partition.Check.pp report;
       if report.Partition.Check.feasible then Ok () else Error "partition is infeasible")
 
-let main input generate device_name delta algo seed runs cluster jobs output save check
-    board dot trace stats log_level trace_log =
+let main input generate device_name delta algo seed runs cluster jobs selfcheck output
+    save check board dot trace stats log_level trace_log =
   setup_obs ~trace ~stats ~log_level;
   let result =
     match Device.find device_name with
@@ -185,8 +185,13 @@ let main input generate device_name delta algo seed runs cluster jobs output sav
           check_mode path hg device d
         | None ->
         let k, assignment, feasible, trace_events =
-          partition algo hg device delta seed runs cluster jobs
+          partition algo hg device delta seed runs cluster jobs selfcheck
         in
+        let violations = Fpart_check.Selfcheck.violations_seen () in
+        if violations > 0 then
+          Format.eprintf
+            "fpart: self-check found %d violation(s) — incremental state diverged from the oracle@."
+            violations;
         let st = Partition.State.create hg ~k ~assign:(fun v -> assignment.(v)) in
         let d = match delta with Some d -> d | None -> Device.paper_delta device in
         let s_max = Device.s_max device ~delta:d in
@@ -299,6 +304,21 @@ let jobs =
         ~doc:
           "Execution domains: run the multi-start runs (and the initial-bipartition portfolio) on JOBS parallel domains. The result is bit-identical to JOBS=1 (fpart only).")
 
+let selfcheck =
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("off", Fpart_check.Selfcheck.Off);
+             ("cheap", Fpart_check.Selfcheck.Cheap);
+             ("paranoid", Fpart_check.Selfcheck.Paranoid);
+           ])
+        Fpart_check.Selfcheck.Off
+    & info [ "selfcheck" ] ~docv:"LEVEL"
+        ~doc:
+          "Validate the incremental state against the reference oracle while partitioning: $(b,off) (default), $(b,cheap) (pass boundaries, a few percent overhead) or $(b,paranoid) (every applied move, debugging only). Violations are reported on stderr and counted in --stats (fpart only).")
+
 let output =
   Arg.(
     value
@@ -365,7 +385,7 @@ let cmd =
     (Cmd.info "fpart" ~doc)
     Term.(
       const main $ input $ generate $ device $ delta $ algo $ seed $ runs $ cluster
-      $ jobs $ output $ save $ check $ board $ dot $ trace $ stats $ log_level
-      $ trace_log)
+      $ jobs $ selfcheck $ output $ save $ check $ board $ dot $ trace $ stats
+      $ log_level $ trace_log)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,176 @@
+(* fpart_fuzz: randomized differential testing of the FPART pipeline.
+
+   Each round generates a synthetic circuit and drives three independent
+   comparisons against the reference oracles of Fpart_check:
+
+   1. move-log replay — a random move sequence is executed through the
+      incremental Partition.State; the recorded log (with the engine's
+      own gain and cut claims) must replay cleanly against the oracle;
+   2. end-to-end driver run with [selfcheck = Cheap] — every pass
+      boundary is validated against the oracle, and the final partition
+      must pass a full state diff;
+   3. jobs determinism — [Driver.run_best] at jobs=1 and jobs=4 must
+      produce bit-identical assignments (capped to smaller circuits to
+      keep the round cheap).
+
+   Rounds are seeded [seed, seed+1, ..]: a failing seed printed by this
+   tool replays exactly with [--seed N --rounds 1].  Randomness comes
+   from the in-tree SplitMix64 generator, not QCheck, so this executable
+   can ship in the fpart package without test-only dependencies. *)
+
+open Cmdliner
+module Sm = Prng.Splitmix
+module State = Partition.State
+module Check = Fpart_check
+
+let devices = [| "XC2064"; "XC3020"; "XC3042" |]
+
+let device_of_name name =
+  match Device.find name with
+  | Some d -> d
+  | None -> failwith ("fpart_fuzz: unknown device " ^ name)
+
+type outcome = Ok_round | Divergence of string
+
+let random_circuit rng ~max_cells =
+  let cells = Sm.int_in rng 10 (max max_cells 10) in
+  let pads = Sm.int_in rng 4 (max 4 (cells / 4)) in
+  let seed = Sm.int rng 0x3FFFFFFF in
+  let spec =
+    Netlist.Generator.default_spec ~name:"fuzz" ~cells ~pads ~seed
+  in
+  Netlist.Generator.generate spec
+
+(* Comparison 1: random move log, recorded through the incremental state,
+   replayed against the oracle. *)
+let check_replay rng hg =
+  let n = Hypergraph.Hgraph.num_nodes hg in
+  let k = Sm.int_in rng 2 4 in
+  let init = Array.init n (fun _ -> Sm.int rng k) in
+  let n_moves = 2 * n in
+  let assign = Array.copy init in
+  let moves =
+    List.init n_moves (fun _ ->
+        let v = Sm.int rng n in
+        let dest = (assign.(v) + 1 + Sm.int rng (k - 1)) mod k in
+        assign.(v) <- dest;
+        (v, dest))
+  in
+  let log = Check.Diff.log_of_moves hg ~k ~init ~moves in
+  match Check.Diff.replay hg ~k ~init ~log with
+  | Ok _ -> Ok_round
+  | Error v -> Divergence (Format.asprintf "replay: %a" Check.Diff.pp_violation v)
+
+(* Comparison 2: full driver run under the cheap self-check level, plus a
+   final state diff. *)
+let check_driver rng hg =
+  let device = device_of_name (Sm.choose rng devices) in
+  let config =
+    {
+      Fpart.Config.default with
+      seed = Sm.int rng 0xFFFF;
+      selfcheck = Check.Selfcheck.Cheap;
+    }
+  in
+  let before = Check.Selfcheck.violations_seen () in
+  let r = Fpart.Driver.run ~config hg device in
+  let after = Check.Selfcheck.violations_seen () in
+  if after > before then
+    Divergence
+      (Printf.sprintf "driver selfcheck: %d violation(s) on %s" (after - before)
+         device.Device.dev_name)
+  else
+    let st = Fpart.Driver.final_state r hg in
+    match Check.Oracle.diff_state st with
+    | [] -> Ok_round
+    | reason :: _ -> Divergence ("driver final state: " ^ reason)
+
+(* Comparison 3: run_best must be bit-identical across domain counts. *)
+let check_jobs rng hg =
+  let device = device_of_name (Sm.choose rng devices) in
+  let config = { Fpart.Config.default with seed = Sm.int rng 0xFFFF } in
+  let r1 = Fpart.Driver.run_best ~config ~jobs:1 ~runs:3 hg device in
+  let r4 = Fpart.Driver.run_best ~config ~jobs:4 ~runs:3 hg device in
+  if
+    r1.Fpart.Driver.k = r4.Fpart.Driver.k
+    && r1.Fpart.Driver.assignment = r4.Fpart.Driver.assignment
+  then Ok_round
+  else
+    Divergence
+      (Printf.sprintf "jobs determinism: jobs=1 gave k=%d cut=%d, jobs=4 gave k=%d cut=%d"
+         r1.Fpart.Driver.k r1.Fpart.Driver.cut r4.Fpart.Driver.k r4.Fpart.Driver.cut)
+
+let run_round ~max_cells round_seed =
+  let rng = Sm.create round_seed in
+  let hg = random_circuit rng ~max_cells in
+  let checks =
+    [
+      ("replay", fun () -> check_replay rng hg);
+      ("driver", fun () -> check_driver rng hg);
+      ( "jobs",
+        fun () ->
+          if Hypergraph.Hgraph.num_cells hg <= 150 then check_jobs rng hg
+          else Ok_round );
+    ]
+  in
+  List.fold_left
+    (fun acc (name, f) ->
+      match acc with
+      | Divergence _ -> acc
+      | Ok_round -> (
+        match f () with
+        | Ok_round -> Ok_round
+        | Divergence d -> Divergence (name ^ ": " ^ d)))
+    Ok_round checks
+
+let main rounds max_cells seed =
+  if rounds < 1 then begin
+    prerr_endline "fpart_fuzz: --rounds must be at least 1";
+    2
+  end
+  else begin
+    let divergences = ref 0 in
+    for i = 0 to rounds - 1 do
+      let round_seed = seed + i in
+      match run_round ~max_cells round_seed with
+      | Ok_round -> ()
+      | Divergence msg ->
+        incr divergences;
+        Printf.printf "DIVERGENCE at seed %d: %s\n" round_seed msg;
+        Printf.printf "  replay with: fpart_fuzz --seed %d --rounds 1 --max-cells %d\n"
+          round_seed max_cells
+    done;
+    Printf.printf "fuzz: %d rounds, %d divergences (seeds %d..%d)\n" rounds
+      !divergences seed
+      (seed + rounds - 1);
+    if !divergences = 0 then 0 else 1
+  end
+
+let rounds =
+  Arg.(
+    value
+    & opt int 50
+    & info [ "rounds" ] ~docv:"N" ~doc:"Number of fuzz rounds to run.")
+
+let max_cells =
+  Arg.(
+    value
+    & opt int 500
+    & info [ "max-cells" ] ~docv:"N"
+        ~doc:"Upper bound on generated circuit size (cells).")
+
+let seed =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "seed" ] ~docv:"N"
+        ~doc:
+          "Base seed; round $(i,i) uses seed+$(i,i), so a reported failing seed replays with --seed SEED --rounds 1.")
+
+let cmd =
+  let doc = "randomized differential fuzzing of the FPART pipeline" in
+  Cmd.v
+    (Cmd.info "fpart_fuzz" ~doc)
+    Term.(const main $ rounds $ max_cells $ seed)
+
+let () = exit (Cmd.eval' cmd)

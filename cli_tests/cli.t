@@ -129,3 +129,27 @@ A jobs count below 1 is rejected up front:
   fpart: option '--jobs': JOBS must be at least 1
   $ fpart --generate 10x2 --device XC3020 --jobs 0 2> /dev/null
   [124]
+
+Self-checking: --selfcheck validates the incremental state against the
+reference oracle while partitioning.  The output is identical to a
+plain run (no violations on a healthy tree), even at the per-move
+paranoid level:
+
+  $ fpart --generate 120x16 --device XC2064 --seed 7 > plain.out
+  $ fpart --generate 120x16 --device XC2064 --seed 7 --selfcheck paranoid > paranoid.out
+  $ diff plain.out paranoid.out && echo identical
+  identical
+
+The cheap level counts its checks in the metrics report and finds no
+violations:
+
+  $ fpart --generate 120x16 --device XC2064 --seed 7 --selfcheck cheap --stats > /dev/null 2> sc.txt
+  $ grep -q "selfcheck.checks" sc.txt && echo checks-counted
+  checks-counted
+  $ grep -q "selfcheck.violations" sc.txt || echo no-violations
+  no-violations
+
+An unknown level is rejected:
+
+  $ fpart --generate 10x2 --device XC3020 --selfcheck sometimes 2>&1 | head -1
+  fpart: option '--selfcheck': invalid value 'sometimes', expected one of

@@ -1,0 +1,17 @@
+The fuzzer runs randomized differential rounds (incremental state vs
+the reference oracle, jobs=1 vs jobs=N determinism) and reports the
+seed range so any failure replays exactly:
+
+  $ fpart_fuzz --rounds 5 --max-cells 60
+  fuzz: 5 rounds, 0 divergences (seeds 1..5)
+
+A specific round replays from its seed:
+
+  $ fpart_fuzz --seed 4 --rounds 1 --max-cells 60
+  fuzz: 1 rounds, 0 divergences (seeds 4..4)
+
+Bad arguments are rejected:
+
+  $ fpart_fuzz --rounds 0
+  fpart_fuzz: --rounds must be at least 1
+  [2]

@@ -1,0 +1,64 @@
+module Hg = Hypergraph.Hgraph
+module State = Partition.State
+
+type entry = {
+  node : int;
+  dest : int;
+  gain : int option;
+  cut_after : int option;
+}
+
+type violation = { index : int; reason : string }
+
+let pp_violation ppf v =
+  if v.index < 0 then Format.fprintf ppf "initial state: %s" v.reason
+  else Format.fprintf ppf "move %d: %s" v.index v.reason
+
+let log_of_moves hg ~k ~init ~moves =
+  let assign = Array.copy init in
+  let st = State.create hg ~k ~assign:(fun v -> assign.(v)) in
+  List.map
+    (fun (node, dest) ->
+      let gain = State.cut_gain st node dest in
+      State.move st node dest;
+      { node; dest; gain = Some gain; cut_after = Some (State.cut_size st) })
+    moves
+
+let replay hg ~k ~init ~log =
+  let assign = Array.copy init in
+  let st = State.create hg ~k ~assign:(fun v -> assign.(v)) in
+  let fail index fmt = Format.kasprintf (fun reason -> Error { index; reason }) fmt in
+  let check_state index =
+    match Oracle.diff_state st with
+    | [] -> Ok ()
+    | reason :: _ -> fail index "incremental state diverged: %s" reason
+  in
+  let ( >>= ) r f = match r with Ok () -> f () | Error _ as e -> e in
+  let step index e =
+    (match e.gain with
+    | None -> Ok ()
+    | Some claimed ->
+      let oracle = Oracle.cut_gain hg ~k ~assign e.node e.dest in
+      if claimed = oracle then Ok ()
+      else
+        fail index "stale gain for node %d -> block %d: engine %d, oracle %d"
+          e.node e.dest claimed oracle)
+    >>= fun () ->
+    State.move st e.node e.dest;
+    assign.(e.node) <- e.dest;
+    (match e.cut_after with
+    | None -> Ok ()
+    | Some claimed ->
+      let oracle = (Oracle.recompute hg ~k ~assign:(fun v -> assign.(v))).Oracle.cut in
+      if claimed = oracle then Ok ()
+      else fail index "cut after move: engine %d, oracle %d" claimed oracle)
+    >>= fun () -> check_state index
+  in
+  match check_state (-1) with
+  | Error _ as e -> e
+  | Ok () ->
+    let rec go index = function
+      | [] -> Ok index
+      | e :: rest -> ( match step index e with Ok () -> go (index + 1) rest | Error v -> Error v)
+    in
+    go 0 log

@@ -1,0 +1,52 @@
+(** Differential replay of move logs: incremental engine vs oracle.
+
+    An improvement pass is a sequence of [State.move] calls driven by
+    cached gains.  This harness replays such a sequence on a fresh
+    incremental state and, after {e every} move, asserts that the
+    incremental bookkeeping agrees with the from-scratch {!Oracle}
+    recomputation; when the log also records what the engine {e
+    believed} (the selected gain, the cut after the move), those claims
+    are checked too.  A stale gain or a missed cache update therefore
+    surfaces at the exact move that introduced it, instead of as a
+    silently worse solution. *)
+
+(** One logged move.  [gain] is the cut gain the engine predicted when
+    it selected the move; [cut_after] the cut size its incremental state
+    reported after applying it.  Both are optional so raw (node, block)
+    sequences can be replayed too. *)
+type entry = {
+  node : int;
+  dest : int;
+  gain : int option;
+  cut_after : int option;
+}
+
+(** A detected divergence: the 0-based index of the offending move in
+    the log ([-1] for the initial state) and what disagreed. *)
+type violation = { index : int; reason : string }
+
+val pp_violation : Format.formatter -> violation -> unit
+
+(** [log_of_moves h ~k ~init ~moves] runs the incremental machinery over
+    the raw move sequence and records, for each move, the incremental
+    [State.cut_gain] prediction and the incremental cut after the move —
+    the engine's own account of the pass, ready to be checked by
+    {!replay}.  [init] is not modified. *)
+val log_of_moves :
+  Hypergraph.Hgraph.t ->
+  k:int ->
+  init:int array ->
+  moves:(int * int) list ->
+  entry list
+
+(** [replay h ~k ~init ~log] replays the log move by move, checking
+    after every move that the incremental state matches the oracle and
+    that the logged [gain] / [cut_after] claims hold.  Returns the
+    number of moves replayed, or the first violation.  [init] is not
+    modified. *)
+val replay :
+  Hypergraph.Hgraph.t ->
+  k:int ->
+  init:int array ->
+  log:entry list ->
+  (int, violation) result

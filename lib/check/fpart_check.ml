@@ -1,0 +1,21 @@
+(** FPART differential-testing and self-checking layer.
+
+    One entry point for every correctness oracle in the tree:
+
+    - {!Oracle} — from-scratch recomputation of the per-block aggregates,
+      move gains and the lexicographic solution value, plus a brute-force
+      optimal bipartitioner for tiny circuits;
+    - {!Diff} — replay of a pass's move log asserting the incremental
+      state (and the engine's recorded gains) match the oracle after
+      every move;
+    - {!Selfcheck} — the runtime validation levels behind
+      [Config.selfcheck] / [--selfcheck], reporting through [Fpart_obs];
+    - {!Check} — the partition-level constraint report
+      ([Partition.Check], re-exported so callers need only this
+      library), which also cross-validates the cached [S_i]/[T_i]
+      against its own quotient recomputation. *)
+
+module Oracle = Oracle
+module Diff = Diff
+module Selfcheck = Selfcheck
+module Check = Partition.Check

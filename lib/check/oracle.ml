@@ -1,0 +1,176 @@
+module Hg = Hypergraph.Hgraph
+module State = Partition.State
+module Cost = Partition.Cost
+
+type blocks = {
+  sizes : int array;
+  flops : int array;
+  pins : int array;
+  pads : int array;
+  cells : int array;
+  cut : int;
+  t_sum : int;
+}
+
+let recompute hg ~k ~assign =
+  if k < 1 then invalid_arg "Oracle.recompute: k < 1";
+  let sizes = Array.make k 0 in
+  let flops = Array.make k 0 in
+  let pins = Array.make k 0 in
+  let pads = Array.make k 0 in
+  let cells = Array.make k 0 in
+  Hg.iter_nodes
+    (fun v ->
+      let b = assign v in
+      if b < 0 || b >= k then invalid_arg "Oracle.recompute: block out of range";
+      sizes.(b) <- sizes.(b) + Hg.size hg v;
+      flops.(b) <- flops.(b) + Hg.flops hg v;
+      cells.(b) <- cells.(b) + 1;
+      if Hg.is_pad hg v then pads.(b) <- pads.(b) + 1)
+    hg;
+  let cut = ref 0 in
+  let t_sum = ref 0 in
+  let touched = Array.make k false in
+  Hg.iter_nets
+    (fun e ->
+      Array.fill touched 0 k false;
+      let span = ref 0 in
+      let has_pad = ref false in
+      Array.iter
+        (fun v ->
+          if Hg.is_pad hg v then has_pad := true;
+          let b = assign v in
+          if not touched.(b) then begin
+            touched.(b) <- true;
+            incr span
+          end)
+        (Hg.pins hg e);
+      if !span >= 2 then incr cut;
+      (* pin model: a net consumes a terminal on every block it touches
+         iff it is cut or carries a pad somewhere *)
+      if !span >= 2 || !has_pad then
+        for b = 0 to k - 1 do
+          if touched.(b) then begin
+            pins.(b) <- pins.(b) + 1;
+            incr t_sum
+          end
+        done)
+    hg;
+  { sizes; flops; pins; pads; cells; cut = !cut; t_sum = !t_sum }
+
+let of_state st =
+  let a = State.assignment st in
+  recompute (State.hypergraph st) ~k:(State.k st) ~assign:(fun v -> a.(v))
+
+let diff_state st =
+  let o = of_state st in
+  let k = State.k st in
+  let errs = ref [] in
+  let add fmt = Format.kasprintf (fun s -> errs := s :: !errs) fmt in
+  let block name cached fresh =
+    for b = k - 1 downto 0 do
+      if cached b <> fresh.(b) then
+        add "%s of block %d: cached %d, oracle %d" name b (cached b) fresh.(b)
+    done
+  in
+  block "size" (State.size_of st) o.sizes;
+  block "flops" (State.flops_of st) o.flops;
+  block "pins" (State.pins_of st) o.pins;
+  block "pads" (State.pads_of st) o.pads;
+  block "cells" (State.cells_of st) o.cells;
+  if State.cut_size st <> o.cut then
+    add "cut: cached %d, oracle %d" (State.cut_size st) o.cut;
+  if State.total_pins st <> o.t_sum then
+    add "total pins: cached %d, oracle %d" (State.total_pins st) o.t_sum;
+  !errs
+
+let with_move assign v b f =
+  let old = assign.(v) in
+  assign.(v) <- b;
+  let r = f () in
+  assign.(v) <- old;
+  r
+
+let cut_gain hg ~k ~assign v b =
+  let before = (recompute hg ~k ~assign:(fun u -> assign.(u))).cut in
+  let after =
+    with_move assign v b (fun () ->
+        (recompute hg ~k ~assign:(fun u -> assign.(u))).cut)
+  in
+  before - after
+
+let pin_gain hg ~k ~assign v b =
+  let before = (recompute hg ~k ~assign:(fun u -> assign.(u))).t_sum in
+  let after =
+    with_move assign v b (fun () ->
+        (recompute hg ~k ~assign:(fun u -> assign.(u))).t_sum)
+  in
+  before - after
+
+let evaluate params ctx hg ~k ~assign ~remainder ~step_k =
+  let o = recompute hg ~k ~assign:(fun v -> assign.(v)) in
+  let f = ref 0 in
+  let d = ref 0.0 in
+  for b = 0 to k - 1 do
+    if
+      Cost.block_feasible ctx ~size:o.sizes.(b) ~pins:o.pins.(b) ~flops:o.flops.(b)
+    then incr f;
+    d :=
+      !d
+      +. Cost.block_distance params ctx ~size:o.sizes.(b) ~pins:o.pins.(b)
+           ~flops:o.flops.(b)
+  done;
+  (match remainder with
+  | Some r ->
+    d :=
+      !d
+      +. params.Cost.lambda_r
+         *. Cost.deviation_penalty ctx ~remainder_size:o.sizes.(r) ~step_k
+  | None -> ());
+  let io_bal =
+    if ctx.Cost.total_pads = 0 || ctx.Cost.m_lower = 0 then 0.0
+    else begin
+      let t_avg =
+        float_of_int ctx.Cost.total_pads /. float_of_int ctx.Cost.m_lower
+      in
+      let sum = ref 0.0 in
+      for b = 0 to k - 1 do
+        let te = float_of_int o.pads.(b) in
+        if te < t_avg then sum := !sum +. ((t_avg -. te) /. t_avg)
+      done;
+      !sum
+    end
+  in
+  { Cost.feasible_blocks = !f; distance = !d; t_sum = o.t_sum; io_bal }
+
+let iter_assignments n k f =
+  let assign = Array.make n 0 in
+  let rec go i =
+    if i = n then f assign
+    else
+      for b = 0 to k - 1 do
+        assign.(i) <- b;
+        go (i + 1)
+      done
+  in
+  if n > 0 then go 0 else f assign
+
+let best_bipartition params ctx hg =
+  let n = Hg.num_nodes hg in
+  if n > 20 then invalid_arg "Oracle.best_bipartition: more than 20 nodes";
+  let best_assign = ref None in
+  let best_value = ref None in
+  iter_assignments n 2 (fun assign ->
+      let v = evaluate params ctx hg ~k:2 ~assign ~remainder:None ~step_k:1 in
+      let better =
+        match !best_value with
+        | None -> true
+        | Some bv -> Cost.compare_value v bv < 0
+      in
+      if better then begin
+        best_assign := Some (Array.copy assign);
+        best_value := Some v
+      end);
+  match (!best_assign, !best_value) with
+  | Some a, Some v -> (a, v)
+  | _ -> invalid_arg "Oracle.best_bipartition: empty circuit"

@@ -1,0 +1,80 @@
+(** Reference (slow) recomputation of every quantity the incremental
+    machinery maintains.
+
+    The partitioning engines trust [Partition.State]'s O(1)-amortized
+    bookkeeping — per-block sizes, terminal counts, cut, total pins —
+    and the gain buckets derived from it.  A stale increment there does
+    not crash: it silently degrades solutions.  This module is the
+    oracle the differential harness ({!Diff}), the runtime self-check
+    ({!Selfcheck}) and the fuzzer compare against: every function
+    recomputes from scratch, from the hypergraph and a plain assignment,
+    sharing {e no} code with the incremental paths in
+    [lib/partition/state.ml].
+
+    Everything here is O(pins) or worse — test/validation use only. *)
+
+(** From-scratch per-block aggregates of one assignment. *)
+type blocks = {
+  sizes : int array;  (** [S_i]: summed cell size. *)
+  flops : int array;  (** [F_i]: summed flip-flop count. *)
+  pins : int array;   (** [T_i]: terminal count (DESIGN.md §7 pin model). *)
+  pads : int array;   (** [T_i^E]: pads assigned to the block. *)
+  cells : int array;  (** Nodes (cells and pads) per block. *)
+  cut : int;          (** Nets spanning at least two blocks. *)
+  t_sum : int;        (** [T_SUM = Σ T_i]. *)
+}
+
+(** [recompute h ~k ~assign] rebuilds every aggregate by walking all
+    nodes and all nets once.  @raise Invalid_argument if [k < 1] or an
+    assignment is out of range. *)
+val recompute : Hypergraph.Hgraph.t -> k:int -> assign:(int -> int) -> blocks
+
+(** [of_state st] recomputes the aggregates of a live state's current
+    assignment (without consulting any of its caches). *)
+val of_state : Partition.State.t -> blocks
+
+(** [diff_state st] compares every cached quantity of [st] — block
+    sizes, flop counts, terminal counts, pad counts, node counts, cut
+    size, total pins — against the oracle recomputation and returns one
+    human-readable line per discrepancy ([[]] when the incremental state
+    is consistent). *)
+val diff_state : Partition.State.t -> string list
+
+(** [cut_gain h ~k ~assign v b] is the decrease in cut size if node [v]
+    moved to block [b], by recomputing the cut before and after. *)
+val cut_gain : Hypergraph.Hgraph.t -> k:int -> assign:int array -> int -> int -> int
+
+(** [pin_gain h ~k ~assign v b] is the decrease in [T_SUM] if node [v]
+    moved to block [b]. *)
+val pin_gain : Hypergraph.Hgraph.t -> k:int -> assign:int array -> int -> int -> int
+
+(** [evaluate params ctx h ~k ~assign ~remainder ~step_k] is the
+    lexicographic solution value [(f, d_k, T_SUM, d_k^E)] of section 3.4
+    computed entirely from the oracle aggregates — the reference for
+    [Partition.Cost.evaluate] over a live state. *)
+val evaluate :
+  Partition.Cost.params ->
+  Partition.Cost.context ->
+  Hypergraph.Hgraph.t ->
+  k:int ->
+  assign:int array ->
+  remainder:int option ->
+  step_k:int ->
+  Partition.Cost.value
+
+(** [best_bipartition params ctx h] enumerates every 2-way assignment of
+    the circuit and returns the best one under the lexicographic order
+    (ties broken by enumeration order, so the result is deterministic).
+    Exponential — tiny circuits only.
+    @raise Invalid_argument if the circuit has more than 20 nodes. *)
+val best_bipartition :
+  Partition.Cost.params ->
+  Partition.Cost.context ->
+  Hypergraph.Hgraph.t ->
+  int array * Partition.Cost.value
+
+(** [iter_assignments n k f] calls [f] on every one of the [k^n]
+    assignments of [n] nodes to [k] blocks (the array is reused across
+    calls).  The exhaustive loop behind {!best_bipartition}, exposed for
+    tests that enumerate with their own predicate. *)
+val iter_assignments : int -> int -> (int array -> unit) -> unit

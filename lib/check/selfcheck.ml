@@ -1,0 +1,42 @@
+module Obs = Fpart_obs.Metrics
+module Sink = Fpart_obs.Sink
+module Json = Fpart_obs.Json
+
+type level = Off | Cheap | Paranoid
+
+let rank = function Off -> 0 | Cheap -> 1 | Paranoid -> 2
+let at_least l threshold = rank l >= rank threshold
+
+let level_name = function Off -> "off" | Cheap -> "cheap" | Paranoid -> "paranoid"
+
+let level_of_string s =
+  match String.lowercase_ascii s with
+  | "off" -> Ok Off
+  | "cheap" -> Ok Cheap
+  | "paranoid" -> Ok Paranoid
+  | _ -> Error (Printf.sprintf "unknown self-check level %S (off, cheap or paranoid)" s)
+
+let c_checks = Obs.counter "selfcheck.checks"
+let c_violations = Obs.counter "selfcheck.violations"
+
+let validate ?(where = "state") st =
+  Obs.incr c_checks;
+  let errs = Oracle.diff_state st in
+  (match errs with
+  | [] -> ()
+  | errs ->
+    Obs.add c_violations (List.length errs);
+    List.iter
+      (fun reason ->
+        Sink.emit
+          (Json.Obj
+             [
+               ("type", Json.Str "selfcheck");
+               ("where", Json.Str where);
+               ("violation", Json.Str reason);
+             ]))
+      errs);
+  List.length errs
+
+let checks_run () = Obs.counter_value c_checks
+let violations_seen () = Obs.counter_value c_violations

@@ -1,0 +1,41 @@
+(** Runtime self-check levels for the FPART pipeline.
+
+    Production-scale runs cannot afford a differential harness, but they
+    can afford spot checks: [Config.selfcheck] (exposed as
+    [--selfcheck] on the CLI) selects how aggressively the incremental
+    state is validated against the {!Oracle} while the algorithm runs.
+
+    - {!Off} (default): no validation, zero overhead.
+    - {!Cheap}: validate at pass boundaries — after every [Improve()]
+      call and on the final partition.  O(pins) per boundary, a handful
+      of boundaries per iteration; overhead is a few percent.
+    - {!Paranoid}: additionally validate after {e every applied move}
+      inside the Sanchis engine.  O(pins) per move — debugging only.
+
+    Violations never abort the run: they are counted
+    ([selfcheck.violations]) and reported through the [Fpart_obs] sink
+    as [{"type":"selfcheck",...}] records, so a production deployment
+    can alert on the counter while the run completes. *)
+
+type level = Off | Cheap | Paranoid
+
+(** [at_least l threshold] — is [l] at least as strict as [threshold]? *)
+val at_least : level -> level -> bool
+
+val level_name : level -> string
+
+(** Case-insensitive; accepts ["off"], ["cheap"], ["paranoid"]. *)
+val level_of_string : string -> (level, string) result
+
+(** [validate ?where st] diffs the incremental state against the oracle.
+    Increments the [selfcheck.checks] counter; every discrepancy
+    increments [selfcheck.violations] and emits a sink record tagged
+    with [where].  Returns the number of discrepancies (0 = clean). *)
+val validate : ?where:string -> Partition.State.t -> int
+
+(** Calling-domain totals of the [selfcheck.checks] /
+    [selfcheck.violations] counters (convenience for tests and the
+    fuzzer). *)
+val checks_run : unit -> int
+
+val violations_seen : unit -> int

@@ -19,6 +19,7 @@ type t = {
   cluster_size : int option;
   seed : int;
   jobs : int;
+  selfcheck : Fpart_check.Selfcheck.level;
 }
 
 let default =
@@ -43,6 +44,7 @@ let default =
     cluster_size = None;
     seed = 0x5eed;
     jobs = 1;
+    selfcheck = Fpart_check.Selfcheck.Off;
   }
 
 let delta_for t device =
@@ -58,6 +60,7 @@ let engine t =
     drift_limit = t.drift_limit;
     bucket_discipline = t.bucket_discipline;
     tie_salt = t.seed land 0xFFFF;
+    on_move = None;
   }
 
 let free_space t ~s_max ~t_max ~size ~pins =

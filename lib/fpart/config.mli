@@ -57,6 +57,12 @@ type t = {
           portfolio and {!Driver.run_batch} fan out over this many
           domains.  [1] (default) is the exact sequential path.  Results
           are bit-identical for every value — see docs/PARALLELISM.md. *)
+  selfcheck : Fpart_check.Selfcheck.level;
+      (** Runtime validation of the incremental state against the
+          reference oracle ({!Fpart_check.Selfcheck}): [Off] (default),
+          [Cheap] (pass boundaries), [Paranoid] (every applied move).
+          Violations are counted and reported through [Fpart_obs], never
+          abort the run.  See docs/TESTING.md. *)
 }
 
 (** The paper's published parameter set. *)

@@ -39,6 +39,10 @@ let run_flat ?pool config hg device =
   let assign = Array.make n 0 in
   let finish ~k ~feasible ~iterations =
     let st = State.create hg ~k ~assign:(fun v -> assign.(v)) in
+    if
+      Fpart_check.Selfcheck.at_least config.Config.selfcheck
+        Fpart_check.Selfcheck.Cheap
+    then ignore (Fpart_check.Selfcheck.validate ~where:"driver.final" st);
     Trace.record trace (Trace.Done { iterations; k; feasible });
     Obs.span_end sp_run ~name:"driver.run"
       ~attrs:
@@ -162,19 +166,39 @@ let refine_flat config ctx st =
   let k = State.k st in
   let lower = Array.make k 0 and upper = Array.make k ctx.Cost.s_max in
   let eval st = Cost.evaluate config.Config.cost ctx st ~remainder:None ~step_k:k in
-  let engine = Config.engine config in
+  let engine =
+    let e = Config.engine config in
+    if Fpart_check.Selfcheck.at_least config.Config.selfcheck Fpart_check.Selfcheck.Paranoid
+    then
+      {
+        e with
+        Sanchis.on_move =
+          Some
+            (fun st ->
+              ignore (Fpart_check.Selfcheck.validate ~where:"sanchis.move" st));
+      }
+    else e
+  in
+  let boundary st =
+    if Fpart_check.Selfcheck.at_least config.Config.selfcheck Fpart_check.Selfcheck.Cheap
+    then ignore (Fpart_check.Selfcheck.validate ~where:"driver.refine" st)
+  in
   if k <= 18 then
+  begin
     ignore
       (Sanchis.improve st
          ~spec:{ Sanchis.active = Array.init k Fun.id; remainder = None; lower; upper }
-         ~config:engine ~eval)
+         ~config:engine ~eval);
+    boundary st
+  end
   else
     for i = 0 to k - 1 do
       let j = (i + 1) mod k in
       ignore
         (Sanchis.improve st
            ~spec:{ Sanchis.active = [| i; j |]; remainder = None; lower; upper }
-           ~config:engine ~eval)
+           ~config:engine ~eval);
+      boundary st
     done
 
 let run_clustered ?pool config hg device ~max_cluster_size =

@@ -27,6 +27,19 @@ let windows t st ~remainder ~allow_violation ~two_block =
 
 module Obs = Fpart_obs.Metrics
 module Json = Fpart_obs.Json
+module Selfcheck = Fpart_check.Selfcheck
+
+(* Self-check wiring: paranoid installs a per-move validator into the
+   engine; cheap (and up) validates the state once per Improve() call. *)
+let engine_config t =
+  let cfg = Config.engine t.cfg in
+  if Selfcheck.at_least t.cfg.Config.selfcheck Selfcheck.Paranoid then
+    {
+      cfg with
+      Sanchis.on_move =
+        Some (fun st -> ignore (Selfcheck.validate ~where:"sanchis.move" st));
+    }
+  else cfg
 
 let run t st ~iteration ~remainder ~active ~allow_violation ~two_block ~kind =
   let lower, upper = windows t st ~remainder ~allow_violation ~two_block in
@@ -35,7 +48,9 @@ let run t st ~iteration ~remainder ~active ~allow_violation ~two_block ~kind =
     Cost.evaluate t.params t.ctx st ~remainder:(Some remainder) ~step_k:iteration
   in
   let sp = Obs.span_begin () in
-  let report = Sanchis.improve st ~spec ~config:(Config.engine t.cfg) ~eval in
+  let report = Sanchis.improve st ~spec ~config:(engine_config t) ~eval in
+  if Selfcheck.at_least t.cfg.Config.selfcheck Selfcheck.Cheap then
+    ignore (Selfcheck.validate ~where:"improve.boundary" st);
   Obs.span_end sp ~name:"improve.pass"
     ~attrs:
       [

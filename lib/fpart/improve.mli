@@ -19,6 +19,18 @@ type t = {
   trace : Trace.t;
 }
 
+(** [windows t st ~remainder ~allow_violation ~two_block] is the
+    per-block [(lower, upper)] size windows of the feasible move region,
+    indexed by global block.  The remainder gets [(0, max_int)];
+    exposed for the table-driven edge-case tests. *)
+val windows :
+  t ->
+  Partition.State.t ->
+  remainder:int ->
+  allow_violation:bool ->
+  two_block:bool ->
+  int array * int array
+
 (** [pair t st ~iteration ~remainder ~other ~allow_violation ~kind] runs
     a two-block improvement between [remainder] and [other] and records
     a trace event.  A no-op when [other = remainder]. *)

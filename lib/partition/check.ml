@@ -1,3 +1,5 @@
+module Hg = Hypergraph.Hgraph
+
 type block_report = {
   index : int;
   size : int;
@@ -8,6 +10,8 @@ type block_report = {
   size_ok : bool;
   pins_ok : bool;
   flops_ok : bool;
+  size_consistent : bool;
+  pins_consistent : bool;
 }
 
 type report = {
@@ -16,12 +20,53 @@ type report = {
   violations : int;
   cut : int;
   total_pins : int;
+  consistent : bool;
 }
+
+(* Independent quotient recomputation: sizes and terminal counts rebuilt
+   by walking the hypergraph directly, sharing no code with State's
+   incremental bookkeeping.  This is what lets the report catch a stale
+   cached [S_i] or [T_i] instead of blessing it. *)
+let recompute_quotient st =
+  let hg = State.hypergraph st in
+  let k = State.k st in
+  let sizes = Array.make k 0 in
+  let pins = Array.make k 0 in
+  Hg.iter_nodes
+    (fun v ->
+      let b = State.block_of st v in
+      sizes.(b) <- sizes.(b) + Hg.size hg v)
+    hg;
+  let cut = ref 0 in
+  let touched = Array.make k false in
+  Hg.iter_nets
+    (fun e ->
+      Array.fill touched 0 k false;
+      let span = ref 0 in
+      let has_pad = ref false in
+      Array.iter
+        (fun v ->
+          if Hg.is_pad hg v then has_pad := true;
+          let b = State.block_of st v in
+          if not touched.(b) then begin
+            touched.(b) <- true;
+            incr span
+          end)
+        (Hg.pins hg e);
+      if !span >= 2 then incr cut;
+      if !span >= 2 || !has_pad then
+        for b = 0 to k - 1 do
+          if touched.(b) then pins.(b) <- pins.(b) + 1
+        done)
+    hg;
+  (sizes, pins, !cut)
 
 let of_state st ~ctx =
   let k = State.k st in
+  let ref_sizes, ref_pins, ref_cut = recompute_quotient st in
   let blocks = ref [] in
   let violations = ref 0 in
+  let consistent = ref (State.cut_size st = ref_cut) in
   for i = k - 1 downto 0 do
     let size = State.size_of st i in
     let pins = State.pins_of st i in
@@ -29,7 +74,10 @@ let of_state st ~ctx =
     let size_ok = size <= ctx.Cost.s_max in
     let pins_ok = pins <= ctx.Cost.t_max in
     let flops_ok = match ctx.Cost.f_max with None -> true | Some f -> flops <= f in
+    let size_consistent = size = ref_sizes.(i) in
+    let pins_consistent = pins = ref_pins.(i) in
     if not (size_ok && pins_ok && flops_ok) then incr violations;
+    if not (size_consistent && pins_consistent) then consistent := false;
     blocks :=
       {
         index = i;
@@ -41,6 +89,8 @@ let of_state st ~ctx =
         size_ok;
         pins_ok;
         flops_ok;
+        size_consistent;
+        pins_consistent;
       }
       :: !blocks
   done;
@@ -50,6 +100,7 @@ let of_state st ~ctx =
     violations = !violations;
     cut = State.cut_size st;
     total_pins = State.total_pins st;
+    consistent = !consistent;
   }
 
 let of_assignment hg ~k ~assignment ~ctx =
@@ -67,9 +118,17 @@ let pp ppf r =
       let flag ok = if ok then ' ' else '!' in
       Format.fprintf ppf "block %2d: size %4d%c pins %4d%c flops %4d%c pads %3d@."
         b.index b.size (flag b.size_ok) b.pins (flag b.pins_ok) b.flops
-        (flag b.flops_ok) b.pads)
+        (flag b.flops_ok) b.pads;
+      if not b.size_consistent then
+        Format.fprintf ppf "  WARNING: cached size of block %d disagrees with the quotient recomputation@."
+          b.index;
+      if not b.pins_consistent then
+        Format.fprintf ppf "  WARNING: cached terminal count of block %d disagrees with the quotient recomputation@."
+          b.index)
     r.blocks;
   Format.fprintf ppf "%d blocks, %s (%d violating), cut %d, total pins %d@."
     (List.length r.blocks)
     (if r.feasible then "feasible" else "INFEASIBLE")
-    r.violations r.cut r.total_pins
+    r.violations r.cut r.total_pins;
+  if not r.consistent then
+    Format.fprintf ppf "WARNING: incremental state inconsistent with quotient recomputation@."

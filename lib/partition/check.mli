@@ -2,7 +2,14 @@
 
     One place that answers "does this assignment really satisfy the
     device constraints?" — used by the CLI, the drivers' tests and the
-    experiment harness instead of each re-deriving per-block checks. *)
+    experiment harness instead of each re-deriving per-block checks.
+
+    Beyond the device constraints, the report cross-validates the cached
+    per-block aggregates ([S_i], [T_i]) and the cut against an
+    independent quotient recomputation that walks the hypergraph
+    directly.  A report with [consistent = false] means the incremental
+    bookkeeping has drifted from ground truth — a bug in the engine, not
+    in the input. *)
 
 type block_report = {
   index : int;
@@ -14,6 +21,10 @@ type block_report = {
   size_ok : bool;
   pins_ok : bool;
   flops_ok : bool;
+  size_consistent : bool;
+      (** Cached block size agrees with the from-scratch recomputation. *)
+  pins_consistent : bool;
+      (** Cached terminal count agrees with the from-scratch recomputation. *)
 }
 
 type report = {
@@ -22,6 +33,9 @@ type report = {
   violations : int;            (** Number of failing blocks. *)
   cut : int;
   total_pins : int;
+  consistent : bool;
+      (** Every cached aggregate (sizes, terminal counts, cut) agrees
+          with the independent quotient recomputation. *)
 }
 
 (** [of_assignment h ~k ~assignment ~ctx] builds the report.
@@ -33,5 +47,7 @@ val of_assignment :
 (** [of_state st ~ctx] is the report of a live partition state. *)
 val of_state : State.t -> ctx:Cost.context -> report
 
-(** [pp] prints one line per block plus a summary. *)
+(** [pp] prints one line per block plus a summary.  Inconsistencies
+    (drifted caches) add WARNING lines; a consistent report prints
+    exactly what it always did. *)
 val pp : Format.formatter -> report -> unit

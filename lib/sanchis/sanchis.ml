@@ -26,6 +26,7 @@ type config = {
   drift_limit : int option;
   tie_salt : int;
   bucket_discipline : Bucket.discipline;
+  on_move : (State.t -> unit) option;
 }
 
 let default_config =
@@ -38,6 +39,7 @@ let default_config =
     drift_limit = None;
     tie_salt = 0;
     bucket_discipline = Bucket.Lifo;
+    on_move = None;
   }
 
 type spec = {
@@ -362,6 +364,7 @@ let run_pass ctx ~collect ~semi ~infeasible =
               then update_cell ctx u)
             (Hg.pins ctx.hg e))
         (Hg.nets_of ctx.hg v);
+      (match ctx.cfg.on_move with None -> () | Some f -> f st);
       let value = ctx.eval st in
       if Cost.compare_value value !best_value < 0 then begin
         best_value := value;

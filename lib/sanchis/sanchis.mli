@@ -54,10 +54,15 @@ type config = {
   bucket_discipline : Gainbucket.Bucket_array.discipline;
       (** LIFO (published default) or FIFO gain buckets — one of the
           classical FM parameters of the paper's section 1. *)
+  on_move : (Partition.State.t -> unit) option;
+      (** Hook invoked after every applied move (state already updated,
+          before evaluation).  [None] (default) costs nothing; the
+          paranoid self-check level installs a per-move validator here.
+          The hook must not mutate the state. *)
 }
 
 (** Paper values: gain levels 2, scan limit 16, 8 passes per execution,
-    stack depth 4, cut gain, no drift limit, salt 0. *)
+    stack depth 4, cut gain, no drift limit, salt 0, no move hook. *)
 val default_config : config
 
 (** Which blocks take part, and the per-block size windows of the

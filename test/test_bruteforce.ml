@@ -6,8 +6,9 @@ module Hg = Hypergraph.Hgraph
 module State = Partition.State
 
 let tiny_circuit ?(cells = 7) ?(pads = 2) seed =
-  Netlist.Generator.generate
-    (Netlist.Generator.default_spec ~name:"bf" ~cells ~pads ~seed)
+  Fpart_testgen.circuit ~name:"bf" ~cells ~pads seed
+
+let iter_assignments = Fpart_testgen.iter_assignments
 
 (* Reference (slow) implementations of the pin model. *)
 let ref_pins hg assign k =
@@ -32,18 +33,6 @@ let ref_cut hg assign =
       in
       if List.length blocks >= 2 then acc + 1 else acc)
     0 hg
-
-(* Enumerate every assignment of [n] nodes into [k] blocks. *)
-let iter_assignments n k f =
-  let assign = Array.make n 0 in
-  let rec go i = if i = n then f assign
-    else
-      for b = 0 to k - 1 do
-        assign.(i) <- b;
-        go (i + 1)
-      done
-  in
-  go 0
 
 let test_pin_model_exhaustive () =
   let hg = tiny_circuit ~cells:6 ~pads:2 1 in

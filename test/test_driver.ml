@@ -6,8 +6,7 @@ module Driver = Fpart.Driver
 module Kwayx = Fpart.Kwayx
 
 let circuit ?(cells = 300) ?(pads = 40) seed =
-  Netlist.Generator.generate
-    (Netlist.Generator.default_spec ~name:"drv" ~cells ~pads ~seed)
+  Fpart_testgen.circuit ~name:"drv" ~cells ~pads seed
 
 let check_partition h device delta k assignment =
   let st = State.create h ~k ~assign:(fun v -> assignment.(v)) in

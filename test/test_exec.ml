@@ -9,6 +9,9 @@ module Batch = Fpart_exec.Batch
 module Driver = Fpart.Driver
 module Metrics = Fpart_obs.Metrics
 module Json = Fpart_obs.Json
+module Hg = Hypergraph.Hgraph
+module State = Partition.State
+module Tg = Fpart_testgen
 
 let test_jobs =
   match Sys.getenv_opt "FPART_TEST_JOBS" with
@@ -16,8 +19,7 @@ let test_jobs =
   | None -> 2
 
 let circuit ?(cells = 240) ?(pads = 32) seed =
-  Netlist.Generator.generate
-    (Netlist.Generator.default_spec ~name:"exec" ~cells ~pads ~seed)
+  Tg.circuit ~name:"exec" ~cells ~pads seed
 
 (* ------------------------------------------------------------------ *)
 (* Pool basics                                                        *)
@@ -147,6 +149,65 @@ let test_run_best_invalid () =
     (Invalid_argument "Driver.run_best: jobs < 1") (fun () ->
       ignore (Driver.run_best ~jobs:0 ~runs:2 h Device.xc2064))
 
+let test_run_best_repeatable () =
+  (* same config, same jobs: byte-identical result on repeated calls,
+     for jobs = 1 and jobs = 4 *)
+  let h = circuit ~cells:160 ~pads:24 8 in
+  List.iter
+    (fun jobs ->
+      let a = Driver.run_best ~jobs ~runs:3 h Device.xc2064 in
+      let b = Driver.run_best ~jobs ~runs:3 h Device.xc2064 in
+      Alcotest.(check int) (Printf.sprintf "k repeatable jobs=%d" jobs)
+        a.Driver.k b.Driver.k;
+      Alcotest.(check (array int))
+        (Printf.sprintf "assignment repeatable jobs=%d" jobs)
+        a.Driver.assignment b.Driver.assignment)
+    [ 1; 4 ]
+
+(* ------------------------------------------------------------------ *)
+(* Metamorphic properties: relabelings must not change the metrics     *)
+(* ------------------------------------------------------------------ *)
+
+(* Transport the driver's partition through a node relabeling and check
+   every metric is preserved on the relabeled graph.  (The driver is not
+   re-run on the relabeled circuit: id-based tie-breaks make the full
+   output only metric-equivalent, not identical, under relabeling.) *)
+let check_transported_partition h r perm =
+  let h' = Tg.relabel h ~perm in
+  let a' = Tg.transport ~perm r.Driver.assignment in
+  let st = State.create h ~k:r.Driver.k ~assign:(fun v -> r.Driver.assignment.(v)) in
+  let st' = State.create h' ~k:r.Driver.k ~assign:(fun v -> a'.(v)) in
+  Alcotest.(check int) "cut invariant" (State.cut_size st) (State.cut_size st');
+  Alcotest.(check int) "total pins invariant" (State.total_pins st)
+    (State.total_pins st');
+  for b = 0 to r.Driver.k - 1 do
+    Alcotest.(check int) "block size invariant" (State.size_of st b)
+      (State.size_of st' b);
+    Alcotest.(check int) "block pins invariant" (State.pins_of st b)
+      (State.pins_of st' b);
+    Alcotest.(check int) "block pads invariant" (State.pads_of st b)
+      (State.pads_of st' b)
+  done;
+  match Fpart_check.Oracle.diff_state st' with
+  | [] -> ()
+  | reason :: _ -> Alcotest.failf "relabeled state inconsistent: %s" reason
+
+let test_relabel_invariance () =
+  let h = circuit ~cells:150 ~pads:20 8 in
+  let r = Driver.run h Device.xc2064 in
+  Alcotest.(check bool) "multi-block" true (r.Driver.k > 1);
+  List.iter
+    (fun pseed ->
+      check_transported_partition h r (Tg.permutation ~n:(Hg.num_nodes h) pseed))
+    [ 1; 2; 3 ]
+
+let test_pad_permutation_invariance () =
+  let h = circuit ~cells:120 ~pads:40 9 in
+  let r = Driver.run h Device.xc2064 in
+  List.iter
+    (fun pseed -> check_transported_partition h r (Tg.pad_permutation h pseed))
+    [ 4; 5 ]
+
 (* ------------------------------------------------------------------ *)
 (* Metrics under domains                                              *)
 (* ------------------------------------------------------------------ *)
@@ -237,8 +298,16 @@ let () =
             test_run_best_improves_or_ties;
           Alcotest.test_case "run_best invalid args" `Quick
             test_run_best_invalid;
+          Alcotest.test_case "run_best repeatable at jobs 1 and 4" `Slow
+            test_run_best_repeatable;
           Alcotest.test_case "counters match sequential" `Slow
             test_counters_match_sequential;
+        ] );
+      ( "metamorphic",
+        [
+          Alcotest.test_case "relabeling invariance" `Quick test_relabel_invariance;
+          Alcotest.test_case "pad permutation invariance" `Quick
+            test_pad_permutation_invariance;
         ] );
       ( "batch",
         [

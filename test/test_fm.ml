@@ -5,25 +5,10 @@ module State = Partition.State
 
 let wide_limits = { Fm.lo0 = 0; hi0 = max_int / 2; lo1 = 0; hi1 = max_int / 2 }
 
-(* Two 4-cliques joined by a single bridge net; the optimal bipartition
-   cuts exactly that bridge. *)
-let two_clusters () =
-  let b = Hg.Builder.create () in
-  let c = Array.init 8 (fun i -> Hg.Builder.add_cell b ~name:(string_of_int i) ~size:1) in
-  let clique lo =
-    for i = lo to lo + 3 do
-      for j = i + 1 to lo + 3 do
-        ignore (Hg.Builder.add_net b ~name:(Printf.sprintf "e%d_%d" i j) [ c.(i); c.(j) ])
-      done
-    done
-  in
-  clique 0;
-  clique 4;
-  ignore (Hg.Builder.add_net b ~name:"bridge" [ c.(3); c.(4) ]);
-  (Hg.Builder.freeze b, c)
+let circuit = Fpart_testgen.circuit ~name:"f"
 
 let test_finds_optimal_cut () =
-  let h, c = two_clusters () in
+  let h, c = Fpart_testgen.two_cliques () in
   (* start from a bad split: even/odd *)
   let st = State.create h ~k:2 ~assign:(fun v -> v land 1) in
   let limits = Fm.limits_of_tolerance ~total:8 ~tolerance:0.1 in
@@ -42,8 +27,7 @@ let test_finds_optimal_cut () =
   Alcotest.(check bool) "separated" true (b0 <> b4)
 
 let test_never_worse () =
-  let spec = Netlist.Generator.default_spec ~name:"f" ~cells:80 ~pads:8 ~seed:4 in
-  let h = Netlist.Generator.generate spec in
+  let h = circuit ~cells:80 ~pads:8 4 in
   let st = State.create h ~k:2 ~assign:(fun v -> v land 1) in
   let before = State.cut_size st in
   let r = Fm.refine st ~block0:0 ~block1:1 ~limits:wide_limits ~max_passes:6 in
@@ -52,8 +36,7 @@ let test_never_worse () =
   match State.check st with Ok () -> () | Error e -> Alcotest.fail e
 
 let test_respects_limits () =
-  let spec = Netlist.Generator.default_spec ~name:"f" ~cells:60 ~pads:6 ~seed:9 in
-  let h = Netlist.Generator.generate spec in
+  let h = circuit ~cells:60 ~pads:6 9 in
   let st = State.create h ~k:2 ~assign:(fun v -> if v < 30 then 0 else 1) in
   let limits = { Fm.lo0 = 25; hi0 = 35; lo1 = 25; hi1 = 35 } in
   ignore (Fm.refine st ~block0:0 ~block1:1 ~limits ~max_passes:8);
@@ -62,16 +45,14 @@ let test_respects_limits () =
   Alcotest.(check bool) "block1 window" true (s1 >= 25 && s1 <= 35)
 
 let test_untouched_blocks () =
-  let spec = Netlist.Generator.default_spec ~name:"f" ~cells:40 ~pads:4 ~seed:2 in
-  let h = Netlist.Generator.generate spec in
+  let h = circuit ~cells:40 ~pads:4 2 in
   let st = State.create h ~k:3 ~assign:(fun v -> v mod 3) in
   let frozen = State.nodes_of_block st 2 in
   ignore (Fm.refine st ~block0:0 ~block1:1 ~limits:wide_limits ~max_passes:4);
   Alcotest.(check (list int)) "block 2 untouched" frozen (State.nodes_of_block st 2)
 
 let test_errors () =
-  let spec = Netlist.Generator.default_spec ~name:"f" ~cells:10 ~pads:2 ~seed:1 in
-  let h = Netlist.Generator.generate spec in
+  let h = circuit ~cells:10 ~pads:2 1 in
   let st = State.create h ~k:2 ~assign:(fun _ -> 0) in
   Alcotest.check_raises "same block" (Invalid_argument "Fm.refine: blocks coincide")
     (fun () -> ignore (Fm.refine st ~block0:1 ~block1:1 ~limits:wide_limits ~max_passes:1));
@@ -107,8 +88,7 @@ let prop_never_worse =
   QCheck.Test.make ~count:40 ~name:"refine never increases the cut"
     QCheck.(triple (int_range 10 120) (int_range 1 10_000) (int_range 2 10))
     (fun (cells, seed, passes) ->
-      let spec = Netlist.Generator.default_spec ~name:"f" ~cells ~pads:4 ~seed in
-      let h = Netlist.Generator.generate spec in
+      let h = circuit ~cells ~pads:4 seed in
       let st = State.create h ~k:2 ~assign:(fun v -> (v * 7) land 1) in
       let before = State.cut_size st in
       let r = Fm.refine st ~block0:0 ~block1:1 ~limits:wide_limits ~max_passes:passes in
@@ -118,8 +98,7 @@ let prop_respects_random_limits =
   QCheck.Test.make ~count:30 ~name:"size windows hold whenever they held initially"
     QCheck.(pair (int_range 20 80) (int_range 1 10_000))
     (fun (cells, seed) ->
-      let spec = Netlist.Generator.default_spec ~name:"f" ~cells ~pads:2 ~seed in
-      let h = Netlist.Generator.generate spec in
+      let h = circuit ~cells ~pads:2 seed in
       let half = cells / 2 in
       let st = State.create h ~k:2 ~assign:(fun v -> if v < half then 0 else 1) in
       let slack = max 2 (cells / 5) in

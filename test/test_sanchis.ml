@@ -13,9 +13,7 @@ let default_spec ?remainder active k =
   let lower, upper = free_windows k in
   { Sanchis.active; remainder; lower; upper }
 
-let circuit ?(cells = 60) ?(pads = 6) seed =
-  Netlist.Generator.generate
-    (Netlist.Generator.default_spec ~name:"sx" ~cells ~pads ~seed)
+let circuit = Fpart_testgen.circuit ~name:"sx"
 
 let ctx_for h =
   Cost.context_of Device.xc3020 ~delta:0.9 h
@@ -39,19 +37,7 @@ let test_never_worse_value () =
 let test_matches_fm_on_two_cliques () =
   (* the crafted two-clique instance from the FM tests: Sanchis on two
      blocks must also find the single-bridge cut *)
-  let b = Hg.Builder.create () in
-  let c = Array.init 8 (fun i -> Hg.Builder.add_cell b ~name:(string_of_int i) ~size:1) in
-  let clique lo =
-    for i = lo to lo + 3 do
-      for j = i + 1 to lo + 3 do
-        ignore (Hg.Builder.add_net b ~name:(Printf.sprintf "e%d_%d" i j) [ c.(i); c.(j) ])
-      done
-    done
-  in
-  clique 0;
-  clique 4;
-  ignore (Hg.Builder.add_net b ~name:"bridge" [ c.(3); c.(4) ]);
-  let h = Hg.Builder.freeze b in
+  let h, _ = Fpart_testgen.two_cliques () in
   let ctx = { Cost.s_max = 5; t_max = 10; f_max = None; m_lower = 2; total_pads = 0 } in
   let st = State.create h ~k:2 ~assign:(fun v -> v land 1) in
   ignore
