@@ -206,6 +206,7 @@ let quota =
 
 let parallel_name = "parallel/run-best-table2"
 let selfcheck_name = "selfcheck/overhead-table2"
+let gain_update_name = "gain_update/table2"
 
 let parallel_wanted =
   match Sys.getenv_opt "FPART_BENCH_ONLY" with
@@ -217,13 +218,21 @@ let selfcheck_wanted =
   | None -> true
   | Some pat -> contains selfcheck_name pat
 
+let gain_update_wanted =
+  match Sys.getenv_opt "FPART_BENCH_ONLY" with
+  | None -> true
+  | Some pat -> contains gain_update_name pat
+
 let tests =
   let kept =
     match Sys.getenv_opt "FPART_BENCH_ONLY" with
     | None -> all_tests
     | Some pat -> List.filter (fun t -> contains (Test.name t) pat) all_tests
   in
-  if kept = [] && not parallel_wanted && not selfcheck_wanted then begin
+  if
+    kept = [] && not parallel_wanted && not selfcheck_wanted
+    && not gain_update_wanted
+  then begin
     prerr_endline "bench: FPART_BENCH_ONLY matched no benchmarks";
     exit 1
   end;
@@ -290,9 +299,127 @@ let measure_selfcheck () =
     Some (!best_off, !best_cheap)
   end
 
+(* Delta-gain throughput on the table-2 circuit, [gain_update = Delta]
+   (incremental critical-net updates, the default) vs [Recompute] (the
+   escape hatch that rebuilds every neighbour gain from scratch).  Two
+   measurements, both bit-identical across modes:
+
+   - maintenance: [Sanchis.drive_gain_maintenance] applies the same
+     scripted move sequence through the real per-move machinery with no
+     selection, lookahead, evaluation or rewind, and clocks only the
+     neighbour refresh itself — the one piece the two modes implement
+     differently.  This is the headline moves/sec the bench-regression
+     CI job guards, with an acceptance bar of >= 2x for delta.
+   - engine: a full 4-way [Sanchis.improve] from a fresh round-robin
+     assignment.  Selection, evaluation and pass setup are shared by
+     both modes, so this end-to-end ratio is much smaller (Amdahl);
+     recorded so the snapshot keeps the honest whole-engine number.
+
+   Min of 3 interleaved samples per measurement per mode.  The delta
+   engine's update/avoided counters ride along so regressions in the
+   quiet-net skip show up in the snapshot diff too. *)
+
+type gu_pair = {
+  gp_wall_delta : float;
+  gp_wall_recompute : float;
+  gp_moves : int;  (** applied moves per sample (identical across modes) *)
+}
+
+type gain_update_result = {
+  gu_maintenance : gu_pair;
+  gu_engine : gu_pair;
+  gu_updates : int;  (** sanchis.delta.updates over one delta sample *)
+  gu_avoided : int;  (** sanchis.delta.avoided over one delta sample *)
+}
+
+let gu_maintenance_moves = 50_000
+
+let measure_gain_update () =
+  if not gain_update_wanted then None
+  else begin
+    let module Metrics = Fpart_obs.Metrics in
+    let hg = Lazy.force c3540_3000 in
+    (* table 2 splits c3540 across 7 XC3020s; matching that arity also
+       matters for the measurement itself: recompute refreshes every
+       neighbour towards all k-1 targets while delta touches ~2, so the
+       maintenance gap is a function of k. *)
+    let k = 7 in
+    let ctx = Partition.Cost.context_of Device.xc3020 ~delta:0.9 hg in
+    let spec =
+      {
+        Sanchis.active = Array.init k Fun.id;
+        remainder = None;
+        lower = Array.make k 0;
+        upper = Array.make k max_int;
+      }
+    in
+    let c_updates = Metrics.counter "sanchis.delta.updates" in
+    let c_avoided = Metrics.counter "sanchis.delta.avoided" in
+    let config mode = { Sanchis.default_config with gain_update = mode } in
+    let maintenance_sample mode =
+      let st = Partition.State.create hg ~k ~assign:(fun v -> v mod k) in
+      let applied, refresh_s =
+        Sanchis.drive_gain_maintenance st ~spec ~config:(config mode)
+          ~moves:gu_maintenance_moves ~seed:1
+      in
+      (refresh_s, applied, Array.copy (Partition.State.assignment st))
+    in
+    let engine_sample mode =
+      let st = Partition.State.create hg ~k ~assign:(fun v -> v mod k) in
+      let tracker =
+        Partition.Cost.tracker Partition.Cost.default_params ctx st
+          ~remainder:None ~step_k:k
+      in
+      let eval st = Partition.Cost.tracked_evaluate tracker st in
+      let t0 = Unix.gettimeofday () in
+      let report = Sanchis.improve st ~spec ~config:(config mode) ~eval in
+      let wall = Unix.gettimeofday () -. t0 in
+      ( wall,
+        report.Sanchis.moves_applied,
+        Array.copy (Partition.State.assignment st) )
+    in
+    let compare_modes name sample =
+      let best_d = ref infinity and best_r = ref infinity in
+      let moves = ref 0 in
+      for _ = 1 to 3 do
+        let wd, md, ad = sample Sanchis.Delta in
+        let wr, mr, ar = sample Sanchis.Recompute in
+        if md <> mr || ad <> ar then begin
+          Printf.eprintf "bench: %s diverged between delta and recompute\n"
+            name;
+          exit 1
+        end;
+        best_d := min !best_d wd;
+        best_r := min !best_r wr;
+        moves := md
+      done;
+      {
+        gp_wall_delta = !best_d;
+        gp_wall_recompute = !best_r;
+        gp_moves = !moves;
+      }
+    in
+    let u0 = Metrics.counter_value c_updates in
+    let a0 = Metrics.counter_value c_avoided in
+    let maintenance = compare_modes "gain maintenance" maintenance_sample in
+    let updates = ref (Metrics.counter_value c_updates - u0) in
+    let avoided = ref (Metrics.counter_value c_avoided - a0) in
+    (* three delta samples ran above; report per-sample counts *)
+    updates := !updates / 3;
+    avoided := !avoided / 3;
+    let engine = compare_modes "engine run" engine_sample in
+    Some
+      {
+        gu_maintenance = maintenance;
+        gu_engine = engine;
+        gu_updates = !updates;
+        gu_avoided = !avoided;
+      }
+  end
+
 let snapshot_path = "BENCH_fpart.json"
 
-let write_snapshot rows parallel selfcheck =
+let write_snapshot rows parallel selfcheck gain_update =
   let benchmarks =
     List.map
       (fun (name, est) ->
@@ -329,6 +456,37 @@ let write_snapshot rows parallel selfcheck =
             Json.Float (if off > 0.0 then (cheap -. off) /. off else 0.0) );
         ]
   in
+  let gain_update_field =
+    match gain_update with
+    | None -> Json.Null
+    | Some g ->
+      let pair p =
+        let per_s wall =
+          if wall > 0.0 then float_of_int p.gp_moves /. wall else 0.0
+        in
+        Json.Obj
+          [
+            ("wall_s_delta", Json.Float p.gp_wall_delta);
+            ("wall_s_recompute", Json.Float p.gp_wall_recompute);
+            ("moves", Json.Int p.gp_moves);
+            ("moves_per_s_delta", Json.Float (per_s p.gp_wall_delta));
+            ("moves_per_s_recompute", Json.Float (per_s p.gp_wall_recompute));
+            ( "speedup",
+              Json.Float
+                (if p.gp_wall_delta > 0.0 then
+                   p.gp_wall_recompute /. p.gp_wall_delta
+                 else 0.0) );
+          ]
+      in
+      Json.Obj
+        [
+          ("name", Json.Str gain_update_name);
+          ("maintenance", pair g.gu_maintenance);
+          ("engine", pair g.gu_engine);
+          ("delta_updates", Json.Int g.gu_updates);
+          ("delta_avoided", Json.Int g.gu_avoided);
+        ]
+  in
   let json =
     Json.Obj
       [
@@ -339,6 +497,7 @@ let write_snapshot rows parallel selfcheck =
         ("benchmarks", Json.List benchmarks);
         ("parallel", parallel_field);
         ("selfcheck", selfcheck_field);
+        ("gain_update", gain_update_field);
       ]
   in
   let oc = open_out snapshot_path in
@@ -405,5 +564,16 @@ let () =
     Printf.printf "%-42s %15s\n" selfcheck_name
       (Printf.sprintf "%+.1f%% (cheap)"
          (if off > 0.0 then 100.0 *. (cheap -. off) /. off else 0.0)));
-  write_snapshot rows parallel selfcheck;
+  let gain_update = measure_gain_update () in
+  (match gain_update with
+  | None -> ()
+  | Some g ->
+    let speedup p =
+      if p.gp_wall_delta > 0.0 then p.gp_wall_recompute /. p.gp_wall_delta
+      else 0.0
+    in
+    Printf.printf "%-42s %15s\n" gain_update_name
+      (Printf.sprintf "%.2fx maint, %.2fx engine"
+         (speedup g.gu_maintenance) (speedup g.gu_engine)));
+  write_snapshot rows parallel selfcheck gain_update;
   Printf.printf "perf snapshot written to %s\n" snapshot_path

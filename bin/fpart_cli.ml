@@ -90,11 +90,19 @@ let algo_conv =
   in
   Arg.conv (parse, print)
 
-let partition algo hg device delta seed runs cluster jobs selfcheck =
+let partition algo hg device delta seed runs cluster jobs selfcheck gain_update =
   match algo with
   | Algo_fpart ->
     let config =
-      { Fpart.Config.default with delta; seed; cluster_size = cluster; jobs; selfcheck }
+      {
+        Fpart.Config.default with
+        delta;
+        seed;
+        cluster_size = cluster;
+        jobs;
+        selfcheck;
+        gain_update;
+      }
     in
     let r = Fpart.Driver.run_best ~config ~runs hg device in
     (r.Fpart.Driver.k, r.Fpart.Driver.assignment, r.Fpart.Driver.feasible,
@@ -166,8 +174,8 @@ let check_mode path hg device delta =
       Format.printf "%a" Partition.Check.pp report;
       if report.Partition.Check.feasible then Ok () else Error "partition is infeasible")
 
-let main input generate device_name delta algo seed runs cluster jobs selfcheck output
-    save check board dot trace stats log_level trace_log =
+let main input generate device_name delta algo seed runs cluster jobs selfcheck
+    gain_update output save check board dot trace stats log_level trace_log =
   setup_obs ~trace ~stats ~log_level;
   let result =
     match Device.find device_name with
@@ -186,6 +194,7 @@ let main input generate device_name delta algo seed runs cluster jobs selfcheck 
         | None ->
         let k, assignment, feasible, trace_events =
           partition algo hg device delta seed runs cluster jobs selfcheck
+            gain_update
         in
         let violations = Fpart_check.Selfcheck.violations_seen () in
         if violations > 0 then
@@ -319,6 +328,16 @@ let selfcheck =
         ~doc:
           "Validate the incremental state against the reference oracle while partitioning: $(b,off) (default), $(b,cheap) (pass boundaries, a few percent overhead) or $(b,paranoid) (every applied move, debugging only). Violations are reported on stderr and counted in --stats (fpart only).")
 
+let gain_update =
+  Arg.(
+    value
+    & opt
+        (enum [ ("delta", Sanchis.Delta); ("recompute", Sanchis.Recompute) ])
+        Sanchis.Delta
+    & info [ "gain-update" ] ~docv:"MODE"
+        ~doc:
+          "Neighbour-gain maintenance inside the improvement engine: $(b,delta) (default, incremental critical-net updates) or $(b,recompute) (escape hatch recomputing every neighbour gain from scratch). Both produce bit-identical partitions; delta is faster (fpart only).")
+
 let output =
   Arg.(
     value
@@ -385,7 +404,7 @@ let cmd =
     (Cmd.info "fpart" ~doc)
     Term.(
       const main $ input $ generate $ device $ delta $ algo $ seed $ runs $ cluster
-      $ jobs $ selfcheck $ output $ save $ check $ board $ dot $ trace $ stats
-      $ log_level $ trace_log)
+      $ jobs $ selfcheck $ gain_update $ output $ save $ check $ board $ dot
+      $ trace $ stats $ log_level $ trace_log)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,17 +1,25 @@
 (* fpart_fuzz: randomized differential testing of the FPART pipeline.
 
-   Each round generates a synthetic circuit and drives three independent
-   comparisons against the reference oracles of Fpart_check:
+   Each round generates a synthetic circuit (one third of the rounds
+   reweighted with random cell sizes, which stress the size-window
+   legality tests that unit-size circuits never exercise) and drives
+   four independent comparisons against the reference oracles of
+   Fpart_check:
 
    1. move-log replay — a random move sequence is executed through the
       incremental Partition.State; the recorded log (with the engine's
       own gain and cut claims) must replay cleanly against the oracle;
    2. end-to-end driver run with [selfcheck = Cheap] — every pass
       boundary is validated against the oracle, and the final partition
-      must pass a full state diff;
+      must pass a full state diff.  The gain mode (cut/pin) and bucket
+      discipline (LIFO/FIFO) are drawn at random so the whole engine
+      matrix gets oracle coverage;
    3. jobs determinism — [Driver.run_best] at jobs=1 and jobs=4 must
       produce bit-identical assignments (capped to smaller circuits to
-      keep the round cheap).
+      keep the round cheap);
+   4. delta-vs-recompute — the same run with [gain_update = Delta] and
+      [gain_update = Recompute] must produce bit-identical partitions,
+      again across a random draw of gain mode and bucket discipline.
 
    Rounds are seeded [seed, seed+1, ..]: a failing seed printed by this
    tool replays exactly with [--seed N --rounds 1].  Randomness comes
@@ -20,6 +28,7 @@
 
 open Cmdliner
 module Sm = Prng.Splitmix
+module Hg = Hypergraph.Hgraph
 module State = Partition.State
 module Check = Fpart_check
 
@@ -32,6 +41,29 @@ let device_of_name name =
 
 type outcome = Ok_round | Divergence of string
 
+(* Rebuild [hg] with fresh random cell sizes in [1, 4] (names, flops,
+   node numbering and net order preserved).  The generator emits
+   unit-size cells only, so without this pass the fuzzer would never
+   exercise the weighted size arithmetic of the move windows. *)
+let reweight rng hg =
+  let b = Hg.Builder.create () in
+  Hg.iter_nodes
+    (fun v ->
+      ignore
+        (match Hg.kind hg v with
+        | Hg.Cell ->
+          Hg.Builder.add_cell b ~flops:(Hg.flops hg v) ~name:(Hg.name hg v)
+            ~size:(Sm.int_in rng 1 4)
+        | Hg.Pad -> Hg.Builder.add_pad b ~name:(Hg.name hg v)))
+    hg;
+  Hg.iter_nets
+    (fun e ->
+      ignore
+        (Hg.Builder.add_net b ~name:(Hg.net_name hg e)
+           (Array.to_list (Hg.pins hg e))))
+    hg;
+  Hg.Builder.freeze b
+
 let random_circuit rng ~max_cells =
   let cells = Sm.int_in rng 10 (max max_cells 10) in
   let pads = Sm.int_in rng 4 (max 4 (cells / 4)) in
@@ -39,7 +71,18 @@ let random_circuit rng ~max_cells =
   let spec =
     Netlist.Generator.default_spec ~name:"fuzz" ~cells ~pads ~seed
   in
-  Netlist.Generator.generate spec
+  let hg = Netlist.Generator.generate spec in
+  if Sm.int rng 3 = 0 then reweight rng hg else hg
+
+(* A random point in the engine matrix shared by the driver and the
+   delta-vs-recompute checks. *)
+let random_engine_axes rng =
+  let gain_mode = if Sm.bool rng then Sanchis.Cut_gain else Sanchis.Pin_gain in
+  let discipline =
+    if Sm.bool rng then Gainbucket.Bucket_array.Lifo
+    else Gainbucket.Bucket_array.Fifo
+  in
+  (gain_mode, discipline)
 
 (* Comparison 1: random move log, recorded through the incremental state,
    replayed against the oracle. *)
@@ -65,11 +108,14 @@ let check_replay rng hg =
    final state diff. *)
 let check_driver rng hg =
   let device = device_of_name (Sm.choose rng devices) in
+  let gain_mode, bucket_discipline = random_engine_axes rng in
   let config =
     {
       Fpart.Config.default with
       seed = Sm.int rng 0xFFFF;
       selfcheck = Check.Selfcheck.Cheap;
+      gain_mode;
+      bucket_discipline;
     }
   in
   let before = Check.Selfcheck.violations_seen () in
@@ -100,6 +146,35 @@ let check_jobs rng hg =
       (Printf.sprintf "jobs determinism: jobs=1 gave k=%d cut=%d, jobs=4 gave k=%d cut=%d"
          r1.Fpart.Driver.k r1.Fpart.Driver.cut r4.Fpart.Driver.k r4.Fpart.Driver.cut)
 
+(* Comparison 4: the incremental delta-gain engine must be bit-identical
+   to the recompute-everything escape hatch, at a random point of the
+   (gain mode × bucket discipline) matrix. *)
+let check_delta rng hg =
+  let device = device_of_name (Sm.choose rng devices) in
+  let gain_mode, bucket_discipline = random_engine_axes rng in
+  let config =
+    {
+      Fpart.Config.default with
+      seed = Sm.int rng 0xFFFF;
+      gain_mode;
+      bucket_discipline;
+    }
+  in
+  let run gain_update = Fpart.Driver.run ~config:{ config with gain_update } hg device in
+  let rd = run Sanchis.Delta in
+  let rr = run Sanchis.Recompute in
+  if
+    rd.Fpart.Driver.k = rr.Fpart.Driver.k
+    && rd.Fpart.Driver.cut = rr.Fpart.Driver.cut
+    && rd.Fpart.Driver.assignment = rr.Fpart.Driver.assignment
+  then Ok_round
+  else
+    Divergence
+      (Printf.sprintf
+         "delta vs recompute: delta gave k=%d cut=%d, recompute gave k=%d cut=%d"
+         rd.Fpart.Driver.k rd.Fpart.Driver.cut rr.Fpart.Driver.k
+         rr.Fpart.Driver.cut)
+
 let run_round ~max_cells round_seed =
   let rng = Sm.create round_seed in
   let hg = random_circuit rng ~max_cells in
@@ -109,8 +184,9 @@ let run_round ~max_cells round_seed =
       ("driver", fun () -> check_driver rng hg);
       ( "jobs",
         fun () ->
-          if Hypergraph.Hgraph.num_cells hg <= 150 then check_jobs rng hg
+          if Hg.num_cells hg <= 150 then check_jobs rng hg
           else Ok_round );
+      ("delta", fun () -> check_delta rng hg);
     ]
   in
   List.fold_left

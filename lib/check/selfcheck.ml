@@ -38,5 +38,32 @@ let validate ?(where = "state") st =
       errs);
   List.length errs
 
+let validate_gain ?(where = "gain") st ~pin ~cell ~target ~gain =
+  Obs.incr c_checks;
+  let hg = Partition.State.hypergraph st in
+  let k = Partition.State.k st in
+  let assign = Partition.State.assignment st in
+  let expect =
+    if pin then Oracle.pin_gain hg ~k ~assign cell target
+    else Oracle.cut_gain hg ~k ~assign cell target
+  in
+  if expect = gain then 0
+  else begin
+    Obs.incr c_violations;
+    Sink.emit
+      (Json.Obj
+         [
+           ("type", Json.Str "selfcheck");
+           ("where", Json.Str where);
+           ( "violation",
+             Json.Str
+               (Printf.sprintf
+                  "%s gain of cell %d towards block %d: engine says %d, oracle says %d"
+                  (if pin then "pin" else "cut")
+                  cell target gain expect) );
+         ]);
+    1
+  end
+
 let checks_run () = Obs.counter_value c_checks
 let violations_seen () = Obs.counter_value c_violations

@@ -33,6 +33,22 @@ val level_of_string : string -> (level, string) result
     with [where].  Returns the number of discrepancies (0 = clean). *)
 val validate : ?where:string -> Partition.State.t -> int
 
+(** [validate_gain ?where st ~pin ~cell ~target ~gain] cross-checks one
+    bucket gain maintained by the engine's incremental delta updates
+    against the oracle: the decrease in cut size (or, with [pin], in
+    total pin count) if [cell] moved to block [target] must equal
+    [gain].  Counting and reporting as in {!validate}; returns the
+    number of discrepancies (0 or 1).  O(pins) per call — this backs
+    the paranoid level's per-update hook. *)
+val validate_gain :
+  ?where:string ->
+  Partition.State.t ->
+  pin:bool ->
+  cell:int ->
+  target:int ->
+  gain:int ->
+  int
+
 (** Calling-domain totals of the [selfcheck.checks] /
     [selfcheck.violations] counters (convenience for tests and the
     fuzzer). *)

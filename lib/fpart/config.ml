@@ -14,6 +14,7 @@ type t = {
   bucket_discipline : Gainbucket.Bucket_array.discipline;
   scan_limit : int;
   gain_mode : Sanchis.gain_mode;
+  gain_update : Sanchis.gain_update;
   drift_limit : int option;
   random_initial : bool;
   cluster_size : int option;
@@ -39,6 +40,7 @@ let default =
     bucket_discipline = Gainbucket.Bucket_array.Lifo;
     scan_limit = 16;
     gain_mode = Sanchis.Cut_gain;
+    gain_update = Sanchis.Delta;
     drift_limit = None;
     random_initial = false;
     cluster_size = None;
@@ -57,10 +59,12 @@ let engine t =
     max_passes = t.max_passes;
     stack_depth = t.stack_depth;
     gain_mode = t.gain_mode;
+    gain_update = t.gain_update;
     drift_limit = t.drift_limit;
     bucket_discipline = t.bucket_discipline;
     tie_salt = t.seed land 0xFFFF;
     on_move = None;
+    on_gain_update = None;
   }
 
 let free_space t ~s_max ~t_max ~size ~pins =

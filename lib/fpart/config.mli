@@ -36,6 +36,12 @@ type t = {
   gain_mode : Sanchis.gain_mode;
       (** Primary gain: published [Cut_gain], or the future-work
           [Pin_gain] (section 5). *)
+  gain_update : Sanchis.gain_update;
+      (** Neighbour-gain maintenance inside the engine: [Delta]
+          (default, incremental critical-net updates) or [Recompute]
+          (the escape hatch that recomputes every neighbour gain from
+          scratch).  Both produce bit-identical partitions — see
+          docs/PERFORMANCE.md. *)
   drift_limit : int option;
       (** Future-work early pass abort (section 5); [None] = published
           behaviour. *)

@@ -8,7 +8,13 @@ type t = {
   trace : Trace.t;
 }
 
-let scale s_max eps = int_of_float (eps *. float_of_int s_max)
+(* Move-region bounds (section 3.5).  The lower bound rounds down and
+   the upper bound rounds up, so the window always contains the real
+   interval [ε_min·S_MAX, ε_max·S_MAX]: truncating the upper bound
+   (the historical [int_of_float] behaviour) forbade block sizes the
+   paper's region admits whenever ε_max·S_MAX is fractional. *)
+let scale_lower s_max eps = int_of_float (Float.floor (eps *. float_of_int s_max))
+let scale_upper s_max eps = int_of_float (Float.ceil (eps *. float_of_int s_max))
 
 let windows t st ~remainder ~allow_violation ~two_block =
   let k = State.k st in
@@ -19,8 +25,8 @@ let windows t st ~remainder ~allow_violation ~two_block =
   let upper = Array.make k max_int in
   for b = 0 to k - 1 do
     if b <> remainder then begin
-      lower.(b) <- scale s_max eps_min;
-      upper.(b) <- (if allow_violation then scale s_max eps_max else s_max)
+      lower.(b) <- scale_lower s_max eps_min;
+      upper.(b) <- (if allow_violation then scale_upper s_max eps_max else s_max)
     end
   done;
   (lower, upper)
@@ -29,8 +35,11 @@ module Obs = Fpart_obs.Metrics
 module Json = Fpart_obs.Json
 module Selfcheck = Fpart_check.Selfcheck
 
-(* Self-check wiring: paranoid installs a per-move validator into the
-   engine; cheap (and up) validates the state once per Improve() call. *)
+(* Self-check wiring: paranoid installs a per-move state validator into
+   the engine and, when the delta-gain engine is active, a per-update
+   gain validator that cross-checks every delta-adjusted bucket gain
+   against the oracle; cheap (and up) validates the state once per
+   Improve() call. *)
 let engine_config t =
   let cfg = Config.engine t.cfg in
   if Selfcheck.at_least t.cfg.Config.selfcheck Selfcheck.Paranoid then
@@ -38,15 +47,30 @@ let engine_config t =
       cfg with
       Sanchis.on_move =
         Some (fun st -> ignore (Selfcheck.validate ~where:"sanchis.move" st));
+      on_gain_update =
+        (match t.cfg.Config.gain_update with
+        | Sanchis.Recompute -> None
+        | Sanchis.Delta ->
+          let pin = t.cfg.Config.gain_mode = Sanchis.Pin_gain in
+          Some
+            (fun st ~cell ~target ~gain ->
+              ignore
+                (Selfcheck.validate_gain ~where:"sanchis.gain" st ~pin ~cell
+                   ~target ~gain)));
     }
   else cfg
 
 let run t st ~iteration ~remainder ~active ~allow_violation ~two_block ~kind =
   let lower, upper = windows t st ~remainder ~allow_violation ~two_block in
   let spec = { Sanchis.active; remainder = Some remainder; lower; upper } in
-  let eval st =
-    Cost.evaluate t.params t.ctx st ~remainder:(Some remainder) ~step_k:iteration
+  (* Per-move evaluation goes through a dirty-block tracker: only the
+     two blocks a move touches are re-derived, and the result is
+     bit-identical to a fresh [Cost.evaluate] (rewinds and snapshot
+     restores are caught by the tracker's self-contained dirty test). *)
+  let tracker =
+    Cost.tracker t.params t.ctx st ~remainder:(Some remainder) ~step_k:iteration
   in
+  let eval st = Cost.tracked_evaluate tracker st in
   let sp = Obs.span_begin () in
   let report = Sanchis.improve st ~spec ~config:(engine_config t) ~eval in
   if Selfcheck.at_least t.cfg.Config.selfcheck Selfcheck.Cheap then
@@ -59,6 +83,7 @@ let run t st ~iteration ~remainder ~active ~allow_violation ~two_block ~kind =
         ("blocks", Json.List (Array.to_list (Array.map (fun b -> Json.Int b) active)));
         ("passes", Json.Int report.Sanchis.passes_run);
         ("moves", Json.Int report.Sanchis.moves_applied);
+        ("moves_retained", Json.Int report.Sanchis.moves_retained);
         ("restarts", Json.Int report.Sanchis.restarts);
       ];
   Trace.record t.trace

@@ -56,10 +56,10 @@ let gain_of t cell =
 
 let bucket_index t g = g + t.max_gain
 
-let insert t cell g =
-  if t.present.(cell) then invalid_arg "Bucket_array.insert: cell already present";
-  if g < -t.max_gain || g > t.max_gain then
-    invalid_arg "Bucket_array.insert: gain out of range";
+(* Raw link/unlink: the list surgery shared by insert/remove/update.
+   Workload counters live in the public operations only, so an update is
+   one [bucket.updates] tick — not a phantom insert + remove pair. *)
+let link t cell g =
   let i = bucket_index t g in
   (match t.discipline with
   | Lifo ->
@@ -78,19 +78,28 @@ let insert t cell g =
     else t.head.(i) <- cell);
   t.gain.(cell) <- g;
   t.present.(cell) <- true;
-  t.count <- t.count + 1;
-  Obs.incr c_inserts;
   if i > t.top then t.top <- i
+
+let unlink t cell =
+  let p = t.prev.(cell) and n = t.next.(cell) in
+  let i = bucket_index t t.gain.(cell) in
+  if p >= 0 then t.next.(p) <- n else t.head.(i) <- n;
+  if n >= 0 then t.prev.(n) <- p else t.tail.(i) <- p;
+  t.present.(cell) <- false;
+  t.prev.(cell) <- -1;
+  t.next.(cell) <- -1
+
+let insert t cell g =
+  if t.present.(cell) then invalid_arg "Bucket_array.insert: cell already present";
+  if g < -t.max_gain || g > t.max_gain then
+    invalid_arg "Bucket_array.insert: gain out of range";
+  link t cell g;
+  t.count <- t.count + 1;
+  Obs.incr c_inserts
 
 let remove t cell =
   if t.present.(cell) then begin
-    let p = t.prev.(cell) and n = t.next.(cell) in
-    let i = bucket_index t t.gain.(cell) in
-    if p >= 0 then t.next.(p) <- n else t.head.(i) <- n;
-    if n >= 0 then t.prev.(n) <- p else t.tail.(i) <- p;
-    t.present.(cell) <- false;
-    t.prev.(cell) <- -1;
-    t.next.(cell) <- -1;
+    unlink t cell;
     t.count <- t.count - 1;
     Obs.incr c_removes
   end
@@ -98,9 +107,11 @@ let remove t cell =
 let update t cell g =
   if not t.present.(cell) then invalid_arg "Bucket_array.update: absent cell";
   if g <> t.gain.(cell) then begin
+    if g < -t.max_gain || g > t.max_gain then
+      invalid_arg "Bucket_array.update: gain out of range";
     Obs.incr c_updates;
-    remove t cell;
-    insert t cell g
+    unlink t cell;
+    link t cell g
   end
 
 let cardinal t = t.count

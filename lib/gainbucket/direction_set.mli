@@ -1,15 +1,23 @@
-(** The set of per-direction gain buckets of a multi-way pass.
+(** The set of per-direction gain buckets of a multi-way pass, with
+    top-direction tracking.
 
     The Sanchis engine maintains one {!Bucket_array} per ordered pair of
     active blocks ("move direction", paper section 3.7) and repeatedly
     asks for the direction(s) whose best cell has the globally highest
-    gain.  The paper uses a heap for this; with the direction counts
-    that arise in FPGA partitioning (at most [k·(k-1)] with [k ≤ 16] in
-    multi-block passes, and exactly 2 in two-block passes) a linear
-    argmax over direction tops is faster in practice and much simpler,
-    so that is what this module does — it still centralises the
-    enable/disable logic used to retire directions whose blocks hit the
-    feasible-move-region boundary (section 3.5).
+    gain.  Scanning all [k·(k-1)] direction tops every selection round
+    is the naive answer; this module instead keeps an exact top index —
+    directions bucketed by their current {!Bucket_array.top_gain}, the
+    paper's "heap" specialised to the small integer gain range — so
+    {!best_gain} is O(1) and {!best_dirs} touches only the tied
+    directions.
+
+    The index is maintained by routing every mutation through the set
+    ({!insert}/{!remove}/{!update}/{!set_enabled}); {!bucket} exposes
+    the underlying arrays for {e read-only} access ([fold_top],
+    [top_gain], [cardinal]) — mutating one directly desynchronises the
+    index.  Disabled directions (blocks on the feasible-move-region
+    boundary, section 3.5) leave the index and are skipped by both
+    queries.
 
     Directions are dense integers [0 .. n-1] chosen by the caller. *)
 
@@ -25,26 +33,49 @@ val create :
   unit ->
   t
 
-(** [bucket t dir] is the bucket array of a direction (shared, mutable). *)
+(** [bucket t dir] is the bucket array of a direction, for {e read-only}
+    use; mutate through the set operations below so the top index stays
+    exact. *)
 val bucket : t -> int -> Bucket_array.t
 
+(** [insert t ~dir cell gain] — {!Bucket_array.insert} plus index sync. *)
+val insert : t -> dir:int -> int -> int -> unit
+
+(** [remove t ~dir cell] — {!Bucket_array.remove} plus index sync. *)
+val remove : t -> dir:int -> int -> unit
+
+(** [update t ~dir cell gain] — {!Bucket_array.update} plus index sync. *)
+val update : t -> dir:int -> int -> int -> unit
+
+(** [mem t ~dir cell] is [Bucket_array.mem (bucket t dir) cell]. *)
+val mem : t -> dir:int -> int -> bool
+
+(** [gain_of t ~dir cell] is [Bucket_array.gain_of (bucket t dir) cell]. *)
+val gain_of : t -> dir:int -> int -> int
+
 (** [set_enabled t dir flag] enables or disables a direction; disabled
-    directions are skipped by {!best_dirs}. *)
+    directions are invisible to {!best_gain}/{!best_dirs}. *)
 val set_enabled : t -> int -> bool -> unit
 
 (** [enabled t dir] reads the flag (directions start enabled). *)
 val enabled : t -> int -> bool
 
 (** [best_gain t] is the highest top gain over enabled, non-empty
-    directions. *)
+    directions — O(1) from the top index. *)
 val best_gain : t -> int option
 
 (** [best_dirs t] is all enabled directions whose top gain equals
-    {!best_gain} (empty when all buckets are empty or disabled). *)
+    {!best_gain}, ascending (empty when all buckets are empty or
+    disabled).  Touches only the tied directions. *)
 val best_dirs : t -> int list
 
 (** [total_cells t] sums {!Bucket_array.cardinal} over all directions. *)
 val total_cells : t -> int
 
-(** [clear t] empties every bucket and re-enables every direction. *)
+(** [clear t] empties every bucket, re-enables every direction and
+    resets the index. *)
 val clear : t -> unit
+
+(** [check t] verifies bucket integrity and that the top index matches
+    every direction's actual top (test-only). *)
+val check : t -> (unit, string) result

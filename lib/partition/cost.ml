@@ -112,6 +112,124 @@ let evaluate p ctx st ~remainder ~step_k =
     io_bal = io_balance ctx st;
   }
 
+(* {2 Incremental evaluation}
+
+   [evaluate] runs once per applied move inside every improvement pass —
+   the hottest cost-side path.  A tracker caches each block's inputs
+   (size, pins, flops, pads) and derived terms (feasibility flag,
+   infeasibility distance, I/O-balance shortfall) and refreshes only the
+   blocks whose inputs changed since the last call; a [State.move]
+   touches exactly two.  The per-block terms are produced by the very
+   same [block_feasible]/[block_distance] calls as [evaluate] and the
+   aggregates are summed in the same block order, so the result is
+   bit-identical to a from-scratch [evaluate] — drift here would change
+   lexicographic comparisons and hence the partition. *)
+
+type tracker = {
+  tr_params : params;
+  tr_ctx : context;
+  tr_remainder : int option;
+  tr_step_k : int;
+  tr_size : int array;
+  tr_pins : int array;
+  tr_flops : int array;
+  tr_pads : int array;
+  tr_feas : bool array;
+  tr_dist : float array;
+  tr_io : float array;
+  tr_io_active : bool;
+  tr_t_avg : float;
+}
+
+let tracker_refresh t i =
+  let size = t.tr_size.(i) and pins = t.tr_pins.(i) and flops = t.tr_flops.(i) in
+  t.tr_feas.(i) <- block_feasible t.tr_ctx ~size ~pins ~flops;
+  t.tr_dist.(i) <- block_distance t.tr_params t.tr_ctx ~size ~pins ~flops;
+  t.tr_io.(i) <-
+    (if t.tr_io_active then begin
+       let te = float_of_int t.tr_pads.(i) in
+       if te < t.tr_t_avg then (t.tr_t_avg -. te) /. t.tr_t_avg else 0.0
+     end
+     else 0.0)
+
+let tracker params ctx st ~remainder ~step_k =
+  let k = State.k st in
+  let io_active = ctx.total_pads > 0 && ctx.m_lower > 0 in
+  let t =
+    {
+      tr_params = params;
+      tr_ctx = ctx;
+      tr_remainder = remainder;
+      tr_step_k = step_k;
+      tr_size = Array.init k (State.size_of st);
+      tr_pins = Array.init k (State.pins_of st);
+      tr_flops = Array.init k (State.flops_of st);
+      tr_pads = Array.init k (State.pads_of st);
+      tr_feas = Array.make k false;
+      tr_dist = Array.make k 0.0;
+      tr_io = Array.make k 0.0;
+      tr_io_active = io_active;
+      tr_t_avg =
+        (if io_active then
+           float_of_int ctx.total_pads /. float_of_int ctx.m_lower
+         else 0.0);
+    }
+  in
+  for i = 0 to k - 1 do
+    tracker_refresh t i
+  done;
+  t
+
+let tracked_evaluate t st =
+  let k = Array.length t.tr_size in
+  if State.k st <> k then
+    invalid_arg "Cost.tracked_evaluate: state has a different block count";
+  for i = 0 to k - 1 do
+    let size = State.size_of st i
+    and pins = State.pins_of st i
+    and flops = State.flops_of st i
+    and pads = State.pads_of st i in
+    if
+      size <> t.tr_size.(i)
+      || pins <> t.tr_pins.(i)
+      || flops <> t.tr_flops.(i)
+      || pads <> t.tr_pads.(i)
+    then begin
+      t.tr_size.(i) <- size;
+      t.tr_pins.(i) <- pins;
+      t.tr_flops.(i) <- flops;
+      t.tr_pads.(i) <- pads;
+      tracker_refresh t i
+    end
+  done;
+  let f = ref 0 in
+  for i = 0 to k - 1 do
+    if t.tr_feas.(i) then incr f
+  done;
+  let d = ref 0.0 in
+  for i = 0 to k - 1 do
+    d := !d +. t.tr_dist.(i)
+  done;
+  (match t.tr_remainder with
+  | Some r ->
+    d :=
+      !d
+      +. t.tr_params.lambda_r
+         *. deviation_penalty t.tr_ctx ~remainder_size:t.tr_size.(r)
+              ~step_k:t.tr_step_k
+  | None -> ());
+  let io_bal = ref 0.0 in
+  if t.tr_io_active then
+    for i = 0 to k - 1 do
+      io_bal := !io_bal +. t.tr_io.(i)
+    done;
+  {
+    feasible_blocks = !f;
+    distance = !d;
+    t_sum = State.total_pins st;
+    io_bal = !io_bal;
+  }
+
 let eps = 1e-9
 
 let cmp_float a b = if a < b -. eps then -1 else if a > b +. eps then 1 else 0

@@ -93,6 +93,33 @@ type value = {
 val evaluate :
   params -> context -> State.t -> remainder:int option -> step_k:int -> value
 
+(** {1 Incremental evaluation}
+
+    [evaluate] is called once per applied move inside the improvement
+    engines and rescans every block each time.  A {!tracker} caches the
+    per-block inputs and derived terms and refreshes only blocks whose
+    [(size, pins, flops, pads)] tuple changed since the previous call —
+    a move touches exactly two.  The dirty test is self-contained (it
+    compares cached integers against the state), so rewinds, restores
+    and bulk [load_assignment]s are handled transparently. *)
+
+type tracker
+
+(** [tracker params ctx st ~remainder ~step_k] allocates a tracker
+    primed from [st].  The tracker is tied to [st]'s block count and to
+    the given [remainder]/[step_k] (both fixed for the duration of one
+    improvement run). *)
+val tracker :
+  params -> context -> State.t -> remainder:int option -> step_k:int -> tracker
+
+(** [tracked_evaluate tr st] is bit-identical to
+    [evaluate params ctx st ~remainder ~step_k] with the tracker's
+    parameters: per-block terms come from the same
+    {!block_feasible}/{!block_distance} computations and are summed in
+    the same ascending block order.
+    @raise Invalid_argument if [st] has a different block count. *)
+val tracked_evaluate : tracker -> State.t -> value
+
 (** [compare_value a b] is negative when [a] is the better solution
     under the lexicographic order [(f desc, d asc, T^SUM asc, d^E asc)].
     Float components compare with a 1e-9 tolerance so that noise from

@@ -110,7 +110,7 @@ let nodes_of_block t i =
 
 let assignment t = Array.copy t.block_of
 
-let move t v b =
+let move ?on_net t v b =
   if b < 0 || b >= t.k then invalid_arg "State.move: block out of range";
   let a = t.block_of.(v) in
   if a <> b then begin
@@ -144,7 +144,10 @@ let move t v b =
         t.cut <- t.cut + bool_to_int (span' >= 2) - bool_to_int (span >= 2);
         cnt.(a) <- ca';
         cnt.(b) <- cb';
-        t.net_span.(e) <- span')
+        t.net_span.(e) <- span';
+        match on_net with
+        | None -> ()
+        | Some f -> f e ~ca ~cb ~span)
       (Hg.nets_of t.hg v);
     t.block_of.(v) <- b
   end
@@ -154,6 +157,22 @@ let load_assignment t a =
     invalid_arg "State.load_assignment: wrong length";
   Array.iteri (fun v b -> move t v b) a
 
+(* Per-net gain contributions, parameterised by the net's pin counts in
+   the source/destination block and its span.  [cut_gain]/[pin_gain] are
+   folds of these over the mover's nets; the Sanchis delta-gain engine
+   evaluates the same functions on a net's before/after counts to adjust
+   neighbour gains incrementally — sharing the arithmetic here is what
+   makes the two paths bit-identical. *)
+let cut_gain_net ~from_cnt ~to_cnt ~span =
+  let span' = span - bool_to_int (from_cnt = 1) + bool_to_int (to_cnt = 0) in
+  bool_to_int (span >= 2) - bool_to_int (span' >= 2)
+
+let pin_gain_net ~pad ~from_cnt ~to_cnt ~span =
+  let span' = span - bool_to_int (from_cnt = 1) + bool_to_int (to_cnt = 0) in
+  let da = contrib ~pad (from_cnt - 1) span' - contrib ~pad from_cnt span in
+  let db = contrib ~pad (to_cnt + 1) span' - contrib ~pad to_cnt span in
+  -da - db
+
 let cut_gain t v b =
   let a = t.block_of.(v) in
   if a = b then 0
@@ -161,9 +180,8 @@ let cut_gain t v b =
     Array.fold_left
       (fun acc e ->
         let cnt = t.net_cnt.(e) in
-        let span = t.net_span.(e) in
-        let span' = span - bool_to_int (cnt.(a) = 1) + bool_to_int (cnt.(b) = 0) in
-        acc + bool_to_int (span >= 2) - bool_to_int (span' >= 2))
+        acc
+        + cut_gain_net ~from_cnt:cnt.(a) ~to_cnt:cnt.(b) ~span:t.net_span.(e))
       0 (Hg.nets_of t.hg v)
 
 let pin_gain t v b =
@@ -173,13 +191,9 @@ let pin_gain t v b =
     Array.fold_left
       (fun acc e ->
         let cnt = t.net_cnt.(e) in
-        let ca = cnt.(a) and cb = cnt.(b) in
-        let span = t.net_span.(e) in
-        let pad = Hg.net_has_pad t.hg e in
-        let span' = span - bool_to_int (ca = 1) + bool_to_int (cb = 0) in
-        let da = contrib ~pad (ca - 1) span' - contrib ~pad ca span in
-        let db = contrib ~pad (cb + 1) span' - contrib ~pad cb span in
-        acc - da - db)
+        acc
+        + pin_gain_net ~pad:(Hg.net_has_pad t.hg e) ~from_cnt:cnt.(a)
+            ~to_cnt:cnt.(b) ~span:t.net_span.(e))
       0 (Hg.nets_of t.hg v)
 
 let check t =

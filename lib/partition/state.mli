@@ -76,10 +76,25 @@ val assignment : t -> int array
 
 (** {1 Mutation} *)
 
-(** [move t v b] reassigns node [v] to block [b], updating all cached
-    quantities.  A move to the node's current block is a no-op.
+(** [move ?on_net t v b] reassigns node [v] to block [b], updating all
+    cached quantities.  A move to the node's current block is a no-op.
+
+    When [on_net] is given it is invoked once per net of [v] (in
+    [nets_of] order) with the net's {e pre-move} pin counts in the
+    source block ([ca]), the destination block ([cb]) and its pre-move
+    span — the transitions the move applied are then
+    [ca → ca-1], [cb → cb+1],
+    [span → span - (ca=1) + (cb=0)].  Counts of other blocks are
+    untouched by the move.  This is the changed-nets summary consumed by
+    the incremental delta-gain engine; the callback must not mutate the
+    state.  No-op moves report nothing.
     @raise Invalid_argument if [b] is out of range. *)
-val move : t -> Hypergraph.Hgraph.node -> int -> unit
+val move :
+  ?on_net:(Hypergraph.Hgraph.net -> ca:int -> cb:int -> span:int -> unit) ->
+  t ->
+  Hypergraph.Hgraph.node ->
+  int ->
+  unit
 
 (** [load_assignment t a] bulk-restores a previously captured
     assignment (applies moves node by node; [a] must have one entry per
@@ -96,6 +111,18 @@ val cut_gain : t -> Hypergraph.Hgraph.node -> int -> int
 (** [pin_gain t v b] is the decrease in {!total_pins} if [v] moved to
     [b]; used by the "real I/O gain" extension (paper's future work). *)
 val pin_gain : t -> Hypergraph.Hgraph.node -> int -> int
+
+(** [cut_gain_net ~from_cnt ~to_cnt ~span] is one net's contribution to
+    {!cut_gain} for a mover whose net has [from_cnt] pins in the source
+    block, [to_cnt] in the destination and spans [span] blocks.
+    {!cut_gain} is the fold of this over the mover's nets; the
+    incremental delta-gain engine evaluates it on a net's before/after
+    counts so both paths share the exact same arithmetic. *)
+val cut_gain_net : from_cnt:int -> to_cnt:int -> span:int -> int
+
+(** Same as {!cut_gain_net} for {!pin_gain}; [pad] is
+    [Hgraph.net_has_pad] of the net. *)
+val pin_gain_net : pad:bool -> from_cnt:int -> to_cnt:int -> span:int -> int
 
 (** {1 Integrity} *)
 

@@ -4,18 +4,27 @@ module Cost = Partition.Cost
 module Snapshot = Partition.Snapshot
 module Stack = Partition.Solution_stack
 module Bucket = Gainbucket.Bucket_array
+module Dirset = Gainbucket.Direction_set
 module Obs = Fpart_obs.Metrics
 
 (* Engine workload counters (always on) and the gain distribution of
-   the applied moves (recorded only while observability is enabled). *)
+   the applied moves (recorded only while observability is enabled).
+   [sanchis.delta.updates] counts bucket entries the incremental engine
+   actually relinked; [sanchis.delta.avoided] counts (neighbour,
+   direction) pairs whose accumulated delta was zero — each of those
+   would have been a full gain recomputation under [Recompute]. *)
 let c_improves = Obs.counter "sanchis.improve_calls"
 let c_passes = Obs.counter "sanchis.passes"
 let c_moves = Obs.counter "sanchis.moves"
 let c_rewound = Obs.counter "sanchis.rewound_moves"
 let c_restarts = Obs.counter "sanchis.restarts"
+let c_delta_updates = Obs.counter "sanchis.delta.updates"
+let c_delta_avoided = Obs.counter "sanchis.delta.avoided"
 let h_move_gain = Obs.histogram "sanchis.move_gain"
 
+
 type gain_mode = Cut_gain | Pin_gain
+type gain_update = Delta | Recompute
 
 type config = {
   gain_levels : int;
@@ -23,10 +32,12 @@ type config = {
   max_passes : int;
   stack_depth : int;
   gain_mode : gain_mode;
+  gain_update : gain_update;
   drift_limit : int option;
   tie_salt : int;
   bucket_discipline : Bucket.discipline;
   on_move : (State.t -> unit) option;
+  on_gain_update : (State.t -> cell:int -> target:int -> gain:int -> unit) option;
 }
 
 let default_config =
@@ -36,10 +47,12 @@ let default_config =
     max_passes = 8;
     stack_depth = 4;
     gain_mode = Cut_gain;
+    gain_update = Delta;
     drift_limit = None;
     tie_salt = 0;
     bucket_discipline = Bucket.Lifo;
     on_move = None;
+    on_gain_update = None;
   }
 
 type spec = {
@@ -53,6 +66,7 @@ type report = {
   best : Cost.value;
   passes_run : int;
   moves_applied : int;
+  moves_retained : int;
   restarts : int;
 }
 
@@ -65,10 +79,25 @@ type ctx = {
   eval : State.t -> Cost.value;
   nb : int;                     (* number of active blocks *)
   pos : int array;              (* global block -> active index, or -1 *)
-  buckets : Bucket.t array;     (* cells; nb*nb, diagonal unused *)
-  pad_buckets : Bucket.t array; (* pads: size-neutral, never window-gated *)
+  cells : Dirset.t;             (* cells; nb*nb dirs, diagonal unused *)
+  pads : Dirset.t;              (* pads: size-neutral, never window-gated *)
   locked : bool array;          (* per node, reset each pass *)
   locked_cnt : int array array; (* net -> per-(global)-block locked pins *)
+  (* Scratch of the delta-gain engine, reused across moves.  The
+     [d_*] arrays buffer the changed-nets summary reported by
+     [State.move ~on_net]; [touched]/[touch_stamp] record affected
+     neighbours in first-incidence order; [delta] accumulates per
+     (cell, target-index) gain changes. *)
+  d_nets : int array;
+  d_ca : int array;
+  d_cb : int array;
+  d_span : int array;
+  mutable d_len : int;
+  touched : int array;
+  mutable touched_len : int;
+  touch_stamp : int array;
+  mutable stamp : int;
+  delta : int array;            (* cell * nb + target index *)
 }
 
 let dir_index ctx ai bi = (ai * ctx.nb) + bi
@@ -88,9 +117,9 @@ let make_ctx st spec cfg eval =
   if Array.length spec.lower < k || Array.length spec.upper < k then
     invalid_arg "Sanchis.improve: lower/upper must cover all blocks";
   let n = Hg.num_nodes hg in
+  let max_deg = max 1 (Hg.max_node_degree hg) in
   let max_gain =
-    let d = max 1 (Hg.max_node_degree hg) in
-    match cfg.gain_mode with Cut_gain -> d | Pin_gain -> 2 * d
+    match cfg.gain_mode with Cut_gain -> max_deg | Pin_gain -> 2 * max_deg
   in
   {
     st;
@@ -100,14 +129,24 @@ let make_ctx st spec cfg eval =
     eval;
     nb;
     pos;
-    buckets =
-      Array.init (nb * nb) (fun _ ->
-          Bucket.create ~discipline:cfg.bucket_discipline ~cells:n ~max_gain ());
-    pad_buckets =
-      Array.init (nb * nb) (fun _ ->
-          Bucket.create ~discipline:cfg.bucket_discipline ~cells:n ~max_gain ());
+    cells =
+      Dirset.create ~discipline:cfg.bucket_discipline ~directions:(nb * nb)
+        ~cells:n ~max_gain ();
+    pads =
+      Dirset.create ~discipline:cfg.bucket_discipline ~directions:(nb * nb)
+        ~cells:n ~max_gain ();
     locked = Array.make n false;
     locked_cnt = Array.init (Hg.num_nets hg) (fun _ -> Array.make k 0);
+    d_nets = Array.make max_deg 0;
+    d_ca = Array.make max_deg 0;
+    d_cb = Array.make max_deg 0;
+    d_span = Array.make max_deg 0;
+    d_len = 0;
+    touched = Array.make (max n 1) 0;
+    touched_len = 0;
+    touch_stamp = Array.make (max n 1) 0;
+    stamp = 0;
+    delta = Array.make (max (n * nb) 1) 0;
   }
 
 (* Direction (a -> b) is open when block [a] may still shed size and
@@ -116,6 +155,31 @@ let make_ctx st spec cfg eval =
 let direction_open ctx a b =
   State.size_of ctx.st a > ctx.spec.lower.(a)
   && State.size_of ctx.st b < ctx.spec.upper.(b)
+
+(* The open/closed state maps onto the direction set's enabled flags so
+   the top index skips closed directions.  Refreshed for every
+   direction at pass start and, after each applied move, only for the
+   directions touching the two blocks whose sizes changed. *)
+let refresh_direction ctx ai bi =
+  if ai <> bi then
+    Dirset.set_enabled ctx.cells (dir_index ctx ai bi)
+      (direction_open ctx ctx.spec.active.(ai) ctx.spec.active.(bi))
+
+let refresh_all_directions ctx =
+  for ai = 0 to ctx.nb - 1 do
+    for bi = 0 to ctx.nb - 1 do
+      refresh_direction ctx ai bi
+    done
+  done
+
+let refresh_directions_of ctx a b =
+  let pa = ctx.pos.(a) and pb = ctx.pos.(b) in
+  for i = 0 to ctx.nb - 1 do
+    refresh_direction ctx pa i;
+    refresh_direction ctx i pa;
+    refresh_direction ctx pb i;
+    refresh_direction ctx i pb
+  done
 
 (* Exact per-cell size legality (matters for weighted cells).  Pads are
    size-neutral and therefore always legal: on I/O-critical designs the
@@ -146,7 +210,7 @@ let level_gain ctx v ~a ~b ~level =
       end)
     0 (Hg.nets_of ctx.hg v)
 
-let buckets_for ctx v = if Hg.is_pad ctx.hg v then ctx.pad_buckets else ctx.buckets
+let set_for ctx v = if Hg.is_pad ctx.hg v then ctx.pads else ctx.cells
 
 (* Primary gain: classical cut gain, or the paper's future-work variant
    that scores moves by the real change in total pin count. *)
@@ -158,32 +222,170 @@ let primary_gain ctx v b =
 let insert_cell ctx v =
   let a = State.block_of ctx.st v in
   let ai = ctx.pos.(a) in
-  let buckets = buckets_for ctx v in
+  let set = set_for ctx v in
   Array.iteri
     (fun bi b ->
       if b <> a then
-        Bucket.insert buckets.(dir_index ctx ai bi) v (primary_gain ctx v b))
+        Dirset.insert set ~dir:(dir_index ctx ai bi) v (primary_gain ctx v b))
     ctx.spec.active
 
 let remove_cell ctx v =
   let a = State.block_of ctx.st v in
   let ai = ctx.pos.(a) in
-  let buckets = buckets_for ctx v in
+  let set = set_for ctx v in
   for bi = 0 to ctx.nb - 1 do
-    if bi <> ai then Bucket.remove buckets.(dir_index ctx ai bi) v
+    if bi <> ai then Dirset.remove set ~dir:(dir_index ctx ai bi) v
   done
 
 let update_cell ctx v =
   let a = State.block_of ctx.st v in
   let ai = ctx.pos.(a) in
-  let buckets = buckets_for ctx v in
+  let set = set_for ctx v in
   Array.iteri
     (fun bi b ->
       if b <> a then begin
-        let bucket = buckets.(dir_index ctx ai bi) in
-        if Bucket.mem bucket v then Bucket.update bucket v (primary_gain ctx v b)
+        let dir = dir_index ctx ai bi in
+        if Dirset.mem set ~dir v then
+          Dirset.update set ~dir v (primary_gain ctx v b)
       end)
     ctx.spec.active
+
+(* {2 Delta-gain neighbour update}
+
+   After moving [v]: a → b, only the nets of [v] changed, and for each
+   such net only the counts of [a] and [b] and the span (FM's
+   critical-net observation).  Pass 1 walks the buffered transitions in
+   net order, marks every eligible neighbour the first time it is seen
+   and accumulates, per (neighbour, target), the exact per-net gain
+   difference [gain_net(after) - gain_net(before)] shared with
+   [State.cut_gain]/[pin_gain].  Pass 2 applies each neighbour's total
+   delta with one bucket relink per changed direction.
+
+   Bit-identity with [Recompute] relies on ordering: the recompute path
+   relinks a neighbour at its {e first} (net, pin) incidence (later
+   [update_cell] calls find an equal gain and no-op), with directions in
+   ascending active order — exactly the order pass 1 discovers cells
+   and pass 2 applies directions.  Delta-zero pairs are skipped, which
+   matches [Bucket_array.update]'s equal-gain no-op. *)
+let apply_deltas ctx ~v ~a ~b =
+  let st = ctx.st in
+  let nb = ctx.nb in
+  ctx.stamp <- ctx.stamp + 1;
+  ctx.touched_len <- 0;
+  for i = 0 to ctx.d_len - 1 do
+    let e = ctx.d_nets.(i) in
+    let ca = ctx.d_ca.(i) and cb = ctx.d_cb.(i) and span = ctx.d_span.(i) in
+    let span' =
+      span - (if ca = 1 then 1 else 0) + (if cb = 0 then 1 else 0)
+    in
+    (* Quiet net: in cut mode a net spanning ≥ 3 blocks before and
+       after the move contributes 0 to every neighbour gain in both
+       states, so the arithmetic is skipped — but its pins are still
+       marked, because first-incidence ordering is what keeps the
+       bucket layout identical to the recompute path. *)
+    let quiet =
+      match ctx.cfg.gain_mode with
+      | Cut_gain -> span >= 3 && span' >= 3
+      | Pin_gain -> false
+    in
+    let pad = Hg.net_has_pad ctx.hg e in
+    Array.iter
+      (fun u ->
+        if u <> v && (not ctx.locked.(u)) && ctx.pos.(State.block_of st u) >= 0
+        then begin
+          if ctx.touch_stamp.(u) <> ctx.stamp then begin
+            ctx.touch_stamp.(u) <- ctx.stamp;
+            ctx.touched.(ctx.touched_len) <- u;
+            ctx.touched_len <- ctx.touched_len + 1
+          end;
+          if not quiet then begin
+            let x = State.block_of st u in
+            (* counts of blocks other than a/b are untouched by the
+               move, so the post-move state still holds their old
+               values *)
+            let fx_old =
+              if x = a then ca
+              else if x = b then cb
+              else State.net_count st e x
+            in
+            let fx_new =
+              if x = a then ca - 1 else if x = b then cb + 1 else fx_old
+            in
+            let base = u * nb in
+            let accum yi ty_old ty_new =
+              let g_old, g_new =
+                match ctx.cfg.gain_mode with
+                | Cut_gain ->
+                  ( State.cut_gain_net ~from_cnt:fx_old ~to_cnt:ty_old ~span,
+                    State.cut_gain_net ~from_cnt:fx_new ~to_cnt:ty_new
+                      ~span:span' )
+                | Pin_gain ->
+                  ( State.pin_gain_net ~pad ~from_cnt:fx_old ~to_cnt:ty_old
+                      ~span,
+                    State.pin_gain_net ~pad ~from_cnt:fx_new ~to_cnt:ty_new
+                      ~span:span' )
+              in
+              if g_new <> g_old then
+                ctx.delta.(base + yi) <- ctx.delta.(base + yi) + g_new - g_old
+            in
+            if span' <> span || x = a || x = b then
+              (* the source count or the span changed: every direction
+                 of [u] can shift *)
+              for yi = 0 to nb - 1 do
+                let y = ctx.spec.active.(yi) in
+                if y <> x then begin
+                  let ty_old =
+                    if y = a then ca
+                    else if y = b then cb
+                    else State.net_count st e y
+                  in
+                  let ty_new =
+                    if y = a then ca - 1
+                    else if y = b then cb + 1
+                    else ty_old
+                  in
+                  accum yi ty_old ty_new
+                end
+              done
+            else begin
+              (* critical-net fast path: with the span and [u]'s own
+                 count untouched, only the targets whose counts moved —
+                 [a] and [b] — can change [u]'s gains *)
+              accum ctx.pos.(a) ca (ca - 1);
+              accum ctx.pos.(b) cb (cb + 1)
+            end
+          end
+        end)
+      (Hg.pins ctx.hg e)
+  done;
+  let avoided = ref 0 and updates = ref 0 in
+  for ti = 0 to ctx.touched_len - 1 do
+    let u = ctx.touched.(ti) in
+    let x = State.block_of st u in
+    let xi = ctx.pos.(x) in
+    let set = set_for ctx u in
+    let base = u * nb in
+    for yi = 0 to nb - 1 do
+      if yi <> xi then begin
+        let d = ctx.delta.(base + yi) in
+        if d = 0 then incr avoided
+        else begin
+          ctx.delta.(base + yi) <- 0;
+          let dir = dir_index ctx xi yi in
+          if Dirset.mem set ~dir u then begin
+            let g = Dirset.gain_of set ~dir u + d in
+            Dirset.update set ~dir u g;
+            incr updates;
+            match ctx.cfg.on_gain_update with
+            | None -> ()
+            | Some f -> f st ~cell:u ~target:ctx.spec.active.(yi) ~gain:g
+          end
+        end
+      end
+    done
+  done;
+  Obs.add c_delta_avoided !avoided;
+  Obs.add c_delta_updates !updates
 
 (* Candidate chosen at one selection round. *)
 type candidate = {
@@ -206,91 +408,99 @@ let better_candidate ~salt c1 c2 =
     else if c1.cand_bal <> c2.cand_bal then c1.cand_bal > c2.cand_bal
     else c1.cand_cell lxor salt < c2.cand_cell lxor salt
 
-(* Select the next move.  Scans the top buckets of the open directions
-   with the globally highest gain; cells failing the exact size test are
-   popped into a stash (reinserted by the caller after the move). *)
+(* Select the next move.  The direction sets' top indices give the
+   globally best gain and the tied directions in O(tied) — no nb²
+   rescan per round.  Directions are visited in ascending (a-index,
+   b-index) order with a direction's cell bucket before its pad bucket,
+   replicating the historical nested scan.  Cells failing the exact
+   size test are popped into a stash (reinserted by the caller after
+   the move). *)
 let select ctx stash =
   let rec attempt () =
-    (* best top gain over open cell directions and all pad directions *)
-    let best_gain = ref min_int in
-    Array.iteri
-      (fun ai a ->
-        Array.iteri
-          (fun bi b ->
-            if b <> a then begin
-              let dir = dir_index ctx ai bi in
-              if direction_open ctx a b then begin
-                match Bucket.top_gain ctx.buckets.(dir) with
-                | Some g when g > !best_gain -> best_gain := g
-                | Some _ | None -> ()
-              end;
-              match Bucket.top_gain ctx.pad_buckets.(dir) with
-              | Some g when g > !best_gain -> best_gain := g
-              | Some _ | None -> ()
-            end)
-          ctx.spec.active)
-      ctx.spec.active;
-    if !best_gain = min_int then None
-    else begin
+    let cg = Dirset.best_gain ctx.cells and pg = Dirset.best_gain ctx.pads in
+    match (cg, pg) with
+    | None, None -> None
+    | _ ->
+      let best_gain =
+        match (cg, pg) with
+        | Some a, Some b -> max a b
+        | Some g, None | None, Some g -> g
+        | None, None -> assert false
+      in
+      let cell_dirs =
+        if cg = Some best_gain then Dirset.best_dirs ctx.cells else []
+      in
+      let pad_dirs =
+        if pg = Some best_gain then Dirset.best_dirs ctx.pads else []
+      in
       let best = ref None in
       let stashed_this_round = ref false in
-      let scan_bucket ~gate_cells ai a bi b bucket =
-        if Bucket.top_gain bucket = Some !best_gain then begin
-          let scanned =
-            Bucket.fold_top bucket ~limit:ctx.cfg.scan_limit ~init:[]
-              ~f:(fun acc c -> c :: acc)
-          in
-          let any_legal = ref false in
+      let scan_bucket ~gate_cells dir =
+        let ai = dir / ctx.nb and bi = dir mod ctx.nb in
+        let a = ctx.spec.active.(ai) and b = ctx.spec.active.(bi) in
+        let set = if gate_cells then ctx.cells else ctx.pads in
+        let scanned =
+          Bucket.fold_top (Dirset.bucket set dir) ~limit:ctx.cfg.scan_limit
+            ~init:[] ~f:(fun acc c -> c :: acc)
+        in
+        let any_legal = ref false in
+        List.iter
+          (fun v ->
+            if cell_legal ctx v b then begin
+              any_legal := true;
+              let lookahead =
+                List.init
+                  (max 0 (ctx.cfg.gain_levels - 1))
+                  (fun i -> level_gain ctx v ~a ~b ~level:(i + 2))
+              in
+              let bal = State.size_of ctx.st a - State.size_of ctx.st b in
+              let c =
+                {
+                  cand_cell = v;
+                  cand_to = b;
+                  cand_gain = best_gain;
+                  cand_lookahead = lookahead;
+                  cand_bal = bal;
+                }
+              in
+              if better_candidate ~salt:ctx.cfg.tie_salt c !best then
+                best := Some c
+            end)
+          scanned;
+        if gate_cells && not !any_legal then begin
+          (* whole scanned prefix illegal: pop it so deeper or
+             other-gain cells surface next round *)
           List.iter
             (fun v ->
-              if cell_legal ctx v b then begin
-                any_legal := true;
-                let lookahead =
-                  List.init
-                    (max 0 (ctx.cfg.gain_levels - 1))
-                    (fun i -> level_gain ctx v ~a ~b ~level:(i + 2))
-                in
-                let bal = State.size_of ctx.st a - State.size_of ctx.st b in
-                let c =
-                  {
-                    cand_cell = v;
-                    cand_to = b;
-                    cand_gain = !best_gain;
-                    cand_lookahead = lookahead;
-                    cand_bal = bal;
-                  }
-                in
-                if better_candidate ~salt:ctx.cfg.tie_salt c !best then best := Some c
-              end)
+              Dirset.remove set ~dir v;
+              stash := (dir, v, best_gain) :: !stash)
             scanned;
-          if gate_cells && not !any_legal then begin
-            (* whole scanned prefix illegal: pop it so deeper or
-               other-gain cells surface next round *)
-            List.iter
-              (fun v ->
-                Bucket.remove bucket v;
-                stash := (ai, bi, v, !best_gain) :: !stash)
-              scanned;
-            stashed_this_round := true
-          end
+          stashed_this_round := true
         end
       in
-      Array.iteri
-        (fun ai a ->
-          Array.iteri
-            (fun bi b ->
-              if b <> a then begin
-                let dir = dir_index ctx ai bi in
-                if direction_open ctx a b then
-                  scan_bucket ~gate_cells:true ai a bi b ctx.buckets.(dir);
-                scan_bucket ~gate_cells:false ai a bi b ctx.pad_buckets.(dir)
-              end)
-            ctx.spec.active)
-        ctx.spec.active;
-      match !best with
+      let rec merge cds pds =
+        match (cds, pds) with
+        | [], [] -> ()
+        | c :: ct, [] ->
+          scan_bucket ~gate_cells:true c;
+          merge ct []
+        | [], p :: pt ->
+          scan_bucket ~gate_cells:false p;
+          merge [] pt
+        | c :: ct, p :: pt ->
+          if c <= p then begin
+            scan_bucket ~gate_cells:true c;
+            merge ct pds
+          end
+          else begin
+            scan_bucket ~gate_cells:false p;
+            merge cds pt
+          end
+      in
+      merge cell_dirs pad_dirs;
+      (match !best with
       | Some c -> Some c
-      | None -> if !stashed_this_round then attempt () else None
-    end
+      | None -> if !stashed_this_round then attempt () else None)
   in
   attempt ()
 
@@ -302,19 +512,71 @@ let offer_to_stacks ~k ~semi ~infeasible snap =
   if f >= k - 1 then ignore (Stack.offer semi snap)
   else ignore (Stack.offer infeasible snap)
 
-(* One pass.  Returns [(best_value, retained_moves)]; [ctx.st] ends at
-   the best prefix.  When [collect] is set, improvement points are
-   offered to the stacks. *)
-let run_pass ctx ~collect ~semi ~infeasible =
-  Obs.incr c_passes;
+(* Pass-start bucket build: every active node inserted with fresh gains
+   in every direction, locks and lock counts cleared. *)
+let fill_buckets ctx =
   let st = ctx.st in
   Array.fill ctx.locked 0 (Array.length ctx.locked) false;
   Array.iter (fun cnt -> Array.fill cnt 0 (Array.length cnt) 0) ctx.locked_cnt;
-  Array.iter Bucket.clear ctx.buckets;
-  Array.iter Bucket.clear ctx.pad_buckets;
+  Dirset.clear ctx.cells;
+  Dirset.clear ctx.pads;
   Hg.iter_nodes
     (fun v -> if ctx.pos.(State.block_of st v) >= 0 then insert_cell ctx v)
     ctx.hg;
+  refresh_all_directions ctx
+
+(* Apply the move [v] -> [b]: pop [v] from its buckets, update the
+   state (buffering the changed-nets summary when the delta engine is
+   on), lock, and retire any directions the size change closed.
+   Returns the source block. *)
+let apply_move ctx v b =
+  let st = ctx.st in
+  let a = State.block_of st v in
+  remove_cell ctx v;
+  (match ctx.cfg.gain_update with
+  | Recompute -> State.move st v b
+  | Delta ->
+    ctx.d_len <- 0;
+    State.move st v b ~on_net:(fun e ~ca ~cb ~span ->
+        let i = ctx.d_len in
+        ctx.d_nets.(i) <- e;
+        ctx.d_ca.(i) <- ca;
+        ctx.d_cb.(i) <- cb;
+        ctx.d_span.(i) <- span;
+        ctx.d_len <- i + 1));
+  ctx.locked.(v) <- true;
+  Array.iter
+    (fun e -> ctx.locked_cnt.(e).(b) <- ctx.locked_cnt.(e).(b) + 1)
+    (Hg.nets_of ctx.hg v);
+  refresh_directions_of ctx a b;
+  a
+
+(* Refresh the gains of the unlocked neighbours of [v] after its move
+   [a] -> [b], through the configured maintenance path. *)
+let refresh_neighbours ctx ~v ~a ~b =
+  match ctx.cfg.gain_update with
+  | Delta -> apply_deltas ctx ~v ~a ~b
+  | Recompute ->
+    let st = ctx.st in
+    Array.iter
+      (fun e ->
+        Array.iter
+          (fun u ->
+            if
+              u <> v
+              && (not ctx.locked.(u))
+              && ctx.pos.(State.block_of st u) >= 0
+            then update_cell ctx u)
+          (Hg.pins ctx.hg e))
+      (Hg.nets_of ctx.hg v)
+
+(* One pass.  Returns [(best_value, retained_moves, applied_moves)];
+   [ctx.st] ends at the best prefix.  When [collect] is set,
+   improvement points are offered to the stacks. *)
+let run_pass ctx ~collect ~semi ~infeasible =
+  Obs.incr c_passes;
+  let st = ctx.st in
+  fill_buckets ctx;
   let k = State.k st in
   let best_value = ref (ctx.eval st) in
   let best_prefix = ref 0 in
@@ -336,34 +598,21 @@ let run_pass ctx ~collect ~semi ~infeasible =
     | Some { cand_cell = v; cand_to = b; cand_gain; _ } ->
       Obs.incr c_moves;
       Obs.observe h_move_gain (float_of_int cand_gain);
-      let a = State.block_of st v in
-      remove_cell ctx v;
-      State.move st v b;
-      ctx.locked.(v) <- true;
-      Array.iter
-        (fun e -> ctx.locked_cnt.(e).(b) <- ctx.locked_cnt.(e).(b) + 1)
-        (Hg.nets_of ctx.hg v);
+      let a = apply_move ctx v b in
       trail := (v, a) :: !trail;
       incr n_moves;
       (* Reinsert stashed cells: sizes changed, they may be legal now.
          The chosen cell [v] can itself sit in the stash (stashed from
          one direction, selected from another): locked cells must never
-         come back or they would be moved again. *)
+         come back or they would be moved again.  Reinsertion happens
+         before the neighbour update so every unlocked active cell is
+         back in its buckets when the gains are adjusted. *)
       List.iter
-        (fun (ai, bi, c, g) ->
-          let bucket = ctx.buckets.(dir_index ctx ai bi) in
-          if (not ctx.locked.(c)) && not (Bucket.mem bucket c) then
-            Bucket.insert bucket c g)
+        (fun (dir, c, g) ->
+          if (not ctx.locked.(c)) && not (Dirset.mem ctx.cells ~dir c) then
+            Dirset.insert ctx.cells ~dir c g)
         !stash;
-      (* refresh gains of unlocked neighbours *)
-      Array.iter
-        (fun e ->
-          Array.iter
-            (fun u ->
-              if u <> v && (not ctx.locked.(u)) && ctx.pos.(State.block_of st u) >= 0
-              then update_cell ctx u)
-            (Hg.pins ctx.hg e))
-        (Hg.nets_of ctx.hg v);
+      refresh_neighbours ctx ~v ~a ~b;
       (match ctx.cfg.on_move with None -> () | Some f -> f st);
       let value = ctx.eval st in
       if Cost.compare_value value !best_value < 0 then begin
@@ -385,23 +634,25 @@ let run_pass ctx ~collect ~semi ~infeasible =
   in
   rewind !n_moves !trail;
   Obs.add c_rewound (!n_moves - !best_prefix);
-  (!best_value, !best_prefix)
+  (!best_value, !best_prefix, !n_moves)
 
 (* A series of passes from the current solution; stops when a pass fails
    to improve the value. *)
 let run_execution ctx ~collect ~semi ~infeasible =
   let passes = ref 0 in
-  let moves = ref 0 in
+  let applied = ref 0 in
+  let retained = ref 0 in
   let best = ref (ctx.eval ctx.st) in
   let continue = ref true in
   while !continue && !passes < ctx.cfg.max_passes do
     incr passes;
-    let value, retained = run_pass ctx ~collect ~semi ~infeasible in
-    moves := !moves + retained;
-    if retained = 0 || Cost.compare_value value !best >= 0 then continue := false;
+    let value, kept, moved = run_pass ctx ~collect ~semi ~infeasible in
+    applied := !applied + moved;
+    retained := !retained + kept;
+    if kept = 0 || Cost.compare_value value !best >= 0 then continue := false;
     if Cost.compare_value value !best < 0 then best := value
   done;
-  (!best, !passes, !moves)
+  (!best, !passes, !applied, !retained)
 
 let improve st ~spec ~config ~eval =
   Obs.incr c_improves;
@@ -409,10 +660,13 @@ let improve st ~spec ~config ~eval =
   let depth = max config.stack_depth 1 in
   let semi = Stack.create ~depth and infeasible = Stack.create ~depth in
   let collect = config.stack_depth > 0 in
-  let value0, passes0, moves0 = run_execution ctx ~collect ~semi ~infeasible in
+  let value0, passes0, applied0, retained0 =
+    run_execution ctx ~collect ~semi ~infeasible
+  in
   let global_best = ref (Snapshot.capture st ~value:value0) in
   let passes = ref passes0 in
-  let moves = ref moves0 in
+  let applied = ref applied0 in
+  let retained = ref retained0 in
   let restarts = ref 0 in
   if collect then begin
     let try_restart snap =
@@ -421,11 +675,12 @@ let improve st ~spec ~config ~eval =
         incr restarts;
         Obs.incr c_restarts;
         Snapshot.restore snap st;
-        let value, p, m =
+        let value, p, m, r =
           run_execution ctx ~collect:false ~semi ~infeasible
         in
         passes := !passes + p;
-        moves := !moves + m;
+        applied := !applied + m;
+        retained := !retained + r;
         if Cost.compare_value value !global_best.Snapshot.value < 0 then
           global_best := Snapshot.capture st ~value
       end
@@ -437,6 +692,56 @@ let improve st ~spec ~config ~eval =
   {
     best = !global_best.Snapshot.value;
     passes_run = !passes;
-    moves_applied = !moves;
+    moves_applied = !applied;
+    moves_retained = !retained;
     restarts = !restarts;
   }
+
+(* {2 Gain-maintenance benchmark driver}
+
+   Applies a scripted, selection-free move sequence through the real
+   per-move machinery — bucket pop, [State.move], locking, direction
+   retirement and the configured neighbour-gain refresh — so the wall
+   clock measures gain maintenance without the selection, lookahead,
+   evaluation and rewind costs that an [improve] run shares between
+   both [gain_update] modes.  Cells are visited in id order with a
+   seed-rotated target; a pass ends when every movable cell is locked
+   or illegal, and the buckets are rebuilt for the next pass.  The
+   script depends only on (state, spec, seed), never on the gain
+   values, so [Delta] and [Recompute] apply bit-identical sequences.
+   Returns the applied move count and the seconds spent inside the
+   neighbour refresh itself: the scripted walk, bucket rebuilds and
+   [State.move] are identical setup work in both modes, so only the
+   refresh belongs in the subsystem's clock. *)
+let drive_gain_maintenance st ~spec ~config ~moves ~seed =
+  let ctx = make_ctx st spec config (fun _ -> assert false) in
+  let n = Hg.num_nodes ctx.hg in
+  let nb = ctx.nb in
+  let applied = ref 0 in
+  let refresh_s = ref 0.0 in
+  let progress = ref true in
+  while !applied < moves && !progress do
+    progress := false;
+    fill_buckets ctx;
+    let v = ref 0 in
+    while !applied < moves && !v < n do
+      let u = !v in
+      let a = State.block_of st u in
+      if (not ctx.locked.(u)) && ctx.pos.(a) >= 0 then begin
+        let bi =
+          (ctx.pos.(a) + 1 + ((seed + !applied) mod (nb - 1))) mod nb
+        in
+        let b = ctx.spec.active.(bi) in
+        if b <> a && cell_legal ctx u b then begin
+          let a = apply_move ctx u b in
+          let t0 = Fpart_obs.Clock.now () in
+          refresh_neighbours ctx ~v:u ~a ~b;
+          refresh_s := !refresh_s +. (Fpart_obs.Clock.now () -. t0);
+          incr applied;
+          progress := true
+        end
+      end;
+      incr v
+    done
+  done;
+  (!applied, !refresh_s)

@@ -141,36 +141,118 @@ let prop_model =
       && B.check b = Ok ()
       && Hashtbl.fold (fun c g acc -> acc && B.mem b c && B.gain_of b c = g) model true)
 
-(* Direction_set *)
+(* Workload counters: one logical update must tick [bucket.updates]
+   once and leave the insert/remove counters alone (the historical
+   remove+insert implementation double-counted), and an equal-gain
+   update must tick nothing. *)
+let test_update_counters () =
+  let module Obs = Fpart_obs.Metrics in
+  let inserts () = Obs.counter_value (Obs.counter "bucket.inserts") in
+  let removes () = Obs.counter_value (Obs.counter "bucket.removes") in
+  let updates () = Obs.counter_value (Obs.counter "bucket.updates") in
+  let b = B.create ~cells:8 ~max_gain:4 () in
+  B.insert b 0 0;
+  B.insert b 1 2;
+  let i0 = inserts () and r0 = removes () and u0 = updates () in
+  B.update b 0 3;
+  Alcotest.(check int) "one update tick" (u0 + 1) (updates ());
+  Alcotest.(check int) "no phantom insert" i0 (inserts ());
+  Alcotest.(check int) "no phantom remove" r0 (removes ());
+  B.update b 0 3;
+  Alcotest.(check int) "equal-gain update is free" (u0 + 1) (updates ());
+  Alcotest.(check int) "equal-gain: no insert" i0 (inserts ());
+  Alcotest.(check int) "equal-gain: no remove" r0 (removes ());
+  B.remove b 1;
+  Alcotest.(check int) "remove ticks removes" (r0 + 1) (removes ());
+  Alcotest.(check int) "remove does not tick updates" (u0 + 1) (updates ())
+
+(* Direction_set: all mutations go through the set so its top index
+   stays exact. *)
+
+let dirs_ok d =
+  match D.check d with Ok () -> () | Error e -> Alcotest.fail e
 
 let test_dirs_best () =
   let d = D.create ~directions:3 ~cells:8 ~max_gain:4 () in
-  B.insert (D.bucket d 0) 0 1;
-  B.insert (D.bucket d 1) 1 3;
-  B.insert (D.bucket d 2) 2 3;
+  D.insert d ~dir:0 0 1;
+  D.insert d ~dir:1 1 3;
+  D.insert d ~dir:2 2 3;
   Alcotest.(check bool) "best gain" true (D.best_gain d = Some 3);
-  Alcotest.(check (list int)) "best dirs" [ 1; 2 ] (D.best_dirs d)
+  Alcotest.(check (list int)) "best dirs" [ 1; 2 ] (D.best_dirs d);
+  D.update d ~dir:1 1 (-2);
+  Alcotest.(check (list int)) "update retargets" [ 2 ] (D.best_dirs d);
+  D.remove d ~dir:2 2;
+  Alcotest.(check bool) "best falls back" true (D.best_gain d = Some 1);
+  Alcotest.(check (list int)) "dir 0 now best" [ 0 ] (D.best_dirs d);
+  dirs_ok d
 
 let test_dirs_disable () =
   let d = D.create ~directions:2 ~cells:4 ~max_gain:4 () in
-  B.insert (D.bucket d 0) 0 4;
-  B.insert (D.bucket d 1) 1 1;
+  D.insert d ~dir:0 0 4;
+  D.insert d ~dir:1 1 1;
   D.set_enabled d 0 false;
   Alcotest.(check bool) "disabled skipped" true (D.best_gain d = Some 1);
   Alcotest.(check (list int)) "only dir 1" [ 1 ] (D.best_dirs d);
   D.set_enabled d 0 true;
-  Alcotest.(check bool) "re-enabled" true (D.best_gain d = Some 4)
+  Alcotest.(check bool) "re-enabled" true (D.best_gain d = Some 4);
+  (* mutations while disabled must still land in the index on re-enable *)
+  D.set_enabled d 1 false;
+  D.update d ~dir:1 1 4;
+  Alcotest.(check (list int)) "disabled update invisible" [ 0 ] (D.best_dirs d);
+  D.set_enabled d 1 true;
+  Alcotest.(check (list int)) "visible after re-enable" [ 0; 1 ] (D.best_dirs d);
+  dirs_ok d
 
 let test_dirs_totals_clear () =
   let d = D.create ~directions:2 ~cells:4 ~max_gain:4 () in
-  B.insert (D.bucket d 0) 0 1;
-  B.insert (D.bucket d 1) 1 1;
+  D.insert d ~dir:0 0 1;
+  D.insert d ~dir:1 1 1;
   D.set_enabled d 1 false;
   Alcotest.(check int) "total cells" 2 (D.total_cells d);
   D.clear d;
   Alcotest.(check int) "cleared" 0 (D.total_cells d);
   Alcotest.(check bool) "re-enabled by clear" true (D.enabled d 1);
-  Alcotest.(check bool) "empty best" true (D.best_dirs d = [])
+  Alcotest.(check bool) "empty best" true (D.best_dirs d = []);
+  dirs_ok d
+
+(* Model-based property for the top index: after a random op sequence,
+   [best_gain]/[best_dirs] must equal a naive scan over the enabled
+   buckets. *)
+let prop_dirs_model =
+  let open QCheck in
+  Test.make ~count:200 ~name:"direction set matches naive scan"
+    (small_list
+       (quad (int_bound 3) (int_bound 3) (int_bound 7) (int_range (-6) 6)))
+    (fun ops ->
+      let dirs = 4 in
+      let d = D.create ~directions:dirs ~cells:8 ~max_gain:6 () in
+      List.iter
+        (fun (op, dir, cell, gain) ->
+          match op with
+          | 0 -> if not (D.mem d ~dir cell) then D.insert d ~dir cell gain
+          | 1 -> D.remove d ~dir cell
+          | 2 -> if D.mem d ~dir cell then D.update d ~dir cell gain
+          | _ -> D.set_enabled d dir (gain >= 0))
+        ops;
+      let naive_best = ref None in
+      for dir = 0 to dirs - 1 do
+        if D.enabled d dir then
+          match B.top_gain (D.bucket d dir) with
+          | Some g when (match !naive_best with None -> true | Some b -> g > b)
+            ->
+            naive_best := Some g
+          | Some _ | None -> ()
+      done;
+      let naive_dirs =
+        List.filter
+          (fun dir ->
+            D.enabled d dir && B.top_gain (D.bucket d dir) = !naive_best
+            && !naive_best <> None)
+          [ 0; 1; 2; 3 ]
+      in
+      D.best_gain d = !naive_best
+      && D.best_dirs d = naive_dirs
+      && D.check d = Ok ())
 
 let () =
   Alcotest.run "gainbucket"
@@ -187,6 +269,7 @@ let () =
           Alcotest.test_case "update" `Quick test_update;
           Alcotest.test_case "errors" `Quick test_errors;
           Alcotest.test_case "clear" `Quick test_clear;
+          Alcotest.test_case "update counters" `Quick test_update_counters;
         ] );
       ( "directions",
         [
@@ -194,5 +277,6 @@ let () =
           Alcotest.test_case "disable" `Quick test_dirs_disable;
           Alcotest.test_case "totals/clear" `Quick test_dirs_totals_clear;
         ] );
-      ("property", List.map QCheck_alcotest.to_alcotest [ prop_model ]);
+      ( "property",
+        List.map QCheck_alcotest.to_alcotest [ prop_model; prop_dirs_model ] );
     ]

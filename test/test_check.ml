@@ -197,9 +197,13 @@ let test_windows_table () =
       ("two-block, at the theoretical minimum", 100, false, true, 95, 100);
       ("multi-block, violations allowed", 100, true, false, 30, 105);
       ("multi-block, at the theoretical minimum", 100, false, false, 30, 100);
-      ("non-divisible S_MAX floors (two-block)", 57, true, true, 54, 59);
+      (* lower = floor(ε_min·S_MAX), upper = ceil(ε_max·S_MAX): the
+         window must contain the paper's real interval, so for
+         S_MAX = 57 the upper bound is ceil(1.05·57) = ceil(59.85) = 60
+         (plain truncation used to give 59 and forbade size 60). *)
+      ("non-divisible S_MAX rounds outward (two-block)", 57, true, true, 54, 60);
       ("non-divisible S_MAX, strict upper", 57, false, true, 54, 57);
-      ("non-divisible S_MAX floors (multi-block)", 57, true, false, 17, 59);
+      ("non-divisible S_MAX rounds outward (multi-block)", 57, true, false, 17, 60);
     ]
   in
   List.iter

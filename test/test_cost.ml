@@ -169,6 +169,38 @@ let prop_distance_nonneg =
     QCheck.(pair (int_bound 500) (int_bound 300))
     (fun (size, pins) -> Cost.block_distance params ctx ~size ~pins ~flops:0 >= 0.0)
 
+(* The dirty-block tracker must stay bitwise equal to a from-scratch
+   [evaluate] under arbitrary interleaved moves — including bulk
+   restores, which invalidate many blocks at once. *)
+let prop_tracker_bitwise_equal =
+  QCheck.Test.make ~count:50 ~name:"tracked_evaluate bitwise equals evaluate"
+    QCheck.(
+      triple (int_range 20 80) (int_range 2 5)
+        (small_list (pair small_nat small_nat)))
+    (fun (cells, k, moves) ->
+      let h = Fpart_testgen.circuit ~name:"ct" ~cells (cells + k) in
+      let st = State.create h ~k ~assign:(fun v -> v mod k) in
+      let remainder = Some (k - 1) in
+      let tr = Cost.tracker params ctx st ~remainder ~step_k:2 in
+      let initial = State.assignment st in
+      let same st =
+        let a = Cost.evaluate params ctx st ~remainder ~step_k:2 in
+        let b = Cost.tracked_evaluate tr st in
+        a.Cost.feasible_blocks = b.Cost.feasible_blocks
+        && Float.equal a.Cost.distance b.Cost.distance
+        && a.Cost.t_sum = b.Cost.t_sum
+        && Float.equal a.Cost.io_bal b.Cost.io_bal
+      in
+      let ok = ref (same st) in
+      List.iter
+        (fun (v, b) ->
+          State.move st (v mod Hg.num_nodes h) (b mod k);
+          ok := !ok && same st)
+        moves;
+      (* bulk restore: every block dirty at once *)
+      State.load_assignment st initial;
+      !ok && same st)
+
 let () =
   Alcotest.run "cost"
     [
@@ -194,5 +226,10 @@ let () =
         ] );
       ( "property",
         List.map QCheck_alcotest.to_alcotest
-          [ prop_compare_antisym; prop_compare_transitive; prop_distance_nonneg ] );
+          [
+            prop_compare_antisym;
+            prop_compare_transitive;
+            prop_distance_nonneg;
+            prop_tracker_bitwise_equal;
+          ] );
     ]

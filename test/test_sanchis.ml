@@ -210,6 +210,109 @@ let test_invalid_specs () =
            ~spec:{ Sanchis.active = [| 0; 9 |]; remainder = None; lower; upper }
            ~config:Sanchis.default_config ~eval))
 
+(* Move accounting: [moves_applied] must count exactly the events the
+   [sanchis.moves] counter ticks (every applied move, rewound or not)
+   and [moves_retained] exactly the surviving prefix — the report used
+   to conflate the two. *)
+let test_report_move_accounting () =
+  let module Obs = Fpart_obs.Metrics in
+  let c_moves = Obs.counter "sanchis.moves" in
+  let c_rewound = Obs.counter "sanchis.rewound_moves" in
+  let h = circuit ~cells:80 37 in
+  let ctx = ctx_for h in
+  let st = State.create h ~k:2 ~assign:(fun v -> (v * 7) land 1) in
+  let eval = mk_eval ctx (Some 1) in
+  let m0 = Obs.counter_value c_moves and r0 = Obs.counter_value c_rewound in
+  let r =
+    Sanchis.improve st ~spec:(default_spec ~remainder:1 [| 0; 1 |] 2)
+      ~config:Sanchis.default_config ~eval
+  in
+  let applied = Obs.counter_value c_moves - m0 in
+  let rewound = Obs.counter_value c_rewound - r0 in
+  Alcotest.(check int) "moves_applied equals the sanchis.moves counter" applied
+    r.Sanchis.moves_applied;
+  Alcotest.(check int) "moves_retained = applied - rewound"
+    (applied - rewound) r.Sanchis.moves_retained;
+  (* the terminating pass applies moves it then rewinds, so a run that
+     moved anything must have applied strictly more than it retained *)
+  Alcotest.(check bool) "some moves were rewound" true
+    (r.Sanchis.moves_applied > r.Sanchis.moves_retained);
+  Alcotest.(check bool) "retained non-negative" true (r.Sanchis.moves_retained >= 0)
+
+(* Every gain the delta engine writes into a bucket must agree with the
+   reference oracle (the same cross-check --selfcheck paranoid wires in
+   production). *)
+let test_delta_gains_match_oracle () =
+  let h = circuit ~cells:40 41 in
+  let ctx = ctx_for h in
+  let run ~pin =
+    let st = State.create h ~k:2 ~assign:(fun v -> (v * 11) land 1) in
+    let violations = ref 0 in
+    let config =
+      {
+        Sanchis.default_config with
+        gain_mode = (if pin then Sanchis.Pin_gain else Sanchis.Cut_gain);
+        on_gain_update =
+          Some
+            (fun st ~cell ~target ~gain ->
+              violations :=
+                !violations
+                + Fpart_check.Selfcheck.validate_gain st ~pin ~cell ~target
+                    ~gain);
+      }
+    in
+    ignore
+      (Sanchis.improve st ~spec:(default_spec ~remainder:1 [| 0; 1 |] 2) ~config
+         ~eval:(mk_eval ctx (Some 1)));
+    !violations
+  in
+  Alcotest.(check int) "cut-gain deltas match the oracle" 0 (run ~pin:false);
+  Alcotest.(check int) "pin-gain deltas match the oracle" 0 (run ~pin:true)
+
+(* The tentpole invariant: the incremental delta-gain engine must be
+   bit-identical to the recompute escape hatch — same final assignment,
+   same pass/move/restart counts — across gain modes and bucket
+   disciplines. *)
+let prop_delta_matches_recompute =
+  QCheck.Test.make ~count:30
+    ~name:"delta gain engine bit-identical to recompute"
+    QCheck.(
+      quad (int_range 20 90) (int_range 2 4) (int_range 0 10_000)
+        (pair bool bool))
+    (fun (cells, k, seed, (pin, fifo)) ->
+      let h = circuit ~cells seed in
+      let ctx = ctx_for h in
+      let remainder = k - 1 in
+      let run gain_update =
+        let st = State.create h ~k ~assign:(fun v -> (v * 13) mod k) in
+        let eval = mk_eval ctx (Some remainder) in
+        let config =
+          {
+            Sanchis.default_config with
+            gain_update;
+            gain_mode = (if pin then Sanchis.Pin_gain else Sanchis.Cut_gain);
+            bucket_discipline =
+              (if fifo then Gainbucket.Bucket_array.Fifo
+               else Gainbucket.Bucket_array.Lifo);
+            max_passes = 3;
+          }
+        in
+        let r =
+          Sanchis.improve st
+            ~spec:(default_spec ~remainder (Array.init k Fun.id) k)
+            ~config ~eval
+        in
+        (State.assignment st, r)
+      in
+      let a1, r1 = run Sanchis.Delta in
+      let a2, r2 = run Sanchis.Recompute in
+      a1 = a2
+      && r1.Sanchis.passes_run = r2.Sanchis.passes_run
+      && r1.Sanchis.moves_applied = r2.Sanchis.moves_applied
+      && r1.Sanchis.moves_retained = r2.Sanchis.moves_retained
+      && r1.Sanchis.restarts = r2.Sanchis.restarts
+      && Cost.compare_value r1.Sanchis.best r2.Sanchis.best = 0)
+
 let prop_value_monotone =
   QCheck.Test.make ~count:25 ~name:"improve never returns a worse solution"
     QCheck.(triple (int_range 20 100) (int_range 2 4) (int_range 0 10_000))
@@ -243,6 +346,27 @@ let prop_state_matches_reported_best =
       in
       Cost.compare_value (eval st) r.Sanchis.best = 0)
 
+let test_maintenance_driver_bit_identical () =
+  (* the bench driver must apply the same scripted sequence under both
+     gain-update modes: same applied count, same final assignment *)
+  let h = circuit ~cells:160 7 in
+  let spec = default_spec [| 0; 1; 2; 3 |] 4 in
+  let run gain_update =
+    let st = State.create h ~k:4 ~assign:(fun v -> v mod 4) in
+    let config = { Sanchis.default_config with gain_update } in
+    let applied, refresh_s =
+      Sanchis.drive_gain_maintenance st ~spec ~config ~moves:2_000 ~seed:7
+    in
+    Alcotest.(check bool) "refresh time non-negative" true (refresh_s >= 0.0);
+    (match State.check st with Ok () -> () | Error e -> Alcotest.fail e);
+    (applied, Array.copy (State.assignment st))
+  in
+  let applied_d, assign_d = run Sanchis.Delta in
+  let applied_r, assign_r = run Sanchis.Recompute in
+  Alcotest.(check bool) "some moves applied" true (applied_d > 0);
+  Alcotest.(check int) "same applied count" applied_r applied_d;
+  Alcotest.(check (array int)) "same final assignment" assign_r assign_d
+
 let () =
   Alcotest.run "sanchis"
     [
@@ -260,8 +384,17 @@ let () =
           Alcotest.test_case "pin-gain mode" `Quick test_pin_gain_mode;
           Alcotest.test_case "drift limit" `Quick test_drift_limit;
           Alcotest.test_case "invalid specs" `Quick test_invalid_specs;
+          Alcotest.test_case "move accounting" `Quick test_report_move_accounting;
+          Alcotest.test_case "delta gains vs oracle" `Quick
+            test_delta_gains_match_oracle;
+          Alcotest.test_case "maintenance driver" `Quick
+            test_maintenance_driver_bit_identical;
         ] );
       ( "property",
         List.map QCheck_alcotest.to_alcotest
-          [ prop_value_monotone; prop_state_matches_reported_best ] );
+          [
+            prop_delta_matches_recompute;
+            prop_value_monotone;
+            prop_state_matches_reported_best;
+          ] );
     ]
