@@ -207,6 +207,7 @@ let quota =
 let parallel_name = "parallel/run-best-table2"
 let selfcheck_name = "selfcheck/overhead-table2"
 let gain_update_name = "gain_update/table2"
+let recorder_name = "recorder/overhead-table2"
 
 let parallel_wanted =
   match Sys.getenv_opt "FPART_BENCH_ONLY" with
@@ -223,6 +224,11 @@ let gain_update_wanted =
   | None -> true
   | Some pat -> contains gain_update_name pat
 
+let recorder_wanted =
+  match Sys.getenv_opt "FPART_BENCH_ONLY" with
+  | None -> true
+  | Some pat -> contains recorder_name pat
+
 let tests =
   let kept =
     match Sys.getenv_opt "FPART_BENCH_ONLY" with
@@ -231,7 +237,7 @@ let tests =
   in
   if
     kept = [] && not parallel_wanted && not selfcheck_wanted
-    && not gain_update_wanted
+    && not gain_update_wanted && not recorder_wanted
   then begin
     prerr_endline "bench: FPART_BENCH_ONLY matched no benchmarks";
     exit 1
@@ -417,9 +423,45 @@ let measure_gain_update () =
       }
   end
 
+(* Recorder overhead: wall time of a Driver.run on the table-2 workload
+   with observability disabled (the default — every span_begin is one
+   atomic load) vs fully enabled into a null sink (span bookkeeping,
+   gain-curve accumulation and record assembly, minus I/O).  Min of 3
+   interleaved runs each.  The acceptance bar is <= 5%: CI asserts
+   [overhead < 0.05] where overhead = (enabled - disabled) / disabled. *)
+
+let measure_recorder () =
+  if not recorder_wanted then None
+  else begin
+    let module Metrics = Fpart_obs.Metrics in
+    let module Sink = Fpart_obs.Sink in
+    let hg = Lazy.force c3540_3000 in
+    let time enabled =
+      if enabled then begin
+        Metrics.set_enabled true;
+        Sink.set Sink.null
+      end;
+      let t0 = Unix.gettimeofday () in
+      ignore (Fpart.Driver.run hg Device.xc3020);
+      let wall = Unix.gettimeofday () -. t0 in
+      if enabled then begin
+        Metrics.set_enabled false;
+        Metrics.reset ();
+        Fpart_obs.Recorder.reset ()
+      end;
+      wall
+    in
+    let best_off = ref infinity and best_on = ref infinity in
+    for _ = 1 to 3 do
+      best_off := min !best_off (time false);
+      best_on := min !best_on (time true)
+    done;
+    Some (!best_off, !best_on)
+  end
+
 let snapshot_path = "BENCH_fpart.json"
 
-let write_snapshot rows parallel selfcheck gain_update =
+let write_snapshot rows parallel selfcheck gain_update recorder =
   let benchmarks =
     List.map
       (fun (name, est) ->
@@ -487,6 +529,19 @@ let write_snapshot rows parallel selfcheck gain_update =
           ("delta_avoided", Json.Int g.gu_avoided);
         ]
   in
+  let recorder_field =
+    match recorder with
+    | None -> Json.Null
+    | Some (off, on) ->
+      Json.Obj
+        [
+          ("name", Json.Str recorder_name);
+          ("wall_s_disabled", Json.Float off);
+          ("wall_s_enabled", Json.Float on);
+          ( "overhead",
+            Json.Float (if off > 0.0 then (on -. off) /. off else 0.0) );
+        ]
+  in
   let json =
     Json.Obj
       [
@@ -498,6 +553,7 @@ let write_snapshot rows parallel selfcheck gain_update =
         ("parallel", parallel_field);
         ("selfcheck", selfcheck_field);
         ("gain_update", gain_update_field);
+        ("recorder", recorder_field);
       ]
   in
   let oc = open_out snapshot_path in
@@ -575,5 +631,12 @@ let () =
     Printf.printf "%-42s %15s\n" gain_update_name
       (Printf.sprintf "%.2fx maint, %.2fx engine"
          (speedup g.gu_maintenance) (speedup g.gu_engine)));
-  write_snapshot rows parallel selfcheck gain_update;
+  let recorder = measure_recorder () in
+  (match recorder with
+  | None -> ()
+  | Some (off, on) ->
+    Printf.printf "%-42s %15s\n" recorder_name
+      (Printf.sprintf "%+.1f%% (enabled)"
+         (if off > 0.0 then 100.0 *. (on -. off) /. off else 0.0)));
+  write_snapshot rows parallel selfcheck gain_update recorder;
   Printf.printf "perf snapshot written to %s\n" snapshot_path

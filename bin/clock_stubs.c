@@ -1,0 +1,22 @@
+/* Monotonic time for the fpart binaries: CLOCK_MONOTONIC nanoseconds
+   as an int64, immune to wall-clock steps (NTP, DST).  Kept in bin/ so
+   the libraries stay free of C stubs. */
+
+#include <time.h>
+#include <stdint.h>
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+
+int64_t fpart_clock_monotonic_ns_native(void)
+{
+  struct timespec ts;
+  if (clock_gettime(CLOCK_MONOTONIC, &ts) != 0)
+    return 0;
+  return (int64_t)ts.tv_sec * 1000000000 + (int64_t)ts.tv_nsec;
+}
+
+value fpart_clock_monotonic_ns_bytecode(value unit)
+{
+  (void)unit;
+  return caml_copy_int64(fpart_clock_monotonic_ns_native());
+}

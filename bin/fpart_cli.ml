@@ -43,15 +43,15 @@ type log_level = Quiet | Info | Debug
    Fpart_obs layer; the sinks compose (JSONL file + pretty stderr).
    Info shows the algorithm narrative (trace events), debug adds the
    span records. *)
-let setup_obs ~trace ~stats ~log_level =
+let setup_obs ~trace ~trace_format ~stats ~log_level =
   let obs_on = stats || trace <> None || log_level <> Quiet in
   if obs_on then begin
-    Fpart_obs.Clock.set_source Unix.gettimeofday;
+    Obs_setup.install_clock ();
     Fpart_obs.Metrics.set_enabled true;
     let sinks =
       match trace with
       | Some path -> (
-        try [ Fpart_obs.Sink.jsonl (open_out path) ]
+        try [ Obs_setup.file_sink trace_format (open_out path) ]
         with Sys_error msg ->
           prerr_endline ("fpart: cannot open trace file: " ^ msg);
           exit 1)
@@ -175,8 +175,9 @@ let check_mode path hg device delta =
       if report.Partition.Check.feasible then Ok () else Error "partition is infeasible")
 
 let main input generate device_name delta algo seed runs cluster jobs selfcheck
-    gain_update output save check board dot trace stats log_level trace_log =
-  setup_obs ~trace ~stats ~log_level;
+    gain_update output save check board dot trace trace_format stats log_level
+    trace_log =
+  setup_obs ~trace ~trace_format ~stats ~log_level;
   let result =
     match Device.find device_name with
     | None ->
@@ -374,9 +375,9 @@ let trace =
   Arg.(
     value
     & opt (some string) None
-    & info [ "trace" ] ~docv:"FILE.jsonl"
+    & info [ "trace" ] ~docv:"FILE"
         ~doc:
-          "Stream observability records (driver/improve spans, trace events) to FILE as JSON Lines.")
+          "Stream observability records (recorder spans, trace events, pass/schedule telemetry) to FILE (see --trace-format).")
 
 let stats =
   Arg.(
@@ -405,6 +406,6 @@ let cmd =
     Term.(
       const main $ input $ generate $ device $ delta $ algo $ seed $ runs $ cluster
       $ jobs $ selfcheck $ gain_update $ output $ save $ check $ board $ dot
-      $ trace $ stats $ log_level $ trace_log)
+      $ trace $ Obs_setup.trace_format_arg $ stats $ log_level $ trace_log)
 
 let () = exit (Cmd.eval' cmd)

@@ -199,12 +199,13 @@ let run_round ~max_cells round_seed =
         | Divergence d -> Divergence (name ^ ": " ^ d)))
     Ok_round checks
 
-let main rounds max_cells seed =
+let main rounds max_cells seed trace trace_format =
   if rounds < 1 then begin
     prerr_endline "fpart_fuzz: --rounds must be at least 1";
     2
   end
   else begin
+    Obs_setup.setup_trace trace trace_format;
     let divergences = ref 0 in
     for i = 0 to rounds - 1 do
       let round_seed = seed + i in
@@ -219,6 +220,7 @@ let main rounds max_cells seed =
     Printf.printf "fuzz: %d rounds, %d divergences (seeds %d..%d)\n" rounds
       !divergences seed
       (seed + rounds - 1);
+    Obs_setup.finish_trace ();
     if !divergences = 0 then 0 else 1
   end
 
@@ -247,6 +249,8 @@ let cmd =
   let doc = "randomized differential fuzzing of the FPART pipeline" in
   Cmd.v
     (Cmd.info "fpart_fuzz" ~doc)
-    Term.(const main $ rounds $ max_cells $ seed)
+    Term.(
+      const main $ rounds $ max_cells $ seed $ Obs_setup.trace_arg
+      $ Obs_setup.trace_format_arg)
 
 let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,118 @@
+(* Offline trace analyzer: hotspot and convergence tables from a
+   recorded trace (JSONL or chrome export), structural validation for
+   CI, and a two-run diff for A/B-ing flags like --gain-update or
+   --jobs.  All analysis lives in Fpart_obs.Inspect; this file is
+   argument plumbing. *)
+
+module Inspect = Fpart_obs.Inspect
+open Cmdliner
+
+let load path =
+  match Inspect.load_file path with
+  | Ok t -> Ok t
+  | Error e -> Error (Printf.sprintf "%s: %s" path e)
+
+(* Exit codes: 0 ok, 1 structural errors (orphaned spans, duplicate
+   ids, dangling telemetry references), 2 unreadable/unparseable
+   input. *)
+let validate_exit path t =
+  match Inspect.validate t with
+  | [] -> 0
+  | errors ->
+    List.iter (fun e -> Printf.eprintf "%s: %s\n" path e) errors;
+    1
+
+let main file_a file_b diff check passes times =
+  let times = not times in
+  let ppf = Format.std_formatter in
+  let run () =
+    match (diff, file_b) with
+    | true, None ->
+      prerr_endline "fpart_inspect: --diff needs two trace files";
+      2
+    | true, Some b_path -> (
+      match (load file_a, load b_path) with
+      | Error e, _ | _, Error e ->
+        prerr_endline ("fpart_inspect: " ^ e);
+        2
+      | Ok a, Ok b ->
+        Format.fprintf ppf "diff %s -> %s@." file_a b_path;
+        Inspect.pp_diff ~times ppf a b;
+        max (validate_exit file_a a) (validate_exit b_path b))
+    | false, Some _ ->
+      prerr_endline "fpart_inspect: second trace file needs --diff";
+      2
+    | false, None -> (
+      match load file_a with
+      | Error e ->
+        prerr_endline ("fpart_inspect: " ^ e);
+        2
+      | Ok t ->
+        let rc = validate_exit file_a t in
+        if check then begin
+          if rc = 0 then
+            Format.fprintf ppf "ok: %d records, %d spans@."
+              (List.length (Inspect.records t))
+              (List.length (Inspect.spans t))
+        end
+        else begin
+          Format.fprintf ppf "== hotspots (self time) ==@.";
+          Inspect.pp_hotspots ~times ppf t;
+          Format.fprintf ppf "@.== convergence (one row per Improve() call) ==@.";
+          Inspect.pp_convergence ppf t;
+          if passes then begin
+            Format.fprintf ppf "@.== passes ==@.";
+            Inspect.pp_passes ppf t
+          end
+        end;
+        rc)
+  in
+  let rc = run () in
+  Format.pp_print_flush ppf ();
+  rc
+
+let file_a =
+  Arg.(
+    required
+    & pos 0 (some file) None
+    & info [] ~docv:"TRACE" ~doc:"Trace file (JSONL or chrome export).")
+
+let file_b =
+  Arg.(
+    value
+    & pos 1 (some file) None
+    & info [] ~docv:"TRACE_B" ~doc:"Second trace file (with $(b,--diff)).")
+
+let diff =
+  Arg.(
+    value & flag
+    & info [ "diff" ]
+        ~doc:"Compare two traces: per-phase self-time deltas and convergence totals.")
+
+let check =
+  Arg.(
+    value & flag
+    & info [ "check" ]
+        ~doc:
+          "Only validate: parse the file and check the span tree is well-formed \
+           (exit 2 on parse errors, 1 on orphaned spans or duplicate ids).")
+
+let passes =
+  Arg.(
+    value & flag
+    & info [ "passes" ] ~doc:"Also print the per-pass detail table.")
+
+let no_times =
+  Arg.(
+    value & flag
+    & info [ "no-times" ]
+        ~doc:
+          "Omit wall-clock columns (deterministic output, used by the cram tests).")
+
+let cmd =
+  let doc = "analyze fpart observability traces offline" in
+  Cmd.v
+    (Cmd.info "fpart_inspect" ~doc)
+    Term.(const main $ file_a $ file_b $ diff $ check $ passes $ no_times)
+
+let () = exit (Cmd.eval' cmd)

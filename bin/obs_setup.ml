@@ -1,0 +1,57 @@
+(* Observability bootstrap shared by the binaries: the monotonic clock
+   source and the --trace-format plumbing. *)
+
+module Sink = Fpart_obs.Sink
+
+external monotonic_ns : unit -> (int64[@unboxed])
+  = "fpart_clock_monotonic_ns_bytecode" "fpart_clock_monotonic_ns_native"
+[@@noalloc]
+
+let monotonic_seconds () = Int64.to_float (monotonic_ns ()) *. 1e-9
+
+(* Install before any recording (and before spawning domains): spans
+   then measure real elapsed time on a clock that cannot step
+   backwards, and trace timestamps count from process start. *)
+let install_clock () =
+  Fpart_obs.Clock.set_source monotonic_seconds;
+  Fpart_obs.Recorder.set_epoch ()
+
+type trace_format = Jsonl | Chrome
+
+let file_sink format oc =
+  match format with Jsonl -> Sink.jsonl oc | Chrome -> Sink.chrome oc
+
+(* Shared --trace wiring for the binaries whose only observability
+   option is a trace file (fpart_fuzz, run_experiments); fpart_cli
+   composes its own sinks with --stats/--log-level. *)
+let trace_arg =
+  Cmdliner.Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record observability records (recorder spans, trace events, \
+           pass/schedule telemetry) to FILE (see --trace-format).")
+
+let setup_trace trace format =
+  match trace with
+  | None -> ()
+  | Some path -> (
+    install_clock ();
+    Fpart_obs.Metrics.set_enabled true;
+    try Fpart_obs.Sink.set (file_sink format (open_out path))
+    with Sys_error msg ->
+      prerr_endline ("cannot open trace file: " ^ msg);
+      exit 1)
+
+let finish_trace () = Fpart_obs.Sink.close_current ()
+
+let trace_format_arg =
+  Cmdliner.Arg.(
+    value
+    & opt (enum [ ("jsonl", Jsonl); ("chrome", Chrome) ]) Jsonl
+    & info [ "trace-format" ] ~docv:"FORMAT"
+        ~doc:
+          "Format of the --trace file: $(b,jsonl) (one record per line, the \
+           fpart_inspect native input) or $(b,chrome) (Chrome Trace Event \
+           JSON, loadable in chrome://tracing and Perfetto).")

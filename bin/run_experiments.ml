@@ -28,14 +28,17 @@ let artifacts =
 
 let names = String.concat ", " (List.map fst artifacts)
 
-let run jobs selected =
+let run jobs trace trace_format selected =
+  Obs_setup.setup_trace trace trace_format;
   let progress msg =
     prerr_endline ("# " ^ msg);
     flush stderr
   in
   let t = Report.Experiments.create ~progress ~jobs () in
   Fun.protect
-    ~finally:(fun () -> Report.Experiments.shutdown t)
+    ~finally:(fun () ->
+      Report.Experiments.shutdown t;
+      Obs_setup.finish_trace ())
     (fun () ->
       List.iter
         (fun name ->
@@ -74,6 +77,10 @@ let jobs =
 
 let cmd =
   let doc = "regenerate the FPART paper's tables and figures on MCNC surrogates" in
-  Cmd.v (Cmd.info "run_experiments" ~doc) Term.(const run $ jobs $ selected)
+  Cmd.v
+    (Cmd.info "run_experiments" ~doc)
+    Term.(
+      const run $ jobs $ Obs_setup.trace_arg $ Obs_setup.trace_format_arg
+      $ selected)
 
 let () = exit (Cmd.eval cmd)

@@ -104,6 +104,30 @@ streams span/trace records as JSON Lines:
   $ grep -q '"type":"trace"' out.jsonl && echo have-trace-events
   have-trace-events
 
+Recorder spans carry tree structure (id/parent/track) and the trace
+file is a well-formed span tree:
+
+  $ grep '"name":"driver.run"' out.jsonl | grep -q '"id":' && echo have-span-ids
+  have-span-ids
+  $ fpart_inspect --check out.jsonl | sed 's/[0-9][0-9]*/N/g'
+  ok: N records, N spans
+
+--trace-format chrome writes the same records as a single Chrome Trace
+Event JSON document (loadable in chrome://tracing and Perfetto), and
+fpart_inspect folds it back into the identical validated tree:
+
+  $ fpart --generate 200x24 --device XC2064 --seed 7 --trace out.json --trace-format chrome > /dev/null
+  $ head -c 16 out.json
+  {"traceEvents":[
+  $ grep -q '"ph":"X"' out.json && echo have-complete-events
+  have-complete-events
+  $ grep -q '"ph":"M"' out.json && echo have-thread-names
+  have-thread-names
+  $ fpart_inspect --check out.json > chrome.count
+  $ fpart_inspect --check out.jsonl > jsonl.count
+  $ diff chrome.count jsonl.count && echo formats-agree
+  formats-agree
+
 --trace-log prints the recorded driver event log after the report:
 
   $ fpart --generate 120x16 --device XC3090 --seed 7 --trace-log | tail -2

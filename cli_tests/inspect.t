@@ -1,0 +1,73 @@
+fpart_inspect analyzes recorded traces offline.  Record one (the
+trajectory is seed-deterministic; --no-times hides the wall-clock
+columns so this output is stable):
+
+  $ fpart --generate 200x24 --device XC2064 --seed 7 --trace a.jsonl > /dev/null
+
+The default view is a self-time hotspot table plus one convergence row
+per Improve() call (waste = moves explored minus moves retained after
+the rewind to the best prefix):
+
+  $ fpart_inspect --no-times a.jsonl | sed '/^$/d'
+  == hotspots (self time) ==
+  phase                           count
+  improve.pass                       18
+  driver.iteration                    3
+  driver.run                          1
+  == convergence (one row per Improve() call) ==
+    it step         blocks passes  moves retained  waste        cut value
+     1 pair_latest       2      1    156        0    156   30->30   (f=1, d=0.4500, T=81, dE=0.0000)
+     1 all_blocks        2      1    156        0    156   30->30   (f=1, d=0.4500, T=81, dE=0.0000)
+     1 min_size          2      1    156        0    156   30->30   (f=1, d=0.4500, T=81, dE=0.0000)
+     1 min_io            2      1    156        0    156   30->30   (f=1, d=0.4500, T=81, dE=0.0000)
+     1 max_free          2      1    156        0    156   30->30   (f=1, d=0.4500, T=81, dE=0.0000)
+     2 pair_latest       2      1    149        0    149   37->37   (f=2, d=0.0500, T=95, dE=0.0000)
+     2 all_blocks        3      1    224        0    224   37->37   (f=2, d=0.0500, T=95, dE=0.0000)
+     2 min_size          2      1    148        0    148   37->37   (f=2, d=0.0500, T=95, dE=0.0000)
+     2 min_io            2      1    149        0    149   37->37   (f=2, d=0.0500, T=95, dE=0.0000)
+     2 max_free          2      1    149        0    149   37->37   (f=2, d=0.0500, T=95, dE=0.0000)
+     3 pair_latest       2      1     40        0     40   38->38   (f=4, d=0.0000, T=97, dE=0.8333)
+     3 all_blocks        4      8   1791       14   1777   38->34   (f=4, d=0.0000, T=90, dE=0.8333)
+     3 min_size          2      1     45        0     45   34->34   (f=4, d=0.0000, T=90, dE=0.8333)
+     3 min_io            2      1     45        0     45   34->34   (f=4, d=0.0000, T=90, dE=0.8333)
+     3 max_free          2      1     45        0     45   34->34   (f=4, d=0.0000, T=90, dE=0.8333)
+     3 final_pairs       2      1     45        0     45   34->34   (f=4, d=0.0000, T=90, dE=0.8333)
+     3 final_pairs       2      5    257       10    247   34->31   (f=4, d=0.0000, T=84, dE=0.6667)
+     3 final_pairs       2      1     48        0     48   31->31   (f=4, d=0.0000, T=84, dE=0.6667)
+  total: 18 Improve() calls, 29 passes, 3915 moves (24 retained, 3891 rewound)
+
+--passes adds the per-pass detail (gain-prefix maximum and the cut
+trajectory of every Sanchis pass):
+
+  $ fpart_inspect --no-times --passes a.jsonl | sed -n '/== passes ==/,$p' | head -5
+  == passes ==
+   exec  pass  moves   prefix     gmax        cut
+      1     1    156        0      5.0   30->30
+      1     1    156        0      8.0   30->30
+      1     1    156        0      5.0   30->30
+
+--diff compares two runs phase by phase and in convergence totals:
+
+  $ fpart --generate 200x24 --device XC2064 --seed 8 --trace b.jsonl > /dev/null
+  $ fpart_inspect --diff --no-times a.jsonl b.jsonl
+  diff a.jsonl -> b.jsonl
+  phase                         count_a  count_b  delta
+  driver.iteration                    3        3     +0
+  driver.run                          1        1     +0
+  improve.pass                       18       18     +0
+  convergence: improves 18 -> 18, passes 29 -> 33, moves 3915 -> 4449, retained 24 -> 30, final cut 31 -> 25
+
+--check validates without printing tables; structural damage (an
+orphaned parent id) exits 1, unparseable input exits 2:
+
+  $ printf '%s\n' '{"type":"span","name":"x","dur_ms":1.0,"id":5,"parent":9,"track":0,"t_ms":0.0}' > orphan.jsonl
+  $ fpart_inspect --check orphan.jsonl
+  orphan.jsonl: span 5 (x) has orphaned parent 9
+  [1]
+  $ echo 'not json' > bad.jsonl
+  $ fpart_inspect bad.jsonl
+  fpart_inspect: bad.jsonl: line 1: offset 0: bad literal
+  [2]
+  $ fpart_inspect --diff a.jsonl
+  fpart_inspect: --diff needs two trace files
+  [2]

@@ -1,4 +1,5 @@
 module Metrics = Fpart_obs.Metrics
+module Recorder = Fpart_obs.Recorder
 
 (* One batch of tasks, fanned out by index.  [next] and [unfinished] are
    only touched under the pool mutex; [run i] itself executes unlocked. *)
@@ -152,17 +153,27 @@ let map t f arr =
   else begin
     let results = Array.make n Pending in
     let snaps = Array.make n None in
+    let rsnaps = Array.make n Recorder.empty_snapshot in
     let run i =
-      (results.(i) <-
-         (match f i arr.(i) with
-         | v -> Done v
-         | exception e -> Raised (e, Printexc.get_raw_backtrace ())));
+      (* Every task — including those the caller runs itself — records
+         spans into a task-local capture, so the join can replay them
+         in task index order: the emitted id/parent/order stream is
+         then independent of how tasks were scheduled across domains. *)
+      let (), rsnap =
+        Recorder.capture (fun () ->
+            results.(i) <-
+              (match f i arr.(i) with
+              | v -> Done v
+              | exception e -> Raised (e, Printexc.get_raw_backtrace ())))
+      in
+      rsnaps.(i) <- rsnap;
       (* hand this task's metric activity back to the caller; tasks the
          caller ran itself accumulated in the right cells already *)
       if Domain.DLS.get in_worker then
         snaps.(i) <- Some (Metrics.snapshot_and_reset ())
     in
     run_batch t ~size:n ~run;
+    Array.iter Recorder.merge rsnaps;
     Array.iter (function Some s -> Metrics.merge s | None -> ()) snaps;
     Array.map
       (function

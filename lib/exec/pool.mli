@@ -13,6 +13,12 @@
     snapshots into the caller's registry at the join, in task-index
     order, so counter totals match a sequential run ({!Fpart_obs.Metrics}).
 
+    {b Recorder.}  Every task additionally runs inside an
+    {!Fpart_obs.Recorder.capture}; the captured span trees are replayed
+    at the join in task-index order, so a trace recorded under any
+    [jobs] has the same span ids, parents and record order as a
+    sequential run (only [track] values and timestamps differ).
+
     {b Nesting.}  A fork submitted from inside a task (on any domain),
     or while another fork of the same pool is in flight, degrades to
     inline sequential execution — same values, no deadlock.

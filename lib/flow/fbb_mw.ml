@@ -1,6 +1,7 @@
 module Hg = Hypergraph.Hgraph
 module Rng = Prng.Splitmix
 module Obs = Fpart_obs.Metrics
+module Recorder = Fpart_obs.Recorder
 module Json = Fpart_obs.Json
 
 let c_runs = Obs.counter "fbb_mw.runs"
@@ -129,7 +130,7 @@ let refine_boundary hg assigned ~b ~s_max ~passes =
 
 let partition hg device config =
   Obs.incr c_runs;
-  let sp_run = Obs.span_begin () in
+  let sp_run = Recorder.span_begin "fbb_mw.run" in
   let s_max = Device.s_max device ~delta:config.delta in
   let t_max = device.Device.t_max in
   let n = Hg.num_nodes hg in
@@ -223,6 +224,6 @@ let partition hg device config =
       || Partition.State.pins_of st i > t_max
     then feasible := false
   done;
-  Obs.span_end sp_run ~name:"fbb_mw.run"
+  Recorder.span_end sp_run
     ~attrs:[ ("k", Json.Int k); ("feasible", Json.Bool !feasible) ];
   { assignment = assigned; k; feasible = !feasible; cut = Partition.State.cut_size st }

@@ -2,6 +2,7 @@ module Hg = Hypergraph.Hgraph
 module State = Partition.State
 module Cost = Partition.Cost
 module Obs = Fpart_obs.Metrics
+module Recorder = Fpart_obs.Recorder
 module Json = Fpart_obs.Json
 
 let c_runs = Obs.counter "driver.runs"
@@ -28,7 +29,7 @@ let swap_labels assign a b =
 let run_flat ?pool config hg device =
   let t0 = Sys.time () in
   Obs.incr c_runs;
-  let sp_run = Obs.span_begin () in
+  let sp_run = Recorder.span_begin "driver.run" in
   let rng = Prng.Splitmix.create config.Config.seed in
   let delta = Config.delta_for config device in
   let ctx = Cost.context_of device ~delta hg in
@@ -44,7 +45,7 @@ let run_flat ?pool config hg device =
         Fpart_check.Selfcheck.Cheap
     then ignore (Fpart_check.Selfcheck.validate ~where:"driver.final" st);
     Trace.record trace (Trace.Done { iterations; k; feasible });
-    Obs.span_end sp_run ~name:"driver.run"
+    Recorder.span_end sp_run
       ~attrs:
         [
           ("k", Json.Int k);
@@ -82,7 +83,7 @@ let run_flat ?pool config hg device =
           finish ~k:(j + 1) ~feasible:false ~iterations:j
         else begin
           Obs.incr c_iterations;
-          let sp_it = Obs.span_begin () in
+          let sp_it = Recorder.span_begin "driver.iteration" in
           let method_used =
             if config.Config.random_initial then begin
               Bipartition.random_split st ~p_block:j ~r_block:r
@@ -136,7 +137,7 @@ let run_flat ?pool config hg device =
                  size = State.size_of st j;
                  pins = State.pins_of st j;
                });
-          Obs.span_end sp_it ~name:"driver.iteration"
+          Recorder.span_end sp_it
             ~attrs:
               [
                 ("iteration", Json.Int iteration);
@@ -210,9 +211,9 @@ let run_clustered ?pool config hg device ~max_cluster_size =
   let st = State.create hg ~k:coarse.k ~assign:(fun v -> assign.(v)) in
   let delta = Config.delta_for config device in
   let ctx = Cost.context_of device ~delta hg in
-  let sp = Obs.span_begin () in
+  let sp = Recorder.span_begin "driver.refine" in
   refine_flat config ctx st;
-  Obs.span_end sp ~name:"driver.refine" ~attrs:[ ("k", Json.Int coarse.k) ];
+  Recorder.span_end sp ~attrs:[ ("k", Json.Int coarse.k) ];
   let feasible = Cost.classify ctx st = Cost.Feasible in
   {
     coarse with

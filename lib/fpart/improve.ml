@@ -32,6 +32,7 @@ let windows t st ~remainder ~allow_violation ~two_block =
   (lower, upper)
 
 module Obs = Fpart_obs.Metrics
+module Recorder = Fpart_obs.Recorder
 module Json = Fpart_obs.Json
 module Selfcheck = Fpart_check.Selfcheck
 
@@ -71,11 +72,36 @@ let run t st ~iteration ~remainder ~active ~allow_violation ~two_block ~kind =
     Cost.tracker t.params t.ctx st ~remainder:(Some remainder) ~step_k:iteration
   in
   let eval st = Cost.tracked_evaluate tracker st in
-  let sp = Obs.span_begin () in
+  let telemetry = Obs.enabled () in
+  let cut_before = if telemetry then State.cut_size st else 0 in
+  let value_before = if telemetry then Some (eval st) else None in
+  (* The recorder span parents this Improve() call's [pass] records
+     (Sanchis emits them under the open span) and its own [schedule]
+     record below. *)
+  let sp = Recorder.span_begin "improve.pass" in
   let report = Sanchis.improve st ~spec ~config:(engine_config t) ~eval in
   if Selfcheck.at_least t.cfg.Config.selfcheck Selfcheck.Cheap then
     ignore (Selfcheck.validate ~where:"improve.boundary" st);
-  Obs.span_end sp ~name:"improve.pass"
+  if telemetry then
+    Recorder.event
+      [
+        ("type", Json.Str "schedule");
+        ("iteration", Json.Int iteration);
+        ("step", Json.Str (Trace.kind_name kind));
+        ("blocks", Json.List (Array.to_list (Array.map (fun b -> Json.Int b) active)));
+        ("passes", Json.Int report.Sanchis.passes_run);
+        ("moves", Json.Int report.Sanchis.moves_applied);
+        ("moves_retained", Json.Int report.Sanchis.moves_retained);
+        ("restarts", Json.Int report.Sanchis.restarts);
+        ("cut_before", Json.Int cut_before);
+        ("cut_after", Json.Int (State.cut_size st));
+        ( "value_before",
+          match value_before with
+          | Some v -> Cost.value_to_json v
+          | None -> Json.Null );
+        ("value_after", Cost.value_to_json report.Sanchis.best);
+      ];
+  Recorder.span_end sp
     ~attrs:
       [
         ("iteration", Json.Int iteration);

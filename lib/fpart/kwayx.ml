@@ -1,6 +1,7 @@
 module Hg = Hypergraph.Hgraph
 module State = Partition.State
 module Obs = Fpart_obs.Metrics
+module Recorder = Fpart_obs.Recorder
 module Json = Fpart_obs.Json
 
 let c_runs = Obs.counter "kwayx.runs"
@@ -37,7 +38,7 @@ let shed_pins st ~b ~r ~t_max =
 let run ?delta ?(max_passes = 8) hg device =
   let t0 = Sys.time () in
   Obs.incr c_runs;
-  let sp_run = Obs.span_begin () in
+  let sp_run = Recorder.span_begin "kwayx.run" in
   let delta = match delta with Some d -> d | None -> Device.paper_delta device in
   let s_max = Device.s_max device ~delta in
   let t_max = device.Device.t_max in
@@ -50,7 +51,7 @@ let run ?delta ?(max_passes = 8) hg device =
     for i = 0 to k - 1 do
       if not (block_ok st i) then feasible := false
     done;
-    Obs.span_end sp_run ~name:"kwayx.run"
+    Recorder.span_end sp_run
       ~attrs:
         [
           ("k", Json.Int k);
@@ -83,7 +84,7 @@ let run ?delta ?(max_passes = 8) hg device =
         if State.cells_of st j < 2 then finish ~k:(j + 1) ~iterations:j
         else begin
           Obs.incr c_iterations;
-          let sp_it = Obs.span_begin () in
+          let sp_it = Recorder.span_begin "kwayx.iteration" in
           let member v = State.block_of st v = j in
           let sm = Seed_merge.split hg ~member ~s_max ~t_max in
           Hg.iter_nodes
@@ -102,7 +103,7 @@ let run ?delta ?(max_passes = 8) hg device =
           ignore (Fm.refine st ~block0:j ~block1:r ~limits ~max_passes);
           shed_pins st ~b:j ~r ~t_max;
           Array.blit (State.assignment st) 0 assign 0 n;
-          Obs.span_end sp_it ~name:"kwayx.iteration"
+          Recorder.span_end sp_it
             ~attrs:[ ("iteration", Json.Int iteration) ];
           if block_ok st r then finish ~k:(j + 2) ~iterations:iteration
           else iterate (j + 1)

@@ -34,18 +34,11 @@ let kind_name = function
 
 module Json = Fpart_obs.Json
 
-let value_to_json (v : Partition.Cost.value) =
-  Json.Obj
-    [
-      ("feasible_blocks", Json.Int v.Partition.Cost.feasible_blocks);
-      ("distance", Json.Float v.Partition.Cost.distance);
-      ("t_sum", Json.Int v.Partition.Cost.t_sum);
-      ("io_bal", Json.Float v.Partition.Cost.io_bal);
-    ]
+let value_to_json = Partition.Cost.value_to_json
 
-let to_json e =
+let to_fields e =
   let trace event fields =
-    Json.Obj (("type", Json.Str "trace") :: ("event", Json.Str event) :: fields)
+    ("type", Json.Str "trace") :: ("event", Json.Str event) :: fields
   in
   match e with
   | Bipartition { iteration; p_block; r_block; method_used } ->
@@ -83,9 +76,15 @@ let to_json e =
         ("feasible", Json.Bool feasible);
       ]
 
+let to_json e = Json.Obj (to_fields e)
+
+(* Emission goes through {!Fpart_obs.Recorder.event} so each trace
+   record is annotated with (and buffered alongside) the span it was
+   recorded under — keeping trace/span interleaving deterministic
+   across [--jobs]. *)
 let record t e =
   t.rev_events <- e :: t.rev_events;
-  if Fpart_obs.Metrics.enabled () then Fpart_obs.Sink.emit (to_json e)
+  if Fpart_obs.Metrics.enabled () then Fpart_obs.Recorder.event (to_fields e)
 
 let events t = List.rev t.rev_events
 

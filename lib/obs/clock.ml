@@ -1,3 +1,28 @@
+(* The guard keeps one high-water cell per domain: span begin/end pairs
+   always run on a single domain, so a per-domain non-decreasing clock
+   is enough to make every span duration non-negative even when the
+   installed source steps backwards (NTP slew on a wall clock, a buggy
+   source in tests).  Cross-domain comparisons additionally rely on the
+   source itself being shared, which both defaults are. *)
+
 let source = ref Sys.time
-let now () = !source ()
-let set_source f = source := f
+
+let high_water : float ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref neg_infinity)
+
+let now () =
+  let cell = Domain.DLS.get high_water in
+  let t = !source () in
+  if t < !cell then !cell
+  else begin
+    cell := t;
+    t
+  end
+
+let set_source f =
+  source := f;
+  (* Switching to a source with a smaller origin (e.g. seconds since
+     boot after seconds since the epoch) must not pin the clock at the
+     old maximum.  Only the calling domain's cell can be reset here;
+     install sources at startup, before spawning domains. *)
+  Domain.DLS.get high_water := neg_infinity

@@ -2,8 +2,20 @@
 
     [now ()] returns seconds on a non-decreasing clock.  The default
     source is [Sys.time] (process CPU time) so the library stays
-    dependency-free; executables that link [unix] install a wall clock
-    with [set_source Unix.gettimeofday] at startup. *)
+    dependency-free; executables install a real clock with
+    {!set_source} at startup — the binaries use a
+    [clock_gettime(CLOCK_MONOTONIC)] stub (see [bin/obs_setup.ml]),
+    library/bench users may install [Unix.gettimeofday].
+
+    Whatever the source does, [now] is guarded per domain: a source
+    that steps backwards (NTP slew, a buggy test source) is clamped to
+    the domain's previous maximum, so span durations can never go
+    negative. *)
 
 val now : unit -> float
+
+(** [set_source f] installs [f] as the time source and resets the
+    {e calling} domain's regression guard (so switching to a source
+    with a smaller origin takes effect immediately).  Install sources
+    at startup, before spawning domains. *)
 val set_source : (unit -> float) -> unit

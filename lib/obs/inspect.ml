@@ -1,0 +1,360 @@
+(* Offline trace analysis: everything here is pure on a loaded record
+   list, so the same code backs [bin/fpart_inspect], the CI trace
+   check and the unit tests. *)
+
+type span = {
+  id : int;
+  parent : int;
+  track : int;
+  name : string;
+  t_ms : float;
+  dur_ms : float;
+}
+
+type t = {
+  records : Json.t list;
+  spans : span list;  (* file order *)
+  by_id : (int, span) Hashtbl.t;
+}
+
+let records t = t.records
+let spans t = t.spans
+let fget k j = Json.member k j
+
+let fnum k j =
+  match fget k j with
+  | Some (Json.Float f) -> Some f
+  | Some (Json.Int i) -> Some (float_of_int i)
+  | _ -> None
+
+let fint k j = Option.bind (fget k j) Json.int
+let fstr k j = Option.bind (fget k j) Json.str
+let num_or d = function Some f -> f | None -> d
+let int_or d = function Some i -> i | None -> d
+
+let span_of_record j =
+  match fstr "type" j with
+  | Some "span" ->
+    Option.map
+      (fun id ->
+        {
+          id;
+          parent = int_or 0 (fint "parent" j);
+          track = int_or 0 (fint "track" j);
+          name = (match fstr "name" j with Some n -> n | None -> "span");
+          t_ms = num_or 0.0 (fnum "t_ms" j);
+          dur_ms = num_or 0.0 (fnum "dur_ms" j);
+        })
+      (fint "id" j)
+  | _ -> None
+
+let of_records records =
+  let spans = List.filter_map span_of_record records in
+  let by_id = Hashtbl.create 256 in
+  List.iter (fun s -> if not (Hashtbl.mem by_id s.id) then Hashtbl.add by_id s.id s) spans;
+  { records; spans; by_id }
+
+(* {2 Loading}
+
+   A trace file is either JSONL (one record per line) or a chrome
+   export ([{"traceEvents":[...]}]); sniffed by parsing.  Chrome
+   events are folded back into the original record shape: ["X"] events
+   become span records, ["i"] events return their [args] (which kept
+   the original fields), ["M"] metadata is dropped. *)
+
+let record_of_chrome_event ev =
+  let args = match fget "args" ev with Some (Json.Obj f) -> f | _ -> [] in
+  let t_ms = num_or 0.0 (fnum "ts" ev) /. 1000.0 in
+  let track = int_or 0 (fint "tid" ev) in
+  match fstr "ph" ev with
+  | Some "X" ->
+    Some
+      (Json.Obj
+         (("type", Json.Str "span")
+         :: ( "name",
+              Json.Str (match fstr "name" ev with Some n -> n | None -> "span") )
+         :: ("dur_ms", Json.Float (num_or 0.0 (fnum "dur" ev) /. 1000.0))
+         :: ("track", Json.Int track)
+         :: ("t_ms", Json.Float t_ms)
+         :: args))
+  | Some "i" ->
+    Some (Json.Obj (args @ [ ("track", Json.Int track); ("t_ms", Json.Float t_ms) ]))
+  | _ -> None
+
+let load_string text =
+  (* A chrome export is one JSON object covering the whole file; a
+     multi-record JSONL file fails that parse on the second line, and a
+     single-record JSONL object lacks [traceEvents] — so the sniff has
+     no false positives. *)
+  match Json.of_string (String.trim text) with
+  | Ok j when fget "traceEvents" j <> None -> (
+    match fget "traceEvents" j with
+    | Some (Json.List evs) ->
+      Ok (of_records (List.filter_map record_of_chrome_event evs))
+    | _ -> Error "chrome export without a traceEvents list")
+  | _ ->
+    let errors = ref [] in
+    let records = ref [] in
+    List.iteri
+      (fun i line ->
+        let line = String.trim line in
+        if line <> "" then
+          match Json.of_string line with
+          | Ok j -> records := j :: !records
+          | Error e ->
+            errors := Printf.sprintf "line %d: %s" (i + 1) e :: !errors)
+      (String.split_on_char '\n' text);
+    (match List.rev !errors with
+    | [] -> Ok (of_records (List.rev !records))
+    | e :: _ -> Error e)
+
+let load_file path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | text -> load_string text
+  | exception Sys_error e -> Error e
+
+(* {2 Validation} *)
+
+let validate t =
+  let errors = ref [] in
+  let err fmt = Printf.ksprintf (fun s -> errors := s :: !errors) fmt in
+  let seen = Hashtbl.create 256 in
+  List.iter
+    (fun s ->
+      if Hashtbl.mem seen s.id then err "duplicate span id %d (%s)" s.id s.name;
+      Hashtbl.replace seen s.id ())
+    t.spans;
+  List.iter
+    (fun s ->
+      if s.parent <> 0 && not (Hashtbl.mem t.by_id s.parent) then
+        err "span %d (%s) has orphaned parent %d" s.id s.name s.parent;
+      if s.dur_ms < 0.0 then err "span %d (%s) has negative duration" s.id s.name)
+    t.spans;
+  List.iter
+    (fun j ->
+      match fstr "type" j with
+      | Some "span" | None -> ()
+      | Some ty -> (
+        match fint "span" j with
+        | Some sid when sid <> 0 && not (Hashtbl.mem t.by_id sid) ->
+          err "%s record references missing span %d" ty sid
+        | _ -> ()))
+    t.records;
+  List.rev !errors
+
+(* {2 Hotspots}
+
+   Self time = a span's duration minus its direct children's; the
+   table answers "where did the wall-clock actually go" without the
+   double counting an inclusive-only table has. *)
+
+type hotspot = {
+  h_name : string;
+  h_count : int;
+  h_total_ms : float;
+  h_self_ms : float;
+}
+
+let hotspots t =
+  let child_ms = Hashtbl.create 256 in
+  List.iter
+    (fun s ->
+      if s.parent <> 0 && Hashtbl.mem t.by_id s.parent then
+        Hashtbl.replace child_ms s.parent
+          (num_or 0.0 (Hashtbl.find_opt child_ms s.parent) +. s.dur_ms))
+    t.spans;
+  let acc = Hashtbl.create 64 in
+  List.iter
+    (fun s ->
+      let self = s.dur_ms -. num_or 0.0 (Hashtbl.find_opt child_ms s.id) in
+      let c, tot, slf =
+        match Hashtbl.find_opt acc s.name with
+        | Some (c, t, sf) -> (c, t, sf)
+        | None -> (0, 0.0, 0.0)
+      in
+      Hashtbl.replace acc s.name (c + 1, tot +. s.dur_ms, slf +. self))
+    t.spans;
+  Hashtbl.fold
+    (fun name (c, tot, slf) rows ->
+      { h_name = name; h_count = c; h_total_ms = tot; h_self_ms = slf } :: rows)
+    acc []
+  |> List.sort (fun a b ->
+         let c = compare b.h_self_ms a.h_self_ms in
+         if c <> 0 then c else compare a.h_name b.h_name)
+
+let pp_hotspots ?(times = true) ppf t =
+  let rows = hotspots t in
+  if rows = [] then Format.fprintf ppf "no spans recorded@."
+  else begin
+    if times then
+      Format.fprintf ppf "%-28s %8s %12s %12s@." "phase" "count" "total_ms"
+        "self_ms"
+    else Format.fprintf ppf "%-28s %8s@." "phase" "count";
+    List.iter
+      (fun r ->
+        if times then
+          Format.fprintf ppf "%-28s %8d %12.3f %12.3f@." r.h_name r.h_count
+            r.h_total_ms r.h_self_ms
+        else Format.fprintf ppf "%-28s %8d@." r.h_name r.h_count)
+      rows
+  end
+
+(* {2 Convergence}
+
+   One row per [schedule] record (one per [Improve()] call), enriched
+   with the [pass] records recorded under the same span: passes to
+   convergence, moves applied vs retained after the rewind (the
+   difference is wasted work), and the value trajectory. *)
+
+type conv_row = {
+  c_iteration : int;
+  c_step : string;
+  c_blocks : int;
+  c_passes : int;
+  c_moves : int;
+  c_retained : int;
+  c_restarts : int;
+  c_cut_before : int;
+  c_cut_after : int;
+  c_value_after : Json.t option;
+}
+
+let pp_value_json ppf = function
+  | Some (Json.Obj fields as j) -> (
+    match
+      ( fget "feasible_blocks" (Json.Obj fields),
+        fnum "distance" (Json.Obj fields),
+        fget "t_sum" (Json.Obj fields),
+        fnum "io_bal" (Json.Obj fields) )
+    with
+    | Some (Json.Int f), Some d, Some (Json.Int t), Some e ->
+      Format.fprintf ppf "(f=%d, d=%.4f, T=%d, dE=%.4f)" f d t e
+    | _ -> Format.pp_print_string ppf (Json.to_string j))
+  | Some j -> Format.pp_print_string ppf (Json.to_string j)
+  | None -> Format.pp_print_string ppf "-"
+
+let convergence t =
+  List.filter_map
+    (fun j ->
+      match fstr "type" j with
+      | Some "schedule" ->
+        Some
+          {
+            c_iteration = int_or 0 (fint "iteration" j);
+            c_step = (match fstr "step" j with Some s -> s | None -> "?");
+            c_blocks =
+              (match fget "blocks" j with
+              | Some (Json.List l) -> List.length l
+              | _ -> int_or 0 (fint "blocks" j));
+            c_passes = int_or 0 (fint "passes" j);
+            c_moves = int_or 0 (fint "moves" j);
+            c_retained = int_or 0 (fint "moves_retained" j);
+            c_restarts = int_or 0 (fint "restarts" j);
+            c_cut_before = int_or 0 (fint "cut_before" j);
+            c_cut_after = int_or 0 (fint "cut_after" j);
+            c_value_after = fget "value_after" j;
+          }
+      | _ -> None)
+    t.records
+
+let pp_convergence ppf t =
+  let rows = convergence t in
+  if rows = [] then
+    Format.fprintf ppf "no schedule records (run with --trace and --stats)@."
+  else begin
+    Format.fprintf ppf "%4s %-12s %6s %6s %6s %8s %6s %10s %s@." "it" "step"
+      "blocks" "passes" "moves" "retained" "waste" "cut" "value";
+    List.iter
+      (fun r ->
+        Format.fprintf ppf "%4d %-12s %6d %6d %6d %8d %6d %4d->%-4d %a@."
+          r.c_iteration r.c_step r.c_blocks r.c_passes r.c_moves r.c_retained
+          (r.c_moves - r.c_retained) r.c_cut_before r.c_cut_after pp_value_json
+          r.c_value_after)
+      rows;
+    let improves = List.length rows in
+    let passes = List.fold_left (fun a r -> a + r.c_passes) 0 rows in
+    let moves = List.fold_left (fun a r -> a + r.c_moves) 0 rows in
+    let retained = List.fold_left (fun a r -> a + r.c_retained) 0 rows in
+    Format.fprintf ppf
+      "total: %d Improve() calls, %d passes, %d moves (%d retained, %d rewound)@."
+      improves passes moves retained (moves - retained)
+  end
+
+(* {2 Pass detail} *)
+
+let pp_passes ppf t =
+  let rows =
+    List.filter_map
+      (fun j ->
+        match fstr "type" j with Some "pass" -> Some j | _ -> None)
+      t.records
+  in
+  if rows = [] then Format.fprintf ppf "no pass records@."
+  else begin
+    Format.fprintf ppf "%5s %5s %6s %8s %8s %10s@." "exec" "pass" "moves"
+      "prefix" "gmax" "cut";
+    List.iter
+      (fun j ->
+        let curve =
+          match fget "gain_curve" j with
+          | Some (Json.List l) ->
+            List.filter_map
+              (function
+                | Json.Int i -> Some (float_of_int i)
+                | Json.Float f -> Some f
+                | _ -> None)
+              l
+          | _ -> []
+        in
+        let gmax = List.fold_left max neg_infinity (0.0 :: curve) in
+        Format.fprintf ppf "%5d %5d %6d %8d %8.1f %4d->%d@."
+          (int_or 0 (fint "execution" j))
+          (int_or 0 (fint "pass" j))
+          (int_or 0 (fint "moves" j))
+          (int_or 0 (fint "best_prefix" j))
+          gmax
+          (int_or 0 (fint "cut_before" j))
+          (int_or 0 (fint "cut_after" j)))
+      rows
+  end
+
+(* {2 Diff} *)
+
+let conv_totals t =
+  let rows = convergence t in
+  ( List.length rows,
+    List.fold_left (fun a r -> a + r.c_passes) 0 rows,
+    List.fold_left (fun a r -> a + r.c_moves) 0 rows,
+    List.fold_left (fun a r -> a + r.c_retained) 0 rows,
+    match List.rev rows with r :: _ -> r.c_cut_after | [] -> 0 )
+
+let pp_diff ?(times = true) ppf a b =
+  let ra = hotspots a and rb = hotspots b in
+  let names =
+    List.sort_uniq compare
+      (List.map (fun r -> r.h_name) ra @ List.map (fun r -> r.h_name) rb)
+  in
+  let find rows n = List.find_opt (fun r -> r.h_name = n) rows in
+  if times then begin
+    Format.fprintf ppf "%-28s %10s %10s %10s@." "phase" "self_a" "self_b" "delta";
+    List.iter
+      (fun n ->
+        let sa = match find ra n with Some r -> r.h_self_ms | None -> 0.0 in
+        let sb = match find rb n with Some r -> r.h_self_ms | None -> 0.0 in
+        Format.fprintf ppf "%-28s %10.3f %10.3f %+10.3f@." n sa sb (sb -. sa))
+      names
+  end
+  else begin
+    Format.fprintf ppf "%-28s %8s %8s %6s@." "phase" "count_a" "count_b" "delta";
+    List.iter
+      (fun n ->
+        let ca = match find ra n with Some r -> r.h_count | None -> 0 in
+        let cb = match find rb n with Some r -> r.h_count | None -> 0 in
+        Format.fprintf ppf "%-28s %8d %8d %+6d@." n ca cb (cb - ca))
+      names
+  end;
+  let ia, pa, ma, rta, cuta = conv_totals a in
+  let ib, pb, mb, rtb, cutb = conv_totals b in
+  Format.fprintf ppf
+    "convergence: improves %d -> %d, passes %d -> %d, moves %d -> %d, retained %d -> %d, final cut %d -> %d@."
+    ia ib pa pb ma mb rta rtb cuta cutb

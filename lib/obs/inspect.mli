@@ -1,0 +1,73 @@
+(** Offline analysis of recorded traces (JSONL or chrome export).
+
+    Pure functions over a loaded record list; [bin/fpart_inspect], the
+    CI trace check and the unit tests all go through this module. *)
+
+type span = {
+  id : int;
+  parent : int;
+  track : int;
+  name : string;
+  t_ms : float;
+  dur_ms : float;
+}
+
+type t
+
+val of_records : Json.t list -> t
+
+(** Records in file order (spans and telemetry alike). *)
+val records : t -> Json.t list
+
+val spans : t -> span list
+
+(** Parse [text] as a trace: a chrome export (one JSON object with
+    [traceEvents], events folded back into record shape) or JSONL.
+    [Error] carries the first parse failure. *)
+val load_string : string -> (t, string) result
+
+val load_file : string -> (t, string) result
+
+(** Structural errors: duplicate span ids, non-root spans whose parent
+    never appears, negative durations, telemetry records referencing a
+    missing span.  Empty list = well-formed. *)
+val validate : t -> string list
+
+type hotspot = {
+  h_name : string;
+  h_count : int;
+  h_total_ms : float;
+  h_self_ms : float;  (** duration minus direct children *)
+}
+
+(** Per-phase rows sorted by self time (descending, then name). *)
+val hotspots : t -> hotspot list
+
+(** [~times:false] prints only the deterministic columns (for tests). *)
+val pp_hotspots : ?times:bool -> Format.formatter -> t -> unit
+
+type conv_row = {
+  c_iteration : int;
+  c_step : string;
+  c_blocks : int;
+  c_passes : int;
+  c_moves : int;
+  c_retained : int;
+  c_restarts : int;
+  c_cut_before : int;
+  c_cut_after : int;
+  c_value_after : Json.t option;
+}
+
+(** One row per [schedule] record (one per [Improve()] call). *)
+val convergence : t -> conv_row list
+
+val pp_convergence : Format.formatter -> t -> unit
+
+(** Per-pass detail from [pass] records (gain-prefix maxima, rewind
+    points, cut trajectory). *)
+val pp_passes : Format.formatter -> t -> unit
+
+(** A/B comparison: per-phase self-time (or count, with
+    [~times:false]) deltas plus convergence totals. *)
+val pp_diff : ?times:bool -> Format.formatter -> t -> t -> unit

@@ -98,9 +98,18 @@ let quantile h p =
   if cell.len = 0 then Float.nan
   else begin
     let a = sorted_samples cell in
-    (* nearest rank: the ⌈p·N⌉-th smallest sample *)
-    let i = int_of_float (Float.ceil (p *. float_of_int cell.len)) - 1 in
-    a.(max 0 (min (cell.len - 1) i))
+    (* Nearest rank: the ⌈p·N⌉-th smallest sample, with the endpoints
+       pinned (p ≤ 0 is the minimum, p ≥ 1 the maximum — ⌈0·N⌉ = 0
+       names no sample) and a small tolerance on the product so binary
+       rounding cannot push an exact rank over a ceiling boundary
+       (0.1·30 evaluates to 3.0000000000000004; without the tolerance
+       its ceiling names the 4th sample instead of the 3rd). *)
+    if p <= 0.0 then a.(0)
+    else if p >= 1.0 then a.(cell.len - 1)
+    else begin
+      let rank = int_of_float (Float.ceil ((p *. float_of_int cell.len) -. 1e-9)) in
+      a.(max 0 (min (cell.len - 1) (rank - 1)))
+    end
   end
 
 let hist_max h =

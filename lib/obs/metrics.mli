@@ -54,7 +54,10 @@ val observe : histogram -> float -> unit
 
 val count : histogram -> int
 
-(** [quantile h p] for [p] in [0,1] by nearest rank; [nan] when empty. *)
+(** [quantile h p] by nearest rank: the ⌈p·N⌉-th smallest sample,
+    with [p <= 0] pinned to the minimum and [p >= 1] to the maximum;
+    [nan] when empty.  A single-sample histogram returns that sample
+    for every [p]. *)
 val quantile : histogram -> float -> float
 
 val hist_max : histogram -> float

@@ -15,8 +15,21 @@ type t = {
 val null : t
 
 (** One compact JSON object per line. [close] flushes; the channel is
-    closed unless it is stdout/stderr. *)
+    closed unless it is stdout/stderr.  Write failures ([Sys_error]:
+    full disk, closed descriptor, read-only target) are reported once
+    on stderr, after which the sink drops records instead of raising
+    into instrumented code. *)
 val jsonl : out_channel -> t
+
+(** Chrome Trace Event / Perfetto export: one strict-JSON
+    [{"traceEvents":[...]}] object.  {!Recorder} span records become
+    complete ["X"]-phase events (ts/dur in µs, [pid] 1, [tid] = the
+    record's domain track); all other records become ["i"] instant
+    events named after their [type]; [close] appends per-track
+    [thread_name] metadata and terminates the object.  Original record
+    fields — including span [id]/[parent] — are preserved under
+    ["args"].  Same error reporting as {!jsonl}. *)
+val chrome : out_channel -> t
 
 (** Human-readable one-liners ([key=value] pairs) on a formatter. *)
 val pretty : Format.formatter -> t

@@ -248,3 +248,13 @@ let compare_value a b =
 let pp_value ppf v =
   Format.fprintf ppf "(f=%d, d=%.4f, T=%d, dE=%.4f)" v.feasible_blocks v.distance
     v.t_sum v.io_bal
+
+let value_to_json v =
+  let module Json = Fpart_obs.Json in
+  Json.Obj
+    [
+      ("feasible_blocks", Json.Int v.feasible_blocks);
+      ("distance", Json.Float v.distance);
+      ("t_sum", Json.Int v.t_sum);
+      ("io_bal", Json.Float v.io_bal);
+    ]

@@ -127,3 +127,7 @@ val tracked_evaluate : tracker -> State.t -> value
 val compare_value : value -> value -> int
 
 val pp_value : Format.formatter -> value -> unit
+
+(** JSON rendering of a value, shared by trace events and the
+    [pass]/[schedule] telemetry records. *)
+val value_to_json : value -> Fpart_obs.Json.t

@@ -6,6 +6,8 @@ module Stack = Partition.Solution_stack
 module Bucket = Gainbucket.Bucket_array
 module Dirset = Gainbucket.Direction_set
 module Obs = Fpart_obs.Metrics
+module Recorder = Fpart_obs.Recorder
+module Json = Fpart_obs.Json
 
 (* Engine workload counters (always on) and the gain distribution of
    the applied moves (recorded only while observability is enabled).
@@ -98,6 +100,11 @@ type ctx = {
   touch_stamp : int array;
   mutable stamp : int;
   delta : int array;            (* cell * nb + target index *)
+  (* Telemetry position: which execution of this improve call is
+     running, and which pass within it (1-based; see the [pass]
+     records in docs/OBSERVABILITY.md). *)
+  mutable tel_execution : int;
+  mutable tel_pass : int;
 }
 
 let dir_index ctx ai bi = (ai * ctx.nb) + bi
@@ -147,6 +154,8 @@ let make_ctx st spec cfg eval =
     touch_stamp = Array.make (max n 1) 0;
     stamp = 0;
     delta = Array.make (max (n * nb) 1) 0;
+    tel_execution = 0;
+    tel_pass = 0;
   }
 
 (* Direction (a -> b) is open when block [a] may still shed size and
@@ -575,12 +584,18 @@ let refresh_neighbours ctx ~v ~a ~b =
    improvement points are offered to the stacks. *)
 let run_pass ctx ~collect ~semi ~infeasible =
   Obs.incr c_passes;
+  ctx.tel_pass <- ctx.tel_pass + 1;
   let st = ctx.st in
   fill_buckets ctx;
   let k = State.k st in
+  let telemetry = Obs.enabled () in
+  let cut_before = if telemetry then State.cut_size st else 0 in
   let best_value = ref (ctx.eval st) in
+  let value_before = !best_value in
   let best_prefix = ref 0 in
   let n_moves = ref 0 in
+  let gain_sum = ref 0 in
+  let rev_curve = ref [] in
   let trail = ref [] in
   let stash = ref [] in
   let continue = ref true in
@@ -598,6 +613,10 @@ let run_pass ctx ~collect ~semi ~infeasible =
     | Some { cand_cell = v; cand_to = b; cand_gain; _ } ->
       Obs.incr c_moves;
       Obs.observe h_move_gain (float_of_int cand_gain);
+      if telemetry then begin
+        gain_sum := !gain_sum + cand_gain;
+        rev_curve := !gain_sum :: !rev_curve
+      end;
       let a = apply_move ctx v b in
       trail := (v, a) :: !trail;
       incr n_moves;
@@ -634,11 +653,40 @@ let run_pass ctx ~collect ~semi ~infeasible =
   in
   rewind !n_moves !trail;
   Obs.add c_rewound (!n_moves - !best_prefix);
+  if telemetry then begin
+    (* Gain-prefix curve, downsampled to ≤ 128 points (every
+       [curve_stride]-th cumulative gain, last move always kept) so a
+       long pass stays a small record. *)
+    let curve = Array.of_list (List.rev !rev_curve) in
+    let n = Array.length curve in
+    let stride = max 1 ((n + 127) / 128) in
+    let sampled = ref [] in
+    for i = n - 1 downto 0 do
+      if (i + 1) mod stride = 0 || i = n - 1 then
+        sampled := Json.Int curve.(i) :: !sampled
+    done;
+    Recorder.event
+      [
+        ("type", Json.Str "pass");
+        ("execution", Json.Int ctx.tel_execution);
+        ("pass", Json.Int ctx.tel_pass);
+        ("moves", Json.Int !n_moves);
+        ("best_prefix", Json.Int !best_prefix);
+        ("cut_before", Json.Int cut_before);
+        ("cut_after", Json.Int (State.cut_size st));
+        ("value_before", Cost.value_to_json value_before);
+        ("value_after", Cost.value_to_json !best_value);
+        ("curve_stride", Json.Int stride);
+        ("gain_curve", Json.List !sampled);
+      ]
+  end;
   (!best_value, !best_prefix, !n_moves)
 
 (* A series of passes from the current solution; stops when a pass fails
    to improve the value. *)
 let run_execution ctx ~collect ~semi ~infeasible =
+  ctx.tel_execution <- ctx.tel_execution + 1;
+  ctx.tel_pass <- 0;
   let passes = ref 0 in
   let applied = ref 0 in
   let retained = ref 0 in

@@ -11,13 +11,15 @@ let with_obs f =
      disabled default whatever happens *)
   let sink, drain = Sink.memory () in
   Metrics.reset ();
+  Fpart_obs.Recorder.reset ();
   Metrics.set_enabled true;
   Sink.set sink;
   Fun.protect
     ~finally:(fun () ->
       Metrics.set_enabled false;
       Sink.set Sink.null;
-      Metrics.reset ())
+      Metrics.reset ();
+      Fpart_obs.Recorder.reset ())
     (fun () -> f drain)
 
 (* --- Json --- *)
@@ -146,6 +148,363 @@ let test_report_well_formed () =
           "counter present" (Some 1)
           Option.(bind (bind counters (Json.member "test.report.counter")) Json.int))
 
+let test_quantile_rank_formula () =
+  (* Nearest rank: quantile p of N samples is the ⌈p·N⌉-th smallest,
+     with p=0 pinned to the minimum and p=1 to the maximum. *)
+  with_obs (fun _ ->
+      let h = Metrics.histogram "test.rank" in
+      for i = 1 to 30 do
+        Metrics.observe h (float_of_int i)
+      done;
+      (* 0.1 *. 30. = 3.0000000000000004: the ceiling must still name
+         the 3rd sample, not the 4th *)
+      Alcotest.(check (float 1e-9)) "p10 of 30" 3.0 (Metrics.quantile h 0.1);
+      Alcotest.(check (float 1e-9)) "p0 is min" 1.0 (Metrics.quantile h 0.0);
+      Alcotest.(check (float 1e-9)) "p1 is max" 30.0 (Metrics.quantile h 1.0);
+      Alcotest.(check (float 1e-9)) "p50 of 30" 15.0 (Metrics.quantile h 0.5);
+      let one = Metrics.histogram "test.rank.single" in
+      Metrics.observe one 7.0;
+      List.iter
+        (fun p ->
+          Alcotest.(check (float 1e-9))
+            (Printf.sprintf "single sample at p=%g" p)
+            7.0 (Metrics.quantile one p))
+        [ 0.0; 0.25; 0.5; 0.99; 1.0 ];
+      let four = Metrics.histogram "test.rank.four" in
+      List.iter (Metrics.observe four) [ 10.0; 20.0; 30.0; 40.0 ];
+      Alcotest.(check (float 1e-9)) "p50 of 4" 20.0 (Metrics.quantile four 0.5);
+      Alcotest.(check (float 1e-9)) "p75 of 4" 30.0 (Metrics.quantile four 0.75);
+      Alcotest.(check (float 1e-9)) "p76 of 4" 40.0 (Metrics.quantile four 0.76))
+
+(* --- Clock guard --- *)
+
+let test_clock_regression_guard () =
+  let ticks = ref [ 5.0; 4.0; 3.0; 10.0; 2.0 ] in
+  let source () =
+    match !ticks with
+    | [] -> 99.0
+    | t :: rest ->
+      ticks := rest;
+      t
+  in
+  Fun.protect
+    ~finally:(fun () -> Fpart_obs.Clock.set_source Sys.time)
+    (fun () ->
+      Fpart_obs.Clock.set_source source;
+      let samples = List.init 5 (fun _ -> Fpart_obs.Clock.now ()) in
+      Alcotest.(check (list (float 1e-9)))
+        "regressions clamped to the high-water mark"
+        [ 5.0; 5.0; 5.0; 10.0; 10.0 ] samples;
+      (* a fresh source must not stay pinned at the old maximum *)
+      Fpart_obs.Clock.set_source (fun () -> 1.0);
+      Alcotest.(check (float 1e-9))
+        "set_source resets the guard" 1.0
+        (Fpart_obs.Clock.now ()))
+
+(* --- Sink composition and error reporting --- *)
+
+let test_tee_filtered_ordering () =
+  let is_span j = Option.(bind (Json.member "type" j) Json.str) = Some "span" in
+  let a, drain_a = Sink.memory () in
+  let b, drain_b = Sink.memory () in
+  let sink = Sink.tee [ Sink.filtered ~keep:is_span a; b ] in
+  let span i =
+    Json.Obj [ ("type", Json.Str "span"); ("name", Json.Str "s"); ("i", Json.Int i) ]
+  in
+  let trace i =
+    Json.Obj [ ("type", Json.Str "trace"); ("i", Json.Int i) ]
+  in
+  let stream = [ span 0; trace 1; span 2; trace 3; span 4 ] in
+  List.iter sink.Sink.emit stream;
+  sink.Sink.close ();
+  Alcotest.(check int) "filtered kept only spans" 3 (List.length (drain_a ()));
+  Alcotest.(check bool) "tee preserves full stream in order" true
+    (drain_b () = stream);
+  Alcotest.(check bool) "filtered preserves relative order" true
+    (drain_a () = List.filter is_span stream)
+
+(* Route stderr to a file while [f] runs, returning its contents. *)
+let with_captured_stderr f =
+  let path = Filename.temp_file "fpart_obs_stderr" ".txt" in
+  let saved = Unix.dup Unix.stderr in
+  let fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o600 in
+  flush stderr;
+  Unix.dup2 fd Unix.stderr;
+  Unix.close fd;
+  let restore () =
+    flush stderr;
+    Unix.dup2 saved Unix.stderr;
+    Unix.close saved
+  in
+  let v = try f () with e -> restore (); raise e in
+  restore ();
+  let text = In_channel.with_open_bin path In_channel.input_all in
+  Sys.remove path;
+  (v, text)
+
+let test_jsonl_write_error_reported_once () =
+  if not (Sys.file_exists "/dev/full") then ()
+  else begin
+    let oc = open_out "/dev/full" in
+    let sink = Sink.jsonl oc in
+    let big = Json.Obj [ ("pad", Json.Str (String.make 4096 'x')) ] in
+    let (), err =
+      with_captured_stderr (fun () ->
+          (* enough to overflow the channel buffer mid-stream, then a
+             close: neither may raise, and the failure is reported once *)
+          for _ = 1 to 64 do
+            sink.Sink.emit big
+          done;
+          sink.Sink.close ())
+    in
+    let occurrences =
+      String.split_on_char '\n' err
+      |> List.filter (fun l ->
+             let re = "jsonl sink error" in
+             let rec find i =
+               i + String.length re <= String.length l
+               && (String.sub l i (String.length re) = re || find (i + 1))
+             in
+             find 0)
+      |> List.length
+    in
+    Alcotest.(check int) "error reported exactly once" 1 occurrences
+  end
+
+(* --- Recorder --- *)
+
+module Recorder = Fpart_obs.Recorder
+module Inspect = Fpart_obs.Inspect
+
+let span_skeleton records =
+  List.filter_map
+    (fun j ->
+      match Option.(bind (Json.member "type" j) Json.str) with
+      | Some "span" ->
+        Some
+          ( Option.(bind (Json.member "name" j) Json.str),
+            Option.(bind (Json.member "id" j) Json.int),
+            Option.(bind (Json.member "parent" j) Json.int) )
+      | _ -> None)
+    records
+
+let test_recorder_tree () =
+  with_obs (fun drain ->
+      let root = Recorder.span_begin "r.root" in
+      let child = Recorder.span_begin "r.child" in
+      Alcotest.(check bool) "current_id is the open child" true
+        (Recorder.current_id () <> 0);
+      Recorder.event [ ("type", Json.Str "blob"); ("k", Json.Int 1) ];
+      Recorder.span_end child ~attrs:[];
+      let sibling = Recorder.span_begin "r.sibling" in
+      Recorder.span_end sibling ~attrs:[];
+      Recorder.span_end root ~attrs:[ ("done", Json.Bool true) ];
+      let records = drain () in
+      let t = Inspect.of_records records in
+      Alcotest.(check (list string)) "no validation errors" [] (Inspect.validate t);
+      (match span_skeleton records with
+      | [ (Some "r.child", Some cid, Some cp);
+          (Some "r.sibling", Some sid, Some sp);
+          (Some "r.root", Some rid, Some rp) ] ->
+        Alcotest.(check int) "root is a root" 0 rp;
+        Alcotest.(check int) "child parented to root" rid cp;
+        Alcotest.(check int) "sibling parented to root" rid sp;
+        Alcotest.(check bool) "distinct ids" true (cid <> sid && sid <> rid)
+      | sk -> Alcotest.failf "unexpected skeleton (%d spans)" (List.length sk));
+      (* the blob must reference the span that was open when it fired *)
+      let blob =
+        List.find
+          (fun j -> Option.(bind (Json.member "type" j) Json.str) = Some "blob")
+          records
+      in
+      let child_id =
+        List.filter_map
+          (fun (n, id, _) -> if n = Some "r.child" then id else None)
+          (span_skeleton records)
+        |> List.hd
+      in
+      Alcotest.(check (option int))
+        "blob tied to enclosing span" (Some child_id)
+        Option.(bind (Json.member "span" blob) Json.int);
+      Alcotest.(check bool) "histograms observed" true
+        (Metrics.count (Metrics.histogram "r.root") = 1))
+
+let test_recorder_unbalanced_end () =
+  with_obs (fun drain ->
+      let outer = Recorder.span_begin "u.outer" in
+      let _leaked = Recorder.span_begin "u.leaked" in
+      (* an exception unwound past [u.leaked]: ending the outer span
+         must drop the stray id so later spans don't orphan *)
+      Recorder.span_end outer ~attrs:[];
+      let next = Recorder.span_begin "u.next" in
+      Recorder.span_end next ~attrs:[];
+      let t = Inspect.of_records (drain ()) in
+      List.iter
+        (fun s ->
+          if s.Inspect.name = "u.next" then
+            Alcotest.(check int) "later span is a root" 0 s.Inspect.parent)
+        (Inspect.spans t))
+
+let jobs_skeleton ~jobs =
+  with_obs (fun drain ->
+      Fpart_exec.Pool.with_pool ~jobs (fun pool ->
+          let enclosing = Recorder.span_begin "p.batch" in
+          let _ =
+            Fpart_exec.Pool.map pool
+              (fun i () ->
+                let sp = Recorder.span_begin (Printf.sprintf "p.task%d" i) in
+                let inner = Recorder.span_begin "p.inner" in
+                Recorder.event [ ("type", Json.Str "note"); ("task", Json.Int i) ];
+                Recorder.span_end inner ~attrs:[];
+                Recorder.span_end sp ~attrs:[ ("task", Json.Int i) ])
+              (Array.make 4 ())
+          in
+          Recorder.span_end enclosing ~attrs:[]);
+      let records = drain () in
+      let skeleton =
+        List.map
+          (fun j ->
+            ( Option.(bind (Json.member "type" j) Json.str),
+              Option.(bind (Json.member "name" j) Json.str),
+              Option.(bind (Json.member "id" j) Json.int),
+              Option.(bind (Json.member "parent" j) Json.int),
+              Option.(bind (Json.member "span" j) Json.int) ))
+          records
+      in
+      (records, skeleton))
+
+let test_recorder_jobs_deterministic () =
+  let records1, skel1 = jobs_skeleton ~jobs:1 in
+  let records4, skel4 = jobs_skeleton ~jobs:4 in
+  Alcotest.(check int) "same record count" (List.length records1)
+    (List.length records4);
+  Alcotest.(check bool) "id/parent/order stream identical across jobs" true
+    (skel1 = skel4);
+  List.iter
+    (fun records ->
+      let t = Inspect.of_records records in
+      Alcotest.(check (list string)) "well-formed tree" [] (Inspect.validate t);
+      (* task roots must be re-parented under the enclosing batch span *)
+      let batch_id =
+        List.filter_map
+          (fun s -> if s.Inspect.name = "p.batch" then Some s.Inspect.id else None)
+          (Inspect.spans t)
+        |> List.hd
+      in
+      List.iter
+        (fun s ->
+          if String.length s.Inspect.name >= 6 && String.sub s.Inspect.name 0 6 = "p.task"
+          then
+            Alcotest.(check int)
+              (s.Inspect.name ^ " under batch")
+              batch_id s.Inspect.parent)
+        (Inspect.spans t))
+    [ records1; records4 ]
+
+(* --- Chrome export --- *)
+
+let test_chrome_export_strict_json () =
+  let path = Filename.temp_file "fpart_obs_chrome" ".json" in
+  Metrics.reset ();
+  Metrics.set_enabled true;
+  Sink.set (Sink.chrome (open_out path));
+  Fun.protect
+    ~finally:(fun () ->
+      Metrics.set_enabled false;
+      Sink.set Sink.null;
+      Metrics.reset ();
+      Sys.remove path)
+    (fun () ->
+      let root = Recorder.span_begin "c.root" in
+      let child = Recorder.span_begin "c.child" in
+      Recorder.event [ ("type", Json.Str "mark") ];
+      Recorder.span_end child ~attrs:[];
+      Recorder.span_end root ~attrs:[];
+      Sink.close_current ();
+      let text = In_channel.with_open_bin path In_channel.input_all in
+      (match Json.of_string (String.trim text) with
+      | Error e -> Alcotest.failf "chrome export is not strict JSON: %s" e
+      | Ok j ->
+        (match Json.member "traceEvents" j with
+        | Some (Json.List evs) ->
+          Alcotest.(check bool) "events present" true (List.length evs >= 3);
+          let phases =
+            List.filter_map (fun e -> Option.bind (Json.member "ph" e) Json.str) evs
+          in
+          Alcotest.(check bool) "X phases present" true (List.mem "X" phases);
+          Alcotest.(check bool) "thread metadata present" true (List.mem "M" phases)
+        | _ -> Alcotest.fail "no traceEvents list"));
+      (* the loader folds it back into a validated span tree *)
+      match Inspect.load_file path with
+      | Error e -> Alcotest.failf "Inspect.load_file: %s" e
+      | Ok t ->
+        Alcotest.(check (list string)) "round-tripped tree validates" []
+          (Inspect.validate t);
+        Alcotest.(check int) "both spans recovered" 2
+          (List.length (Inspect.spans t)))
+
+(* --- Inspect --- *)
+
+let test_inspect_analysis () =
+  let mk_span ~id ~parent ~name ~t ~dur =
+    Json.Obj
+      [
+        ("type", Json.Str "span");
+        ("name", Json.Str name);
+        ("dur_ms", Json.Float dur);
+        ("id", Json.Int id);
+        ("parent", Json.Int parent);
+        ("track", Json.Int 0);
+        ("t_ms", Json.Float t);
+      ]
+  in
+  let records =
+    [
+      mk_span ~id:2 ~parent:1 ~name:"inner" ~t:1.0 ~dur:4.0;
+      mk_span ~id:1 ~parent:0 ~name:"outer" ~t:0.0 ~dur:10.0;
+      Json.Obj
+        [
+          ("type", Json.Str "schedule");
+          ("iteration", Json.Int 1);
+          ("step", Json.Str "pair_latest");
+          ("blocks", Json.List [ Json.Int 0; Json.Int 1 ]);
+          ("passes", Json.Int 2);
+          ("moves", Json.Int 100);
+          ("moves_retained", Json.Int 40);
+          ("restarts", Json.Int 0);
+          ("cut_before", Json.Int 30);
+          ("cut_after", Json.Int 20);
+          ("span", Json.Int 2);
+        ];
+    ]
+  in
+  let t = Inspect.of_records records in
+  Alcotest.(check (list string)) "validates" [] (Inspect.validate t);
+  (match Inspect.hotspots t with
+  | [ a; b ] ->
+    (* outer: 10ms total, 6 self (10 - 4 child); inner: 4 total, 4 self *)
+    Alcotest.(check string) "outer leads by self time" "outer" a.Inspect.h_name;
+    Alcotest.(check (float 1e-9)) "outer self" 6.0 a.Inspect.h_self_ms;
+    Alcotest.(check (float 1e-9)) "inner self" 4.0 b.Inspect.h_self_ms;
+    Alcotest.(check (float 1e-9)) "outer total" 10.0 a.Inspect.h_total_ms
+  | rows -> Alcotest.failf "expected 2 hotspot rows, got %d" (List.length rows));
+  (match Inspect.convergence t with
+  | [ r ] ->
+    Alcotest.(check int) "moves" 100 r.Inspect.c_moves;
+    Alcotest.(check int) "retained" 40 r.Inspect.c_retained;
+    Alcotest.(check int) "cut after" 20 r.Inspect.c_cut_after;
+    Alcotest.(check string) "step" "pair_latest" r.Inspect.c_step
+  | rows -> Alcotest.failf "expected 1 conv row, got %d" (List.length rows));
+  (* orphans are reported *)
+  let orphan = Inspect.of_records [ mk_span ~id:5 ~parent:9 ~name:"x" ~t:0.0 ~dur:1.0 ] in
+  Alcotest.(check bool) "orphan detected" true (Inspect.validate orphan <> []);
+  (* jsonl loader reports the failing line *)
+  match Inspect.load_string "{\"type\":\"span\"}\nnot json\n" with
+  | Error e ->
+    Alcotest.(check bool) "line number in error" true
+      (String.length e >= 6 && String.sub e 0 6 = "line 2")
+  | Ok _ -> Alcotest.fail "malformed jsonl accepted"
+
 (* --- driver instrumentation --- *)
 
 let improve_key = function
@@ -242,6 +601,8 @@ let () =
         [
           Alcotest.test_case "counters" `Quick test_counters;
           Alcotest.test_case "histogram quantiles" `Quick test_histogram_quantiles;
+          Alcotest.test_case "quantile rank formula pinned" `Quick
+            test_quantile_rank_formula;
           Alcotest.test_case "disabled layer is inert" `Quick test_disabled_is_inert;
           Alcotest.test_case "span emission" `Quick test_span_emission;
           Alcotest.test_case "report well-formed" `Quick test_report_well_formed;
@@ -251,5 +612,32 @@ let () =
           Alcotest.test_case "improve events wrapped in spans" `Quick
             test_driver_improve_spans;
           Alcotest.test_case "trace event json" `Quick test_trace_event_json;
+        ] );
+      ( "clock",
+        [
+          Alcotest.test_case "regressing source clamped" `Quick
+            test_clock_regression_guard;
+        ] );
+      ( "sink",
+        [
+          Alcotest.test_case "tee and filtered composition" `Quick
+            test_tee_filtered_ordering;
+          Alcotest.test_case "jsonl write error reported once" `Quick
+            test_jsonl_write_error_reported_once;
+          Alcotest.test_case "chrome export strict JSON" `Quick
+            test_chrome_export_strict_json;
+        ] );
+      ( "recorder",
+        [
+          Alcotest.test_case "span tree structure" `Quick test_recorder_tree;
+          Alcotest.test_case "unbalanced end recovers" `Quick
+            test_recorder_unbalanced_end;
+          Alcotest.test_case "deterministic across --jobs" `Quick
+            test_recorder_jobs_deterministic;
+        ] );
+      ( "inspect",
+        [
+          Alcotest.test_case "hotspots, convergence, validation" `Quick
+            test_inspect_analysis;
         ] );
     ]
