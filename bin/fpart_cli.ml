@@ -44,10 +44,15 @@ type log_level = Quiet | Info | Debug
    Info shows the algorithm narrative (trace events), debug adds the
    span records. *)
 let setup_obs ~trace ~trace_format ~stats ~log_level =
+  (* the getrusage source backs --stats gc reporting and --ledger
+     resource peaks even when the recorder stays off, so install it
+     unconditionally *)
+  Obs_setup.install_resource ();
   let obs_on = stats || trace <> None || log_level <> Quiet in
   if obs_on then begin
     Obs_setup.install_clock ();
     Fpart_obs.Metrics.set_enabled true;
+    Fpart_obs.Resource.set_enabled true;
     let sinks =
       match trace with
       | Some path -> (
@@ -73,6 +78,68 @@ let setup_obs ~trace ~trace_format ~stats ~log_level =
     | [ s ] -> Fpart_obs.Sink.set s
     | sinks -> Fpart_obs.Sink.set (Fpart_obs.Sink.tee sinks)
   end
+
+(* {2 Run ledger}
+
+   --ledger FILE appends one schema-versioned record per run: wall
+   time, result shape, config/netlist digests (so trend analysis can
+   tell "same workload" from "different workload") and the process
+   resource summary.  Analyzed offline by fpart_inspect trend/regress. *)
+
+let algo_name = function
+  | Algo_fpart -> "fpart"
+  | Algo_kwayx -> "kwayx"
+  | Algo_fbb_mw -> "fbb-mw"
+
+let config_digest ~algo ~delta ~seed ~runs ~cluster ~jobs ~gain_update =
+  Digest.to_hex
+    (Digest.string
+       (Printf.sprintf "algo=%s delta=%s seed=%d runs=%d cluster=%s jobs=%d gain=%s"
+          (algo_name algo)
+          (match delta with Some d -> string_of_float d | None -> "paper")
+          seed runs
+          (match cluster with Some c -> string_of_int c | None -> "off")
+          jobs
+          (match gain_update with
+          | Sanchis.Delta -> "delta"
+          | Sanchis.Recompute -> "recompute")))
+
+let netlist_digest hg =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b
+    (Printf.sprintf "%d/%d/%d;"
+       (Hypergraph.Hgraph.num_cells hg)
+       (Hypergraph.Hgraph.num_pads hg)
+       (Hypergraph.Hgraph.num_nets hg));
+  Hypergraph.Hgraph.iter_nets
+    (fun e ->
+      Array.iter
+        (fun v ->
+          Buffer.add_string b (string_of_int v);
+          Buffer.add_char b ',')
+        (Hypergraph.Hgraph.pins hg e);
+      Buffer.add_char b ';')
+    hg;
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
+let append_ledger path ~label ~jobs ~config_digest ~netlist_digest ~rows =
+  let entry =
+    {
+      Fpart_obs.Ledger.time = Unix.gettimeofday ();
+      git_rev = Fpart_obs.Ledger.git_rev ();
+      kind = "run";
+      label;
+      jobs;
+      repeats = 1;
+      config_digest = Some config_digest;
+      netlist_digest = Some netlist_digest;
+      rows;
+      resource = Some (Fpart_obs.Resource.summary ());
+    }
+  in
+  match Fpart_obs.Ledger.append path entry with
+  | Ok () -> Format.printf "run recorded in %s@." path
+  | Error e -> Printf.eprintf "fpart: cannot append to ledger %s: %s\n" path e
 
 let algo_conv =
   let parse = function
@@ -176,7 +243,7 @@ let check_mode path hg device delta =
 
 let main input generate device_name delta algo seed runs cluster jobs selfcheck
     gain_update output save check board dot trace trace_format stats log_level
-    trace_log =
+    trace_log ledger =
   setup_obs ~trace ~trace_format ~stats ~log_level;
   let result =
     match Device.find device_name with
@@ -193,10 +260,12 @@ let main input generate device_name delta algo seed runs cluster jobs selfcheck
           let d = match delta with Some d -> d | None -> Device.paper_delta device in
           check_mode path hg device d
         | None ->
+        let t0 = Unix.gettimeofday () in
         let k, assignment, feasible, trace_events =
           partition algo hg device delta seed runs cluster jobs selfcheck
             gain_update
         in
+        let wall_s = Unix.gettimeofday () -. t0 in
         let violations = Fpart_check.Selfcheck.violations_seen () in
         if violations > 0 then
           Format.eprintf
@@ -243,9 +312,34 @@ let main input generate device_name delta algo seed runs cluster jobs selfcheck
           Netlist.Partfile.write_file path pf;
           Format.printf "partition written to %s@." path
         | None -> ());
+        (match ledger with
+        | Some path ->
+          let prefix =
+            Printf.sprintf "run/%s-%s-%s" name device.Device.dev_name
+              (algo_name algo)
+          in
+          let row rname value unit_ higher_better =
+            { Fpart_obs.Ledger.name = prefix ^ "/" ^ rname; value; unit_; higher_better }
+          in
+          append_ledger path
+            ~label:(Printf.sprintf "%s on %s (%s)" name device.Device.dev_name (algo_name algo))
+            ~jobs
+            ~config_digest:
+              (config_digest ~algo ~delta ~seed ~runs ~cluster ~jobs ~gain_update)
+            ~netlist_digest:(netlist_digest hg)
+            ~rows:
+              [
+                row "wall_s" wall_s "s" false;
+                row "devices" (float_of_int k) "blocks" false;
+                row "cut" (float_of_int (Partition.State.cut_size st)) "nets" false;
+              ]
+        | None -> ());
         Ok ()))
   in
-  if stats then Format.eprintf "%a" Fpart_obs.Metrics.pp_report ();
+  if stats then begin
+    Format.eprintf "%a" Fpart_obs.Metrics.pp_report ();
+    Format.eprintf "%a" Fpart_obs.Resource.pp_summary ()
+  end;
   Fpart_obs.Sink.close_current ();
   match result with
   | Ok () -> 0
@@ -399,6 +493,17 @@ let trace_log =
     & info [ "trace-log" ]
         ~doc:"Print the recorded driver event log (human-readable) after the report.")
 
+let ledger =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "ledger" ] ~docv:"FILE"
+        ~doc:
+          "Append one run-history record (wall time, result shape, GC/RSS \
+           peaks, config and netlist digests; JSONL, schema fpart-ledger/1) \
+           to FILE. Analyze accumulated entries with $(b,fpart_inspect trend) \
+           and $(b,fpart_inspect regress).")
+
 let cmd =
   let doc = "multi-way FPGA netlist partitioning (FPART reproduction)" in
   Cmd.v
@@ -406,6 +511,7 @@ let cmd =
     Term.(
       const main $ input $ generate $ device $ delta $ algo $ seed $ runs $ cluster
       $ jobs $ selfcheck $ gain_update $ output $ save $ check $ board $ dot
-      $ trace $ Obs_setup.trace_format_arg $ stats $ log_level $ trace_log)
+      $ trace $ Obs_setup.trace_format_arg $ stats $ log_level $ trace_log
+      $ ledger)
 
 let () = exit (Cmd.eval' cmd)

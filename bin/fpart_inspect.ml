@@ -1,10 +1,13 @@
 (* Offline trace analyzer: hotspot and convergence tables from a
    recorded trace (JSONL or chrome export), structural validation for
-   CI, and a two-run diff for A/B-ing flags like --gain-update or
-   --jobs.  All analysis lives in Fpart_obs.Inspect; this file is
+   CI, a two-run diff for A/B-ing flags like --gain-update or --jobs,
+   plus subcommands over the other artifact kinds: [mem] (allocation
+   view of a trace) and [trend]/[regress] (run-history ledger
+   statistics).  All analysis lives in Fpart_obs.Inspect; this file is
    argument plumbing. *)
 
 module Inspect = Fpart_obs.Inspect
+module Ledger = Fpart_obs.Ledger
 open Cmdliner
 
 let load path =
@@ -109,10 +112,130 @@ let no_times =
         ~doc:
           "Omit wall-clock columns (deterministic output, used by the cram tests).")
 
-let cmd =
-  let doc = "analyze fpart observability traces offline" in
-  Cmd.v
-    (Cmd.info "fpart_inspect" ~doc)
-    Term.(const main $ file_a $ file_b $ diff $ check $ passes $ no_times)
+let analyze_term =
+  Term.(const main $ file_a $ file_b $ diff $ check $ passes $ no_times)
 
-let () = exit (Cmd.eval' cmd)
+(* {2 mem: allocation view of a trace} *)
+
+let mem_main file =
+  match load file with
+  | Error e ->
+    prerr_endline ("fpart_inspect: " ^ e);
+    2
+  | Ok t ->
+    Inspect.pp_mem Format.std_formatter t;
+    Format.pp_print_flush Format.std_formatter ();
+    validate_exit file t
+
+let mem_cmd =
+  let doc =
+    "allocation report: self-allocation hotspots, per-pass allocation and \
+     GC/RSS peaks from a trace recorded with resource telemetry"
+  in
+  Cmd.v
+    (Cmd.info "mem" ~doc)
+    Term.(
+      const mem_main
+      $ Arg.(
+          required
+          & pos 0 (some file) None
+          & info [] ~docv:"TRACE" ~doc:"Trace file (JSONL or chrome export)."))
+
+(* {2 trend / regress: ledger statistics}
+
+   Exit codes: 0 ok, 1 regression found or corrupt/mixed-schema ledger
+   (the history cannot be trusted, so a gate must fail), 2 unreadable
+   file. *)
+
+let load_ledger path =
+  if not (Sys.file_exists path) then begin
+    Printf.eprintf "fpart_inspect: %s: no such file\n" path;
+    Some 2
+  end
+  else
+    match Ledger.load path with
+    | Ok _ -> None
+    | Error e ->
+      Printf.eprintf "fpart_inspect: %s: %s\n" path e;
+      Some 1
+
+let ledger_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"LEDGER"
+        ~doc:
+          "Run-history ledger (JSONL, schema fpart-ledger/1) written by \
+           $(b,fpart --ledger) or $(b,bench/main.exe) with \
+           $(b,FPART_BENCH_LEDGER).")
+
+let trend_main path =
+  match load_ledger path with
+  | Some rc -> rc
+  | None ->
+    let entries = Result.get_ok (Ledger.load path) in
+    Inspect.pp_trend Format.std_formatter entries;
+    Format.pp_print_flush Format.std_formatter ();
+    0
+
+let trend_cmd =
+  let doc = "per-benchmark median/MAD trajectories across ledger entries" in
+  Cmd.v (Cmd.info "trend" ~doc) Term.(const trend_main $ ledger_arg)
+
+let min_delta_arg =
+  Arg.(
+    value
+    & opt float 0.20
+    & info [ "min-delta" ] ~docv:"FRAC"
+        ~doc:
+          "Floor of the allowed worse-direction relative change (default \
+           0.20); the gate never fires below it however quiet the history.")
+
+let mad_k_arg =
+  Arg.(
+    value
+    & opt float 4.0
+    & info [ "mad-k" ] ~docv:"K"
+        ~doc:
+          "Noise multiplier: allow up to K scaled MADs (1.4826·MAD, a sigma \
+           estimate) of worse-direction change for historically noisy rows.")
+
+let regress_main path min_delta mad_k =
+  match load_ledger path with
+  | Some rc -> rc
+  | None ->
+    let entries = Result.get_ok (Ledger.load path) in
+    let verdicts = Inspect.regress ~min_delta ~mad_k entries in
+    Inspect.pp_regress Format.std_formatter verdicts;
+    Format.pp_print_flush Format.std_formatter ();
+    if List.exists (fun v -> v.Inspect.v_regressed) verdicts then 1 else 0
+
+let regress_cmd =
+  let doc =
+    "judge the newest ledger entry against the median of its history; exit 1 \
+     on regression (or on a corrupt ledger)"
+  in
+  Cmd.v
+    (Cmd.info "regress" ~doc)
+    Term.(const regress_main $ ledger_arg $ min_delta_arg $ mad_k_arg)
+
+let doc = "analyze fpart observability traces and run ledgers offline"
+
+let group =
+  Cmd.group ~default:analyze_term (Cmd.info "fpart_inspect" ~doc)
+    [ mem_cmd; trend_cmd; regress_cmd ]
+
+let analyze_cmd = Cmd.v (Cmd.info "fpart_inspect" ~doc) analyze_term
+
+(* [fpart_inspect TRACE] predates the subcommands and must keep
+   working; Cmd.group would reject a bare first positional as an
+   unknown command, so route those straight to the analyzer. *)
+let () =
+  let subcommand = [ "mem"; "trend"; "regress"; "help" ] in
+  let bare_positional =
+    Array.length Sys.argv > 1
+    &&
+    let a = Sys.argv.(1) in
+    String.length a > 0 && a.[0] <> '-' && not (List.mem a subcommand)
+  in
+  exit (Cmd.eval' (if bare_positional then analyze_cmd else group))

@@ -16,6 +16,20 @@ let install_clock () =
   Fpart_obs.Clock.set_source monotonic_seconds;
   Fpart_obs.Recorder.set_epoch ()
 
+external rusage_self : unit -> float * float * float = "fpart_rusage_self"
+
+(* Replace the library's /proc fallback with the getrusage(2) stub;
+   cheap enough to install unconditionally at startup, whether or not
+   per-span resource sampling ends up enabled. *)
+let install_resource () =
+  Fpart_obs.Resource.set_os_source (fun () ->
+      let maxrss_kb, utime_s, stime_s = rusage_self () in
+      {
+        Fpart_obs.Resource.os_maxrss_kb = int_of_float maxrss_kb;
+        os_utime_s = utime_s;
+        os_stime_s = stime_s;
+      })
+
 type trace_format = Jsonl | Chrome
 
 let file_sink format oc =
@@ -38,7 +52,9 @@ let setup_trace trace format =
   | None -> ()
   | Some path -> (
     install_clock ();
+    install_resource ();
     Fpart_obs.Metrics.set_enabled true;
+    Fpart_obs.Resource.set_enabled true;
     try Fpart_obs.Sink.set (file_sink format (open_out path))
     with Sys_error msg ->
       prerr_endline ("cannot open trace file: " ^ msg);

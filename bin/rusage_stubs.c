@@ -1,0 +1,51 @@
+/* Process resource readings for Fpart_obs.Resource: peak RSS and
+   user/system CPU time via getrusage(2).  The library's stdlib-only
+   fallback parses /proc/self/status; this stub is cheaper and portable
+   to non-procfs systems, so the binaries install it at startup (see
+   obs_setup.ml), mirroring the monotonic clock in clock_stubs.c. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <caml/memory.h>
+
+#if defined(_WIN32)
+
+CAMLprim value fpart_rusage_self(value unit)
+{
+  CAMLparam1(unit);
+  CAMLlocal1(res);
+  res = caml_alloc_tuple(3);
+  Store_field(res, 0, caml_copy_double(0.0));
+  Store_field(res, 1, caml_copy_double(0.0));
+  Store_field(res, 2, caml_copy_double(0.0));
+  CAMLreturn(res);
+}
+
+#else
+
+#include <sys/resource.h>
+
+CAMLprim value fpart_rusage_self(value unit)
+{
+  CAMLparam1(unit);
+  CAMLlocal1(res);
+  struct rusage ru;
+  double maxrss_kb = 0.0, utime = 0.0, stime = 0.0;
+  if (getrusage(RUSAGE_SELF, &ru) == 0) {
+    /* ru_maxrss is kilobytes on Linux, bytes on macOS */
+#if defined(__APPLE__)
+    maxrss_kb = (double)ru.ru_maxrss / 1024.0;
+#else
+    maxrss_kb = (double)ru.ru_maxrss;
+#endif
+    utime = (double)ru.ru_utime.tv_sec + (double)ru.ru_utime.tv_usec * 1e-6;
+    stime = (double)ru.ru_stime.tv_sec + (double)ru.ru_stime.tv_usec * 1e-6;
+  }
+  res = caml_alloc_tuple(3);
+  Store_field(res, 0, caml_copy_double(maxrss_kb));
+  Store_field(res, 1, caml_copy_double(utime));
+  Store_field(res, 2, caml_copy_double(stime));
+  CAMLreturn(res);
+}
+
+#endif

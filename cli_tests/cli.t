@@ -104,6 +104,42 @@ streams span/trace records as JSON Lines:
   $ grep -q '"type":"trace"' out.jsonl && echo have-trace-events
   have-trace-events
 
+Resource telemetry rides in the same artifacts: --stats appends a
+gc/resource summary after the metrics report, and trace spans carry
+allocation deltas plus one counter record per closed span:
+
+  $ grep -q '== fpart_obs gc/resource ==' stats.txt && echo have-gc-summary
+  have-gc-summary
+  $ grep -q 'maxrss_kb' stats.txt && echo have-rss-peak
+  have-rss-peak
+  $ grep -q 'alloc_words' stats.txt && echo have-alloc-total
+  have-alloc-total
+  $ grep -q '"alloc_w"' out.jsonl && echo have-resource-spans
+  have-resource-spans
+  $ grep -q '"type":"counter"' out.jsonl && echo have-counter-records
+  have-counter-records
+
+--ledger appends one run-history record per invocation (wall time,
+block count, cut — plus config/netlist digests and resource peaks)
+that fpart_inspect trend/regress aggregate across runs:
+
+  $ fpart --generate 120x16 --device XC3090 --seed 7 --ledger run.jsonl | tail -1
+  run recorded in run.jsonl
+  $ fpart --generate 120x16 --device XC3090 --seed 7 --ledger run.jsonl > /dev/null
+  $ fpart_inspect trend run.jsonl | tail -1
+  2 entries, 3 benchmark rows
+  $ fpart_inspect trend run.jsonl | awk 'NR > 1 && $1 ~ /^run\// { print $1 }'
+  run/generated-XC3090-fpart/cut
+  run/generated-XC3090-fpart/devices
+  run/generated-XC3090-fpart/wall_s
+
+Identical runs cannot regress on the structural rows (devices, cut),
+and with a floor wide enough to absorb wall-clock noise on a
+millisecond run the gate exits 0:
+
+  $ fpart_inspect regress --min-delta 10 run.jsonl | tail -1
+  2 rows checked, 0 regression(s)
+
 Recorder spans carry tree structure (id/parent/track) and the trace
 file is a well-formed span tree:
 

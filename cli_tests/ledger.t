@@ -1,0 +1,93 @@
+fpart_inspect has three artifact subcommands besides the default
+trace analysis: [mem] renders the allocation view of a trace, [trend]
+and [regress] compute run-history statistics over a fpart-ledger/1
+JSONL file.
+
+Resource telemetry rides along with --trace: span records carry
+allocation deltas and every closed span emits one counter record:
+
+  $ fpart --generate 200x24 --device XC2064 --seed 7 --trace a.jsonl > /dev/null
+  $ grep -q '"alloc_w"' a.jsonl && echo have-resource-fields
+  have-resource-fields
+  $ grep -q '"type":"counter"' a.jsonl && echo have-counter-records
+  have-counter-records
+
+The mem report mirrors the hotspot table in allocated words.  The
+word counts are machine-dependent, so only the shape is checked:
+
+  $ fpart_inspect mem a.jsonl | sed -n '1p;2p'
+  == allocation hotspots (self words) ==
+  phase                           count        total_w         self_w
+  $ fpart_inspect mem a.jsonl | awk '{print $1}' | grep -x -e improve.pass -e driver.run -e driver.iteration | sort -u
+  driver.iteration
+  driver.run
+  improve.pass
+  $ fpart_inspect mem a.jsonl | grep -q '== per-pass allocation' && echo have-per-pass
+  have-per-pass
+  $ fpart_inspect mem a.jsonl | grep -c '^totals: alloc_w='
+  1
+
+A chrome export round-trips through the same report (counter records
+become "C" events and fold back on load):
+
+  $ fpart --generate 200x24 --device XC2064 --seed 7 --trace a.json --trace-format chrome > /dev/null
+  $ grep -q '"ph":"C"' a.json && echo have-counter-events
+  have-counter-events
+  $ fpart_inspect mem a.json | sed -n '1p'
+  == allocation hotspots (self words) ==
+
+A trace recorded without resource telemetry says so (exit 0 — absence
+is not structural damage):
+
+  $ printf '%s\n' '{"type":"span","name":"x","dur_ms":1.0,"id":1,"parent":0,"track":0,"t_ms":0.0}' > plain.jsonl
+  $ fpart_inspect mem plain.jsonl
+  no resource records (record the trace with resource telemetry enabled)
+
+Ledger trends: per-row median/MAD trajectories in file order.  Three
+entries, a steady wall-time row and an improving throughput row:
+
+  $ cat > ledger.jsonl <<'EOF'
+  > {"schema":"fpart-ledger/1","time":1,"kind":"bench","label":"b","jobs":1,"repeats":5,"rows":[{"name":"table2/wall","value":1.0,"unit":"s","better":"lower"},{"name":"gain/rate","value":100.0,"unit":"moves/s","better":"higher"}]}
+  > {"schema":"fpart-ledger/1","time":2,"kind":"bench","label":"b","jobs":1,"repeats":5,"rows":[{"name":"table2/wall","value":1.1,"unit":"s","better":"lower"},{"name":"gain/rate","value":110.0,"unit":"moves/s","better":"higher"}]}
+  > {"schema":"fpart-ledger/1","time":3,"kind":"bench","label":"b","jobs":1,"repeats":5,"rows":[{"name":"table2/wall","value":1.05,"unit":"s","better":"lower"},{"name":"gain/rate","value":120.0,"unit":"moves/s","better":"higher"}]}
+  > EOF
+  $ fpart_inspect trend ledger.jsonl
+  benchmark                                    unit       dir      n       median          mad       latest    delta
+  gain/rate                                    moves/s    higher   3          110           10          120    +9.1%
+  table2/wall                                  s          lower    3         1.05         0.05         1.05    +0.0%
+  3 entries, 2 benchmark rows
+
+regress judges the newest entry against the median of its history;
+nothing here moves beyond the 20% floor, so the gate passes:
+
+  $ fpart_inspect regress ledger.jsonl
+  benchmark                                      n     baseline       latest    worse  allowed  verdict
+  table2/wall                                    2         1.05         1.05    +0.0%    28.2%  ok
+  gain/rate                                      2          105          120   -14.3%    28.2%  ok
+  2 rows checked, 0 regression(s)
+
+A real regression (wall time doubling) fails with exit 1:
+
+  $ sed 's/"time":3/"time":4/;s/"value":1.05/"value":2.2/' ledger.jsonl | tail -1 >> ledger.jsonl
+  $ fpart_inspect regress ledger.jsonl
+  benchmark                                      n     baseline       latest    worse  allowed  verdict
+  table2/wall                                    3         1.05          2.2  +109.5%    28.2%  REGRESSED
+  gain/rate                                      3          110          120    -9.1%    53.9%  ok
+  2 rows checked, 1 regression(s)
+  [1]
+
+The gate is strict about history it cannot trust: a foreign schema tag
+anywhere in the file fails the load (exit 1), and a missing file is a
+usage error (exit 2):
+
+  $ cp ledger.jsonl mixed.jsonl
+  $ sed 's/fpart-ledger\/1/fpart-ledger\/9/' ledger.jsonl | head -1 >> mixed.jsonl
+  $ fpart_inspect regress mixed.jsonl
+  fpart_inspect: mixed.jsonl: line 5: unsupported ledger schema "fpart-ledger/9" (want "fpart-ledger/1")
+  [1]
+  $ fpart_inspect trend mixed.jsonl
+  fpart_inspect: mixed.jsonl: line 5: unsupported ledger schema "fpart-ledger/9" (want "fpart-ledger/1")
+  [1]
+  $ fpart_inspect trend missing.jsonl
+  fpart_inspect: missing.jsonl: no such file
+  [2]

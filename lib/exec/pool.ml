@@ -1,5 +1,6 @@
 module Metrics = Fpart_obs.Metrics
 module Recorder = Fpart_obs.Recorder
+module Resource = Fpart_obs.Resource
 
 (* One batch of tasks, fanned out by index.  [next] and [unfinished] are
    only touched under the pool mutex; [run i] itself executes unlocked. *)
@@ -153,6 +154,7 @@ let map t f arr =
   else begin
     let results = Array.make n Pending in
     let snaps = Array.make n None in
+    let wmarks = Array.make n None in
     let rsnaps = Array.make n Recorder.empty_snapshot in
     let run i =
       (* Every task — including those the caller runs itself — records
@@ -168,13 +170,20 @@ let map t f arr =
       in
       rsnaps.(i) <- rsnap;
       (* hand this task's metric activity back to the caller; tasks the
-         caller ran itself accumulated in the right cells already *)
-      if Domain.DLS.get in_worker then
-        snaps.(i) <- Some (Metrics.snapshot_and_reset ())
+         caller ran itself accumulated in the right cells already.
+         Resource peak watermarks travel the same way — max-merged at
+         the join, so a post-join summary on the caller reflects peaks
+         only a worker domain observed (flows need no merge: per-span
+         resource deltas already ride in the recorder snapshot). *)
+      if Domain.DLS.get in_worker then begin
+        snaps.(i) <- Some (Metrics.snapshot_and_reset ());
+        wmarks.(i) <- Some (Resource.snapshot_watermark ())
+      end
     in
     run_batch t ~size:n ~run;
     Array.iter Recorder.merge rsnaps;
     Array.iter (function Some s -> Metrics.merge s | None -> ()) snaps;
+    Array.iter (function Some w -> Resource.merge_watermark w | None -> ()) wmarks;
     Array.map
       (function
         | Done v -> v

@@ -77,7 +77,10 @@ let record_of_chrome_event ev =
          :: ("track", Json.Int track)
          :: ("t_ms", Json.Float t_ms)
          :: args))
-  | Some "i" ->
+  | Some "i" | Some "C" ->
+    (* "i" instants and "C" counters both kept their original record
+       fields in [args]; counters lost only the [span] back-reference
+       (see Sink.chrome). *)
     Some (Json.Obj (args @ [ ("track", Json.Int track); ("t_ms", Json.Float t_ms) ]))
   | _ -> None
 
@@ -199,6 +202,116 @@ let pp_hotspots ?(times = true) ppf t =
       rows
   end
 
+(* {2 Memory}
+
+   Mirrors the hotspot analysis with allocation words in place of
+   wall-clock: self allocation = a span's [alloc_w] minus its direct
+   children's, so the table answers "which phase allocates" without
+   inclusive double counting.  The resource fields live on the span
+   records themselves (appended by Recorder.span_end), so this works
+   on jsonl and chrome loads alike. *)
+
+type resource_row = {
+  r_alloc_w : float;
+  r_minor_gcs : int;
+  r_major_gcs : int;
+  r_heap_w : int;
+  r_rss_kb : int;
+}
+
+(* span id -> resource fields, for span records that carry them *)
+let span_resources t =
+  let tbl = Hashtbl.create 256 in
+  List.iter
+    (fun j ->
+      match (fstr "type" j, fint "id" j, fnum "alloc_w" j) with
+      | Some "span", Some id, Some alloc ->
+        if not (Hashtbl.mem tbl id) then
+          Hashtbl.add tbl id
+            {
+              r_alloc_w = alloc;
+              r_minor_gcs = int_or 0 (fint "minor_gcs" j);
+              r_major_gcs = int_or 0 (fint "major_gcs" j);
+              r_heap_w = int_or 0 (fint "heap_w" j);
+              r_rss_kb = int_or 0 (fint "rss_kb" j);
+            }
+      | _ -> ())
+    t.records;
+  tbl
+
+type memspot = {
+  m_name : string;
+  m_count : int;
+  m_total_w : float;
+  m_self_w : float;
+}
+
+let memspots t =
+  let res = span_resources t in
+  let alloc_of id =
+    match Hashtbl.find_opt res id with Some r -> r.r_alloc_w | None -> 0.0
+  in
+  let child_w = Hashtbl.create 256 in
+  List.iter
+    (fun s ->
+      if s.parent <> 0 && Hashtbl.mem t.by_id s.parent then
+        Hashtbl.replace child_w s.parent
+          (num_or 0.0 (Hashtbl.find_opt child_w s.parent) +. alloc_of s.id))
+    t.spans;
+  let acc = Hashtbl.create 64 in
+  List.iter
+    (fun s ->
+      let total = alloc_of s.id in
+      let self = total -. num_or 0.0 (Hashtbl.find_opt child_w s.id) in
+      let c, tot, slf =
+        match Hashtbl.find_opt acc s.name with
+        | Some (c, t, sf) -> (c, t, sf)
+        | None -> (0, 0.0, 0.0)
+      in
+      Hashtbl.replace acc s.name (c + 1, tot +. total, slf +. self))
+    t.spans;
+  Hashtbl.fold
+    (fun name (c, tot, slf) rows ->
+      { m_name = name; m_count = c; m_total_w = tot; m_self_w = slf } :: rows)
+    acc []
+  |> List.sort (fun a b ->
+         let c = compare b.m_self_w a.m_self_w in
+         if c <> 0 then c else compare a.m_name b.m_name)
+
+type mem_totals = {
+  t_alloc_w : float;
+  t_minor_gcs : int;
+  t_major_gcs : int;
+  t_heap_w : int;  (* peak over all spans *)
+  t_rss_kb : int;
+}
+
+(* Totals come from root spans only — nested spans' flows are already
+   included in their ancestors' deltas, so summing every span would
+   double count.  Peaks are max over every span (they are end-values,
+   not flows). *)
+let mem_totals t =
+  let res = span_resources t in
+  let zero =
+    { t_alloc_w = 0.0; t_minor_gcs = 0; t_major_gcs = 0; t_heap_w = 0; t_rss_kb = 0 }
+  in
+  List.fold_left
+    (fun acc s ->
+      match Hashtbl.find_opt res s.id with
+      | None -> acc
+      | Some r ->
+        let is_root = s.parent = 0 || not (Hashtbl.mem t.by_id s.parent) in
+        {
+          t_alloc_w = (acc.t_alloc_w +. if is_root then r.r_alloc_w else 0.0);
+          t_minor_gcs = (acc.t_minor_gcs + if is_root then r.r_minor_gcs else 0);
+          t_major_gcs = (acc.t_major_gcs + if is_root then r.r_major_gcs else 0);
+          t_heap_w = max acc.t_heap_w r.r_heap_w;
+          t_rss_kb = max acc.t_rss_kb r.r_rss_kb;
+        })
+    zero t.spans
+
+let has_resource_data t = Hashtbl.length (span_resources t) > 0
+
 (* {2 Convergence}
 
    One row per [schedule] record (one per [Improve()] call), enriched
@@ -280,6 +393,53 @@ let pp_convergence ppf t =
       improves passes moves retained (moves - retained)
   end
 
+(* [pp_mem] renders the memory view of a trace: self-allocation
+   hotspots, per-Improve() allocation rows (keyed by the [span] field
+   of each schedule record), and root-span totals. *)
+let pp_mem ppf t =
+  if not (has_resource_data t) then
+    Format.fprintf ppf
+      "no resource records (record the trace with resource telemetry enabled)@."
+  else begin
+    let rows = memspots t in
+    Format.fprintf ppf "== allocation hotspots (self words) ==@.";
+    Format.fprintf ppf "%-28s %8s %14s %14s@." "phase" "count" "total_w" "self_w";
+    List.iter
+      (fun r ->
+        Format.fprintf ppf "%-28s %8d %14.0f %14.0f@." r.m_name r.m_count
+          r.m_total_w r.m_self_w)
+      rows;
+    let res = span_resources t in
+    let sched =
+      List.filter_map
+        (fun j ->
+          match (fstr "type" j, fint "span" j) with
+          | Some "schedule", Some sid ->
+            Option.map
+              (fun r ->
+                (int_or 0 (fint "iteration" j),
+                 (match fstr "step" j with Some s -> s | None -> "?"),
+                 r))
+              (Hashtbl.find_opt res sid)
+          | _ -> None)
+        t.records
+    in
+    if sched <> [] then begin
+      Format.fprintf ppf "== per-pass allocation (one row per Improve() call) ==@.";
+      Format.fprintf ppf "%4s %-12s %14s %10s %10s %10s@." "it" "step" "alloc_w"
+        "minor_gcs" "major_gcs" "rss_kb";
+      List.iter
+        (fun (it, step, r) ->
+          Format.fprintf ppf "%4d %-12s %14.0f %10d %10d %10d@." it step
+            r.r_alloc_w r.r_minor_gcs r.r_major_gcs r.r_rss_kb)
+        sched
+    end;
+    let tot = mem_totals t in
+    Format.fprintf ppf
+      "totals: alloc_w=%.0f, minor_gcs=%d, major_gcs=%d, peak heap_w=%d, peak rss_kb=%d@."
+      tot.t_alloc_w tot.t_minor_gcs tot.t_major_gcs tot.t_heap_w tot.t_rss_kb
+  end
+
 (* {2 Pass detail} *)
 
 let pp_passes ppf t =
@@ -358,3 +518,148 @@ let pp_diff ?(times = true) ppf a b =
   Format.fprintf ppf
     "convergence: improves %d -> %d, passes %d -> %d, moves %d -> %d, retained %d -> %d, final cut %d -> %d@."
     ia ib pa pb ma mb rta rtb cuta cutb
+
+(* {2 Ledger trends}
+
+   Per-row statistics across ledger entries.  Median/MAD rather than
+   mean/stddev: bench rows are heavy-tailed (GC pauses, CPU migration)
+   and a single outlier entry must not move the baseline.  The MAD is
+   scaled by 1.4826 so it estimates sigma under a normal model, and the
+   regression threshold is the larger of a floor ([min_delta]) and
+   [mad_k] scaled MADs — a noisy benchmark earns a wide band, a stable
+   one a tight band. *)
+
+let fmedian xs =
+  let a = Array.of_list xs in
+  Array.sort compare a;
+  let n = Array.length a in
+  if n = 0 then nan
+  else if n mod 2 = 1 then a.(n / 2)
+  else 0.5 *. (a.((n / 2) - 1) +. a.(n / 2))
+
+let fmad xs med = fmedian (List.map (fun x -> abs_float (x -. med)) xs)
+
+type series = {
+  sr_name : string;
+  sr_unit : string;
+  sr_higher_better : bool;
+  sr_values : float list;  (* entry file order *)
+}
+
+let series_of_entries entries =
+  let order = ref [] in
+  let tbl = Hashtbl.create 32 in
+  List.iter
+    (fun (e : Ledger.entry) ->
+      List.iter
+        (fun (r : Ledger.row) ->
+          match Hashtbl.find_opt tbl r.Ledger.name with
+          | Some s ->
+            Hashtbl.replace tbl r.Ledger.name
+              { s with sr_values = r.Ledger.value :: s.sr_values }
+          | None ->
+            order := r.Ledger.name :: !order;
+            Hashtbl.add tbl r.Ledger.name
+              {
+                sr_name = r.Ledger.name;
+                sr_unit = r.Ledger.unit_;
+                sr_higher_better = r.Ledger.higher_better;
+                sr_values = [ r.Ledger.value ];
+              })
+        e.Ledger.rows)
+    entries;
+  List.rev_map
+    (fun name ->
+      let s = Hashtbl.find tbl name in
+      { s with sr_values = List.rev s.sr_values })
+    !order
+  |> List.rev
+
+let pp_trend ppf entries =
+  let series = series_of_entries entries in
+  if series = [] then Format.fprintf ppf "empty ledger@."
+  else begin
+    Format.fprintf ppf "%-44s %-10s %-6s %3s %12s %12s %12s %8s@." "benchmark"
+      "unit" "dir" "n" "median" "mad" "latest" "delta";
+    List.iter
+      (fun s ->
+        let med = fmedian s.sr_values in
+        let mad = fmad s.sr_values med in
+        let latest = List.nth s.sr_values (List.length s.sr_values - 1) in
+        let delta =
+          if med = 0.0 || not (Float.is_finite med) then nan
+          else 100.0 *. (latest -. med) /. abs_float med
+        in
+        Format.fprintf ppf "%-44s %-10s %-6s %3d %12.4g %12.4g %12.4g %+7.1f%%@."
+          s.sr_name s.sr_unit
+          (if s.sr_higher_better then "higher" else "lower")
+          (List.length s.sr_values) med mad latest delta)
+      series;
+    Format.fprintf ppf "%d entries, %d benchmark rows@." (List.length entries)
+      (List.length series)
+  end
+
+type verdict = {
+  v_name : string;
+  v_unit : string;
+  v_n : int;  (* baseline entries backing the median *)
+  v_baseline : float;
+  v_mad : float;
+  v_latest : float;
+  v_worse : float;  (* worse-positive relative delta vs baseline *)
+  v_allowed : float;
+  v_regressed : bool;
+}
+
+let regress ?(min_delta = 0.20) ?(mad_k = 4.0) entries =
+  match List.rev entries with
+  | [] | [ _ ] -> []
+  | latest :: prev_rev ->
+    let base = series_of_entries (List.rev prev_rev) in
+    List.filter_map
+      (fun (r : Ledger.row) ->
+        match List.find_opt (fun s -> s.sr_name = r.Ledger.name) base with
+        | None -> None  (* a new benchmark has no history to regress against *)
+        | Some s ->
+          let med = fmedian s.sr_values in
+          if med = 0.0 || not (Float.is_finite med) then None
+          else begin
+            let mad = fmad s.sr_values med in
+            let worse =
+              (if r.Ledger.higher_better then med -. r.Ledger.value
+               else r.Ledger.value -. med)
+              /. abs_float med
+            in
+            let allowed = Float.max min_delta (mad_k *. 1.4826 *. mad /. abs_float med) in
+            Some
+              {
+                v_name = r.Ledger.name;
+                v_unit = r.Ledger.unit_;
+                v_n = List.length s.sr_values;
+                v_baseline = med;
+                v_mad = mad;
+                v_latest = r.Ledger.value;
+                v_worse = worse;
+                v_allowed = allowed;
+                v_regressed = worse > allowed;
+              }
+          end)
+      latest.Ledger.rows
+
+let pp_regress ppf verdicts =
+  if verdicts = [] then
+    Format.fprintf ppf "nothing to compare (need a ledger with >= 2 entries sharing rows)@."
+  else begin
+    Format.fprintf ppf "%-44s %3s %12s %12s %8s %8s  %s@." "benchmark" "n"
+      "baseline" "latest" "worse" "allowed" "verdict";
+    List.iter
+      (fun v ->
+        Format.fprintf ppf "%-44s %3d %12.4g %12.4g %+7.1f%% %7.1f%%  %s@."
+          v.v_name v.v_n v.v_baseline v.v_latest (100.0 *. v.v_worse)
+          (100.0 *. v.v_allowed)
+          (if v.v_regressed then "REGRESSED" else "ok"))
+      verdicts;
+    let bad = List.length (List.filter (fun v -> v.v_regressed) verdicts) in
+    Format.fprintf ppf "%d rows checked, %d regression(s)@."
+      (List.length verdicts) bad
+  end

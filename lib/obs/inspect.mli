@@ -46,6 +46,40 @@ val hotspots : t -> hotspot list
 (** [~times:false] prints only the deterministic columns (for tests). *)
 val pp_hotspots : ?times:bool -> Format.formatter -> t -> unit
 
+(** {2 Memory}
+
+    The allocation mirror of the hotspot analysis, computed from the
+    resource fields {!Recorder} appends to span records when
+    {!Resource.enabled}. *)
+
+type memspot = {
+  m_name : string;
+  m_count : int;
+  m_total_w : float;  (** inclusive allocated words *)
+  m_self_w : float;  (** allocation minus direct children's *)
+}
+
+(** Per-phase rows sorted by self allocation (descending, then name);
+    spans without resource fields count as zero. *)
+val memspots : t -> memspot list
+
+type mem_totals = {
+  t_alloc_w : float;  (** summed over root spans (nesting-safe) *)
+  t_minor_gcs : int;
+  t_major_gcs : int;
+  t_heap_w : int;  (** peak major-heap words over all spans *)
+  t_rss_kb : int;  (** peak resident set over all spans *)
+}
+
+val mem_totals : t -> mem_totals
+
+(** True when at least one span record carries resource fields. *)
+val has_resource_data : t -> bool
+
+(** Memory report: self-allocation hotspots, per-Improve() allocation
+    rows (schedule records joined to their spans) and totals. *)
+val pp_mem : Format.formatter -> t -> unit
+
 type conv_row = {
   c_iteration : int;
   c_step : string;
@@ -71,3 +105,37 @@ val pp_passes : Format.formatter -> t -> unit
 (** A/B comparison: per-phase self-time (or count, with
     [~times:false]) deltas plus convergence totals. *)
 val pp_diff : ?times:bool -> Format.formatter -> t -> t -> unit
+
+(** {2 Ledger trends}
+
+    Noise-aware statistics over {!Ledger} entries: per-benchmark
+    median and MAD (scaled by 1.4826 to estimate sigma), so one
+    outlier entry cannot move a baseline. *)
+
+(** Trajectory table: one line per benchmark row name, with direction,
+    entry count, median, MAD, latest value and its signed relative
+    delta vs the median. *)
+val pp_trend : Format.formatter -> Ledger.entry list -> unit
+
+type verdict = {
+  v_name : string;
+  v_unit : string;
+  v_n : int;  (** baseline entries backing the median *)
+  v_baseline : float;  (** median of all entries but the last *)
+  v_mad : float;
+  v_latest : float;
+  v_worse : float;  (** worse-positive relative delta vs baseline *)
+  v_allowed : float;  (** max of [min_delta] and [mad_k] scaled MADs *)
+  v_regressed : bool;
+}
+
+(** Judge the last entry's rows against the median of all earlier
+    entries.  A row regresses when its worse-direction relative delta
+    exceeds [max min_delta (mad_k * 1.4826 * mad / |median|)] — so the
+    gate widens for historically noisy benchmarks.  Rows with no
+    history, or a zero/non-finite baseline, are skipped.  Defaults:
+    [min_delta = 0.20], [mad_k = 4.0]. *)
+val regress :
+  ?min_delta:float -> ?mad_k:float -> Ledger.entry list -> verdict list
+
+val pp_regress : Format.formatter -> verdict list -> unit

@@ -1,0 +1,233 @@
+let schema = "fpart-ledger/1"
+
+type row = {
+  name : string;
+  value : float;
+  unit_ : string;
+  higher_better : bool;
+}
+
+type entry = {
+  time : float;
+  git_rev : string option;
+  kind : string;
+  label : string;
+  jobs : int;
+  repeats : int;
+  config_digest : string option;
+  netlist_digest : string option;
+  rows : row list;
+  resource : Json.t option;
+}
+
+(* {2 JSON} *)
+
+let opt_str = function None -> Json.Null | Some s -> Json.Str s
+
+let row_to_json r =
+  Json.Obj
+    [
+      ("name", Json.Str r.name);
+      ("value", Json.Float r.value);
+      ("unit", Json.Str r.unit_);
+      ("better", Json.Str (if r.higher_better then "higher" else "lower"));
+    ]
+
+let entry_to_json e =
+  Json.Obj
+    [
+      ("schema", Json.Str schema);
+      ("time", Json.Float e.time);
+      ("git_rev", opt_str e.git_rev);
+      ("kind", Json.Str e.kind);
+      ("label", Json.Str e.label);
+      ("jobs", Json.Int e.jobs);
+      ("repeats", Json.Int e.repeats);
+      ("config_digest", opt_str e.config_digest);
+      ("netlist_digest", opt_str e.netlist_digest);
+      ("rows", Json.List (List.map row_to_json e.rows));
+      ("resource", (match e.resource with Some j -> j | None -> Json.Null));
+    ]
+
+let ( let* ) = Result.bind
+
+let str_field ?(required = true) k j =
+  match Json.member k j with
+  | Some (Json.Str s) -> Ok (Some s)
+  | Some Json.Null | None when not required -> Ok None
+  | Some _ -> Error (Printf.sprintf "field %S is not a string" k)
+  | None -> Error (Printf.sprintf "missing field %S" k)
+
+let num_field k j =
+  match Json.member k j with
+  | Some (Json.Float f) -> Ok f
+  | Some (Json.Int i) -> Ok (float_of_int i)
+  | _ -> Error (Printf.sprintf "missing numeric field %S" k)
+
+let int_field ?(default = None) k j =
+  match Json.member k j with
+  | Some (Json.Int i) -> Ok i
+  | None -> (
+    match default with
+    | Some d -> Ok d
+    | None -> Error (Printf.sprintf "missing integer field %S" k))
+  | Some _ -> Error (Printf.sprintf "field %S is not an integer" k)
+
+let row_of_json j =
+  let* name = str_field "name" j in
+  let* value = num_field "value" j in
+  let* unit_ = str_field "unit" j in
+  let* better = str_field "better" j in
+  match (name, unit_, better) with
+  | Some name, Some unit_, Some better ->
+    let* higher_better =
+      match better with
+      | "higher" -> Ok true
+      | "lower" -> Ok false
+      | s -> Error (Printf.sprintf "row %S: bad better=%S" name s)
+    in
+    Ok { name; value; unit_; higher_better }
+  | _ -> Error "row with null name/unit/better"
+
+let entry_of_json j =
+  let* sch = str_field ~required:false "schema" j in
+  let* () =
+    match sch with
+    | Some s when s = schema -> Ok ()
+    | Some s -> Error (Printf.sprintf "unsupported ledger schema %S (want %S)" s schema)
+    | None -> Error "record without a schema tag"
+  in
+  let* time = num_field "time" j in
+  let* git_rev = str_field ~required:false "git_rev" j in
+  let* kind = str_field "kind" j in
+  let* label = str_field "label" j in
+  let* jobs = int_field "jobs" j in
+  let* repeats = int_field "repeats" j in
+  let* config_digest = str_field ~required:false "config_digest" j in
+  let* netlist_digest = str_field ~required:false "netlist_digest" j in
+  let* rows =
+    match Json.member "rows" j with
+    | Some (Json.List l) ->
+      List.fold_left
+        (fun acc r ->
+          let* acc = acc in
+          let* row = row_of_json r in
+          Ok (row :: acc))
+        (Ok []) l
+      |> Result.map List.rev
+    | _ -> Error "missing rows list"
+  in
+  let resource =
+    match Json.member "resource" j with
+    | Some Json.Null | None -> None
+    | Some r -> Some r
+  in
+  match (kind, label) with
+  | Some kind, Some label ->
+    Ok
+      {
+        time;
+        git_rev;
+        kind;
+        label;
+        jobs;
+        repeats;
+        config_digest;
+        netlist_digest;
+        rows;
+        resource;
+      }
+  | _ -> Error "entry with null kind/label"
+
+(* {2 File I/O} *)
+
+let append path e =
+  match
+    Out_channel.with_open_gen
+      [ Open_append; Open_creat; Open_wronly ]
+      0o644 path
+      (fun oc ->
+        output_string oc (Json.to_string (entry_to_json e));
+        output_char oc '\n')
+  with
+  | () -> Ok ()
+  | exception Sys_error msg -> Error msg
+
+let load path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | exception Sys_error msg -> Error msg
+  | text ->
+    let entries = ref [] in
+    let error = ref None in
+    List.iteri
+      (fun i line ->
+        if !error = None then
+          let line = String.trim line in
+          if line <> "" then
+            match Json.of_string line with
+            | Error e -> error := Some (Printf.sprintf "line %d: %s" (i + 1) e)
+            | Ok j -> (
+              match entry_of_json j with
+              | Error e -> error := Some (Printf.sprintf "line %d: %s" (i + 1) e)
+              | Ok entry -> entries := entry :: !entries))
+      (String.split_on_char '\n' text);
+    (match !error with
+    | Some e -> Error e
+    | None -> Ok (List.rev !entries))
+
+(* {2 Git revision}
+
+   Stdlib-only: walk up from the cwd to the first .git, resolve HEAD
+   through one level of symbolic ref (loose ref file, then
+   packed-refs).  Every failure degrades to None — ledger entries are
+   still useful without a revision. *)
+
+let read_file path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | text -> Some (String.trim text)
+  | exception Sys_error _ -> None
+
+let resolve_ref gitdir ref_name =
+  match read_file (Filename.concat gitdir ref_name) with
+  | Some hex when hex <> "" -> Some hex
+  | _ -> (
+    match read_file (Filename.concat gitdir "packed-refs") with
+    | None -> None
+    | Some text ->
+      List.find_map
+        (fun line ->
+          match String.index_opt line ' ' with
+          | Some i when String.sub line (i + 1) (String.length line - i - 1) = ref_name ->
+            Some (String.sub line 0 i)
+          | _ -> None)
+        (String.split_on_char '\n' text))
+
+let rec find_gitdir dir depth =
+  if depth > 8 then None
+  else
+    let cand = Filename.concat dir ".git" in
+    if Sys.file_exists cand then
+      if Sys.is_directory cand then Some cand
+      else
+        (* worktree: .git is a file "gitdir: <path>" *)
+        match read_file cand with
+        | Some s when String.length s > 8 && String.sub s 0 8 = "gitdir: " ->
+          Some (String.sub s 8 (String.length s - 8))
+        | _ -> None
+    else
+      let parent = Filename.dirname dir in
+      if parent = dir then None else find_gitdir parent (depth + 1)
+
+let git_rev () =
+  match Sys.getenv_opt "FPART_GIT_REV" with
+  | Some rev when rev <> "" -> Some rev
+  | _ -> (
+    match find_gitdir (Sys.getcwd ()) 0 with
+    | None -> None
+    | Some gitdir -> (
+      match read_file (Filename.concat gitdir "HEAD") with
+      | None -> None
+      | Some head ->
+        if String.length head > 5 && String.sub head 0 5 = "ref: " then
+          resolve_ref gitdir (String.sub head 5 (String.length head - 5))
+        else Some head))

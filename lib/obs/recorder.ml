@@ -94,9 +94,16 @@ let push_entry d e =
 
 (* {2 Spans} *)
 
-type span = { s_id : int; s_parent : int; s_name : string; s_t0 : float }
+type span = {
+  s_id : int;
+  s_parent : int;
+  s_name : string;
+  s_t0 : float;
+  s_r0 : Resource.sample option;  (* resource reading at begin, when on *)
+}
 
-let disabled = { s_id = 0; s_parent = 0; s_name = ""; s_t0 = 0.0 }
+let disabled =
+  { s_id = 0; s_parent = 0; s_name = ""; s_t0 = 0.0; s_r0 = None }
 
 let span_begin name =
   if not (Metrics.enabled ()) then disabled
@@ -106,7 +113,8 @@ let span_begin name =
     d.next_id <- id + 1;
     let parent = match d.stack with [] -> 0 | p :: _ -> p in
     d.stack <- id :: d.stack;
-    { s_id = id; s_parent = parent; s_name = name; s_t0 = Clock.now () }
+    let r0 = if Resource.enabled () then Some (Resource.sample ()) else None in
+    { s_id = id; s_parent = parent; s_name = name; s_t0 = Clock.now (); s_r0 = r0 }
   end
 
 let span_end s ~attrs =
@@ -128,6 +136,21 @@ let span_end s ~attrs =
     let t1 = Clock.now () in
     let dur_ms = (t1 -. s.s_t0) *. 1000.0 in
     Metrics.observe (Metrics.histogram s.s_name) dur_ms;
+    (* Resource deltas are sampled on the same domain as the begin
+       sample, so flows are differences of this domain's own counters
+       — scheduling-independent, and they ride through capture/merge
+       as ordinary span attrs. *)
+    let res =
+      match s.s_r0 with
+      | Some r0 when Resource.enabled () ->
+        Some (Resource.delta ~before:r0 ~after:(Resource.sample ()))
+      | _ -> None
+    in
+    let attrs =
+      match res with
+      | None -> attrs
+      | Some dl -> attrs @ Resource.delta_fields dl
+    in
     push_entry d
       (Espan
          {
@@ -138,7 +161,26 @@ let span_end s ~attrs =
            t_ms = rel_ms s.s_t0;
            dur_ms;
            attrs;
-         })
+         });
+    (* One counter record per closed span: sinks export it as a Chrome
+       ["C"] event so Perfetto draws heap/RSS tracks alongside the
+       span flame graph. *)
+    match res with
+    | None -> ()
+    | Some dl ->
+      push_entry d
+        (Eblob
+           {
+             span = s.s_id;
+             track = track ();
+             t_ms = rel_ms t1;
+             fields =
+               [
+                 ("type", Json.Str "counter");
+                 ("heap_w", Json.Int dl.Resource.d_top_heap_words);
+                 ("rss_kb", Json.Int dl.Resource.d_maxrss_kb);
+               ];
+           })
   end
 
 let current_id () =

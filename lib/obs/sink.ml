@@ -39,9 +39,11 @@ let jsonl oc =
    One streaming JSON object [{"traceEvents":[...]}], loadable by
    chrome://tracing and Perfetto.  Recorder span records (carrying
    [t_ms]/[dur_ms]/[track]) become complete ["X"] phase events on
-   pid 1 with the domain track as tid; every other record (trace
-   events, pass/schedule telemetry, legacy flat spans) becomes an
-   instant ["i"] event at its emission time.  The remaining record
+   pid 1 with the domain track as tid; recorder resource records
+   ([{"type":"counter",...}]) become counter ["C"] events named
+   "memory" whose numeric args Perfetto plots as heap/RSS tracks;
+   every other record (trace events, pass/schedule telemetry, legacy
+   flat spans) becomes an instant ["i"] event at its emission time.  The remaining record
    fields — including the recorder's [id]/[parent] span ids — ride in
    ["args"], so offline tooling can rebuild the span tree from the
    chrome file too.  [close] appends thread-name metadata for every
@@ -94,6 +96,28 @@ let chrome oc =
             ("ph", Json.Str "X");
             ("ts", Json.Float ts);
             ("dur", Json.Float (1000.0 *. num (fget "dur_ms" fields)));
+            ("pid", Json.Int 1);
+            ("tid", Json.Int track);
+            ("args", args);
+          ]
+      else if ty = "counter" then
+        (* Recorder resource records become counter ("C") events: the
+           numeric args define the counter series Perfetto plots.  The
+           [span] back-reference is dropped from args (it would plot as
+           a bogus series); the loader reconstructs a span-less counter
+           record, which [Inspect.validate] accepts. *)
+        let args =
+          Json.Obj
+            (List.filter
+               (fun (k, _) -> not (List.mem k [ "t_ms"; "track"; "span" ]))
+               fields)
+        in
+        Json.Obj
+          [
+            ("name", Json.Str "memory");
+            ("cat", Json.Str "fpart");
+            ("ph", Json.Str "C");
+            ("ts", Json.Float ts);
             ("pid", Json.Int 1);
             ("tid", Json.Int track);
             ("args", args);

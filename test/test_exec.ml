@@ -233,6 +233,62 @@ let test_counters_match_sequential () =
   Alcotest.(check string) "counters jobs=4 = jobs=1" sequential (measure 4)
 
 (* ------------------------------------------------------------------ *)
+(* Resource watermarks under domains                                  *)
+(* ------------------------------------------------------------------ *)
+
+module Resource = Fpart_obs.Resource
+
+(* A peak only a worker domain ever observes must survive the join: Pool
+   snapshots each worker's watermark and max-merges it into the caller,
+   so a post-join summary reflects it regardless of jobs or task
+   order. *)
+let test_worker_watermark_merged () =
+  List.iter
+    (fun jobs ->
+      Resource.reset ();
+      Fun.protect
+        ~finally:(fun () ->
+          Resource.set_source None;
+          Resource.reset ())
+        (fun () ->
+          (* every sample reports a distinct fake peak (an atomic tick),
+             so whichever domain takes the 4th sample observes the
+             maximum — installed before the pool spawns its domains *)
+          let calls = Atomic.make 0 in
+          Resource.set_source
+            (Some
+               (fun () ->
+                 let n = 1 + Atomic.fetch_and_add calls 1 in
+                 {
+                   Resource.minor_words = 0.0;
+                   promoted_words = 0.0;
+                   major_words = 0.0;
+                   minor_gcs = 0;
+                   major_gcs = 0;
+                   compactions = 0;
+                   top_heap_words = 1000 * n;
+                   os =
+                     {
+                       Resource.os_maxrss_kb = 100 * n;
+                       os_utime_s = 0.0;
+                       os_stime_s = 0.0;
+                     };
+                 }));
+          Pool.with_pool ~jobs (fun pool ->
+              ignore
+                (Pool.map pool
+                   (fun _ () -> ignore (Resource.sample ()))
+                   (Array.make 4 ())));
+          let w = Resource.watermark () in
+          Alcotest.(check int)
+            (Printf.sprintf "heap peak joined jobs=%d" jobs)
+            4000 w.Resource.w_top_heap_words;
+          Alcotest.(check int)
+            (Printf.sprintf "rss peak joined jobs=%d" jobs)
+            400 w.Resource.w_maxrss_kb))
+    [ 1; 4; test_jobs ]
+
+(* ------------------------------------------------------------------ *)
 (* Batch                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -308,6 +364,11 @@ let () =
           Alcotest.test_case "relabeling invariance" `Quick test_relabel_invariance;
           Alcotest.test_case "pad permutation invariance" `Quick
             test_pad_permutation_invariance;
+        ] );
+      ( "resource",
+        [
+          Alcotest.test_case "worker watermark merged at join" `Quick
+            test_worker_watermark_merged;
         ] );
       ( "batch",
         [

@@ -505,6 +505,389 @@ let test_inspect_analysis () =
       (String.length e >= 6 && String.sub e 0 6 = "line 2")
   | Ok _ -> Alcotest.fail "malformed jsonl accepted"
 
+(* --- Resource --- *)
+
+module Resource = Fpart_obs.Resource
+module Ledger = Fpart_obs.Ledger
+
+(* with_obs plus per-span resource sampling; restores the disabled
+   default and drops scripted sources/watermarks whatever happens. *)
+let with_res_obs f =
+  with_obs (fun drain ->
+      Resource.reset ();
+      Resource.set_enabled true;
+      Fun.protect
+        ~finally:(fun () ->
+          Resource.set_enabled false;
+          Resource.set_source None;
+          Resource.reset ())
+        (fun () -> f drain))
+
+(* Deterministic sampler: a per-domain call counter, so every delta is
+   (samples taken on this domain between begin and end) — independent
+   of scheduling, wall time and the real GC. *)
+let scripted_source () =
+  let key = Domain.DLS.new_key (fun () -> ref 0) in
+  fun () ->
+    let c = Domain.DLS.get key in
+    incr c;
+    let n = float_of_int !c in
+    {
+      Resource.minor_words = 1000.0 *. n;
+      promoted_words = 10.0 *. n;
+      major_words = 100.0 *. n;
+      minor_gcs = !c;
+      major_gcs = 0;
+      compactions = 0;
+      top_heap_words = 4096;
+      os = { Resource.os_maxrss_kb = 2048; os_utime_s = 0.0; os_stime_s = 0.0 };
+    }
+
+let test_resource_sample_monotone () =
+  (* the default sampler reads monotone GC counters: a second sample
+     after allocating must not go backwards on any flow or peak *)
+  let a = Resource.sample () in
+  let sink = ref [] in
+  for i = 1 to 10_000 do
+    sink := Sys.opaque_identity (i, float_of_int i) :: !sink
+  done;
+  ignore (Sys.opaque_identity !sink);
+  (* quick_stat's flow counters refresh at minor collections; force one
+     so the allocation above is visible deterministically *)
+  Gc.minor ();
+  let b = Resource.sample () in
+  Alcotest.(check bool) "minor words grow" true (b.Resource.minor_words >= a.Resource.minor_words);
+  Alcotest.(check bool) "promoted monotone" true
+    (b.Resource.promoted_words >= a.Resource.promoted_words);
+  Alcotest.(check bool) "major monotone" true (b.Resource.major_words >= a.Resource.major_words);
+  Alcotest.(check bool) "minor gcs monotone" true (b.Resource.minor_gcs >= a.Resource.minor_gcs);
+  (* top_heap_words is NOT asserted monotone: on OCaml 5 it tracks live
+     major-heap pools across domains and can shrink — the per-domain
+     watermark cells exist to give summaries a true high-water mark *)
+  let d = Resource.delta ~before:a ~after:b in
+  Alcotest.(check bool) "allocated something" true (Resource.alloc_words d > 0.0);
+  Alcotest.(check bool) "flow deltas non-negative" true
+    (d.Resource.d_minor_words >= 0.0 && d.Resource.d_major_words >= 0.0
+   && d.Resource.d_minor_gcs >= 0 && d.Resource.d_major_gcs >= 0)
+
+let test_resource_delta_add () =
+  let s = scripted_source () in
+  let a = s () and b = s () and c = s () in
+  let d1 = Resource.delta ~before:a ~after:b in
+  let d2 = Resource.delta ~before:b ~after:c in
+  Alcotest.(check (float 1e-9)) "minor flow" 1000.0 d1.Resource.d_minor_words;
+  Alcotest.(check int) "gcs flow" 1 d1.Resource.d_minor_gcs;
+  Alcotest.(check (float 1e-9))
+    "alloc = minor + major - promoted" 1090.0 (Resource.alloc_words d1);
+  let sum = Resource.add d1 d2 in
+  Alcotest.(check (float 1e-9)) "add sums flows" 2000.0 sum.Resource.d_minor_words;
+  Alcotest.(check int) "add maxes heap peak" 4096 sum.Resource.d_top_heap_words;
+  Alcotest.(check int) "add maxes rss peak" 2048 sum.Resource.d_maxrss_kb;
+  Alcotest.(check (float 1e-9)) "zero_delta is additive identity"
+    (Resource.alloc_words sum)
+    (Resource.alloc_words (Resource.add sum Resource.zero_delta))
+
+let fnum field j =
+  match Json.member field j with
+  | Some (Json.Float f) -> f
+  | Some (Json.Int i) -> float_of_int i
+  | _ -> Alcotest.failf "missing numeric field %s" field
+
+let spans_with field records =
+  List.filter
+    (fun j ->
+      Option.(bind (Json.member "type" j) Json.str) = Some "span"
+      && Json.member field j <> None)
+    records
+
+let counters records =
+  List.filter
+    (fun j -> Option.(bind (Json.member "type" j) Json.str) = Some "counter")
+    records
+
+let test_resource_span_records () =
+  with_res_obs (fun drain ->
+      let root = Recorder.span_begin "m.root" in
+      let child = Recorder.span_begin "m.child" in
+      let junk = ref [] in
+      for i = 1 to 5_000 do
+        junk := Sys.opaque_identity (float_of_int i) :: !junk
+      done;
+      ignore (Sys.opaque_identity !junk);
+      Recorder.span_end child ~attrs:[];
+      Recorder.span_end root ~attrs:[];
+      let records = drain () in
+      let t = Inspect.of_records records in
+      Alcotest.(check (list string)) "validates" [] (Inspect.validate t);
+      Alcotest.(check bool) "resource data detected" true (Inspect.has_resource_data t);
+      let rspans = spans_with "alloc_w" records in
+      Alcotest.(check int) "both spans carry alloc_w" 2 (List.length rspans);
+      let alloc name =
+        List.find
+          (fun j -> Option.(bind (Json.member "name" j) Json.str) = Some name)
+          rspans
+        |> fnum "alloc_w"
+      in
+      Alcotest.(check bool) "span deltas non-negative" true
+        (alloc "m.root" >= 0.0 && alloc "m.child" >= 0.0);
+      (* flows are differences over the enclosing interval, so the root
+         must account for at least its child's allocation *)
+      Alcotest.(check bool) "root >= child" true (alloc "m.root" >= alloc "m.child");
+      Alcotest.(check int) "one counter record per span" 2
+        (List.length (counters records));
+      List.iter
+        (fun c ->
+          Alcotest.(check bool) "counter peaks non-negative" true
+            (Option.get Option.(bind (Json.member "heap_w" c) Json.int) >= 0
+            && Option.get Option.(bind (Json.member "rss_kb" c) Json.int) >= 0))
+        (counters records))
+
+let test_resource_disabled_no_fields () =
+  with_obs (fun drain ->
+      (* recorder on, resource off: plain span records, no counters *)
+      let sp = Recorder.span_begin "m.plain" in
+      Recorder.span_end sp ~attrs:[];
+      let records = drain () in
+      Alcotest.(check int) "no alloc_w fields" 0 (List.length (spans_with "alloc_w" records));
+      Alcotest.(check int) "no counter records" 0 (List.length (counters records)))
+
+let test_resource_watermarks () =
+  Resource.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Resource.set_source None;
+      Resource.reset ())
+    (fun () ->
+      Resource.set_source (Some (scripted_source ()));
+      ignore (Resource.sample ());
+      let w = Resource.watermark () in
+      Alcotest.(check int) "heap watermark raised" 4096 w.Resource.w_top_heap_words;
+      Alcotest.(check int) "rss watermark raised" 2048 w.Resource.w_maxrss_kb;
+      let snap = Resource.snapshot_watermark () in
+      Alcotest.(check int) "snapshot captures" 4096 snap.Resource.w_top_heap_words;
+      Alcotest.(check int) "snapshot zeroes the cell" 0
+        (Resource.watermark ()).Resource.w_top_heap_words;
+      Resource.merge_watermark { Resource.w_top_heap_words = 9999; w_maxrss_kb = 1 };
+      Resource.merge_watermark snap;
+      let m = Resource.watermark () in
+      Alcotest.(check int) "merge maxes heap" 9999 m.Resource.w_top_heap_words;
+      Alcotest.(check int) "merge maxes rss" 2048 m.Resource.w_maxrss_kb)
+
+(* Strip the fields that legitimately differ between --jobs runs
+   (timestamps, durations, domain tracks); everything else — including
+   every resource field — must be bit-identical. *)
+let stable_fields j =
+  match j with
+  | Json.Obj fields ->
+    Json.Obj
+      (List.filter
+         (fun (k, _) -> k <> "t_ms" && k <> "dur_ms" && k <> "track")
+         fields)
+  | j -> j
+
+let resource_jobs_records ~jobs =
+  with_res_obs (fun drain ->
+      Resource.set_source (Some (scripted_source ()));
+      Fpart_exec.Pool.with_pool ~jobs (fun pool ->
+          let batch = Recorder.span_begin "rj.batch" in
+          let _ =
+            Fpart_exec.Pool.map pool
+              (fun i () ->
+                let sp = Recorder.span_begin (Printf.sprintf "rj.task%d" i) in
+                let inner = Recorder.span_begin "rj.inner" in
+                Recorder.span_end inner ~attrs:[];
+                Recorder.span_end sp ~attrs:[])
+              (Array.make 4 ())
+          in
+          Recorder.span_end batch ~attrs:[]);
+      drain ())
+
+let test_resource_jobs_deterministic () =
+  let r1 = resource_jobs_records ~jobs:1 in
+  let r4 = resource_jobs_records ~jobs:4 in
+  Alcotest.(check int) "same record count" (List.length r1) (List.length r4);
+  Alcotest.(check bool) "records identical up to time/track" true
+    (List.map stable_fields r1 = List.map stable_fields r4);
+  let t1 = Inspect.of_records r1 and t4 = Inspect.of_records r4 in
+  Alcotest.(check bool) "mem totals identical" true
+    (Inspect.mem_totals t1 = Inspect.mem_totals t4);
+  Alcotest.(check bool) "memspots identical" true
+    (Inspect.memspots t1 = Inspect.memspots t4)
+
+let test_mem_analysis () =
+  (* synthetic trace: outer allocates 100w of which inner 60w; totals
+     must count roots once, peaks max over all spans *)
+  let mk ~id ~parent ~name ~alloc ~heap ~rss =
+    Json.Obj
+      [
+        ("type", Json.Str "span");
+        ("name", Json.Str name);
+        ("dur_ms", Json.Float 1.0);
+        ("id", Json.Int id);
+        ("parent", Json.Int parent);
+        ("track", Json.Int 0);
+        ("t_ms", Json.Float 0.0);
+        ("alloc_w", Json.Float alloc);
+        ("minor_gcs", Json.Int 1);
+        ("major_gcs", Json.Int 0);
+        ("heap_w", Json.Int heap);
+        ("rss_kb", Json.Int rss);
+      ]
+  in
+  let t =
+    Inspect.of_records
+      [
+        mk ~id:2 ~parent:1 ~name:"inner" ~alloc:60.0 ~heap:500 ~rss:70;
+        mk ~id:1 ~parent:0 ~name:"outer" ~alloc:100.0 ~heap:400 ~rss:90;
+      ]
+  in
+  (match Inspect.memspots t with
+  | [ a; b ] ->
+    Alcotest.(check string) "inner leads by self words" "inner" a.Inspect.m_name;
+    Alcotest.(check (float 1e-9)) "inner self" 60.0 a.Inspect.m_self_w;
+    Alcotest.(check (float 1e-9)) "outer self = total - child" 40.0 b.Inspect.m_self_w;
+    Alcotest.(check (float 1e-9)) "outer total inclusive" 100.0 b.Inspect.m_total_w
+  | rows -> Alcotest.failf "expected 2 memspot rows, got %d" (List.length rows));
+  let tot = Inspect.mem_totals t in
+  Alcotest.(check (float 1e-9)) "totals count roots once" 100.0 tot.Inspect.t_alloc_w;
+  Alcotest.(check int) "gcs from roots" 1 tot.Inspect.t_minor_gcs;
+  Alcotest.(check int) "heap peak over all spans" 500 tot.Inspect.t_heap_w;
+  Alcotest.(check int) "rss peak over all spans" 90 tot.Inspect.t_rss_kb
+
+(* --- Ledger --- *)
+
+let entry ?(time = 1.0) ?(label = "bench/test") rows =
+  {
+    Ledger.time;
+    git_rev = Some "deadbeef";
+    kind = "bench";
+    label;
+    jobs = 1;
+    repeats = 5;
+    config_digest = None;
+    netlist_digest = Some "0123";
+    rows;
+    resource = None;
+  }
+
+let row ?(higher_better = false) name value =
+  { Ledger.name; value; unit_ = "s"; higher_better }
+
+let with_temp_ledger f =
+  let path = Filename.temp_file "fpart_ledger" ".jsonl" in
+  Sys.remove path;
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () -> f path)
+
+let test_ledger_roundtrip () =
+  with_temp_ledger (fun path ->
+      let e1 = entry ~time:1.0 [ row "a/wall" 1.5; row ~higher_better:true "a/rate" 10.0 ] in
+      let e2 =
+        {
+          (entry ~time:2.0 [ row "a/wall" 1.4 ]) with
+          Ledger.resource = Some (Json.Obj [ ("type", Json.Str "gc"); ("maxrss_kb", Json.Int 7) ]);
+          git_rev = None;
+        }
+      in
+      (match Ledger.append path e1 with Ok () -> () | Error e -> Alcotest.fail e);
+      (match Ledger.append path e2 with Ok () -> () | Error e -> Alcotest.fail e);
+      match Ledger.load path with
+      | Error e -> Alcotest.failf "load failed: %s" e
+      | Ok entries ->
+        Alcotest.(check bool) "append/load round-trips" true (entries = [ e1; e2 ]))
+
+let test_ledger_rejects_corruption () =
+  with_temp_ledger (fun path ->
+      (match Ledger.append path (entry [ row "a" 1.0 ]) with
+      | Ok () -> ()
+      | Error e -> Alcotest.fail e);
+      Out_channel.with_open_gen
+        [ Open_append; Open_wronly ]
+        0o644 path
+        (fun oc -> output_string oc "not json\n");
+      (match Ledger.load path with
+      | Ok _ -> Alcotest.fail "corrupt line accepted"
+      | Error e ->
+        Alcotest.(check bool) "error names the line" true
+          (String.length e >= 6 && String.sub e 0 6 = "line 2"));
+      (* a foreign schema tag must also fail the whole load *)
+      let foreign =
+        match Ledger.entry_to_json (entry [ row "a" 1.0 ]) with
+        | Json.Obj fields ->
+          Json.Obj
+            (List.map
+               (fun (k, v) -> if k = "schema" then (k, Json.Str "fpart-ledger/9") else (k, v))
+               fields)
+        | j -> j
+      in
+      Out_channel.with_open_gen
+        [ Open_wronly; Open_trunc ]
+        0o644 path
+        (fun oc -> output_string oc (Json.to_string foreign ^ "\n"));
+      match Ledger.load path with
+      | Ok _ -> Alcotest.fail "foreign schema accepted"
+      | Error e ->
+        Alcotest.(check bool) "mentions the schema" true
+          (let re = "fpart-ledger/9" in
+           let rec find i =
+             i + String.length re <= String.length e
+             && (String.sub e i (String.length re) = re || find (i + 1))
+           in
+           find 0))
+
+let test_regress_directions_and_floor () =
+  let history v = List.mapi (fun i x -> entry ~time:(float_of_int i) [ row "w" x ]) v in
+  (* quiet lower-better history, latest 50% worse: regression *)
+  (match Inspect.regress (history [ 1.0; 1.0; 1.0; 1.5 ]) with
+  | [ v ] ->
+    Alcotest.(check bool) "worse flagged" true v.Inspect.v_regressed;
+    Alcotest.(check (float 1e-9)) "baseline is median" 1.0 v.Inspect.v_baseline;
+    Alcotest.(check (float 1e-9)) "worse delta" 0.5 v.Inspect.v_worse
+  | vs -> Alcotest.failf "expected 1 verdict, got %d" (List.length vs));
+  (* within the 20% floor: ok *)
+  (match Inspect.regress (history [ 1.0; 1.0; 1.0; 1.1 ]) with
+  | [ v ] -> Alcotest.(check bool) "small delta tolerated" false v.Inspect.v_regressed
+  | _ -> Alcotest.fail "expected 1 verdict");
+  (* improvement in a lower-better row: never a regression *)
+  (match Inspect.regress (history [ 1.0; 1.0; 1.0; 0.2 ]) with
+  | [ v ] -> Alcotest.(check bool) "improvement ok" false v.Inspect.v_regressed
+  | _ -> Alcotest.fail "expected 1 verdict");
+  (* higher-better row falling by half: regression *)
+  let hb v =
+    List.mapi
+      (fun i x -> entry ~time:(float_of_int i) [ row ~higher_better:true "r" x ])
+      v
+  in
+  (match Inspect.regress (hb [ 10.0; 10.0; 10.0; 5.0 ]) with
+  | [ v ] -> Alcotest.(check bool) "throughput drop flagged" true v.Inspect.v_regressed
+  | _ -> Alcotest.fail "expected 1 verdict");
+  (* rows with no history are skipped, not judged *)
+  match
+    Inspect.regress
+      [ entry ~time:0.0 [ row "old" 1.0 ]; entry ~time:1.0 [ row "new" 9.0 ] ]
+  with
+  | [] -> ()
+  | vs -> Alcotest.failf "expected no verdicts, got %d" (List.length vs)
+
+let test_regress_mad_widens_gate () =
+  (* noisy history: median 1.2, scaled MAD ≈ 0.297, allowed ≈ 99%; a
+     +67% latest passes where a quiet history would have failed, and a
+     +150% latest still fails *)
+  let history latest =
+    List.mapi
+      (fun i x -> entry ~time:(float_of_int i) [ row "n" x ])
+      [ 1.0; 1.2; 1.4; latest ]
+  in
+  (match Inspect.regress (history 2.0) with
+  | [ v ] ->
+    Alcotest.(check bool) "noise widens allowance" false v.Inspect.v_regressed;
+    Alcotest.(check bool) "allowance above the floor" true (v.Inspect.v_allowed > 0.20)
+  | _ -> Alcotest.fail "expected 1 verdict");
+  match Inspect.regress (history 3.0) with
+  | [ v ] -> Alcotest.(check bool) "gross regression still flagged" true v.Inspect.v_regressed
+  | _ -> Alcotest.fail "expected 1 verdict"
+
 (* --- driver instrumentation --- *)
 
 let improve_key = function
@@ -639,5 +1022,30 @@ let () =
         [
           Alcotest.test_case "hotspots, convergence, validation" `Quick
             test_inspect_analysis;
+          Alcotest.test_case "memspots and totals" `Quick test_mem_analysis;
+        ] );
+      ( "resource",
+        [
+          Alcotest.test_case "default sampler monotone" `Quick
+            test_resource_sample_monotone;
+          Alcotest.test_case "delta arithmetic" `Quick test_resource_delta_add;
+          Alcotest.test_case "span records and counters" `Quick
+            test_resource_span_records;
+          Alcotest.test_case "disabled adds nothing" `Quick
+            test_resource_disabled_no_fields;
+          Alcotest.test_case "watermark snapshot/merge" `Quick
+            test_resource_watermarks;
+          Alcotest.test_case "deterministic across --jobs" `Quick
+            test_resource_jobs_deterministic;
+        ] );
+      ( "ledger",
+        [
+          Alcotest.test_case "append/load round trip" `Quick test_ledger_roundtrip;
+          Alcotest.test_case "strict about corruption" `Quick
+            test_ledger_rejects_corruption;
+          Alcotest.test_case "regress directions and floor" `Quick
+            test_regress_directions_and_floor;
+          Alcotest.test_case "MAD widens the gate" `Quick
+            test_regress_mad_widens_gate;
         ] );
     ]
