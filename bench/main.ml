@@ -13,7 +13,11 @@
      FPART_BENCH_REPEATS  interleaved repeats for the overhead sections
                           (default 5; the snapshot reports the median)
      FPART_BENCH_LEDGER   also append one fpart-ledger/1 entry to this
-                          file (see fpart_inspect trend/regress) *)
+                          file (see fpart_inspect trend/regress)
+     FPART_BENCH_SCALE_CELLS
+                          comma-separated circuit sizes for the
+                          mlevel/table-scale section (default
+                          "10000,100000") *)
 
 open Bechamel
 open Toolkit
@@ -209,6 +213,7 @@ let quota =
   | None -> 1.0
 
 let parallel_name = "parallel/run-best-table2"
+let mlevel_scale_name = "mlevel/table-scale"
 let selfcheck_name = "selfcheck/overhead-table2"
 let gain_update_name = "gain_update/table2"
 let recorder_name = "recorder/overhead-table2"
@@ -268,6 +273,11 @@ let resource_wanted =
   | None -> true
   | Some pat -> contains resource_name pat
 
+let mlevel_scale_wanted =
+  match Sys.getenv_opt "FPART_BENCH_ONLY" with
+  | None -> true
+  | Some pat -> contains mlevel_scale_name pat
+
 let tests =
   let kept =
     match Sys.getenv_opt "FPART_BENCH_ONLY" with
@@ -277,6 +287,7 @@ let tests =
   if
     kept = [] && not parallel_wanted && not selfcheck_wanted
     && not gain_update_wanted && not recorder_wanted && not resource_wanted
+    && not mlevel_scale_wanted
   then begin
     prerr_endline "bench: FPART_BENCH_ONLY matched no benchmarks";
     exit 1
@@ -319,6 +330,77 @@ let measure_parallel () =
     end;
     Some (w1, wn)
   end
+
+(* Scale comparison: flat FPART vs the multilevel V-cycle engine on
+   Rent-rule circuits at 10^4 and 10^5 cells (virtual devices sized to
+   keep k ≈ 9, matching the paper's usual arity).  One timed run per
+   engine per size — these are multi-second wall-clock measurements, so
+   bechamel's per-run probes would only add noise.  Sizes come from
+   FPART_BENCH_SCALE_CELLS (comma-separated; default "10000,100000" —
+   trim it for a quick machine).  Cut and feasibility ride along: the
+   speedup claim is only meaningful while mlevel stays in the flat
+   engine's quality class. *)
+
+type mlevel_row = {
+  ms_cells : int;
+  ms_device : string;
+  ms_wall_flat : float;
+  ms_wall_ml : float;
+  ms_cut_flat : int;
+  ms_cut_ml : int;
+  ms_k_flat : int;
+  ms_k_ml : int;
+  ms_feas_flat : bool;
+  ms_feas_ml : bool;
+  ms_levels : int;
+  ms_ratio : float;
+}
+
+let mlevel_scale_cells =
+  let spec =
+    match Sys.getenv_opt "FPART_BENCH_SCALE_CELLS" with
+    | Some s when s <> "" -> s
+    | _ -> "10000,100000"
+  in
+  List.filter_map
+    (fun s ->
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 64 -> Some n
+      | _ -> None)
+    (String.split_on_char ',' spec)
+
+let measure_mlevel_scale () =
+  if not mlevel_scale_wanted then None
+  else
+    Some
+      (List.map
+         (fun cells ->
+           let device = if cells <= 30_000 then Device.v1250 else Device.v12500 in
+           let hg =
+             Netlist.Generator.generate
+               (Netlist.Generator.rent_spec ~name:"bench" ~cells ~seed:1)
+           in
+           let t0 = Unix.gettimeofday () in
+           let flat = Fpart.Driver.run hg device in
+           let wall_flat = Unix.gettimeofday () -. t0 in
+           let t0 = Unix.gettimeofday () in
+           let ml = Mlevel.Engine.run hg device in
+           let wall_ml = Unix.gettimeofday () -. t0 in
+           {
+             ms_cells = cells;
+             ms_device = device.Device.dev_name;
+             ms_wall_flat = wall_flat;
+             ms_wall_ml = wall_ml;
+             ms_cut_flat = flat.Fpart.Driver.cut;
+             ms_cut_ml = ml.Mlevel.Engine.res.Fpart.Driver.cut;
+             ms_k_flat = flat.Fpart.Driver.k;
+             ms_k_ml = ml.Mlevel.Engine.res.Fpart.Driver.k;
+             ms_feas_flat = flat.Fpart.Driver.feasible;
+             ms_feas_ml = ml.Mlevel.Engine.res.Fpart.Driver.feasible;
+             ms_levels = ml.Mlevel.Engine.levels;
+             ms_ratio = ml.Mlevel.Engine.coarsen_ratio;
+           })
+         mlevel_scale_cells)
 
 (* Self-check overhead: wall time of a Driver.run on the table-2
    workload with selfcheck off vs cheap (pass-boundary oracle
@@ -535,7 +617,27 @@ let overhead_fields ~name (off, on) =
       Json.Float (if off > 0.0 then (on -. off) /. off else 0.0) );
   ]
 
-let write_snapshot rows parallel selfcheck gain_update recorder resource =
+let mlevel_row_json r =
+  Json.Obj
+    [
+      ("cells", Json.Int r.ms_cells);
+      ("device", Json.Str r.ms_device);
+      ("wall_s_flat", Json.Float r.ms_wall_flat);
+      ("wall_s_mlevel", Json.Float r.ms_wall_ml);
+      ( "speedup",
+        Json.Float (if r.ms_wall_ml > 0.0 then r.ms_wall_flat /. r.ms_wall_ml else 0.0) );
+      ("cut_flat", Json.Int r.ms_cut_flat);
+      ("cut_mlevel", Json.Int r.ms_cut_ml);
+      ("k_flat", Json.Int r.ms_k_flat);
+      ("k_mlevel", Json.Int r.ms_k_ml);
+      ("feasible_flat", Json.Bool r.ms_feas_flat);
+      ("feasible_mlevel", Json.Bool r.ms_feas_ml);
+      ("levels", Json.Int r.ms_levels);
+      ("coarsen_ratio", Json.Float r.ms_ratio);
+    ]
+
+let write_snapshot rows parallel selfcheck gain_update recorder resource
+    mlevel_scale =
   let benchmarks =
     List.map
       (fun (name, est) ->
@@ -623,6 +725,16 @@ let write_snapshot rows parallel selfcheck gain_update recorder resource =
             ("wall_s_enabled", Json.Float on);
           ])
   in
+  let mlevel_field =
+    match mlevel_scale with
+    | None -> Json.Null
+    | Some rows ->
+      Json.Obj
+        [
+          ("name", Json.Str mlevel_scale_name);
+          ("rows", Json.List (List.map mlevel_row_json rows));
+        ]
+  in
   let json =
     Json.Obj
       [
@@ -636,6 +748,7 @@ let write_snapshot rows parallel selfcheck gain_update recorder resource =
         ("gain_update", gain_update_field);
         ("recorder", recorder_field);
         ("resource", resource_field);
+        ("mlevel", mlevel_field);
       ]
   in
   let oc = open_out snapshot_path in
@@ -669,7 +782,8 @@ let install_resource_source () =
         os_stime_s = t.Unix.tms_stime;
       })
 
-let ledger_rows rows parallel selfcheck gain_update recorder resource =
+let ledger_rows rows parallel selfcheck gain_update recorder resource
+    mlevel_scale =
   let r name value unit_ higher_better =
     { Ledger.name; value; unit_; higher_better }
   in
@@ -719,6 +833,24 @@ let ledger_rows rows parallel selfcheck gain_update recorder resource =
           r (resource_name ^ "/wall_s_enabled") on "s" false;
         ])
       resource
+  @ opt
+      (fun scale_rows ->
+        List.concat_map
+          (fun row ->
+            let p =
+              Printf.sprintf "%s/%dcells" mlevel_scale_name row.ms_cells
+            in
+            [
+              r (p ^ "/wall_s_mlevel") row.ms_wall_ml "s" false;
+              r
+                (p ^ "/speedup")
+                (if row.ms_wall_ml > 0.0 then row.ms_wall_flat /. row.ms_wall_ml
+                 else 0.0)
+                "x" true;
+              r (p ^ "/cut_mlevel") (float_of_int row.ms_cut_ml) "nets" false;
+            ])
+          scale_rows)
+      mlevel_scale
 
 let append_ledger path entry_rows =
   let entry =
@@ -824,10 +956,24 @@ let () =
     Printf.printf "%-42s %15s\n" resource_name
       (Printf.sprintf "%+.1f%% (enabled)"
          (if off > 0.0 then 100.0 *. (on -. off) /. off else 0.0)));
-  write_snapshot rows parallel selfcheck gain_update recorder resource;
+  let mlevel_scale = measure_mlevel_scale () in
+  (match mlevel_scale with
+  | None -> ()
+  | Some scale_rows ->
+    List.iter
+      (fun r ->
+        Printf.printf "%-42s %15s\n"
+          (Printf.sprintf "%s/%dcells" mlevel_scale_name r.ms_cells)
+          (Printf.sprintf "%.2fx (cut %d vs %d)"
+             (if r.ms_wall_ml > 0.0 then r.ms_wall_flat /. r.ms_wall_ml else 0.0)
+             r.ms_cut_ml r.ms_cut_flat))
+      scale_rows);
+  write_snapshot rows parallel selfcheck gain_update recorder resource
+    mlevel_scale;
   Printf.printf "perf snapshot written to %s\n" snapshot_path;
   match Sys.getenv_opt "FPART_BENCH_LEDGER" with
   | None | Some "" -> ()
   | Some path ->
     append_ledger path
-      (ledger_rows rows parallel selfcheck gain_update recorder resource)
+      (ledger_rows rows parallel selfcheck gain_update recorder resource
+         mlevel_scale)

@@ -21,6 +21,15 @@ let load_circuit input generate seed =
       match Netlist.Blif.parse_file path with
       | Ok m -> Ok (m.Netlist.Blif.model_name, m.Netlist.Blif.graph)
       | Error e -> Error (Printf.sprintf "cannot parse %s: %s" path e))
+  | None, Some spec when String.length spec > 5 && String.sub spec 0 5 = "rent:"
+    -> (
+    (* rent:CELLS — Rent-rule family with pads = 3·sqrt(cells), the
+       scale regime of the multilevel engine *)
+    match int_of_string_opt (String.sub spec 5 (String.length spec - 5)) with
+    | Some cells when cells >= 64 ->
+      let spec = Netlist.Generator.rent_spec ~name:"rent" ~cells ~seed in
+      Ok ("generated", Netlist.Generator.generate spec)
+    | _ -> Error "bad --generate spec (expected rent:CELLS with CELLS >= 64)")
   | None, Some spec -> (
     match String.split_on_char 'x' spec with
     | [ cells; pads ] -> (
@@ -30,12 +39,14 @@ let load_circuit input generate seed =
           Netlist.Generator.default_spec ~name:"gen" ~cells ~pads ~seed
         in
         Ok ("generated", Netlist.Generator.generate spec)
-      | _ -> Error "bad --generate spec (expected CELLSxPADS, e.g. 400x60)")
-    | _ -> Error "bad --generate spec (expected CELLSxPADS, e.g. 400x60)")
+      | _ -> Error "bad --generate spec (expected CELLSxPADS or rent:CELLS)")
+    | _ -> Error "bad --generate spec (expected CELLSxPADS or rent:CELLS)")
   | Some _, Some _ -> Error "give either an input file or --generate, not both"
   | None, None -> Error "no input: give a BLIF file or --generate CELLSxPADS"
 
 type algo = Algo_fpart | Algo_kwayx | Algo_fbb_mw
+
+type engine = Eng_flat | Eng_mlevel
 
 type log_level = Quiet | Info | Debug
 
@@ -91,11 +102,14 @@ let algo_name = function
   | Algo_kwayx -> "kwayx"
   | Algo_fbb_mw -> "fbb-mw"
 
-let config_digest ~algo ~delta ~seed ~runs ~cluster ~jobs ~gain_update =
+let engine_name = function Eng_flat -> "flat" | Eng_mlevel -> "mlevel"
+
+let config_digest ~algo ~engine ~delta ~seed ~runs ~cluster ~jobs ~gain_update =
   Digest.to_hex
     (Digest.string
-       (Printf.sprintf "algo=%s delta=%s seed=%d runs=%d cluster=%s jobs=%d gain=%s"
-          (algo_name algo)
+       (Printf.sprintf
+          "algo=%s engine=%s delta=%s seed=%d runs=%d cluster=%s jobs=%d gain=%s"
+          (algo_name algo) (engine_name engine)
           (match delta with Some d -> string_of_float d | None -> "paper")
           seed runs
           (match cluster with Some c -> string_of_int c | None -> "off")
@@ -157,9 +171,10 @@ let algo_conv =
   in
   Arg.conv (parse, print)
 
-let partition algo hg device delta seed runs cluster jobs selfcheck gain_update =
+let partition algo engine hg device delta seed runs cluster jobs selfcheck
+    gain_update =
   match algo with
-  | Algo_fpart ->
+  | Algo_fpart -> (
     let config =
       {
         Fpart.Config.default with
@@ -171,9 +186,22 @@ let partition algo hg device delta seed runs cluster jobs selfcheck gain_update 
         gain_update;
       }
     in
-    let r = Fpart.Driver.run_best ~config ~runs hg device in
-    (r.Fpart.Driver.k, r.Fpart.Driver.assignment, r.Fpart.Driver.feasible,
-     r.Fpart.Driver.trace)
+    match engine with
+    | Eng_flat ->
+      let r = Fpart.Driver.run_best ~config ~runs hg device in
+      (r.Fpart.Driver.k, r.Fpart.Driver.assignment, r.Fpart.Driver.feasible,
+       r.Fpart.Driver.trace)
+    | Eng_mlevel ->
+      (* --runs becomes the coarse-level multi-start breadth *)
+      let mcfg =
+        if runs > 1 then
+          { Mlevel.Engine.default_config with Mlevel.Engine.coarse_runs = runs }
+        else Mlevel.Engine.default_config
+      in
+      let r = Mlevel.Engine.run ~config:mcfg ~base:config hg device in
+      let res = r.Mlevel.Engine.res in
+      (res.Fpart.Driver.k, res.Fpart.Driver.assignment,
+       res.Fpart.Driver.feasible, res.Fpart.Driver.trace))
   | Algo_kwayx ->
     let r = Fpart.Kwayx.run ?delta hg device in
     (r.Fpart.Kwayx.k, r.Fpart.Kwayx.assignment, r.Fpart.Kwayx.feasible, [])
@@ -241,9 +269,9 @@ let check_mode path hg device delta =
       Format.printf "%a" Partition.Check.pp report;
       if report.Partition.Check.feasible then Ok () else Error "partition is infeasible")
 
-let main input generate device_name delta algo seed runs cluster jobs selfcheck
-    gain_update output save check board dot trace trace_format stats log_level
-    trace_log ledger =
+let main input generate device_name delta algo engine seed runs cluster jobs
+    selfcheck gain_update output save check board dot trace trace_format stats
+    log_level trace_log ledger =
   setup_obs ~trace ~trace_format ~stats ~log_level;
   let result =
     match Device.find device_name with
@@ -262,8 +290,8 @@ let main input generate device_name delta algo seed runs cluster jobs selfcheck
         | None ->
         let t0 = Unix.gettimeofday () in
         let k, assignment, feasible, trace_events =
-          partition algo hg device delta seed runs cluster jobs selfcheck
-            gain_update
+          partition algo engine hg device delta seed runs cluster jobs
+            selfcheck gain_update
         in
         let wall_s = Unix.gettimeofday () -. t0 in
         let violations = Fpart_check.Selfcheck.violations_seen () in
@@ -318,6 +346,11 @@ let main input generate device_name delta algo seed runs cluster jobs selfcheck
             Printf.sprintf "run/%s-%s-%s" name device.Device.dev_name
               (algo_name algo)
           in
+          let prefix =
+            match engine with
+            | Eng_flat -> prefix
+            | Eng_mlevel -> prefix ^ "-mlevel"
+          in
           let row rname value unit_ higher_better =
             { Fpart_obs.Ledger.name = prefix ^ "/" ^ rname; value; unit_; higher_better }
           in
@@ -325,7 +358,8 @@ let main input generate device_name delta algo seed runs cluster jobs selfcheck
             ~label:(Printf.sprintf "%s on %s (%s)" name device.Device.dev_name (algo_name algo))
             ~jobs
             ~config_digest:
-              (config_digest ~algo ~delta ~seed ~runs ~cluster ~jobs ~gain_update)
+              (config_digest ~algo ~engine ~delta ~seed ~runs ~cluster ~jobs
+                 ~gain_update)
             ~netlist_digest:(netlist_digest hg)
             ~rows:
               [
@@ -373,6 +407,18 @@ let algo =
     value
     & opt algo_conv Algo_fpart
     & info [ "algo"; "a" ] ~docv:"ALGO" ~doc:"Algorithm: fpart, kwayx or fbb-mw.")
+
+let engine =
+  Arg.(
+    value
+    & opt (enum [ ("flat", Eng_flat); ("mlevel", Eng_mlevel) ]) Eng_flat
+    & info [ "engine" ] ~docv:"ENGINE"
+        ~doc:
+          "Partitioning engine (fpart only): $(b,flat) (default, the paper's \
+           recursive driver on the full netlist) or $(b,mlevel) (the \
+           multilevel V-cycle: coarsen by heavy-edge matching, partition \
+           the coarsest graph — $(b,--runs) seeds — then uncoarsen with \
+           bounded refinement per level; for 10^5-cell-and-up circuits).")
 
 let seed =
   Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Random seed.")
@@ -509,9 +555,9 @@ let cmd =
   Cmd.v
     (Cmd.info "fpart" ~doc)
     Term.(
-      const main $ input $ generate $ device $ delta $ algo $ seed $ runs $ cluster
-      $ jobs $ selfcheck $ gain_update $ output $ save $ check $ board $ dot
-      $ trace $ Obs_setup.trace_format_arg $ stats $ log_level $ trace_log
-      $ ledger)
+      const main $ input $ generate $ device $ delta $ algo $ engine $ seed
+      $ runs $ cluster $ jobs $ selfcheck $ gain_update $ output $ save $ check
+      $ board $ dot $ trace $ Obs_setup.trace_format_arg $ stats $ log_level
+      $ trace_log $ ledger)
 
 let () = exit (Cmd.eval' cmd)

@@ -19,7 +19,13 @@
       keep the round cheap);
    4. delta-vs-recompute — the same run with [gain_update = Delta] and
       [gain_update = Recompute] must produce bit-identical partitions,
-      again across a random draw of gain mode and bucket discipline.
+      again across a random draw of gain mode and bucket discipline;
+   5. flat-vs-mlevel — the multilevel V-cycle engine runs the same
+      circuit under [selfcheck = Cheap] (which exercises its per-level
+      contraction-exactness oracle): its claimed cut must equal the
+      oracle recomputation, the self-check must stay clean, and its
+      quality must stay in the flat driver's class (never infeasible
+      where flat is feasible, never more than 2 extra devices).
 
    Rounds are seeded [seed, seed+1, ..]: a failing seed printed by this
    tool replays exactly with [--seed N --rounds 1].  Randomness comes
@@ -175,6 +181,42 @@ let check_delta rng hg =
          rd.Fpart.Driver.k rd.Fpart.Driver.cut rr.Fpart.Driver.k
          rr.Fpart.Driver.cut)
 
+(* Comparison 5: quality differential between the flat driver and the
+   multilevel engine, with the contraction cross-checks live. *)
+let check_mlevel rng hg =
+  let device = device_of_name (Sm.choose rng devices) in
+  let seed = Sm.int rng 0xFFFF in
+  let flat =
+    Fpart.Driver.run ~config:{ Fpart.Config.default with seed } hg device
+  in
+  let base =
+    { Fpart.Config.default with seed; selfcheck = Check.Selfcheck.Cheap }
+  in
+  let before = Check.Selfcheck.violations_seen () in
+  let ml = (Mlevel.Engine.run ~base hg device).Mlevel.Engine.res in
+  let after = Check.Selfcheck.violations_seen () in
+  let o =
+    Check.Oracle.recompute hg ~k:ml.Fpart.Driver.k
+      ~assign:(fun v -> ml.Fpart.Driver.assignment.(v))
+  in
+  if after > before then
+    Divergence
+      (Printf.sprintf "mlevel selfcheck: %d violation(s) on %s" (after - before)
+         device.Device.dev_name)
+  else if o.Check.Oracle.cut <> ml.Fpart.Driver.cut then
+    Divergence
+      (Printf.sprintf "mlevel cut: claimed %d, oracle %d" ml.Fpart.Driver.cut
+         o.Check.Oracle.cut)
+  else if flat.Fpart.Driver.feasible && not ml.Fpart.Driver.feasible then
+    Divergence
+      (Printf.sprintf "mlevel quality: flat feasible at k=%d, mlevel infeasible"
+         flat.Fpart.Driver.k)
+  else if ml.Fpart.Driver.k > flat.Fpart.Driver.k + 2 then
+    Divergence
+      (Printf.sprintf "mlevel quality: k=%d vs flat k=%d" ml.Fpart.Driver.k
+         flat.Fpart.Driver.k)
+  else Ok_round
+
 let run_round ~max_cells round_seed =
   let rng = Sm.create round_seed in
   let hg = random_circuit rng ~max_cells in
@@ -187,6 +229,7 @@ let run_round ~max_cells round_seed =
           if Hg.num_cells hg <= 150 then check_jobs rng hg
           else Ok_round );
       ("delta", fun () -> check_delta rng hg);
+      ("mlevel", fun () -> check_mlevel rng hg);
     ]
   in
   List.fold_left

@@ -28,13 +28,13 @@ let artifacts =
 
 let names = String.concat ", " (List.map fst artifacts)
 
-let run jobs trace trace_format selected =
+let run jobs engine trace trace_format selected =
   Obs_setup.setup_trace trace trace_format;
   let progress msg =
     prerr_endline ("# " ^ msg);
     flush stderr
   in
-  let t = Report.Experiments.create ~progress ~jobs () in
+  let t = Report.Experiments.create ~progress ~jobs ~engine () in
   Fun.protect
     ~finally:(fun () ->
       Report.Experiments.shutdown t;
@@ -75,12 +75,27 @@ let jobs =
   in
   Arg.(value & opt jobs_conv 1 & info [ "jobs"; "j" ] ~docv:"JOBS" ~doc)
 
+let engine =
+  let engine_conv =
+    Arg.enum
+      [
+        ("flat", Report.Experiments.Flat);
+        ("mlevel", Report.Experiments.Multilevel);
+      ]
+  in
+  let doc =
+    "Engine behind the FPART runs: $(b,flat) (the paper's driver) or \
+     $(b,mlevel) (the multilevel V-cycle)."
+  in
+  Arg.(value & opt engine_conv Report.Experiments.Flat
+       & info [ "engine" ] ~docv:"ENGINE" ~doc)
+
 let cmd =
   let doc = "regenerate the FPART paper's tables and figures on MCNC surrogates" in
   Cmd.v
     (Cmd.info "run_experiments" ~doc)
     Term.(
-      const run $ jobs $ Obs_setup.trace_arg $ Obs_setup.trace_format_arg
-      $ selected)
+      const run $ jobs $ engine $ Obs_setup.trace_arg
+      $ Obs_setup.trace_format_arg $ selected)
 
 let () = exit (Cmd.eval cmd)

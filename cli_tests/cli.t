@@ -19,7 +19,7 @@ The k-way.x and FBB-MW baselines run on the same input:
 Unknown devices are rejected with the catalog:
 
   $ fpart --generate 10x2 --device XC9999
-  fpart: unknown device "XC9999" (known: XC3020, XC3042, XC3090, XC2064, XC2018, XC3030, XC3064)
+  fpart: unknown device "XC9999" (known: XC3020, XC3042, XC3090, XC2064, XC2018, XC3030, XC3064, V1250, V12500)
   [1]
 
 Saving and inspecting a partition file:

@@ -46,12 +46,9 @@ let () =
     fb.Flow.Fbb_mw.cut fb.Flow.Fbb_mw.feasible (Sys.time () -. t0);
 
   let t0 = Sys.time () in
-  let ml =
-    Mlevel.Mlrb.partition hg device
-      { Mlevel.Mlrb.default_config with delta }
-  in
-  Format.printf "%-10s %4d %5d %9b %7.2fs@." "MLRB" ml.Mlevel.Mlrb.k
-    ml.Mlevel.Mlrb.cut ml.Mlevel.Mlrb.feasible (Sys.time () -. t0);
+  let ml = (Mlevel.Engine.run hg device).Mlevel.Engine.res in
+  Format.printf "%-10s %4d %5d %9b %7.2fs@." "MLEVEL" ml.Fpart.Driver.k
+    ml.Fpart.Driver.cut ml.Fpart.Driver.feasible (Sys.time () -. t0);
 
   let t0 = Sys.time () in
   let fp = Fpart.Driver.run hg device in

@@ -65,5 +65,17 @@ let validate_gain ?(where = "gain") st ~pin ~cell ~target ~gain =
     1
   end
 
+let tick () = Obs.incr c_checks
+
+let record ~where reason =
+  Obs.incr c_violations;
+  Sink.emit
+    (Json.Obj
+       [
+         ("type", Json.Str "selfcheck");
+         ("where", Json.Str where);
+         ("violation", Json.Str reason);
+       ])
+
 let checks_run () = Obs.counter_value c_checks
 let violations_seen () = Obs.counter_value c_violations

@@ -49,6 +49,16 @@ val validate_gain :
   gain:int ->
   int
 
+(** [tick ()] counts one check performed {e outside} this module into
+    [selfcheck.checks] — for cross-checks with their own comparison
+    logic, like the multilevel engine's contraction oracle. *)
+val tick : unit -> unit
+
+(** [record ~where reason] counts one violation found by an external
+    cross-check into [selfcheck.violations] and emits the standard
+    [{"type":"selfcheck",...}] sink record.  Pair with {!tick}. *)
+val record : where:string -> string -> unit
+
 (** Calling-domain totals of the [selfcheck.checks] /
     [selfcheck.violations] counters (convenience for tests and the
     fuzzer). *)

@@ -1,5 +1,6 @@
 module Hg = Hypergraph.Hgraph
-module Rng = Prng.Splitmix
+module Csr = Hypergraph.Csr
+module Matching = Matching
 
 type t = {
   fine_hg : Hg.t;
@@ -16,115 +17,30 @@ let members t c = t.member_lists.(c)
 let reduction t =
   float_of_int (Hg.num_nodes t.fine_hg) /. float_of_int (Hg.num_nodes t.coarse_hg)
 
-(* Standard edge-coarsening connectivity: each shared net contributes
-   1/(degree-1), so tight 2-pin connections dominate fat buses. *)
-let connectivity hg v cluster_of cid =
-  let score = Hashtbl.create 8 in
-  Array.iter
-    (fun e ->
-      let d = Hg.net_degree hg e in
-      if d >= 2 then begin
-        let w = 1.0 /. float_of_int (d - 1) in
-        Array.iter
-          (fun u ->
-            if u <> v && (not (Hg.is_pad hg u)) && cluster_of.(u) = cid then begin
-              let cur = Option.value ~default:0.0 (Hashtbl.find_opt score u) in
-              Hashtbl.replace score u (cur +. w)
-            end)
-          (Hg.pins hg e)
-      end)
-    (Hg.nets_of hg v);
-  score
-
+(* The contraction itself lives in Csr.contract and the connectivity
+   heuristic in Matching.compute; this module only restores names. *)
 let build hg ~max_cluster_size ~seed =
   if max_cluster_size < 1 then invalid_arg "Cluster.build: max_cluster_size < 1";
-  let n = Hg.num_nodes hg in
-  let rng = Rng.create seed in
-  let cluster_of = Array.make n (-1) in
-  let cluster_size = ref [] in
-  (* reversed list of (cluster id, members reversed) *)
-  let next_cluster = ref 0 in
-  let order =
-    let cells = ref [] in
-    Hg.iter_cells (fun v -> cells := v :: !cells) hg;
-    let a = Array.of_list !cells in
-    Rng.shuffle rng a;
-    a
+  let csr = Csr.of_hgraph hg in
+  let map, n_coarse =
+    Matching.compute ~policy:Matching.Agglomerate
+      ~max_weight:max_cluster_size ~seed csr
   in
-  Array.iter
-    (fun v0 ->
-      if cluster_of.(v0) < 0 then begin
-        let cid = !next_cluster in
-        incr next_cluster;
-        cluster_of.(v0) <- cid;
-        let members = ref [ v0 ] in
-        let size = ref (Hg.size hg v0) in
-        let stop = ref false in
-        while not !stop do
-          (* best unclustered neighbour of the whole cluster *)
-          let best = ref (-1) in
-          let best_score = ref 0.0 in
-          List.iter
-            (fun m ->
-              let scores = connectivity hg m cluster_of (-1) in
-              Hashtbl.iter
-                (fun u s ->
-                  if
-                    !size + Hg.size hg u <= max_cluster_size
-                    && (s > !best_score || (s = !best_score && u < !best))
-                  then begin
-                    best := u;
-                    best_score := s
-                  end)
-                scores)
-            !members;
-          if !best < 0 then stop := true
-          else begin
-            cluster_of.(!best) <- cid;
-            members := !best :: !members;
-            size := !size + Hg.size hg !best;
-            if !size >= max_cluster_size then stop := true
-          end
-        done;
-        cluster_size := (cid, !members) :: !cluster_size
-      end)
-    order;
-  (* pads: one coarse node each *)
-  Hg.iter_pads
-    (fun p ->
-      let cid = !next_cluster in
-      incr next_cluster;
-      cluster_of.(p) <- cid;
-      cluster_size := (cid, [ p ]) :: !cluster_size)
-    hg;
-  let n_coarse = !next_cluster in
+  let coarse_csr, memento = Csr.contract csr ~map ~coarse_nodes:n_coarse in
   let member_lists = Array.make n_coarse [] in
-  List.iter (fun (cid, ms) -> member_lists.(cid) <- List.rev ms) !cluster_size;
-  (* build the coarse hypergraph; coarse ids must match cluster ids *)
-  let b = Hg.Builder.create () in
-  for cid = 0 to n_coarse - 1 do
-    match member_lists.(cid) with
-    | [ p ] when Hg.is_pad hg p ->
-      ignore (Hg.Builder.add_pad b ~name:(Hg.name hg p))
-    | ms ->
-      let size = List.fold_left (fun acc v -> acc + Hg.size hg v) 0 ms in
-      let flops = List.fold_left (fun acc v -> acc + Hg.flops hg v) 0 ms in
-      ignore (Hg.Builder.add_cell b ~flops ~name:(Printf.sprintf "cl%d" cid) ~size)
+  for v = Hg.num_nodes hg - 1 downto 0 do
+    member_lists.(map.(v)) <- v :: member_lists.(map.(v))
   done;
-  Hg.iter_nets
-    (fun e ->
-      let endpoints =
-        Array.to_list (Hg.pins hg e)
-        |> List.map (fun v -> cluster_of.(v))
-        |> List.sort_uniq compare
-      in
-      if List.length endpoints >= 2 then
-        ignore (Hg.Builder.add_net b ~name:(Hg.net_name hg e) endpoints))
-    hg;
+  let node_name c =
+    match member_lists.(c) with
+    | [ p ] when Hg.is_pad hg p -> Hg.name hg p
+    | _ -> Printf.sprintf "cl%d" c
+  in
+  let net_name e = Hg.net_name hg memento.Csr.kept_nets.(e) in
   {
     fine_hg = hg;
-    coarse_hg = Hg.Builder.freeze b;
-    node_map = cluster_of;
+    coarse_hg = Csr.to_hgraph coarse_csr ~node_name ~net_name;
+    node_map = map;
     member_lists;
   }
 

@@ -18,6 +18,10 @@
     because clusters are assigned wholesale — coarse pin counts equal
     flat pin counts for any projected assignment. *)
 
+(** The matching machinery this module delegates to; the multilevel
+    engine ([Mlevel.Engine]) uses it directly, per level. *)
+module Matching = Matching
+
 type t
 
 (** The coarse hypergraph.  Coarse cell sizes (and flip-flop counts) are

@@ -10,8 +10,18 @@ let xc3042 = { dev_name = "XC3042"; family = XC3000; s_ds = 144; t_max = 96 }
 let xc3064 = { dev_name = "XC3064"; family = XC3000; s_ds = 224; t_max = 120 }
 let xc3090 = { dev_name = "XC3090"; family = XC3000; s_ds = 320; t_max = 144 }
 
-(* The paper's four devices first, then the rest of the two families. *)
-let catalog = [ xc3020; xc3042; xc3090; xc2064; xc2018; xc3030; xc3064 ]
+(* Virtual scale devices: not in the paper (whose largest part has 320
+   CLBs), but the 10^5–10^6-cell regime of the multilevel engine needs
+   device capacities in proportion, or every run degenerates into
+   hundreds of blocks.  Capacities follow the XC3000 shape (pin count
+   ~ a third of the CLB count at the V1250 scale, flatter above). *)
+let v1250 = { dev_name = "V1250"; family = XC3000; s_ds = 1250; t_max = 600 }
+let v12500 = { dev_name = "V12500"; family = XC3000; s_ds = 12500; t_max = 2048 }
+
+(* The paper's four devices first, then the rest of the two families,
+   then the virtual scale devices. *)
+let catalog =
+  [ xc3020; xc3042; xc3090; xc2064; xc2018; xc3030; xc3064; v1250; v12500 ]
 
 let find name =
   let name = String.lowercase_ascii name in

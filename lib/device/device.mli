@@ -41,8 +41,21 @@ val xc3030 : t
 (** 224 CLBs, 120 IOBs. *)
 val xc3064 : t
 
+(** {1 Virtual scale devices}
+
+    Not in the paper: capacities scaled up (XC3000 family rules, so
+    [delta = 0.9] and 2 FFs/CLB) for the 10^5–10^6-cell circuits the
+    multilevel engine targets, keeping the block count in the paper's
+    usual M ≈ 10 range at that scale. *)
+
+(** 1250 CLBs, 600 IOBs — for ~10^4-cell circuits. *)
+val v1250 : t
+
+(** 12500 CLBs, 2048 IOBs — for ~10^5-cell circuits. *)
+val v12500 : t
+
 (** The paper's four devices (Tables 2-5 order), then the rest of the
-    two families. *)
+    two families, then the virtual scale devices. *)
 val catalog : t list
 
 (** [find name] looks a device up by (case-insensitive) name. *)

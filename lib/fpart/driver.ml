@@ -202,6 +202,8 @@ let refine_flat config ctx st =
       boundary st
     done
 
+let refine = refine_flat
+
 let run_clustered ?pool config hg device ~max_cluster_size =
   let t0 = Sys.time () in
   let cl = Cluster.build hg ~max_cluster_size ~seed:config.Config.seed in

@@ -76,3 +76,13 @@ val run_batch :
 (** [final_state r h] rebuilds the partition state of a result (for
     reporting: per-block sizes and pins). *)
 val final_state : result -> Hypergraph.Hgraph.t -> Partition.State.t
+
+(** [refine config ctx st] is the flat refinement pass applied after
+    projecting a coarse partition onto a finer graph: one multi-block
+    Sanchis pass when [k ≤ 18], otherwise a ring of pairwise passes.
+    Move windows are strict ([0 .. S_MAX], no remainder), so sizes stay
+    within the device and — because the engine rewinds each pass to its
+    best prefix — the lexicographic solution value never worsens.  Pass
+    intensity follows [config.max_passes]; the multilevel engine calls
+    this at every uncoarsening level with its own bound. *)
+val refine : Config.t -> Partition.Cost.context -> Partition.State.t -> unit

@@ -1,0 +1,264 @@
+type t = {
+  nodes : int;
+  nets : int;
+  xpins : int array;
+  pin_nodes : int array;
+  xnets : int array;
+  net_ids : int array;
+  size : int array;
+  flops : int array;
+}
+
+type memento = {
+  fine_nodes : int;
+  coarse_nodes : int;
+  map : int array;
+  kept_nets : int array;
+}
+
+let num_nodes t = t.nodes
+let num_nets t = t.nets
+let num_pins t = t.xpins.(t.nets)
+
+let num_pads t =
+  let c = ref 0 in
+  for v = 0 to t.nodes - 1 do
+    if t.size.(v) = 0 then incr c
+  done;
+  !c
+
+let is_pad t v = t.size.(v) = 0
+let total_size t = Array.fold_left ( + ) 0 t.size
+let net_degree t e = t.xpins.(e + 1) - t.xpins.(e)
+let node_degree t v = t.xnets.(v + 1) - t.xnets.(v)
+
+let iter_net_pins f t e =
+  for i = t.xpins.(e) to t.xpins.(e + 1) - 1 do
+    f t.pin_nodes.(i)
+  done
+
+let iter_node_nets f t v =
+  for i = t.xnets.(v) to t.xnets.(v + 1) - 1 do
+    f t.net_ids.(i)
+  done
+
+let net_pins t e = Array.sub t.pin_nodes t.xpins.(e) (net_degree t e)
+
+(* Rebuild the node->net direction by counting the net->pin direction;
+   shared by [of_pins] and [contract]. *)
+let index_nets ~nodes ~xpins ~pin_nodes =
+  let nets = Array.length xpins - 1 in
+  let xnets = Array.make (nodes + 1) 0 in
+  let total = xpins.(nets) in
+  for i = 0 to total - 1 do
+    let v = pin_nodes.(i) in
+    xnets.(v + 1) <- xnets.(v + 1) + 1
+  done;
+  for v = 1 to nodes do
+    xnets.(v) <- xnets.(v) + xnets.(v - 1)
+  done;
+  let net_ids = Array.make total 0 in
+  let cursor = Array.copy xnets in
+  for e = 0 to nets - 1 do
+    for i = xpins.(e) to xpins.(e + 1) - 1 do
+      let v = pin_nodes.(i) in
+      net_ids.(cursor.(v)) <- e;
+      cursor.(v) <- cursor.(v) + 1
+    done
+  done;
+  (xnets, net_ids)
+
+let of_hgraph hg =
+  let nodes = Hgraph.num_nodes hg and nets = Hgraph.num_nets hg in
+  let xpins = Array.make (nets + 1) 0 in
+  for e = 0 to nets - 1 do
+    xpins.(e + 1) <- xpins.(e) + Hgraph.net_degree hg e
+  done;
+  let pin_nodes = Array.make xpins.(nets) 0 in
+  for e = 0 to nets - 1 do
+    let pins = Hgraph.pins hg e in
+    Array.blit pins 0 pin_nodes xpins.(e) (Array.length pins)
+  done;
+  let xnets, net_ids = index_nets ~nodes ~xpins ~pin_nodes in
+  let size = Array.init nodes (Hgraph.size hg) in
+  let flops = Array.init nodes (Hgraph.flops hg) in
+  { nodes; nets; xpins; pin_nodes; xnets; net_ids; size; flops }
+
+let to_hgraph ?node_name ?net_name t =
+  let node_name = match node_name with
+    | Some f -> f
+    | None -> fun v -> Printf.sprintf "v%d" v
+  in
+  let net_name = match net_name with
+    | Some f -> f
+    | None -> fun e -> Printf.sprintf "e%d" e
+  in
+  let b = Hgraph.Builder.create () in
+  for v = 0 to t.nodes - 1 do
+    if t.size.(v) = 0 then
+      ignore (Hgraph.Builder.add_pad b ~name:(node_name v))
+    else
+      ignore
+        (Hgraph.Builder.add_cell b ~flops:t.flops.(v) ~name:(node_name v)
+           ~size:t.size.(v))
+  done;
+  for e = 0 to t.nets - 1 do
+    let pins = ref [] in
+    for i = t.xpins.(e + 1) - 1 downto t.xpins.(e) do
+      pins := t.pin_nodes.(i) :: !pins
+    done;
+    ignore (Hgraph.Builder.add_net b ~name:(net_name e) !pins)
+  done;
+  Hgraph.Builder.freeze b
+
+let contract t ~map ~coarse_nodes =
+  if Array.length map <> t.nodes then
+    invalid_arg "Csr.contract: map length <> num_nodes";
+  if coarse_nodes < 1 && t.nodes > 0 then
+    invalid_arg "Csr.contract: coarse_nodes < 1";
+  let size = Array.make coarse_nodes 0 in
+  let flops = Array.make coarse_nodes 0 in
+  let members = Array.make coarse_nodes 0 in
+  let has_pad_member = Array.make coarse_nodes false in
+  for v = 0 to t.nodes - 1 do
+    let c = map.(v) in
+    if c < 0 || c >= coarse_nodes then
+      invalid_arg "Csr.contract: coarse id out of range";
+    size.(c) <- size.(c) + t.size.(v);
+    flops.(c) <- flops.(c) + t.flops.(v);
+    members.(c) <- members.(c) + 1;
+    if t.size.(v) = 0 then has_pad_member.(c) <- true
+  done;
+  for c = 0 to coarse_nodes - 1 do
+    if members.(c) = 0 then invalid_arg "Csr.contract: empty coarse node";
+    if has_pad_member.(c) && members.(c) > 1 then
+      invalid_arg "Csr.contract: pad contracted with another node"
+  done;
+  (* Pass 1: per fine net, count distinct coarse endpoints (stamp array
+     keyed by the net id), decide keep, accumulate coarse pin total. *)
+  let stamp = Array.make coarse_nodes (-1) in
+  let keep = Array.make t.nets false in
+  let coarse_deg = Array.make t.nets 0 in
+  let kept = ref 0 and coarse_pins = ref 0 in
+  for e = 0 to t.nets - 1 do
+    let distinct = ref 0 and pad = ref false in
+    for i = t.xpins.(e) to t.xpins.(e + 1) - 1 do
+      let v = t.pin_nodes.(i) in
+      if t.size.(v) = 0 then pad := true;
+      let c = map.(v) in
+      if stamp.(c) <> e then begin
+        stamp.(c) <- e;
+        incr distinct
+      end
+    done;
+    if !distinct >= 2 || (!pad && !distinct >= 1) then begin
+      keep.(e) <- true;
+      coarse_deg.(e) <- !distinct;
+      incr kept;
+      coarse_pins := !coarse_pins + !distinct
+    end
+  done;
+  (* Pass 2: emit kept nets with deduplicated coarse pins, first-seen
+     order (a second stamp array keeps the passes independent). *)
+  let xpins = Array.make (!kept + 1) 0 in
+  let pin_nodes = Array.make !coarse_pins 0 in
+  let kept_nets = Array.make !kept 0 in
+  let stamp2 = Array.make coarse_nodes (-1) in
+  let ce = ref 0 and cursor = ref 0 in
+  for e = 0 to t.nets - 1 do
+    if keep.(e) then begin
+      kept_nets.(!ce) <- e;
+      for i = t.xpins.(e) to t.xpins.(e + 1) - 1 do
+        let c = map.(t.pin_nodes.(i)) in
+        if stamp2.(c) <> e then begin
+          stamp2.(c) <- e;
+          pin_nodes.(!cursor) <- c;
+          incr cursor
+        end
+      done;
+      incr ce;
+      xpins.(!ce) <- !cursor
+    end
+  done;
+  let xnets, net_ids = index_nets ~nodes:coarse_nodes ~xpins ~pin_nodes in
+  let coarse =
+    {
+      nodes = coarse_nodes;
+      nets = !kept;
+      xpins;
+      pin_nodes;
+      xnets;
+      net_ids;
+      size;
+      flops;
+    }
+  in
+  let memento =
+    { fine_nodes = t.nodes; coarse_nodes; map = Array.copy map; kept_nets }
+  in
+  (coarse, memento)
+
+let project m coarse_assign =
+  if Array.length coarse_assign <> m.coarse_nodes then
+    invalid_arg "Csr.project: wrong assignment length";
+  Array.init m.fine_nodes (fun v -> coarse_assign.(m.map.(v)))
+
+let validate t =
+  let fail fmt = Printf.ksprintf (fun msg -> Error msg) fmt in
+  let ( let* ) r f = match r with Ok () -> f () | Error _ as e -> e in
+  let* () =
+    if Array.length t.xpins <> t.nets + 1 then fail "xpins length"
+    else if Array.length t.xnets <> t.nodes + 1 then fail "xnets length"
+    else if Array.length t.size <> t.nodes then fail "size length"
+    else if Array.length t.flops <> t.nodes then fail "flops length"
+    else Ok ()
+  in
+  let* () =
+    let bad = ref None in
+    for e = 0 to t.nets - 1 do
+      if !bad = None && t.xpins.(e + 1) < t.xpins.(e) then bad := Some e
+    done;
+    match !bad with
+    | Some e -> fail "net %d: xpins not monotone" e
+    | None ->
+      if t.xpins.(t.nets) <> Array.length t.pin_nodes then
+        fail "xpins.(nets) <> |pin_nodes|"
+      else Ok ()
+  in
+  let* () =
+    let bad = ref None in
+    Array.iteri
+      (fun i v -> if !bad = None && (v < 0 || v >= t.nodes) then bad := Some i)
+      t.pin_nodes;
+    match !bad with
+    | Some i -> fail "pin %d: node id out of range" i
+    | None -> Ok ()
+  in
+  let* () =
+    (* duplicate-free pin lists *)
+    let stamp = Array.make (max 1 t.nodes) (-1) in
+    let bad = ref None in
+    for e = 0 to t.nets - 1 do
+      for i = t.xpins.(e) to t.xpins.(e + 1) - 1 do
+        let v = t.pin_nodes.(i) in
+        if stamp.(v) = e && !bad = None then bad := Some e;
+        stamp.(v) <- e
+      done
+    done;
+    match !bad with
+    | Some e -> fail "net %d: duplicate pin" e
+    | None -> Ok ()
+  in
+  let* () =
+    let xnets, net_ids = index_nets ~nodes:t.nodes ~xpins:t.xpins ~pin_nodes:t.pin_nodes in
+    if xnets <> t.xnets then fail "xnets disagrees with pin lists"
+    else if net_ids <> t.net_ids then fail "net_ids disagrees with pin lists"
+    else Ok ()
+  in
+  let bad = ref None in
+  Array.iteri
+    (fun v s -> if !bad = None && s < 0 then bad := Some v)
+    t.size;
+  match !bad with
+  | Some v -> fail "node %d: negative size" v
+  | None -> Ok ()

@@ -1,0 +1,121 @@
+(** Frozen CSR (compressed sparse row) hypergraph for the multilevel
+    engine's coarse levels.
+
+    {!Hgraph.t} is the right representation for the flat engines: it
+    carries names, validates on construction, and is built once per
+    circuit.  The multilevel engine instead builds a whole hierarchy of
+    successively coarser graphs, and tears through their pin lists on
+    every matching and contraction pass — for that regime this module
+    stores a hypergraph as six flat [int array]s (xadj/adjncy style, in
+    both the net→pin and node→net directions) with no names, no
+    hashing and no per-object allocation.
+
+    Layout, for a graph with [n] nodes and [m] nets:
+
+    - [xpins] : [m+1] offsets into [pin_nodes]; net [e]'s pins are
+      [pin_nodes.(xpins.(e)) .. pin_nodes.(xpins.(e+1)-1)].
+    - [xnets] : [n+1] offsets into [net_ids]; node [v]'s nets are
+      [net_ids.(xnets.(v)) .. net_ids.(xnets.(v+1)-1)].
+    - [size], [flops] : per-node weights ([size.(v) = 0] iff [v] is a
+      terminal pad, matching {!Hgraph}'s convention).
+
+    Pin lists are duplicate-free, mirroring {!Hgraph.pins}.
+
+    {b Contraction} ({!contract}) collapses a clustering [map] into a
+    coarser CSR graph plus a {!memento} that allows the exact inverse
+    projection.  The invariant the multilevel engine relies on: pads
+    are never contracted (every coarse pad is a singleton), and a fine
+    net survives iff it has [>= 2] distinct coarse endpoints {i or}
+    touches a pad.  Under that rule the coarse graph's block sizes
+    [S_i], pin counts [T_i] (DESIGN.md section 7 pin model) and cut are
+    {i exactly} equal to the flat values of the projected partition —
+    coarse feasibility is flat feasibility, and the
+    [Fpart_check.Oracle] cross-check in the engine is an equality, not
+    an approximation. *)
+
+type t = private {
+  nodes : int;
+  nets : int;
+  xpins : int array;      (* length nets+1 *)
+  pin_nodes : int array;  (* length xpins.(nets) *)
+  xnets : int array;      (* length nodes+1 *)
+  net_ids : int array;    (* length xnets.(nodes) *)
+  size : int array;       (* per node; 0 iff pad *)
+  flops : int array;      (* per node *)
+}
+
+(** Inverse of one {!contract} step. *)
+type memento = {
+  fine_nodes : int;
+  coarse_nodes : int;
+  map : int array;        (* fine node -> coarse node, length fine_nodes *)
+  kept_nets : int array;  (* coarse net -> originating fine net *)
+}
+
+(** {1 Accessors} *)
+
+val num_nodes : t -> int
+val num_nets : t -> int
+val num_pins : t -> int
+
+(** [num_pads t] counts nodes with [size = 0]. *)
+val num_pads : t -> int
+
+val is_pad : t -> int -> bool
+val total_size : t -> int
+
+(** [net_degree t e] is the number of pins on net [e]. *)
+val net_degree : t -> int -> int
+
+(** [node_degree t v] is the number of nets on node [v]. *)
+val node_degree : t -> int -> int
+
+(** [iter_net_pins f t e] applies [f] to each pin of net [e] in layout
+    order.  Allocation-free. *)
+val iter_net_pins : (int -> unit) -> t -> int -> unit
+
+(** [iter_node_nets f t v] applies [f] to each net of node [v]. *)
+val iter_node_nets : (int -> unit) -> t -> int -> unit
+
+(** [net_pins t e] is a fresh array of net [e]'s pins (tests and
+    diagnostics; the engines use {!iter_net_pins}). *)
+val net_pins : t -> int -> int array
+
+(** {1 Conversion} *)
+
+(** [of_hgraph hg] freezes [hg] into CSR form, preserving node and net
+    ids. *)
+val of_hgraph : Hgraph.t -> t
+
+(** [to_hgraph t] rebuilds an {!Hgraph.t} with the same node/net ids.
+    Generated names default to ["v<id>"] / ["e<id>"]; [node_name] /
+    [net_name] override them (e.g. to keep pad names through a
+    contraction). *)
+val to_hgraph :
+  ?node_name:(int -> string) -> ?net_name:(int -> string) -> t -> Hgraph.t
+
+(** {1 Contraction} *)
+
+(** [contract t ~map ~coarse_nodes] collapses each fine node [v] into
+    coarse node [map.(v)].  Coarse sizes and flop counts are member
+    sums.  A fine net is kept iff its pins span [>= 2] distinct coarse
+    nodes or it touches a pad; kept nets' pin lists are the
+    deduplicated coarse endpoints, in first-seen order.
+
+    @raise Invalid_argument if [map] has the wrong length, a coarse id
+    is out of [0 .. coarse_nodes-1], some coarse id has no members, or
+    a pad is grouped with any other node (pads must stay singletons —
+    each consumes one IOB on whatever device it lands on, so merging
+    one into a cell would mis-count [T_i] after projection). *)
+val contract : t -> map:int array -> coarse_nodes:int -> t * memento
+
+(** [project m coarse_assign] maps a coarse partition back onto the
+    fine nodes: fine node [v] lands in [coarse_assign.(m.map.(v))]. *)
+val project : memento -> int array -> int array
+
+(** {1 Integrity} *)
+
+(** [validate t] re-derives the node→net direction from the net→pin
+    direction and checks offsets, ranges, duplicate-free pin lists and
+    the [size = 0] ⇔ pad convention.  [Error msg] on first violation. *)
+val validate : t -> (unit, string) result

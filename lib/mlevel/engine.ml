@@ -1,0 +1,338 @@
+module Hg = Hypergraph.Hgraph
+module Csr = Hypergraph.Csr
+module Matching = Cluster.Matching
+module State = Partition.State
+module Cost = Partition.Cost
+module Obs = Fpart_obs.Metrics
+module Recorder = Fpart_obs.Recorder
+module Json = Fpart_obs.Json
+module Selfcheck = Fpart_check.Selfcheck
+module Oracle = Fpart_check.Oracle
+module Config = Fpart.Config
+module Driver = Fpart.Driver
+
+type config = {
+  coarsen_thresh : int;
+  max_weight_frac : float;
+  min_reduction : float;
+  max_levels : int;
+  coarse_runs : int;
+  refine_passes : int;
+  cycles : int;
+}
+
+let default_config =
+  {
+    coarsen_thresh = 160;
+    max_weight_frac = 0.125;
+    min_reduction = 1.1;
+    max_levels = 24;
+    coarse_runs = 3;
+    refine_passes = 1;
+    cycles = 1;
+  }
+
+type level_stat = {
+  level : int;
+  nodes : int;
+  nets : int;
+  cut_before : int;
+  cut_after : int;
+  value_before : Cost.value;
+  value_after : Cost.value;
+}
+
+type result = {
+  res : Driver.result;
+  levels : int;
+  coarsen_ratio : float;
+  level_stats : level_stat list;
+}
+
+let c_levels = Obs.counter "mlevel.levels"
+let c_refines = Obs.counter "mlevel.refines"
+
+(* One rung of the hierarchy: the coarse graph produced by contracting
+   the previous level, the memento to undo it, and the composed
+   flat-node → this-level map for the oracle cross-check. *)
+type level = {
+  index : int;  (* 1-based; 0 is the original graph *)
+  csr : Csr.t;
+  memento : Csr.memento;
+  flat_map : int array;
+  hg_view : Hg.t Lazy.t;
+}
+
+(* Coarsen until the node count reaches [thresh] (pads never contract,
+   so the threshold is on top of the pad count), the hierarchy hits
+   [max_levels], or a matching pass stops pulling its weight.  Returns
+   levels finest-first. *)
+let coarsen_hierarchy mcfg ~max_w ~thresh ~seed ?within csr0 =
+  let levels = ref [] in
+  let csr = ref csr0 in
+  let flat_map = ref (Array.init (Csr.num_nodes csr0) Fun.id) in
+  let cur_within = ref within in
+  let idx = ref 0 in
+  let stop = ref false in
+  while
+    (not !stop) && !idx < mcfg.max_levels && Csr.num_nodes !csr > thresh
+  do
+    let fine_nodes = Csr.num_nodes !csr in
+    let map, nc =
+      Matching.compute ~policy:Matching.Pairs ~max_weight:max_w
+        ?within:!cur_within
+        ~seed:(seed + (0x9e37 * (!idx + 1)))
+        !csr
+    in
+    if float_of_int fine_nodes /. float_of_int nc < mcfg.min_reduction then
+      stop := true
+    else begin
+      let coarse, memento = Csr.contract !csr ~map ~coarse_nodes:nc in
+      incr idx;
+      Obs.incr c_levels;
+      flat_map := Array.map (fun c -> map.(c)) !flat_map;
+      levels :=
+        {
+          index = !idx;
+          csr = coarse;
+          memento;
+          flat_map = !flat_map;
+          hg_view = lazy (Csr.to_hgraph coarse);
+        }
+        :: !levels;
+      (match !cur_within with
+      | Some w ->
+        let w' = Array.make nc (-1) in
+        Array.iteri (fun v c -> w'.(c) <- w.(v)) map;
+        cur_within := Some w'
+      | None -> ());
+      if Obs.enabled () then
+        Recorder.event
+          [
+            ("type", Json.Str "mlevel_coarsen");
+            ("level", Json.Int !idx);
+            ("nodes", Json.Int nc);
+            ("nets", Json.Int (Csr.num_nets coarse));
+            ( "ratio",
+              Json.Float (float_of_int fine_nodes /. float_of_int nc) );
+          ];
+      csr := coarse
+    end
+  done;
+  List.rev !levels
+
+(* The contraction-exactness cross-check (--selfcheck cheap): project
+   this level's partition all the way down and require the coarse
+   aggregates to equal the flat oracle's, as equalities. *)
+let crosscheck base ~hg ~k ~lvl_index ~flat_map st =
+  if Selfcheck.at_least base.Config.selfcheck Selfcheck.Cheap then begin
+    Selfcheck.tick ();
+    let a = State.assignment st in
+    let o = Oracle.recompute hg ~k ~assign:(fun v -> a.(flat_map.(v))) in
+    let where = Printf.sprintf "mlevel.contract.level%d" lvl_index in
+    if o.Oracle.cut <> State.cut_size st then
+      Selfcheck.record ~where
+        (Printf.sprintf "cut: coarse %d, projected flat %d"
+           (State.cut_size st) o.Oracle.cut);
+    for b = 0 to k - 1 do
+      if o.Oracle.sizes.(b) <> State.size_of st b then
+        Selfcheck.record ~where
+          (Printf.sprintf "block %d size: coarse %d, projected flat %d" b
+             (State.size_of st b) o.Oracle.sizes.(b));
+      if o.Oracle.pins.(b) <> State.pins_of st b then
+        Selfcheck.record ~where
+          (Printf.sprintf "block %d pins: coarse %d, projected flat %d" b
+             (State.pins_of st b) o.Oracle.pins.(b))
+    done
+  end
+
+(* Refine one level: seed a fresh state (and thus gain buckets) from
+   the projected assignment, run the bounded flat improvement, record
+   the convergence point.  Returns the refined assignment. *)
+let refine_level mcfg base ~ctx ~hg ~k ~stats ~lvl_index ~flat_map lvl_hg
+    assign =
+  Obs.incr c_refines;
+  let refine_cfg =
+    (* The projected partition is already near its pass optimum, so a
+       full sweep rewinds almost every move; the paper's §5 drift abort
+       caps that tail.  Scale-aware and deterministic, so --jobs
+       bit-identity is unaffected; an explicit drift_limit wins. *)
+    let drift =
+      match base.Config.drift_limit with
+      | Some _ as d -> d
+      | None -> Some (max 1000 (Hg.num_cells lvl_hg / 50))
+    in
+    {
+      base with
+      Config.max_passes = mcfg.refine_passes;
+      Config.cluster_size = None;
+      Config.drift_limit = drift;
+    }
+  in
+  let st = State.create lvl_hg ~k ~assign:(fun v -> assign.(v)) in
+  crosscheck base ~hg ~k ~lvl_index ~flat_map st;
+  let eval st =
+    Cost.evaluate base.Config.cost ctx st ~remainder:None ~step_k:k
+  in
+  let cut_before = State.cut_size st in
+  let value_before = eval st in
+  let sp = Recorder.span_begin "mlevel.refine" in
+  Driver.refine refine_cfg ctx st;
+  let cut_after = State.cut_size st in
+  let value_after = eval st in
+  let nodes = Hg.num_nodes lvl_hg and nets = Hg.num_nets lvl_hg in
+  Recorder.span_end sp
+    ~attrs:
+      [
+        ("level", Json.Int lvl_index);
+        ("nodes", Json.Int nodes);
+        ("cut_before", Json.Int cut_before);
+        ("cut_after", Json.Int cut_after);
+      ];
+  if Obs.enabled () then
+    Recorder.event
+      [
+        ("type", Json.Str "mlevel_level");
+        ("level", Json.Int lvl_index);
+        ("nodes", Json.Int nodes);
+        ("nets", Json.Int nets);
+        ("cut_before", Json.Int cut_before);
+        ("cut_after", Json.Int cut_after);
+        ("value_before", Cost.value_to_json value_before);
+        ("value_after", Cost.value_to_json value_after);
+      ];
+  stats :=
+    { level = lvl_index; nodes; nets; cut_before; cut_after; value_before;
+      value_after }
+    :: !stats;
+  State.assignment st
+
+(* Unwind a hierarchy: optionally refine the coarsest level itself
+   (V-cycle repeats), then project memento by memento, refining at
+   each finer level down to and including the flat graph. *)
+let descend mcfg base ~ctx ~hg ~levels ~k ~stats ~refine_top assign_top =
+  let arr = Array.of_list levels in
+  let t = Array.length arr in
+  let identity = lazy (Array.init (Hg.num_nodes hg) Fun.id) in
+  let assign = ref assign_top in
+  if refine_top && t > 0 then begin
+    let top = arr.(t - 1) in
+    assign :=
+      refine_level mcfg base ~ctx ~hg ~k ~stats ~lvl_index:top.index
+        ~flat_map:top.flat_map (Lazy.force top.hg_view) !assign
+  end;
+  for i = t - 1 downto 0 do
+    let lvl = arr.(i) in
+    let fine_assign = Csr.project lvl.memento !assign in
+    let fine_hg, fine_map, fine_index =
+      if i = 0 then (hg, Lazy.force identity, 0)
+      else
+        (Lazy.force arr.(i - 1).hg_view, arr.(i - 1).flat_map, arr.(i - 1).index)
+    in
+    assign :=
+      refine_level mcfg base ~ctx ~hg ~k ~stats ~lvl_index:fine_index
+        ~flat_map:fine_map fine_hg fine_assign
+  done;
+  !assign
+
+let run ?(config = default_config) ?(base = Config.default) hg device =
+  let t0 = Sys.time () in
+  let sp_run = Recorder.span_begin "mlevel.run" in
+  let delta = Config.delta_for base device in
+  let ctx = Cost.context_of device ~delta hg in
+  let m = ctx.Cost.m_lower in
+  let csr0 = Csr.of_hgraph hg in
+  let n0 = Csr.num_nodes csr0 in
+  (* pads never contract, so the stop threshold sits on top of them;
+     12·M keeps enough resolution for an M-way coarse partition *)
+  let thresh =
+    max config.coarsen_thresh (12 * m) + Csr.num_pads csr0
+  in
+  let max_w =
+    max 1
+      (int_of_float (config.max_weight_frac *. float_of_int ctx.Cost.s_max))
+  in
+  let sp_c = Recorder.span_begin "mlevel.coarsen" in
+  let levels =
+    coarsen_hierarchy config ~max_w ~thresh ~seed:base.Config.seed csr0
+  in
+  let nlevels = List.length levels in
+  let top = match List.rev levels with l :: _ -> Some l | [] -> None in
+  let top_nodes =
+    match top with Some l -> Csr.num_nodes l.csr | None -> n0
+  in
+  let coarsen_ratio = float_of_int n0 /. float_of_int top_nodes in
+  Recorder.span_end sp_c
+    ~attrs:
+      [
+        ("levels", Json.Int nlevels);
+        ("nodes", Json.Int top_nodes);
+        ("ratio", Json.Float coarsen_ratio);
+      ];
+  let top_hg = match top with Some l -> Lazy.force l.hg_view | None -> hg in
+  let sp_i = Recorder.span_begin "mlevel.initial" in
+  let coarse_cfg = { base with Config.cluster_size = None } in
+  let r0 =
+    Driver.run_best ~config:coarse_cfg ~runs:config.coarse_runs top_hg device
+  in
+  let k = r0.Driver.k in
+  Recorder.span_end sp_i
+    ~attrs:
+      [
+        ("nodes", Json.Int top_nodes);
+        ("k", Json.Int k);
+        ("feasible", Json.Bool r0.Driver.feasible);
+        ("runs", Json.Int config.coarse_runs);
+      ];
+  let stats = ref [] in
+  let sp_u = Recorder.span_begin "mlevel.uncoarsen" in
+  let assign =
+    ref
+      (descend config base ~ctx ~hg ~levels ~k ~stats ~refine_top:false
+         r0.Driver.assignment)
+  in
+  Recorder.span_end sp_u ~attrs:[ ("cycle", Json.Int 1) ];
+  for cycle = 2 to config.cycles do
+    let levels' =
+      coarsen_hierarchy config ~max_w ~thresh
+        ~seed:(base.Config.seed + (0x51 * cycle))
+        ~within:!assign csr0
+    in
+    match List.rev levels' with
+    | [] -> ()
+    | top' :: _ ->
+      (* clusters respect blocks, so the coarse seed partition is just
+         the flat one read through the composed map *)
+      let top_assign = Array.make (Csr.num_nodes top'.csr) 0 in
+      Array.iteri (fun v c -> top_assign.(c) <- !assign.(v)) top'.flat_map;
+      let sp = Recorder.span_begin "mlevel.uncoarsen" in
+      assign :=
+        descend config base ~ctx ~hg ~levels:levels' ~k ~stats
+          ~refine_top:true top_assign;
+      Recorder.span_end sp ~attrs:[ ("cycle", Json.Int cycle) ]
+  done;
+  let st = State.create hg ~k ~assign:(fun v -> !assign.(v)) in
+  if Selfcheck.at_least base.Config.selfcheck Selfcheck.Cheap then
+    ignore (Selfcheck.validate ~where:"mlevel.final" st);
+  let feasible = Cost.classify ctx st = Cost.Feasible in
+  let res =
+    {
+      r0 with
+      Driver.assignment = State.assignment st;
+      feasible;
+      cut = State.cut_size st;
+      total_pins = State.total_pins st;
+      m_lower = m;
+      delta;
+      cpu_seconds = Sys.time () -. t0;
+    }
+  in
+  Recorder.span_end sp_run
+    ~attrs:
+      [
+        ("k", Json.Int k);
+        ("feasible", Json.Bool feasible);
+        ("levels", Json.Int nlevels);
+        ("ratio", Json.Float coarsen_ratio);
+      ];
+  { res; levels = nlevels; coarsen_ratio; level_stats = List.rev !stats }

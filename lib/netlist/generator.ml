@@ -26,6 +26,26 @@ let default_spec ~name ~cells ~pads ~seed =
     seed;
   }
 
+let rent_spec ~name ~cells ~seed =
+  if cells < 64 then invalid_arg "Generator.rent_spec: cells < 64";
+  (* Rent's terminal rule at the package level: |Y| = t · cells^p with
+     t = 3 (avg pins per cell) and p = 0.5 — the I/O exponent sits
+     below the internal wiring exponent (0.6) on real designs, and
+     keeps the pad count (hence the pin lower bound) sane at 10^6
+     cells. *)
+  let pads = max 16 (int_of_float (ceil (3.0 *. sqrt (float_of_int cells)))) in
+  {
+    gen_name = name;
+    cells;
+    pads;
+    rent = 0.6;
+    leaf_size = 8;
+    wiring = 0.27;
+    max_fanout = 12;
+    flop_ratio = 0.0;
+    seed;
+  }
+
 (* Pick [k] distinct values from the integer range [lo, hi); [k] must not
    exceed the range width.  Rejection sampling is fine: k is tiny. *)
 let pick_distinct rng lo hi k =

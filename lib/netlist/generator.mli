@@ -38,6 +38,15 @@ type spec = {
     exponent ≈ 0.6 (typical of the MCNC suite). *)
 val default_spec : name:string -> cells:int -> pads:int -> seed:int -> spec
 
+(** [rent_spec ~name ~cells ~seed] is the Rent-rule family for the
+    multilevel engine's scale regime (10^5–10^6 cells): the pad count
+    is derived from Rent's terminal rule [|Y| = 3 · cells^0.5] instead
+    of being pinned to a published interface, and the structural knobs
+    match {!default_spec}.  The CLI accepts it as
+    [--generate rent:CELLS].  @raise Invalid_argument if
+    [cells < 64]. *)
+val rent_spec : name:string -> cells:int -> seed:int -> spec
+
 (** [generate spec] builds the circuit.  The result is connected, has
     exactly [spec.cells] interior nodes of size 1 and [spec.pads]
     terminal nodes, and every net has between 2 and [spec.max_fanout]

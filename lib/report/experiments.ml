@@ -2,6 +2,7 @@ module Hg = Hypergraph.Hgraph
 module Mcnc = Netlist.Mcnc
 
 type algo = Fpart_algo | Kwayx_algo | Fbb_mw_algo
+type engine = Flat | Multilevel
 
 type run = { k : int; feasible : bool; cut : int; cpu_seconds : float }
 
@@ -10,16 +11,18 @@ type t = {
   graphs : (string * Device.family, Hg.t) Hashtbl.t;
   progress : string -> unit;
   jobs : int;
+  engine : engine;
   mutable pool : Fpart_exec.Pool.t option;
 }
 
-let create ?(progress = fun _ -> ()) ?(jobs = 1) () =
+let create ?(progress = fun _ -> ()) ?(jobs = 1) ?(engine = Flat) () =
   if jobs < 1 then invalid_arg "Experiments.create: jobs < 1";
   {
     memo = Hashtbl.create 64;
     graphs = Hashtbl.create 16;
     progress;
     jobs;
+    engine;
     pool = None;
   }
 
@@ -58,10 +61,14 @@ let graph_of t circuit family =
 
 (* The pure compute step: no memo, no graph cache, no progress — safe to
    run on a worker domain. *)
-let compute algo hg device =
+let compute ?(engine = Flat) algo hg device =
   match algo with
       | Fpart_algo ->
-        let r = Fpart.Driver.run hg device in
+        let r =
+          match engine with
+          | Flat -> Fpart.Driver.run hg device
+          | Multilevel -> (Mlevel.Engine.run hg device).Mlevel.Engine.res
+        in
         {
           k = r.Fpart.Driver.k;
           feasible = r.Fpart.Driver.feasible;
@@ -101,7 +108,7 @@ let run_one t algo circuit device =
       (Printf.sprintf "running %s on %s / %s ..." (algo_name algo)
          circuit.Mcnc.circuit_name device.Device.dev_name);
     let hg = graph_of t circuit device.Device.family in
-    let r = compute algo hg device in
+    let r = compute ~engine:t.engine algo hg device in
     Hashtbl.add t.memo key r;
     r
 
@@ -142,7 +149,7 @@ let prewarm t work =
       in
       let results =
         Fpart_exec.Pool.map pool
-          (fun _ (algo, hg, _c, d) -> compute algo hg d)
+          (fun _ (algo, hg, _c, d) -> compute ~engine:t.engine algo hg d)
           tasks
       in
       Array.iteri
@@ -644,7 +651,7 @@ let modern t =
         t.progress (Printf.sprintf "modern baseline %s ..." c.Mcnc.circuit_name);
         let hg = graph_of t c device.Device.family in
         let fp = run_one t Fpart_algo c device in
-        let ml = Mlevel.Mlrb.partition hg device Mlevel.Mlrb.default_config in
+        let ml = (Mlevel.Engine.run hg device).Mlevel.Engine.res in
         let m =
           Device.lower_bound device ~delta:0.9 ~total_size:(Hg.total_size hg)
             ~total_pads:(Hg.num_pads hg)
@@ -653,18 +660,18 @@ let modern t =
           c.Mcnc.circuit_name;
           string_of_int fp.k;
           string_of_int fp.cut;
-          string_of_int ml.Mlevel.Mlrb.k;
-          string_of_int ml.Mlevel.Mlrb.cut;
-          (if ml.Mlevel.Mlrb.feasible then "yes" else "NO");
+          string_of_int ml.Fpart.Driver.k;
+          string_of_int ml.Fpart.Driver.cut;
+          (if ml.Fpart.Driver.feasible then "yes" else "NO");
           string_of_int m;
         ])
       Mcnc.all
   in
   Table.render
     ~title:
-      "Modern baseline: FPART vs multilevel recursive bisection (hMETIS-style, \
-       cut-driven) on XC3020"
-    ~header:[ "Circuit"; "FPART k"; "cut"; "MLRB k"; "cut"; "MLRB feas"; "M" ]
+      "Modern baseline: flat FPART vs the multilevel V-cycle engine \
+       (coarsen / FPART / uncoarsen+refine) on XC3020"
+    ~header:[ "Circuit"; "FPART k"; "cut"; "MLEVEL k"; "cut"; "MLEVEL feas"; "M" ]
     ~align:[ Table.Left ] rows
 
 (* ------------------------------------------------------------------ *)

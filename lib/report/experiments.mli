@@ -15,6 +15,11 @@ type algo =
   | Kwayx_algo   (** Baseline k-way.x ({!Fpart.Kwayx}). *)
   | Fbb_mw_algo  (** Baseline FBB-MW ({!Flow.Fbb_mw}). *)
 
+(** Which engine carries the {!Fpart_algo} runs: the paper's flat
+    driver, or the multilevel V-cycle ({!Mlevel.Engine}).  Baselines
+    are unaffected. *)
+type engine = Flat | Multilevel
+
 type run = {
   k : int;             (** Devices produced. *)
   feasible : bool;
@@ -25,15 +30,17 @@ type run = {
 (** [run_one t algo circuit device] runs (or recalls) one experiment. *)
 type t
 
-(** [create ?progress ?jobs ()] makes a fresh memo table.  [jobs]
-    (default 1) is the domain budget: with [jobs > 1] the device tables,
-    Table 6 and the variance study fan their independent algorithm runs
-    out on an {!Fpart_exec.Pool} (created lazily, released by
-    {!shutdown}).  Every run is deterministic, so the rendered tables
-    are identical for every [jobs]; only the progress-line order and
-    wall-clock time change.
+(** [create ?progress ?jobs ?engine ()] makes a fresh memo table.
+    [jobs] (default 1) is the domain budget: with [jobs > 1] the device
+    tables, Table 6 and the variance study fan their independent
+    algorithm runs out on an {!Fpart_exec.Pool} (created lazily,
+    released by {!shutdown}).  [engine] (default {!Flat}) selects the
+    engine behind every FPART run.  Every run is deterministic, so the
+    rendered tables are identical for every [jobs]; only the
+    progress-line order and wall-clock time change.
     @raise Invalid_argument if [jobs < 1]. *)
-val create : ?progress:(string -> unit) -> ?jobs:int -> unit -> t
+val create :
+  ?progress:(string -> unit) -> ?jobs:int -> ?engine:engine -> unit -> t
 
 (** [shutdown t] joins the worker domains of the lazily created pool, if
     any.  [t] remains usable (a later table re-creates the pool). *)
@@ -110,9 +117,10 @@ val variance : t -> string
 
 (** {1 Modern baseline}
 
-    FPART vs a post-paper multilevel recursive bisection (hMETIS-style);
-    the cut-driven baseline ties on easy rows and needs extra devices
-    where the pin constraint binds. *)
+    Flat FPART vs the multilevel V-cycle engine ({!Mlevel.Engine}) on
+    the paper's circuits — at MCNC scale the flat driver usually wins
+    or ties (the regime the V-cycle targets starts around 10^5
+    cells). *)
 val modern : t -> string
 
 (** {1 Filling-ratio sweep}

@@ -1,0 +1,401 @@
+(* Multilevel machinery: Induce extraction, the CSR hypergraph and its
+   exact contraction, heavy-edge matching, and the V-cycle engine. *)
+
+module Hg = Hypergraph.Hgraph
+module Induce = Hypergraph.Induce
+module Csr = Hypergraph.Csr
+module Matching = Cluster.Matching
+module Engine = Mlevel.Engine
+module State = Partition.State
+module Cost = Partition.Cost
+module Oracle = Fpart_check.Oracle
+module Selfcheck = Fpart_check.Selfcheck
+
+let circuit ?(cells = 200) ?(pads = 24) seed =
+  Netlist.Generator.generate
+    (Netlist.Generator.default_spec ~name:"ml" ~cells ~pads ~seed)
+
+(* --- Induce -------------------------------------------------------- *)
+
+let test_induce_identity () =
+  let h = circuit 1 in
+  let ind = Induce.induce h ~keep:(fun _ -> true) in
+  Alcotest.(check int) "same nodes" (Hg.num_nodes h) (Hg.num_nodes ind.Induce.sub);
+  Alcotest.(check int) "same nets" (Hg.num_nets h) (Hg.num_nets ind.Induce.sub);
+  Alcotest.(check int) "same size" (Hg.total_size h) (Hg.total_size ind.Induce.sub)
+
+let test_induce_subset () =
+  let h = circuit 2 in
+  let keep v = v mod 2 = 0 in
+  let ind = Induce.induce h ~keep in
+  (* mappings are mutually inverse on the kept set *)
+  Array.iteri
+    (fun sub_v orig_v ->
+      Alcotest.(check int) "roundtrip" sub_v ind.Induce.to_sub.(orig_v);
+      Alcotest.(check bool) "kept" true (keep orig_v);
+      (* attributes preserved *)
+      Alcotest.(check int) "size" (Hg.size h orig_v) (Hg.size ind.Induce.sub sub_v);
+      Alcotest.(check bool) "kind" (Hg.is_pad h orig_v) (Hg.is_pad ind.Induce.sub sub_v))
+    ind.Induce.to_orig;
+  Hg.iter_nodes
+    (fun v -> if not (keep v) then Alcotest.(check int) "dropped" (-1) ind.Induce.to_sub.(v))
+    h;
+  (* induced nets have >= 2 pins and validate *)
+  Alcotest.(check bool) "validates" true (Hg.validate ind.Induce.sub = Ok ());
+  Hg.iter_nets
+    (fun e ->
+      if Hg.net_degree ind.Induce.sub e < 2 then Alcotest.fail "degenerate net kept")
+    ind.Induce.sub
+
+let test_induce_net_restriction () =
+  (* a 3-pin net with one pin dropped becomes a 2-pin net *)
+  let b = Hg.Builder.create () in
+  let x = Hg.Builder.add_cell b ~name:"x" ~size:1 in
+  let y = Hg.Builder.add_cell b ~name:"y" ~size:1 in
+  let z = Hg.Builder.add_cell b ~name:"z" ~size:1 in
+  ignore (Hg.Builder.add_net b ~name:"n" [ x; y; z ]);
+  let h = Hg.Builder.freeze b in
+  let ind = Induce.induce h ~keep:(fun v -> v <> z) in
+  Alcotest.(check int) "net kept" 1 (Hg.num_nets ind.Induce.sub);
+  Alcotest.(check int) "restricted degree" 2 (Hg.net_degree ind.Induce.sub 0);
+  (* with two pins dropped the net disappears *)
+  let ind2 = Induce.induce h ~keep:(fun v -> v = x) in
+  Alcotest.(check int) "net dropped" 0 (Hg.num_nets ind2.Induce.sub)
+
+(* --- Csr ----------------------------------------------------------- *)
+
+let test_csr_roundtrip () =
+  let h = circuit 11 in
+  let c = Csr.of_hgraph h in
+  Alcotest.(check bool) "validates" true (Csr.validate c = Ok ());
+  Alcotest.(check int) "nodes" (Hg.num_nodes h) (Csr.num_nodes c);
+  Alcotest.(check int) "nets" (Hg.num_nets h) (Csr.num_nets c);
+  let hg_pins =
+    let n = ref 0 in
+    Hg.iter_nets (fun e -> n := !n + Hg.net_degree h e) h;
+    !n
+  in
+  Alcotest.(check int) "pins" hg_pins (Csr.num_pins c);
+  Alcotest.(check int) "pads" (Hg.num_pads h) (Csr.num_pads c);
+  Alcotest.(check int) "size" (Hg.total_size h) (Csr.total_size c);
+  let h2 = Csr.to_hgraph c in
+  Alcotest.(check bool) "hg validates" true (Hg.validate h2 = Ok ());
+  Hg.iter_nodes
+    (fun v ->
+      Alcotest.(check int) "node size" (Hg.size h v) (Hg.size h2 v);
+      Alcotest.(check int) "node flops" (Hg.flops h v) (Hg.flops h2 v);
+      Alcotest.(check bool) "node kind" (Hg.is_pad h v) (Hg.is_pad h2 v))
+    h;
+  Hg.iter_nets
+    (fun e ->
+      let sorted a = Array.sort compare a; a in
+      Alcotest.(check (array int))
+        "net pins"
+        (sorted (Array.copy (Hg.pins h e)))
+        (sorted (Array.copy (Hg.pins h2 e))))
+    h
+
+(* a(2) b(1) c(3) + pad p; nets n1=abc n2=ab n3=pc n4=ac *)
+let tiny () =
+  let b = Hg.Builder.create () in
+  let a = Hg.Builder.add_cell b ~name:"a" ~size:2 in
+  let bb = Hg.Builder.add_cell b ~name:"b" ~size:1 ~flops:1 in
+  let c = Hg.Builder.add_cell b ~name:"c" ~size:3 in
+  let p = Hg.Builder.add_pad b ~name:"p" in
+  ignore (Hg.Builder.add_net b ~name:"n1" [ a; bb; c ]);
+  ignore (Hg.Builder.add_net b ~name:"n2" [ a; bb ]);
+  ignore (Hg.Builder.add_net b ~name:"n3" [ p; c ]);
+  ignore (Hg.Builder.add_net b ~name:"n4" [ a; c ]);
+  (Csr.of_hgraph (Hg.Builder.freeze b), (a, bb, c, p))
+
+let test_contract_tiny () =
+  let csr, (a, bb, c, p) = tiny () in
+  (* a,b -> 0; c -> 1; p -> 2 *)
+  let map = Array.make 4 0 in
+  map.(a) <- 0; map.(bb) <- 0; map.(c) <- 1; map.(p) <- 2;
+  let coarse, m = Csr.contract csr ~map ~coarse_nodes:3 in
+  Alcotest.(check bool) "validates" true (Csr.validate coarse = Ok ());
+  Alcotest.(check int) "nodes" 3 (Csr.num_nodes coarse);
+  (* n2 = {a,b} has one coarse endpoint and no pad: dropped.
+     n1 -> {0,1}, n3 -> {2,1} (pad net kept), n4 -> {0,1}. *)
+  Alcotest.(check int) "nets" 3 (Csr.num_nets coarse);
+  Alcotest.(check (array int)) "sizes" [| 3; 3; 0 |] coarse.Csr.size;
+  Alcotest.(check (array int)) "flops" [| 1; 0; 0 |] coarse.Csr.flops;
+  Alcotest.(check int) "pads" 1 (Csr.num_pads coarse);
+  (* every kept net's coarse pins = dedup of mapped fine pins *)
+  Array.iteri
+    (fun ce fe ->
+      let want =
+        List.sort_uniq compare
+          (Array.to_list (Array.map (fun v -> map.(v)) (Csr.net_pins csr fe)))
+      in
+      let got = List.sort compare (Array.to_list (Csr.net_pins coarse ce)) in
+      Alcotest.(check (list int)) "kept pins" want got)
+    m.Csr.kept_nets;
+  (* exact inverse projection *)
+  let fine = Csr.project m [| 5; 7; 9 |] in
+  Alcotest.(check (array int)) "project" [| 5; 5; 7; 9 |] fine
+
+let test_contract_rejects () =
+  let csr, (a, bb, c, p) = tiny () in
+  let expect_invalid name map nc =
+    match Csr.contract csr ~map ~coarse_nodes:nc with
+    | _ -> Alcotest.failf "%s: accepted" name
+    | exception Invalid_argument _ -> ()
+  in
+  (* pad merged with a cell *)
+  let map = Array.make 4 0 in
+  map.(a) <- 0; map.(bb) <- 0; map.(c) <- 1; map.(p) <- 1;
+  expect_invalid "pad merge" map 2;
+  (* empty coarse id *)
+  let map = Array.make 4 0 in
+  map.(a) <- 0; map.(bb) <- 0; map.(c) <- 0; map.(p) <- 2;
+  expect_invalid "empty group" map 3;
+  (* out of range *)
+  let map = Array.make 4 0 in
+  map.(a) <- 0; map.(bb) <- 5; map.(c) <- 1; map.(p) <- 2;
+  expect_invalid "out of range" map 3
+
+(* --- Matching ------------------------------------------------------ *)
+
+let groups_of map nc =
+  let g = Array.make nc [] in
+  Array.iteri (fun v c -> g.(c) <- v :: g.(c)) map;
+  g
+
+let test_matching_pairs () =
+  let h = circuit 21 in
+  let csr = Csr.of_hgraph h in
+  let map, nc = Matching.compute ~policy:Matching.Pairs ~max_weight:8 ~seed:3 csr in
+  Alcotest.(check bool) "shrinks" true (nc < Csr.num_nodes csr);
+  Array.iter
+    (fun members ->
+      match members with
+      | [] -> Alcotest.fail "empty group"
+      | [ _ ] -> ()
+      | [ u; v ] ->
+        if Csr.is_pad csr u || Csr.is_pad csr v then
+          Alcotest.fail "pad matched";
+        Alcotest.(check bool)
+          "weight cap" true
+          (csr.Csr.size.(u) + csr.Csr.size.(v) <= 8)
+      | _ -> Alcotest.fail "group larger than a pair")
+    (groups_of map nc)
+
+let test_matching_weight_cap () =
+  let h = circuit 22 in
+  let csr = Csr.of_hgraph h in
+  List.iter
+    (fun policy ->
+      let map, nc = Matching.compute ~policy ~max_weight:3 ~seed:9 csr in
+      Array.iter
+        (fun members ->
+          match members with
+          | [ _ ] -> ()
+          | ms ->
+            let w = List.fold_left (fun s v -> s + csr.Csr.size.(v)) 0 ms in
+            Alcotest.(check bool) "cap" true (w <= 3))
+        (groups_of map nc))
+    [ Matching.Pairs; Matching.Agglomerate ]
+
+let test_matching_weight_one () =
+  let h = circuit 23 in
+  let csr = Csr.of_hgraph h in
+  let _, nc = Matching.compute ~policy:Matching.Pairs ~max_weight:1 ~seed:1 csr in
+  Alcotest.(check int) "all singletons" (Csr.num_nodes csr) nc
+
+let test_matching_deterministic () =
+  let h = circuit 24 in
+  let csr = Csr.of_hgraph h in
+  let m1, n1 = Matching.compute ~policy:Matching.Agglomerate ~max_weight:6 ~seed:42 csr in
+  let m2, n2 = Matching.compute ~policy:Matching.Agglomerate ~max_weight:6 ~seed:42 csr in
+  Alcotest.(check int) "same count" n1 n2;
+  Alcotest.(check (array int)) "same map" m1 m2
+
+let test_matching_within () =
+  let h = circuit 25 in
+  let csr = Csr.of_hgraph h in
+  let within = Array.init (Csr.num_nodes csr) (fun v -> v mod 3) in
+  let map, nc = Matching.compute ~policy:Matching.Pairs ~max_weight:8 ~within ~seed:5 csr in
+  Array.iter
+    (fun members ->
+      match List.map (fun v -> within.(v)) members with
+      | [] | [ _ ] -> ()
+      | w :: rest ->
+        List.iter (fun w' -> Alcotest.(check int) "same side" w w') rest)
+    (groups_of map nc)
+
+(* --- Engine -------------------------------------------------------- *)
+
+let big_circuit seed = circuit ~cells:1500 ~pads:80 seed
+
+let test_engine_end_to_end () =
+  let hg = big_circuit 31 in
+  let device = Device.xc3042 in
+  let r = Engine.run hg device in
+  let res = r.Engine.res in
+  Alcotest.(check bool) "feasible" true res.Fpart.Driver.feasible;
+  Alcotest.(check bool) "coarsened" true (r.Engine.levels > 0);
+  Alcotest.(check bool) "ratio" true (r.Engine.coarsen_ratio > 1.0);
+  Alcotest.(check bool) "k >= M" true
+    (res.Fpart.Driver.k >= res.Fpart.Driver.m_lower);
+  (* the reported partition really is feasible and its cut honest *)
+  let k = res.Fpart.Driver.k in
+  let a = res.Fpart.Driver.assignment in
+  let o = Oracle.recompute hg ~k ~assign:(fun v -> a.(v)) in
+  Alcotest.(check int) "cut" o.Oracle.cut res.Fpart.Driver.cut;
+  let s_max = Device.s_max device ~delta:0.9 in
+  for b = 0 to k - 1 do
+    if o.Oracle.sizes.(b) > s_max then Alcotest.failf "block %d oversize" b;
+    if o.Oracle.pins.(b) > device.Device.t_max then
+      Alcotest.failf "block %d pins over" b
+  done
+
+let test_engine_jobs_identical () =
+  let hg = big_circuit 32 in
+  let run jobs =
+    Engine.run ~base:{ Fpart.Config.default with Fpart.Config.jobs } hg
+      Device.xc3042
+  in
+  let r1 = run 1 and r4 = run 4 in
+  Alcotest.(check int) "same k" r1.Engine.res.Fpart.Driver.k
+    r4.Engine.res.Fpart.Driver.k;
+  Alcotest.(check int) "same cut" r1.Engine.res.Fpart.Driver.cut
+    r4.Engine.res.Fpart.Driver.cut;
+  Alcotest.(check (array int)) "same assignment"
+    r1.Engine.res.Fpart.Driver.assignment r4.Engine.res.Fpart.Driver.assignment
+
+let test_engine_never_worsens () =
+  let hg = big_circuit 33 in
+  let r = Engine.run hg Device.xc3042 in
+  Alcotest.(check bool) "has levels" true (r.Engine.level_stats <> []);
+  List.iter
+    (fun (s : Engine.level_stat) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "level %d no worse" s.Engine.level)
+        true
+        (Cost.compare_value s.Engine.value_after s.Engine.value_before <= 0))
+    r.Engine.level_stats
+
+let test_engine_no_coarsening () =
+  (* threshold above the node count: degenerates to the flat driver *)
+  let hg = circuit ~cells:300 ~pads:30 34 in
+  let config = { Engine.default_config with Engine.coarsen_thresh = 1_000_000 } in
+  let r = Engine.run ~config hg Device.xc3020 in
+  Alcotest.(check int) "no levels" 0 r.Engine.levels;
+  Alcotest.(check (float 0.0001)) "ratio 1" 1.0 r.Engine.coarsen_ratio;
+  Alcotest.(check bool) "feasible" true r.Engine.res.Fpart.Driver.feasible
+
+let test_engine_two_cycles () =
+  let hg = big_circuit 35 in
+  let config = { Engine.default_config with Engine.cycles = 2 } in
+  let r1 = Engine.run hg Device.xc3042 in
+  let r2 = Engine.run ~config hg Device.xc3042 in
+  Alcotest.(check bool) "feasible" true r2.Engine.res.Fpart.Driver.feasible;
+  Alcotest.(check bool) "more refinements" true
+    (List.length r2.Engine.level_stats > List.length r1.Engine.level_stats);
+  (* the extra cycle can only help (refinement never worsens) *)
+  Alcotest.(check bool) "cut no worse" true
+    (r2.Engine.res.Fpart.Driver.cut <= r1.Engine.res.Fpart.Driver.cut)
+
+let test_engine_selfcheck_clean () =
+  let hg = big_circuit 36 in
+  let before = Selfcheck.violations_seen () in
+  let base =
+    { Fpart.Config.default with Fpart.Config.selfcheck = Selfcheck.Cheap }
+  in
+  let r = Engine.run ~base hg Device.xc3042 in
+  Alcotest.(check bool) "feasible" true r.Engine.res.Fpart.Driver.feasible;
+  Alcotest.(check int) "no violations" before (Selfcheck.violations_seen ())
+
+let test_rent_spec () =
+  let spec = Netlist.Generator.rent_spec ~name:"r" ~cells:500 ~seed:1 in
+  Alcotest.(check int) "rent pads" 68 spec.Netlist.Generator.pads;
+  let h = Netlist.Generator.generate spec in
+  Alcotest.(check int) "cells" 500 (Hg.num_cells h);
+  Alcotest.(check int) "pads" 68 (Hg.num_pads h);
+  Alcotest.(check bool) "validates" true (Hg.validate h = Ok ())
+
+(* --- Properties ---------------------------------------------------- *)
+
+(* coarsen ∘ uncoarsen is exact: weights are conserved, every kept
+   net's coarse pins are the dedup of its mapped fine pins, and the
+   coarse aggregates of any partition equal the flat aggregates of its
+   projection. *)
+let prop_contract_exact =
+  QCheck.Test.make ~count:12 ~name:"contraction is exact"
+    QCheck.(pair (int_range 100 400) (int_range 0 1000))
+    (fun (cells, seed) ->
+      let hg = circuit ~cells ~pads:(max 4 (cells / 10)) seed in
+      let csr = Csr.of_hgraph hg in
+      let map, nc =
+        Matching.compute ~policy:Matching.Pairs ~max_weight:8 ~seed csr
+      in
+      let coarse, m = Csr.contract csr ~map ~coarse_nodes:nc in
+      if Csr.validate coarse <> Ok () then false
+      else if Csr.total_size coarse <> Csr.total_size csr then false
+      else if Csr.num_pads coarse <> Csr.num_pads csr then false
+      else begin
+        let pins_ok = ref true in
+        Array.iteri
+          (fun ce fe ->
+            let want =
+              List.sort_uniq compare
+                (Array.to_list
+                   (Array.map (fun v -> map.(v)) (Csr.net_pins csr fe)))
+            in
+            let got =
+              List.sort compare (Array.to_list (Csr.net_pins coarse ce))
+            in
+            if want <> got then pins_ok := false)
+          m.Csr.kept_nets;
+        (* arbitrary 3-way coarse partition; aggregates must project *)
+        let k = 3 in
+        let coarse_assign = Array.init nc (fun c -> c mod k) in
+        let flat = Csr.project m coarse_assign in
+        let oc =
+          Oracle.recompute (Csr.to_hgraph coarse) ~k
+            ~assign:(fun c -> coarse_assign.(c))
+        in
+        let off = Oracle.recompute hg ~k ~assign:(fun v -> flat.(v)) in
+        !pins_ok && oc.Oracle.cut = off.Oracle.cut
+        && oc.Oracle.sizes = off.Oracle.sizes
+        && oc.Oracle.pins = off.Oracle.pins
+        && oc.Oracle.flops = off.Oracle.flops
+      end)
+
+let () =
+  Alcotest.run "mlevel"
+    [
+      ( "induce",
+        [
+          Alcotest.test_case "identity" `Quick test_induce_identity;
+          Alcotest.test_case "subset" `Quick test_induce_subset;
+          Alcotest.test_case "net restriction" `Quick test_induce_net_restriction;
+        ] );
+      ( "csr",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_csr_roundtrip;
+          Alcotest.test_case "contract tiny" `Quick test_contract_tiny;
+          Alcotest.test_case "contract rejects" `Quick test_contract_rejects;
+        ] );
+      ( "matching",
+        [
+          Alcotest.test_case "pairs" `Quick test_matching_pairs;
+          Alcotest.test_case "weight cap" `Quick test_matching_weight_cap;
+          Alcotest.test_case "weight one" `Quick test_matching_weight_one;
+          Alcotest.test_case "deterministic" `Quick test_matching_deterministic;
+          Alcotest.test_case "within" `Quick test_matching_within;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "end to end" `Quick test_engine_end_to_end;
+          Alcotest.test_case "jobs identical" `Quick test_engine_jobs_identical;
+          Alcotest.test_case "never worsens" `Quick test_engine_never_worsens;
+          Alcotest.test_case "no coarsening" `Quick test_engine_no_coarsening;
+          Alcotest.test_case "two cycles" `Quick test_engine_two_cycles;
+          Alcotest.test_case "selfcheck clean" `Quick test_engine_selfcheck_clean;
+          Alcotest.test_case "rent spec" `Quick test_rent_spec;
+        ] );
+      ("property", List.map QCheck_alcotest.to_alcotest [ prop_contract_exact ]);
+    ]
