@@ -214,6 +214,7 @@ let quota =
 
 let parallel_name = "parallel/run-best-table2"
 let mlevel_scale_name = "mlevel/table-scale"
+let refiner_table_name = "refiner/table2"
 let selfcheck_name = "selfcheck/overhead-table2"
 let gain_update_name = "gain_update/table2"
 let recorder_name = "recorder/overhead-table2"
@@ -278,6 +279,11 @@ let mlevel_scale_wanted =
   | None -> true
   | Some pat -> contains mlevel_scale_name pat
 
+let refiner_wanted =
+  match Sys.getenv_opt "FPART_BENCH_ONLY" with
+  | None -> true
+  | Some pat -> contains refiner_table_name pat
+
 let tests =
   let kept =
     match Sys.getenv_opt "FPART_BENCH_ONLY" with
@@ -287,7 +293,7 @@ let tests =
   if
     kept = [] && not parallel_wanted && not selfcheck_wanted
     && not gain_update_wanted && not recorder_wanted && not resource_wanted
-    && not mlevel_scale_wanted
+    && not mlevel_scale_wanted && not refiner_wanted
   then begin
     prerr_endline "bench: FPART_BENCH_ONLY matched no benchmarks";
     exit 1
@@ -401,6 +407,73 @@ let measure_mlevel_scale () =
              ms_ratio = ml.Mlevel.Engine.coarsen_ratio;
            })
          mlevel_scale_cells)
+
+(* Refinement-backend comparison (docs/FLOW_REFINEMENT.md): the same
+   workload through the paper's Sanchis passes, the corridor max-flow
+   refiner and the stall-driven hybrid.  One timed Driver.run per
+   backend per workload — multi-second wall-clock measurements, so
+   bechamel's probes would only add noise.  Cut quality is the point:
+   the committed rows include a workload where the hybrid strictly
+   beats pure Sanchis (rent:2000 seed 5), and the per-workload
+   hybrid-gain ledger row lets `fpart_inspect regress` catch that win
+   silently evaporating. *)
+
+type refiner_run = {
+  rr_wall : float;
+  rr_cut : int;
+  rr_k : int;
+  rr_feas : bool;
+}
+
+type refiner_row = {
+  rf_workload : string;
+  rf_device : string;
+  rf_sanchis : refiner_run;
+  rf_flow : refiner_run;
+  rf_hybrid : refiner_run;
+}
+
+let measure_refiner () =
+  if not refiner_wanted then None
+  else begin
+    (* rent:2000 at seed 5 matches `fpart --generate rent:2000 --seed 5`
+       bit for bit (same generator spec, same config seed). *)
+    let rent2000 =
+      Netlist.Generator.generate
+        (Netlist.Generator.rent_spec ~name:"rent" ~cells:2000 ~seed:5)
+    in
+    let workloads =
+      [
+        ("c3540-xc3020", Lazy.force c3540_3000, Device.xc3020, Fpart.Config.default);
+        ( "rent2000-v1250",
+          rent2000,
+          Device.v1250,
+          { Fpart.Config.default with seed = 5 } );
+      ]
+    in
+    Some
+      (List.map
+         (fun (wname, hg, device, base) ->
+           let one refiner =
+             let config = { base with Fpart.Config.refiner } in
+             let t0 = Unix.gettimeofday () in
+             let r = Fpart.Driver.run ~config hg device in
+             {
+               rr_wall = Unix.gettimeofday () -. t0;
+               rr_cut = r.Fpart.Driver.cut;
+               rr_k = r.Fpart.Driver.k;
+               rr_feas = r.Fpart.Driver.feasible;
+             }
+           in
+           {
+             rf_workload = wname;
+             rf_device = device.Device.dev_name;
+             rf_sanchis = one Fpart.Config.Sanchis_refiner;
+             rf_flow = one Fpart.Config.Flow_refiner;
+             rf_hybrid = one Fpart.Config.Hybrid_refiner;
+           })
+         workloads)
+  end
 
 (* Self-check overhead: wall time of a Driver.run on the table-2
    workload with selfcheck off vs cheap (pass-boundary oracle
@@ -636,8 +709,29 @@ let mlevel_row_json r =
       ("coarsen_ratio", Json.Float r.ms_ratio);
     ]
 
+let refiner_run_json rr =
+  Json.Obj
+    [
+      ("wall_s", Json.Float rr.rr_wall);
+      ("cut", Json.Int rr.rr_cut);
+      ("k", Json.Int rr.rr_k);
+      ("feasible", Json.Bool rr.rr_feas);
+    ]
+
+let refiner_row_json row =
+  Json.Obj
+    [
+      ("workload", Json.Str row.rf_workload);
+      ("device", Json.Str row.rf_device);
+      ("sanchis", refiner_run_json row.rf_sanchis);
+      ("flow", refiner_run_json row.rf_flow);
+      ("hybrid", refiner_run_json row.rf_hybrid);
+      ( "hybrid_gain",
+        Json.Int (row.rf_sanchis.rr_cut - row.rf_hybrid.rr_cut) );
+    ]
+
 let write_snapshot rows parallel selfcheck gain_update recorder resource
-    mlevel_scale =
+    mlevel_scale refiner =
   let benchmarks =
     List.map
       (fun (name, est) ->
@@ -735,6 +829,16 @@ let write_snapshot rows parallel selfcheck gain_update recorder resource
           ("rows", Json.List (List.map mlevel_row_json rows));
         ]
   in
+  let refiner_field =
+    match refiner with
+    | None -> Json.Null
+    | Some rows ->
+      Json.Obj
+        [
+          ("name", Json.Str refiner_table_name);
+          ("rows", Json.List (List.map refiner_row_json rows));
+        ]
+  in
   let json =
     Json.Obj
       [
@@ -749,6 +853,7 @@ let write_snapshot rows parallel selfcheck gain_update recorder resource
         ("recorder", recorder_field);
         ("resource", resource_field);
         ("mlevel", mlevel_field);
+        ("refiner", refiner_field);
       ]
   in
   let oc = open_out snapshot_path in
@@ -783,7 +888,7 @@ let install_resource_source () =
       })
 
 let ledger_rows rows parallel selfcheck gain_update recorder resource
-    mlevel_scale =
+    mlevel_scale refiner =
   let r name value unit_ higher_better =
     { Ledger.name; value; unit_; higher_better }
   in
@@ -851,6 +956,26 @@ let ledger_rows rows parallel selfcheck gain_update recorder resource
             ])
           scale_rows)
       mlevel_scale
+  @ opt
+      (fun refiner_rows ->
+        List.concat_map
+          (fun row ->
+            let p =
+              Printf.sprintf "%s/%s" refiner_table_name row.rf_workload
+            in
+            [
+              r (p ^ "/cut_sanchis") (float_of_int row.rf_sanchis.rr_cut) "nets" false;
+              r (p ^ "/cut_flow") (float_of_int row.rf_flow.rr_cut) "nets" false;
+              r (p ^ "/cut_hybrid") (float_of_int row.rf_hybrid.rr_cut) "nets" false;
+              r
+                (p ^ "/hybrid_gain")
+                (float_of_int (row.rf_sanchis.rr_cut - row.rf_hybrid.rr_cut))
+                "nets" true;
+              r (p ^ "/wall_s_flow") row.rf_flow.rr_wall "s" false;
+              r (p ^ "/wall_s_hybrid") row.rf_hybrid.rr_wall "s" false;
+            ])
+          refiner_rows)
+      refiner
 
 let append_ledger path entry_rows =
   let entry =
@@ -968,12 +1093,23 @@ let () =
              (if r.ms_wall_ml > 0.0 then r.ms_wall_flat /. r.ms_wall_ml else 0.0)
              r.ms_cut_ml r.ms_cut_flat))
       scale_rows);
+  let refiner = measure_refiner () in
+  (match refiner with
+  | None -> ()
+  | Some refiner_rows ->
+    List.iter
+      (fun row ->
+        Printf.printf "%-42s %15s\n"
+          (Printf.sprintf "%s/%s" refiner_table_name row.rf_workload)
+          (Printf.sprintf "cut %d/%d/%d s/f/h" row.rf_sanchis.rr_cut
+             row.rf_flow.rr_cut row.rf_hybrid.rr_cut))
+      refiner_rows);
   write_snapshot rows parallel selfcheck gain_update recorder resource
-    mlevel_scale;
+    mlevel_scale refiner;
   Printf.printf "perf snapshot written to %s\n" snapshot_path;
   match Sys.getenv_opt "FPART_BENCH_LEDGER" with
   | None | Some "" -> ()
   | Some path ->
     append_ledger path
       (ledger_rows rows parallel selfcheck gain_update recorder resource
-         mlevel_scale)
+         mlevel_scale refiner)

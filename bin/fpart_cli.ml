@@ -104,11 +104,12 @@ let algo_name = function
 
 let engine_name = function Eng_flat -> "flat" | Eng_mlevel -> "mlevel"
 
-let config_digest ~algo ~engine ~delta ~seed ~runs ~cluster ~jobs ~gain_update =
+let config_digest ~algo ~engine ~delta ~seed ~runs ~cluster ~jobs ~gain_update
+    ~refiner =
   Digest.to_hex
     (Digest.string
        (Printf.sprintf
-          "algo=%s engine=%s delta=%s seed=%d runs=%d cluster=%s jobs=%d gain=%s"
+          "algo=%s engine=%s delta=%s seed=%d runs=%d cluster=%s jobs=%d gain=%s refiner=%s"
           (algo_name algo) (engine_name engine)
           (match delta with Some d -> string_of_float d | None -> "paper")
           seed runs
@@ -116,7 +117,8 @@ let config_digest ~algo ~engine ~delta ~seed ~runs ~cluster ~jobs ~gain_update =
           jobs
           (match gain_update with
           | Sanchis.Delta -> "delta"
-          | Sanchis.Recompute -> "recompute")))
+          | Sanchis.Recompute -> "recompute")
+          (Fpart.Config.refiner_name refiner)))
 
 let netlist_digest hg =
   let b = Buffer.create 4096 in
@@ -172,7 +174,7 @@ let algo_conv =
   Arg.conv (parse, print)
 
 let partition algo engine hg device delta seed runs cluster jobs selfcheck
-    gain_update =
+    gain_update refiner =
   match algo with
   | Algo_fpart -> (
     let config =
@@ -184,6 +186,7 @@ let partition algo engine hg device delta seed runs cluster jobs selfcheck
         jobs;
         selfcheck;
         gain_update;
+        refiner;
       }
     in
     match engine with
@@ -270,8 +273,8 @@ let check_mode path hg device delta =
       if report.Partition.Check.feasible then Ok () else Error "partition is infeasible")
 
 let main input generate device_name delta algo engine seed runs cluster jobs
-    selfcheck gain_update output save check board dot trace trace_format stats
-    log_level trace_log ledger =
+    selfcheck gain_update refiner output save check board dot trace trace_format
+    stats log_level trace_log ledger =
   setup_obs ~trace ~trace_format ~stats ~log_level;
   let result =
     match Device.find device_name with
@@ -291,7 +294,7 @@ let main input generate device_name delta algo engine seed runs cluster jobs
         let t0 = Unix.gettimeofday () in
         let k, assignment, feasible, trace_events =
           partition algo engine hg device delta seed runs cluster jobs
-            selfcheck gain_update
+            selfcheck gain_update refiner
         in
         let wall_s = Unix.gettimeofday () -. t0 in
         let violations = Fpart_check.Selfcheck.violations_seen () in
@@ -359,7 +362,7 @@ let main input generate device_name delta algo engine seed runs cluster jobs
             ~jobs
             ~config_digest:
               (config_digest ~algo ~engine ~delta ~seed ~runs ~cluster ~jobs
-                 ~gain_update)
+                 ~gain_update ~refiner)
             ~netlist_digest:(netlist_digest hg)
             ~rows:
               [
@@ -479,6 +482,21 @@ let gain_update =
         ~doc:
           "Neighbour-gain maintenance inside the improvement engine: $(b,delta) (default, incremental critical-net updates) or $(b,recompute) (escape hatch recomputing every neighbour gain from scratch). Both produce bit-identical partitions; delta is faster (fpart only).")
 
+let refiner =
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("sanchis", Fpart.Config.Sanchis_refiner);
+             ("flow", Fpart.Config.Flow_refiner);
+             ("hybrid", Fpart.Config.Hybrid_refiner);
+           ])
+        Fpart.Config.Sanchis_refiner
+    & info [ "refiner" ] ~docv:"BACKEND"
+        ~doc:
+          "Improvement backend for the Improve() calls and the uncoarsening refinement: $(b,sanchis) (default, the paper's gain-bucket passes), $(b,flow) (corridor max-flow min-cut refinement between adjacent block pairs) or $(b,hybrid) (Sanchis first, flow on the pairs where a Sanchis pass retained zero moves). All backends respect the feasible move windows; flow proposals apply only when they improve the solution value without growing the cut (fpart only).")
+
 let output =
   Arg.(
     value
@@ -556,8 +574,8 @@ let cmd =
     (Cmd.info "fpart" ~doc)
     Term.(
       const main $ input $ generate $ device $ delta $ algo $ engine $ seed
-      $ runs $ cluster $ jobs $ selfcheck $ gain_update $ output $ save $ check
-      $ board $ dot $ trace $ Obs_setup.trace_format_arg $ stats $ log_level
-      $ trace_log $ ledger)
+      $ runs $ cluster $ jobs $ selfcheck $ gain_update $ refiner $ output
+      $ save $ check $ board $ dot $ trace $ Obs_setup.trace_format_arg $ stats
+      $ log_level $ trace_log $ ledger)
 
 let () = exit (Cmd.eval' cmd)

@@ -25,7 +25,14 @@
       contraction-exactness oracle): its claimed cut must equal the
       oracle recomputation, the self-check must stay clean, and its
       quality must stay in the flat driver's class (never infeasible
-      where flat is feasible, never more than 2 extra devices).
+      where flat is feasible, never more than 2 extra devices);
+   6. refiner differential — the sanchis, flow and hybrid improvement
+      backends each drive the circuit end to end (paranoid self-checks
+      on the smaller rounds): every result must match the oracle
+      recomputation and end feasible; then, as a refine-step
+      differential on the same projected state, the hybrid refinement
+      (the identical Sanchis schedule plus cut-non-increasing flow
+      passes) must never end with a worse cut than pure Sanchis.
 
    Rounds are seeded [seed, seed+1, ..]: a failing seed printed by this
    tool replays exactly with [--seed N --rounds 1].  Randomness comes
@@ -217,6 +224,72 @@ let check_mlevel rng hg =
          flat.Fpart.Driver.k)
   else Ok_round
 
+(* Comparison 6: the refiner matrix.  End-to-end runs cannot promise a
+   cut order between backends (their trajectories diverge after the
+   first Improve call), so the cut assertion is made where it is
+   guaranteed: one [Driver.refine] step applied to copies of the same
+   state, where hybrid = the identical Sanchis refinement followed by
+   flow passes that only ever apply cut-non-increasing proposals. *)
+let check_refiner rng hg =
+  let device = device_of_name (Sm.choose rng devices) in
+  let seed = Sm.int rng 0xFFFF in
+  let selfcheck =
+    if Hg.num_cells hg <= 150 then Check.Selfcheck.Paranoid
+    else Check.Selfcheck.Cheap
+  in
+  let run refiner =
+    let config = { Fpart.Config.default with seed; selfcheck; refiner } in
+    let name = Fpart.Config.refiner_name refiner in
+    let before = Check.Selfcheck.violations_seen () in
+    let r = Fpart.Driver.run ~config hg device in
+    let after = Check.Selfcheck.violations_seen () in
+    if after > before then
+      Error
+        (Printf.sprintf "%s selfcheck: %d violation(s) on %s" name
+           (after - before) device.Device.dev_name)
+    else
+      let o =
+        Check.Oracle.recompute hg ~k:r.Fpart.Driver.k
+          ~assign:(fun v -> r.Fpart.Driver.assignment.(v))
+      in
+      if o.Check.Oracle.cut <> r.Fpart.Driver.cut then
+        Error
+          (Printf.sprintf "%s cut: claimed %d, oracle %d" name
+             r.Fpart.Driver.cut o.Check.Oracle.cut)
+      else if not r.Fpart.Driver.feasible then
+        Error (Printf.sprintf "%s ended infeasible at k=%d" name r.Fpart.Driver.k)
+      else Ok r
+  in
+  match run Fpart.Config.Sanchis_refiner with
+  | Error e -> Divergence e
+  | Ok rs -> (
+    match run Fpart.Config.Flow_refiner with
+    | Error e -> Divergence e
+    | Ok _ -> (
+      match run Fpart.Config.Hybrid_refiner with
+      | Error e -> Divergence e
+      | Ok _ ->
+        let delta = Fpart.Config.delta_for Fpart.Config.default device in
+        let ctx = Partition.Cost.context_of device ~delta hg in
+        let refined refiner =
+          let st = Fpart.Driver.final_state rs hg in
+          Fpart.Driver.refine { Fpart.Config.default with seed; refiner } ctx st;
+          State.cut_size st
+        in
+        let cut_sanchis = refined Fpart.Config.Sanchis_refiner in
+        let cut_flow = refined Fpart.Config.Flow_refiner in
+        let cut_hybrid = refined Fpart.Config.Hybrid_refiner in
+        let cut_input = State.cut_size (Fpart.Driver.final_state rs hg) in
+        if cut_hybrid > cut_sanchis then
+          Divergence
+            (Printf.sprintf "hybrid refine cut %d > sanchis refine cut %d"
+               cut_hybrid cut_sanchis)
+        else if cut_flow > cut_input then
+          Divergence
+            (Printf.sprintf "flow refine grew the cut: %d > input %d" cut_flow
+               cut_input)
+        else Ok_round))
+
 let run_round ~max_cells round_seed =
   let rng = Sm.create round_seed in
   let hg = random_circuit rng ~max_cells in
@@ -230,6 +303,7 @@ let run_round ~max_cells round_seed =
           else Ok_round );
       ("delta", fun () -> check_delta rng hg);
       ("mlevel", fun () -> check_mlevel rng hg);
+      ("refiner", fun () -> check_refiner rng hg);
     ]
   in
   List.fold_left

@@ -28,13 +28,13 @@ let artifacts =
 
 let names = String.concat ", " (List.map fst artifacts)
 
-let run jobs engine trace trace_format selected =
+let run jobs engine refiner trace trace_format selected =
   Obs_setup.setup_trace trace trace_format;
   let progress msg =
     prerr_endline ("# " ^ msg);
     flush stderr
   in
-  let t = Report.Experiments.create ~progress ~jobs ~engine () in
+  let t = Report.Experiments.create ~progress ~jobs ~engine ~refiner () in
   Fun.protect
     ~finally:(fun () ->
       Report.Experiments.shutdown t;
@@ -90,12 +90,30 @@ let engine =
   Arg.(value & opt engine_conv Report.Experiments.Flat
        & info [ "engine" ] ~docv:"ENGINE" ~doc)
 
+let refiner =
+  let refiner_conv =
+    Arg.enum
+      [
+        ("sanchis", Fpart.Config.Sanchis_refiner);
+        ("flow", Fpart.Config.Flow_refiner);
+        ("hybrid", Fpart.Config.Hybrid_refiner);
+      ]
+  in
+  let doc =
+    "Improvement backend behind the FPART runs: $(b,sanchis) (the \
+     paper's gain-bucket passes), $(b,flow) (corridor max-flow \
+     refinement) or $(b,hybrid) (Sanchis with flow escalation on \
+     stalled pairs)."
+  in
+  Arg.(value & opt refiner_conv Fpart.Config.Sanchis_refiner
+       & info [ "refiner" ] ~docv:"BACKEND" ~doc)
+
 let cmd =
   let doc = "regenerate the FPART paper's tables and figures on MCNC surrogates" in
   Cmd.v
     (Cmd.info "run_experiments" ~doc)
     Term.(
-      const run $ jobs $ engine $ Obs_setup.trace_arg
+      const run $ jobs $ engine $ refiner $ Obs_setup.trace_arg
       $ Obs_setup.trace_format_arg $ selected)
 
 let () = exit (Cmd.eval cmd)

@@ -1,0 +1,64 @@
+(** Flow-based boundary refinement (Heuer, Sanders & Schlag style).
+
+    For a pair of blocks adjacent in the quotient graph, a bounded BFS
+    from their cut nets extracts a {e corridor} of cells whose summed
+    weight per side never exceeds the headroom the feasible move
+    windows grant (so any corridor bipartition keeps both blocks
+    inside their windows), a {!Flownet} min-cut proposes a new
+    corridor split, and the proposal is kept only when the
+    lexicographic {!Partition.Cost.value} improves without growing the
+    global cut — otherwise a {!Partition.Snapshot} restores the
+    previous assignment.
+
+    The refiner is deterministic: corridor admission follows net-id
+    and pin-array order and Dinic itself is seedless, so results are
+    bit-identical across repeated runs and worker pools. *)
+
+type config = {
+  max_corridor : int;  (** Node cap on one corridor (both sides). *)
+  corridor_depth : int;  (** BFS hops from the pair's cut nets. *)
+  max_passes : int;  (** Pair sweeps per {!refine_active} call. *)
+}
+
+val default_config : config
+
+type outcome =
+  | Applied of { moves : int; cut_delta : int }
+      (** The min-cut proposal improved the value; [cut_delta ≥ 0] is
+          the cut reduction. *)
+  | Restored  (** Proposal evaluated and rejected; state rolled back. *)
+  | Skipped  (** No usable corridor (no cut nets, or headroom 0). *)
+
+type report = {
+  pairs_tried : int;
+  pairs_applied : int;
+  moves_applied : int;
+  passes_run : int;
+}
+
+(** [refine_pair cfg st ~a ~b ~lower ~upper ~eval] runs one corridor
+    min-cut between blocks [a] and [b].  [lower]/[upper] are the
+    per-block size windows (see [Improve.windows]); [eval] must return
+    the lexicographic value of [st] (trackers welcome — restores are
+    plain assignments). *)
+val refine_pair :
+  config ->
+  Partition.State.t ->
+  a:int ->
+  b:int ->
+  lower:int array ->
+  upper:int array ->
+  eval:(Partition.State.t -> Partition.Cost.value) ->
+  outcome
+
+(** [refine_active cfg st ~active ~lower ~upper ~eval] sweeps every
+    wired pair of [active] blocks (ascending index order), repeating
+    up to [cfg.max_passes] times while some pair still improves. *)
+val refine_active :
+  config ->
+  Partition.State.t ->
+  active:int array ->
+  lower:int array ->
+  upper:int array ->
+  eval:(Partition.State.t -> Partition.Cost.value) ->
+  report

@@ -1,3 +1,16 @@
+type refiner = Sanchis_refiner | Flow_refiner | Hybrid_refiner
+
+let refiner_name = function
+  | Sanchis_refiner -> "sanchis"
+  | Flow_refiner -> "flow"
+  | Hybrid_refiner -> "hybrid"
+
+let refiner_of_string = function
+  | "sanchis" -> Some Sanchis_refiner
+  | "flow" -> Some Flow_refiner
+  | "hybrid" -> Some Hybrid_refiner
+  | _ -> None
+
 type t = {
   delta : float option;
   sigma1 : float;
@@ -18,6 +31,7 @@ type t = {
   drift_limit : int option;
   random_initial : bool;
   cluster_size : int option;
+  refiner : refiner;
   seed : int;
   jobs : int;
   selfcheck : Fpart_check.Selfcheck.level;
@@ -44,6 +58,7 @@ let default =
     drift_limit = None;
     random_initial = false;
     cluster_size = None;
+    refiner = Sanchis_refiner;
     seed = 0x5eed;
     jobs = 1;
     selfcheck = Fpart_check.Selfcheck.Off;

@@ -16,6 +16,25 @@
     growing to [1.05·S_MAX] while the device lower bound has not been
     reached. *)
 
+(** Which improvement backend the driver's [Improve()] calls and the
+    post-projection refinement use:
+
+    - [Sanchis_refiner] — the paper's gain-bucket passes (default);
+    - [Flow_refiner] — corridor max-flow min-cut refinement
+      ({!Flow.Refine}) between quotient-adjacent block pairs;
+    - [Hybrid_refiner] — Sanchis passes first, then flow passes when
+      the Sanchis pass retained zero moves (the stall signal).
+
+    All three respect the same feasible move windows; flow proposals
+    additionally apply only when they improve the lexicographic value
+    without growing the cut.  See docs/FLOW_REFINEMENT.md. *)
+type refiner = Sanchis_refiner | Flow_refiner | Hybrid_refiner
+
+(** CLI-facing names: ["sanchis"], ["flow"], ["hybrid"]. *)
+val refiner_name : refiner -> string
+
+val refiner_of_string : string -> refiner option
+
 type t = {
   delta : float option;
       (** Filling ratio; [None] uses {!Device.paper_delta}. *)
@@ -56,6 +75,10 @@ type t = {
           connectivity clusters of logic size ≤ n, partitions the coarse
           hypergraph, projects back and refines flat.  [None]
           (published behaviour) partitions the flat netlist. *)
+  refiner : refiner;
+      (** Improvement backend: Sanchis gain buckets (published),
+          corridor max-flow, or the hybrid escalation.  Default
+          [Sanchis_refiner]. *)
   seed : int;             (** PRNG seed for deterministic tie-breaks. *)
   jobs : int;
       (** Domain budget for the execution layer ([Fpart_exec]): the

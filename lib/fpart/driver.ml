@@ -165,6 +165,8 @@ let run_flat ?pool config hg device =
    are strict (no size violations) so feasibility can only improve. *)
 let refine_flat config ctx st =
   let k = State.k st in
+  if k < 2 then ()
+  else begin
   let lower = Array.make k 0 and upper = Array.make k ctx.Cost.s_max in
   let eval st = Cost.evaluate config.Config.cost ctx st ~remainder:None ~step_k:k in
   let engine =
@@ -184,23 +186,45 @@ let refine_flat config ctx st =
     if Fpart_check.Selfcheck.at_least config.Config.selfcheck Fpart_check.Selfcheck.Cheap
     then ignore (Fpart_check.Selfcheck.validate ~where:"driver.refine" st)
   in
-  if k <= 18 then
-  begin
+  let flow_cfg =
+    { Flow.Refine.default_config with max_passes = min 4 config.Config.max_passes }
+  in
+  let flow_all () =
     ignore
-      (Sanchis.improve st
-         ~spec:{ Sanchis.active = Array.init k Fun.id; remainder = None; lower; upper }
-         ~config:engine ~eval);
+      (Flow.Refine.refine_active flow_cfg st ~active:(Array.init k Fun.id) ~lower
+         ~upper ~eval);
     boundary st
-  end
-  else
-    for i = 0 to k - 1 do
-      let j = (i + 1) mod k in
-      ignore
-        (Sanchis.improve st
-           ~spec:{ Sanchis.active = [| i; j |]; remainder = None; lower; upper }
-           ~config:engine ~eval);
+  in
+  match config.Config.refiner with
+  | Config.Flow_refiner -> flow_all ()
+  | (Config.Sanchis_refiner | Config.Hybrid_refiner) as refiner ->
+    let retained = ref 0 in
+    if k <= 18 then begin
+      let report =
+        Sanchis.improve st
+          ~spec:{ Sanchis.active = Array.init k Fun.id; remainder = None; lower; upper }
+          ~config:engine ~eval
+      in
+      retained := report.Sanchis.moves_retained;
       boundary st
-    done
+    end
+    else begin
+      for i = 0 to k - 1 do
+        let j = (i + 1) mod k in
+        let report =
+          Sanchis.improve st
+            ~spec:{ Sanchis.active = [| i; j |]; remainder = None; lower; upper }
+            ~config:engine ~eval
+        in
+        retained := !retained + report.Sanchis.moves_retained;
+        boundary st
+      done
+    end;
+    (* The hybrid adds a flow sweep after the Sanchis schedule has run
+       in full (never interleaved), so its cut can only match or beat
+       the pure Sanchis refinement of the same state. *)
+    if refiner = Config.Hybrid_refiner && !retained = 0 then flow_all ()
+  end
 
 let refine = refine_flat
 

@@ -61,6 +61,12 @@ let engine_config t =
     }
   else cfg
 
+(* Flow refinement budget: corridor sweeps share the configured pass
+   budget but are clamped — each sweep re-runs Dinic on every wired
+   pair, so a handful already reaches the fixed point. *)
+let flow_config t =
+  { Flow.Refine.default_config with max_passes = min 4 t.cfg.Config.max_passes }
+
 let run t st ~iteration ~remainder ~active ~allow_violation ~two_block ~kind =
   let lower, upper = windows t st ~remainder ~allow_violation ~two_block in
   let spec = { Sanchis.active; remainder = Some remainder; lower; upper } in
@@ -79,49 +85,100 @@ let run t st ~iteration ~remainder ~active ~allow_violation ~two_block ~kind =
      (Sanchis emits them under the open span) and its own [schedule]
      record below. *)
   let sp = Recorder.span_begin "improve.pass" in
-  let report = Sanchis.improve st ~spec ~config:(engine_config t) ~eval in
+  let refiner = t.cfg.Config.refiner in
+  let report =
+    match refiner with
+    | Config.Flow_refiner -> None
+    | Config.Sanchis_refiner | Config.Hybrid_refiner ->
+      Some (Sanchis.improve st ~spec ~config:(engine_config t) ~eval)
+  in
+  (* The hybrid escalates to flow exactly when Sanchis stalled: a pass
+     that retained zero moves means the gain buckets see no profitable
+     trajectory, which is the situation corridor min-cuts unblock. *)
+  let flow_report =
+    match refiner with
+    | Config.Sanchis_refiner -> None
+    | Config.Flow_refiner ->
+      Some (Flow.Refine.refine_active (flow_config t) st ~active ~lower ~upper ~eval)
+    | Config.Hybrid_refiner ->
+      (match report with
+      | Some r when r.Sanchis.moves_retained = 0 ->
+        Some (Flow.Refine.refine_active (flow_config t) st ~active ~lower ~upper ~eval)
+      | _ -> None)
+  in
   if Selfcheck.at_least t.cfg.Config.selfcheck Selfcheck.Cheap then
     ignore (Selfcheck.validate ~where:"improve.boundary" st);
+  (* After a Sanchis run the state sits at the retained best, so a
+     fresh tracked evaluation reproduces [report.best] bit-identically;
+     after a flow run it reflects the applied corridor cuts. *)
+  let value_after = eval st in
+  let passes =
+    (match report with Some r -> r.Sanchis.passes_run | None -> 0)
+    + match flow_report with Some f -> f.Flow.Refine.passes_run | None -> 0
+  in
+  let moves =
+    (match report with Some r -> r.Sanchis.moves_applied | None -> 0)
+    + match flow_report with Some f -> f.Flow.Refine.moves_applied | None -> 0
+  in
+  let moves_retained =
+    (match report with Some r -> r.Sanchis.moves_retained | None -> 0)
+    + match flow_report with Some f -> f.Flow.Refine.moves_applied | None -> 0
+  in
+  let restarts = match report with Some r -> r.Sanchis.restarts | None -> 0 in
+  let flow_attrs =
+    match flow_report with
+    | None -> []
+    | Some f ->
+      [
+        ("flow_pairs", Json.Int f.Flow.Refine.pairs_tried);
+        ("flow_applied", Json.Int f.Flow.Refine.pairs_applied);
+        ("flow_moves", Json.Int f.Flow.Refine.moves_applied);
+      ]
+  in
   if telemetry then
     Recorder.event
-      [
-        ("type", Json.Str "schedule");
-        ("iteration", Json.Int iteration);
-        ("step", Json.Str (Trace.kind_name kind));
-        ("blocks", Json.List (Array.to_list (Array.map (fun b -> Json.Int b) active)));
-        ("passes", Json.Int report.Sanchis.passes_run);
-        ("moves", Json.Int report.Sanchis.moves_applied);
-        ("moves_retained", Json.Int report.Sanchis.moves_retained);
-        ("restarts", Json.Int report.Sanchis.restarts);
-        ("cut_before", Json.Int cut_before);
-        ("cut_after", Json.Int (State.cut_size st));
-        ( "value_before",
-          match value_before with
-          | Some v -> Cost.value_to_json v
-          | None -> Json.Null );
-        ("value_after", Cost.value_to_json report.Sanchis.best);
-      ];
+      ([
+         ("type", Json.Str "schedule");
+         ("iteration", Json.Int iteration);
+         ("step", Json.Str (Trace.kind_name kind));
+         ("refiner", Json.Str (Config.refiner_name refiner));
+         ("blocks", Json.List (Array.to_list (Array.map (fun b -> Json.Int b) active)));
+         ("passes", Json.Int passes);
+         ("moves", Json.Int moves);
+         ("moves_retained", Json.Int moves_retained);
+         ("restarts", Json.Int restarts);
+         ("cut_before", Json.Int cut_before);
+         ("cut_after", Json.Int (State.cut_size st));
+         ( "value_before",
+           match value_before with
+           | Some v -> Cost.value_to_json v
+           | None -> Json.Null );
+         ("value_after", Cost.value_to_json value_after);
+       ]
+      @ flow_attrs);
   Recorder.span_end sp
     ~attrs:
-      [
-        ("iteration", Json.Int iteration);
-        ("kind", Json.Str (Trace.kind_name kind));
-        ("blocks", Json.List (Array.to_list (Array.map (fun b -> Json.Int b) active)));
-        ("passes", Json.Int report.Sanchis.passes_run);
-        ("moves", Json.Int report.Sanchis.moves_applied);
-        ("moves_retained", Json.Int report.Sanchis.moves_retained);
-        ("restarts", Json.Int report.Sanchis.restarts);
-      ];
+      ([
+         ("iteration", Json.Int iteration);
+         ("kind", Json.Str (Trace.kind_name kind));
+         ("refiner", Json.Str (Config.refiner_name refiner));
+         ("blocks", Json.List (Array.to_list (Array.map (fun b -> Json.Int b) active)));
+         ("passes", Json.Int passes);
+         ("moves", Json.Int moves);
+         ("moves_retained", Json.Int moves_retained);
+         ("restarts", Json.Int restarts);
+       ]
+      @ flow_attrs);
   Trace.record t.trace
     (Trace.Improve
        {
          iteration;
          kind;
          blocks = Array.to_list active;
-         value = report.Sanchis.best;
-         passes = report.Sanchis.passes_run;
-         moves = report.Sanchis.moves_applied;
-         restarts = report.Sanchis.restarts;
+         value = value_after;
+         passes;
+         moves;
+         restarts;
        })
 
 let pair t st ~iteration ~remainder ~other ~allow_violation ~kind =

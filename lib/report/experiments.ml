@@ -12,10 +12,12 @@ type t = {
   progress : string -> unit;
   jobs : int;
   engine : engine;
+  refiner : Fpart.Config.refiner;
   mutable pool : Fpart_exec.Pool.t option;
 }
 
-let create ?(progress = fun _ -> ()) ?(jobs = 1) ?(engine = Flat) () =
+let create ?(progress = fun _ -> ()) ?(jobs = 1) ?(engine = Flat)
+    ?(refiner = Fpart.Config.Sanchis_refiner) () =
   if jobs < 1 then invalid_arg "Experiments.create: jobs < 1";
   {
     memo = Hashtbl.create 64;
@@ -23,6 +25,7 @@ let create ?(progress = fun _ -> ()) ?(jobs = 1) ?(engine = Flat) () =
     progress;
     jobs;
     engine;
+    refiner;
     pool = None;
   }
 
@@ -61,13 +64,16 @@ let graph_of t circuit family =
 
 (* The pure compute step: no memo, no graph cache, no progress — safe to
    run on a worker domain. *)
-let compute ?(engine = Flat) algo hg device =
+let compute ?(engine = Flat) ?(refiner = Fpart.Config.Sanchis_refiner) algo hg
+    device =
   match algo with
       | Fpart_algo ->
+        let config = { Fpart.Config.default with Fpart.Config.refiner } in
         let r =
           match engine with
-          | Flat -> Fpart.Driver.run hg device
-          | Multilevel -> (Mlevel.Engine.run hg device).Mlevel.Engine.res
+          | Flat -> Fpart.Driver.run ~config hg device
+          | Multilevel ->
+            (Mlevel.Engine.run ~base:config hg device).Mlevel.Engine.res
         in
         {
           k = r.Fpart.Driver.k;
@@ -108,7 +114,7 @@ let run_one t algo circuit device =
       (Printf.sprintf "running %s on %s / %s ..." (algo_name algo)
          circuit.Mcnc.circuit_name device.Device.dev_name);
     let hg = graph_of t circuit device.Device.family in
-    let r = compute ~engine:t.engine algo hg device in
+    let r = compute ~engine:t.engine ~refiner:t.refiner algo hg device in
     Hashtbl.add t.memo key r;
     r
 
@@ -149,7 +155,8 @@ let prewarm t work =
       in
       let results =
         Fpart_exec.Pool.map pool
-          (fun _ (algo, hg, _c, d) -> compute ~engine:t.engine algo hg d)
+          (fun _ (algo, hg, _c, d) ->
+            compute ~engine:t.engine ~refiner:t.refiner algo hg d)
           tasks
       in
       Array.iteri

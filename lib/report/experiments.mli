@@ -30,17 +30,23 @@ type run = {
 (** [run_one t algo circuit device] runs (or recalls) one experiment. *)
 type t
 
-(** [create ?progress ?jobs ?engine ()] makes a fresh memo table.
-    [jobs] (default 1) is the domain budget: with [jobs > 1] the device
-    tables, Table 6 and the variance study fan their independent
-    algorithm runs out on an {!Fpart_exec.Pool} (created lazily,
-    released by {!shutdown}).  [engine] (default {!Flat}) selects the
-    engine behind every FPART run.  Every run is deterministic, so the
-    rendered tables are identical for every [jobs]; only the
-    progress-line order and wall-clock time change.
+(** [create ?progress ?jobs ?engine ?refiner ()] makes a fresh memo
+    table.  [jobs] (default 1) is the domain budget: with [jobs > 1]
+    the device tables, Table 6 and the variance study fan their
+    independent algorithm runs out on an {!Fpart_exec.Pool} (created
+    lazily, released by {!shutdown}).  [engine] (default {!Flat})
+    selects the engine behind every FPART run and [refiner] (default
+    [Sanchis_refiner]) its improvement backend.  Every run is
+    deterministic, so the rendered tables are identical for every
+    [jobs]; only the progress-line order and wall-clock time change.
     @raise Invalid_argument if [jobs < 1]. *)
 val create :
-  ?progress:(string -> unit) -> ?jobs:int -> ?engine:engine -> unit -> t
+  ?progress:(string -> unit) ->
+  ?jobs:int ->
+  ?engine:engine ->
+  ?refiner:Fpart.Config.refiner ->
+  unit ->
+  t
 
 (** [shutdown t] joins the worker domains of the lazily created pool, if
     any.  [t] remains usable (a later table re-creates the pool). *)

@@ -62,6 +62,25 @@ let test_maxflow_errors () =
     (Invalid_argument "Maxflow.max_flow: source = sink") (fun () ->
       ignore (Maxflow.max_flow g ~source:0 ~sink:0))
 
+let test_maxflow_zero_capacity () =
+  (* a zero-capacity edge exists in the graph but can never carry flow;
+     the level graph must still terminate *)
+  let g = Maxflow.create ~nodes:3 in
+  ignore (Maxflow.add_edge g ~src:0 ~dst:1 ~cap:0);
+  ignore (Maxflow.add_edge g ~src:1 ~dst:2 ~cap:4);
+  Alcotest.(check int) "no flow" 0 (Maxflow.max_flow g ~source:0 ~sink:2);
+  Alcotest.(check (array bool)) "cut right after the source"
+    [| true; false; false |]
+    (Maxflow.source_side g ~source:0)
+
+let test_maxflow_edgeless () =
+  (* the BFS finds no sink level at all: flow 0, and a repeated call
+     terminates from the same (empty) state *)
+  let g = Maxflow.create ~nodes:2 in
+  Alcotest.(check int) "no edges" 0 (Maxflow.max_flow g ~source:0 ~sink:1);
+  Alcotest.(check int) "repeat call" 0 (Maxflow.max_flow g ~source:0 ~sink:1);
+  Alcotest.(check int) "nothing accumulated" 0 (Maxflow.total_flow g)
+
 (* --- Flownet ------------------------------------------------------- *)
 
 (* path a - b - c (2-pin nets): min net cut between a and c is 1 *)
@@ -115,6 +134,28 @@ let test_flownet_idempotent_attach () =
   Flownet.attach_sink net c;
   Alcotest.(check bool) "marked" true (Flownet.in_source_set net a);
   Alcotest.(check int) "still unit cut" 1 (Flownet.run net)
+
+let test_flownet_pad_pins () =
+  (* a pad is an ordinary network node: kept, it bridges its nets;
+     excluded, every net left with fewer than two kept pins is dropped *)
+  let b = Hg.Builder.create () in
+  let a = Hg.Builder.add_cell b ~name:"a" ~size:1 in
+  let p = Hg.Builder.add_pad b ~name:"p" in
+  let c = Hg.Builder.add_cell b ~name:"c" ~size:1 in
+  ignore (Hg.Builder.add_net b ~name:"ap" [ a; p ]);
+  ignore (Hg.Builder.add_net b ~name:"pc" [ p; c ]);
+  let h = Hg.Builder.freeze b in
+  let net = Flownet.build h ~keep:(fun _ -> true) in
+  Flownet.attach_source net a;
+  Flownet.attach_sink net c;
+  Alcotest.(check int) "kept pad bridges the path" 1 (Flownet.run net);
+  let net = Flownet.build h ~keep:(fun v -> not (Hg.is_pad h v)) in
+  Flownet.attach_source net a;
+  Flownet.attach_sink net c;
+  Alcotest.(check int) "excluded pad disconnects" 0 (Flownet.run net);
+  Alcotest.check_raises "excluded pad cannot be attached"
+    (Invalid_argument "Flownet: node was not kept") (fun () ->
+      Flownet.attach_source net p)
 
 (* --- FBB ----------------------------------------------------------- *)
 
@@ -203,6 +244,55 @@ let test_fbbmw_single_block () =
   Alcotest.(check int) "one block" 1 r.Fbb_mw.k;
   Alcotest.(check bool) "feasible" true r.Fbb_mw.feasible
 
+let test_fbbmw_greedy_fallback () =
+  (* pin_retries = 0 with a near-degenerate window forces the greedy
+     BFS carve to back up the flow carver; the result must still assign
+     every node into a real block *)
+  let h = gen_circuit 80 17 in
+  let cfg =
+    { Fbb_mw.default_config with delta = 0.9; window = 0.99; pin_retries = 0 }
+  in
+  let r = Fbb_mw.partition h Device.xc3020 cfg in
+  Alcotest.(check bool) "k >= 1" true (r.Fbb_mw.k >= 1);
+  Array.iteri
+    (fun v b ->
+      if b < 0 || b >= r.Fbb_mw.k then Alcotest.failf "node %d unassigned (%d)" v b)
+    r.Fbb_mw.assignment;
+  (* the reported cut matches a from-scratch recount *)
+  let cut =
+    Hg.fold_nets
+      (fun acc e ->
+        let pins = Hg.pins h e in
+        let b0 = r.Fbb_mw.assignment.(pins.(0)) in
+        if Array.exists (fun v -> r.Fbb_mw.assignment.(v) <> b0) pins then acc + 1
+        else acc)
+      0 h
+  in
+  Alcotest.(check int) "cut consistent" cut r.Fbb_mw.cut
+
+let test_fbbmw_no_refinement () =
+  (* refine_passes = 0 skips the FM cleanup entirely *)
+  let h = gen_circuit 120 19 in
+  let cfg = { Fbb_mw.default_config with delta = 0.9; refine_passes = 0 } in
+  let r = Fbb_mw.partition h Device.xc3042 cfg in
+  let s_max = Device.s_max Device.xc3042 ~delta:0.9 in
+  let st =
+    Partition.State.create h ~k:r.Fbb_mw.k ~assign:(fun v -> r.Fbb_mw.assignment.(v))
+  in
+  if r.Fbb_mw.feasible then
+    for b = 0 to r.Fbb_mw.k - 1 do
+      Alcotest.(check bool) "size ok" true (Partition.State.size_of st b <= s_max)
+    done
+
+let test_fbbmw_deterministic () =
+  let h = gen_circuit 100 23 in
+  let cfg = { Fbb_mw.default_config with delta = 0.9 } in
+  let r1 = Fbb_mw.partition h Device.xc3020 cfg in
+  let r2 = Fbb_mw.partition h Device.xc3020 cfg in
+  Alcotest.(check int) "same k" r1.Fbb_mw.k r2.Fbb_mw.k;
+  Alcotest.(check (array int)) "same assignment" r1.Fbb_mw.assignment
+    r2.Fbb_mw.assignment
+
 let prop_maxflow_min_cut =
   (* flow value equals capacity across the returned source side *)
   QCheck.Test.make ~count:60 ~name:"max-flow equals min-cut capacity"
@@ -242,6 +332,8 @@ let () =
           Alcotest.test_case "incremental" `Quick test_maxflow_incremental;
           Alcotest.test_case "source side" `Quick test_source_side;
           Alcotest.test_case "errors" `Quick test_maxflow_errors;
+          Alcotest.test_case "zero capacity" `Quick test_maxflow_zero_capacity;
+          Alcotest.test_case "edgeless" `Quick test_maxflow_edgeless;
         ] );
       ( "flownet",
         [
@@ -249,6 +341,7 @@ let () =
           Alcotest.test_case "hyperedge once" `Quick test_flownet_hyperedge_counts_once;
           Alcotest.test_case "restriction" `Quick test_flownet_restriction;
           Alcotest.test_case "idempotent attach" `Quick test_flownet_idempotent_attach;
+          Alcotest.test_case "pad pins" `Quick test_flownet_pad_pins;
         ] );
       ( "fbb",
         [
@@ -261,6 +354,9 @@ let () =
           Alcotest.test_case "end to end" `Quick test_fbbmw_end_to_end;
           Alcotest.test_case "all assigned" `Quick test_fbbmw_every_node_assigned;
           Alcotest.test_case "single block" `Quick test_fbbmw_single_block;
+          Alcotest.test_case "greedy fallback" `Quick test_fbbmw_greedy_fallback;
+          Alcotest.test_case "no refinement" `Quick test_fbbmw_no_refinement;
+          Alcotest.test_case "deterministic" `Quick test_fbbmw_deterministic;
         ] );
       ("property", List.map QCheck_alcotest.to_alcotest [ prop_maxflow_min_cut ]);
     ]

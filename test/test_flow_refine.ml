@@ -1,0 +1,254 @@
+(* Flow-based boundary refinement (Flow.Refine): max-flow vs a
+   brute-force min-cut enumeration, corridor window safety, the
+   apply-or-restore invariant, the zero-headroom edge case of the
+   feasible move windows, and pool determinism of every --refiner
+   backend.
+
+   FPART_TEST_JOBS (default 2) sets the widest pool exercised — CI runs
+   the suite a second time with FPART_TEST_JOBS=4. *)
+
+module Hg = Hypergraph.Hgraph
+module State = Partition.State
+module Cost = Partition.Cost
+module Maxflow = Flow.Maxflow
+module Refine = Flow.Refine
+module Config = Fpart.Config
+module Improve = Fpart.Improve
+module Driver = Fpart.Driver
+module Oracle = Fpart_check.Oracle
+module Tg = Fpart_testgen
+
+let test_jobs =
+  match Sys.getenv_opt "FPART_TEST_JOBS" with
+  | Some s -> ( match int_of_string_opt s with Some n when n >= 1 -> n | _ -> 2)
+  | None -> 2
+
+(* ------------------------------------------------------------------ *)
+(* Shared builders                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let make_eval ctx ~k st =
+  Cost.evaluate Config.default.Config.cost ctx st ~remainder:None ~step_k:k
+
+let scene_setup sc ~s_max ~t_max =
+  let hg = Tg.scene_graph sc in
+  let init = Tg.scene_init sc in
+  let k = sc.Tg.sc_k in
+  let st = State.create hg ~k ~assign:(fun v -> init.(v)) in
+  let device = Tg.tiny_device ~s_max ~t_max in
+  let ctx = Cost.context_of device ~delta:1.0 hg in
+  (hg, st, ctx, k)
+
+(* ------------------------------------------------------------------ *)
+(* (a) Max-flow against brute-force min-cut enumeration               *)
+(* ------------------------------------------------------------------ *)
+
+(* Minimum s-t cut by enumerating every source-side subset that
+   contains node 0 and excludes node [n - 1] (≤ 2^10 subsets). *)
+let brute_min_cut fn =
+  let n = fn.Tg.fn_nodes in
+  let best = ref max_int in
+  for mask = 0 to (1 lsl (n - 2)) - 1 do
+    let in_s v = v = 0 || (v < n - 1 && mask land (1 lsl (v - 1)) <> 0) in
+    let cut =
+      List.fold_left
+        (fun acc (s, d, c) -> if in_s s && not (in_s d) then acc + c else acc)
+        0 fn.Tg.fn_edges
+    in
+    if cut < !best then best := cut
+  done;
+  !best
+
+let prop_maxflow_bruteforce =
+  QCheck.Test.make ~count:150 ~name:"max-flow equals brute-force min-cut"
+    (Tg.arb_flownet ())
+    (fun fn ->
+      let g = Maxflow.create ~nodes:fn.Tg.fn_nodes in
+      List.iter
+        (fun (s, d, c) -> ignore (Maxflow.add_edge g ~src:s ~dst:d ~cap:c))
+        fn.Tg.fn_edges;
+      Maxflow.max_flow g ~source:0 ~sink:(fn.Tg.fn_nodes - 1) = brute_min_cut fn)
+
+(* ------------------------------------------------------------------ *)
+(* (b) Corridor extraction respects the feasible windows              *)
+(* ------------------------------------------------------------------ *)
+
+(* After one corridor min-cut between blocks 0 and 1: no block drifts
+   beyond its window (or further outside than it started), pads never
+   move, and only the refined pair exchanges nodes. *)
+let prop_corridor_window_safe =
+  QCheck.Test.make ~count:40 ~name:"corridor refinement stays inside the windows"
+    QCheck.(pair (Tg.arb_scene ~max_cells:60 ~max_k:4 ()) (Tg.arb_device ()))
+    (fun (sc, (s_max, t_max)) ->
+      let hg, st, ctx, k = scene_setup sc ~s_max ~t_max in
+      let lower = Array.make k 0 and upper = Array.make k s_max in
+      let eval = make_eval ctx ~k in
+      let size_before = Array.init k (State.size_of st) in
+      let assign_before = State.assignment st in
+      ignore (Refine.refine_pair Refine.default_config st ~a:0 ~b:1 ~lower ~upper ~eval);
+      let windows_ok = ref true in
+      for b = 0 to k - 1 do
+        let sz = State.size_of st b in
+        if sz > max size_before.(b) upper.(b) then windows_ok := false;
+        if sz < min size_before.(b) lower.(b) then windows_ok := false
+      done;
+      let nodes_ok = ref true in
+      Hg.iter_nodes
+        (fun v ->
+          let b0 = assign_before.(v) and b1 = State.block_of st v in
+          if b1 <> b0 then begin
+            if Hg.is_pad hg v then nodes_ok := false;
+            if not ((b0 = 0 || b0 = 1) && (b1 = 0 || b1 = 1)) then
+              nodes_ok := false
+          end)
+        hg;
+      !windows_ok && !nodes_ok)
+
+(* ------------------------------------------------------------------ *)
+(* (c) Apply-or-restore: refinement never worsens the value           *)
+(* ------------------------------------------------------------------ *)
+
+let prop_refine_never_worsens =
+  QCheck.Test.make ~count:30 ~name:"flow refinement never worsens the value"
+    QCheck.(pair (Tg.arb_scene ~max_cells:80 ~max_k:4 ()) (Tg.arb_device ()))
+    (fun (sc, (s_max, t_max)) ->
+      let hg, st, ctx, k = scene_setup sc ~s_max ~t_max in
+      let lower = Array.make k 0 and upper = Array.make k s_max in
+      let eval = make_eval ctx ~k in
+      let v0 = eval st and cut0 = State.cut_size st in
+      ignore
+        (Refine.refine_active Refine.default_config st
+           ~active:(Array.init k Fun.id) ~lower ~upper ~eval);
+      let v1 = eval st and cut1 = State.cut_size st in
+      (* the incremental bookkeeping survives the snapshot restores *)
+      let oracle = Oracle.recompute hg ~k ~assign:(State.block_of st) in
+      Cost.compare_value v1 v0 <= 0 && cut1 <= cut0 && oracle.Oracle.cut = cut1)
+
+(* ------------------------------------------------------------------ *)
+(* Zero-headroom edge case (feasible windows §3.5)                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Two 4-cliques on a device with S_MAX = 4: both blocks sit exactly at
+   their upper bound.  [Improve.windows] admits a block AT the bound,
+   but the corridor cap arithmetic must grant zero headroom, so the
+   pair is skipped untouched. *)
+let clique_state () =
+  let hg, _ = Tg.two_cliques () in
+  let st = State.create hg ~k:2 ~assign:(fun v -> if v < 4 then 0 else 1) in
+  let ctx = Cost.context_of (Tg.tiny_device ~s_max:4 ~t_max:64) ~delta:1.0 hg in
+  (hg, st, ctx)
+
+let test_zero_headroom_skips () =
+  let _, st, ctx = clique_state () in
+  let eval = make_eval ctx ~k:2 in
+  let before = State.assignment st in
+  let outcome =
+    Refine.refine_pair Refine.default_config st ~a:0 ~b:1
+      ~lower:[| 0; 0 |] ~upper:[| 4; 4 |] ~eval
+  in
+  Alcotest.(check bool) "skipped" true (outcome = Refine.Skipped);
+  Alcotest.(check (array int)) "assignment untouched" before (State.assignment st)
+
+let test_zero_headroom_one_sided () =
+  (* only block 1 is at its bound: nothing may move into it *)
+  let _, st, ctx = clique_state () in
+  let eval = make_eval ctx ~k:2 in
+  ignore
+    (Refine.refine_pair Refine.default_config st ~a:0 ~b:1
+       ~lower:[| 0; 0 |] ~upper:[| 8; 4 |] ~eval);
+  Alcotest.(check bool) "block 1 never grows past its bound" true
+    (State.size_of st 1 <= 4)
+
+let test_windows_at_s_max () =
+  (* pin the window shape the flow caps are derived from: with size
+     violations disallowed the non-remainder upper bound IS S_MAX, so a
+     block at exactly S_MAX is admitted by the window with zero
+     headroom; the remainder stays unbounded *)
+  let hg, st, ctx = clique_state () in
+  ignore hg;
+  let imp =
+    {
+      Improve.cfg = Config.default;
+      params = Config.default.Config.cost;
+      ctx;
+      trace = Fpart.Trace.create ();
+    }
+  in
+  let strict_lower, strict_upper =
+    Improve.windows imp st ~remainder:1 ~allow_violation:false ~two_block:true
+  in
+  Alcotest.(check int) "non-remainder upper = S_MAX" 4 strict_upper.(0);
+  Alcotest.(check int) "remainder lower = 0" 0 strict_lower.(1);
+  Alcotest.(check int) "remainder unbounded" max_int strict_upper.(1);
+  let _, loose_upper =
+    Improve.windows imp st ~remainder:1 ~allow_violation:true ~two_block:true
+  in
+  Alcotest.(check bool) "violating window only ever widens" true
+    (loose_upper.(0) >= strict_upper.(0))
+
+(* ------------------------------------------------------------------ *)
+(* Refine-step ordering: hybrid never loses to pure Sanchis           *)
+(* ------------------------------------------------------------------ *)
+
+let test_hybrid_matches_or_beats_sanchis () =
+  let hg = Tg.circuit ~name:"refine" ~cells:180 ~pads:20 7 in
+  let device = Tg.tiny_device ~s_max:48 ~t_max:56 in
+  let ctx = Cost.context_of device ~delta:1.0 hg in
+  let base = Driver.run ~config:Config.default hg device in
+  let cut_input = State.cut_size (Driver.final_state base hg) in
+  let refined refiner =
+    let st = Driver.final_state base hg in
+    Driver.refine { Config.default with Config.refiner } ctx st;
+    State.cut_size st
+  in
+  let sanchis = refined Config.Sanchis_refiner in
+  let flow = refined Config.Flow_refiner in
+  let hybrid = refined Config.Hybrid_refiner in
+  Alcotest.(check bool) "hybrid <= sanchis" true (hybrid <= sanchis);
+  Alcotest.(check bool) "flow never worsens its input" true (flow <= cut_input)
+
+(* ------------------------------------------------------------------ *)
+(* Pool determinism: every refiner is jobs-invariant                  *)
+(* ------------------------------------------------------------------ *)
+
+let test_pool_identity () =
+  let hg = Tg.circuit ~name:"pool" ~cells:160 ~pads:24 1 in
+  let device = Tg.tiny_device ~s_max:40 ~t_max:48 in
+  List.iter
+    (fun refiner ->
+      let name = Config.refiner_name refiner in
+      let config = { Config.default with Config.refiner } in
+      let r1 = Driver.run_best ~config ~jobs:1 ~runs:4 hg device in
+      let rn = Driver.run_best ~config ~jobs:test_jobs ~runs:4 hg device in
+      Alcotest.(check int) (name ^ ": k") r1.Driver.k rn.Driver.k;
+      Alcotest.(check int) (name ^ ": cut") r1.Driver.cut rn.Driver.cut;
+      Alcotest.(check (array int))
+        (name ^ ": assignment")
+        r1.Driver.assignment rn.Driver.assignment)
+    [ Config.Sanchis_refiner; Config.Flow_refiner; Config.Hybrid_refiner ]
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "flow-refine"
+    [
+      ( "zero-headroom",
+        [
+          Alcotest.test_case "pair skipped" `Quick test_zero_headroom_skips;
+          Alcotest.test_case "one-sided" `Quick test_zero_headroom_one_sided;
+          Alcotest.test_case "window shape" `Quick test_windows_at_s_max;
+        ] );
+      ( "ordering",
+        [
+          Alcotest.test_case "hybrid vs sanchis" `Quick
+            test_hybrid_matches_or_beats_sanchis;
+          Alcotest.test_case "pool identity" `Quick test_pool_identity;
+        ] );
+      ( "property",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_maxflow_bruteforce;
+            prop_corridor_window_safe;
+            prop_refine_never_worsens;
+          ] );
+    ]

@@ -191,6 +191,48 @@ let arb_scene ?(min_cells = 8) ?(max_cells = 120) ?(max_k = 4) () =
   in
   make ~print:print_scene ~shrink gen
 
+(* A small explicit flow network for brute-force max-flow/min-cut
+   differentials: node 0 is the source, node [fn_nodes - 1] the sink,
+   each edge a directed (src, dst, cap) triple (parallel edges and
+   capacity 0 allowed, self-loops never generated). *)
+type flownet_spec = { fn_nodes : int; fn_edges : (int * int * int) list }
+
+let print_flownet fn =
+  Printf.sprintf "{nodes=%d; edges=[%s]}" fn.fn_nodes
+    (String.concat "; "
+       (List.map
+          (fun (s, d, c) -> Printf.sprintf "%d->%d/%d" s d c)
+          fn.fn_edges))
+
+(* Shrinks by dropping edges and reducing capacities; the node count is
+   never shrunk so edge endpoints stay in range. *)
+let arb_flownet ?(max_nodes = 12) ?(max_cap = 9) () =
+  let open QCheck in
+  let gen =
+    Gen.(
+      int_range 2 max_nodes >>= fun n ->
+      let edge =
+        map3
+          (fun s d c ->
+            let d = if d >= s then d + 1 else d in
+            (s, d, c))
+          (int_range 0 (n - 1))
+          (int_range 0 (n - 2))
+          (int_range 1 max_cap)
+      in
+      map
+        (fun edges -> { fn_nodes = n; fn_edges = edges })
+        (list_size (int_range 0 (3 * n)) edge))
+  in
+  let shrink fn yield =
+    Shrink.list
+      ~shrink:(fun (s, d, c) yield ->
+        Shrink.int c (fun c' -> if c' >= 0 then yield (s, d, c')))
+      fn.fn_edges
+      (fun edges -> yield { fn with fn_edges = edges })
+  in
+  make ~print:print_flownet ~shrink gen
+
 (* Device constraint pairs (S_MAX, T_MAX), shrinking towards the
    tightest still-legal device. *)
 let arb_device ?(max_s = 64) ?(max_t = 64) () =
