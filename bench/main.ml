@@ -215,6 +215,7 @@ let quota =
 let parallel_name = "parallel/run-best-table2"
 let mlevel_scale_name = "mlevel/table-scale"
 let refiner_table_name = "refiner/table2"
+let serve_table_name = "serve/latency-table"
 let selfcheck_name = "selfcheck/overhead-table2"
 let gain_update_name = "gain_update/table2"
 let recorder_name = "recorder/overhead-table2"
@@ -284,6 +285,11 @@ let refiner_wanted =
   | None -> true
   | Some pat -> contains refiner_table_name pat
 
+let serve_wanted =
+  match Sys.getenv_opt "FPART_BENCH_ONLY" with
+  | None -> true
+  | Some pat -> contains serve_table_name pat
+
 let tests =
   let kept =
     match Sys.getenv_opt "FPART_BENCH_ONLY" with
@@ -293,7 +299,7 @@ let tests =
   if
     kept = [] && not parallel_wanted && not selfcheck_wanted
     && not gain_update_wanted && not recorder_wanted && not resource_wanted
-    && not mlevel_scale_wanted && not refiner_wanted
+    && not mlevel_scale_wanted && not refiner_wanted && not serve_wanted
   then begin
     prerr_endline "bench: FPART_BENCH_ONLY matched no benchmarks";
     exit 1
@@ -680,6 +686,169 @@ let measure_resource () =
     Some (interleaved_medians ~repeats:overhead_repeats (time false) (time true))
   end
 
+(* Partition-service latency table.  Two measurements through the real
+   engine (same code path as fpart_serve):
+
+   - throughput: one batch of distinct single-start workloads answered
+     at jobs=1 and jobs=FPART_BENCH_JOBS — requests/sec of the batch
+     fan-out.
+   - cold vs warm: for each repeat, a cold request on a fresh circuit,
+     then an ECO request (small netlist delta + the cold result's
+     partfile) on the same circuit.  The engine's own
+     serve.latency.{cold,warm}_ms histograms supply the p50/p95 the
+     serve-smoke CI job and the ledger trend watch. *)
+
+type serve_result = {
+  sv_requests : int;
+  sv_wall_s_jobs1 : float;
+  sv_wall_s_jobsn : float;
+  sv_cold_p50_ms : float;
+  sv_cold_p95_ms : float;
+  sv_warm_p50_ms : float;
+  sv_warm_p95_ms : float;
+}
+
+let measure_serve () =
+  if not serve_wanted then None
+  else begin
+    let module Metrics = Fpart_obs.Metrics in
+    Metrics.set_enabled true;
+    let request ?eco ~id ~spec ~gen_seed () =
+      {
+        Serve.Protocol.id;
+        netlist = Serve.Protocol.Generate { spec; gen_seed };
+        device = "XC3042";
+        delta = None;
+        runs = 1;
+        seed = None;
+        max_passes = None;
+        refiner = None;
+        timeout_s = None;
+        eco;
+        inject = None;
+      }
+    in
+    let expect_ok rs =
+      List.iter
+        (fun r ->
+          match r.Serve.Protocol.outcome with
+          | Ok _ -> ()
+          | Error e ->
+            Printf.eprintf "bench: serve request %s failed: %s\n"
+              r.Serve.Protocol.resp_id e;
+            exit 1)
+        rs
+    in
+    (* throughput: 12 distinct workloads per batch, fresh engine per
+       jobs setting so the cache cannot carry answers across sides *)
+    let batch_requests =
+      List.init 12 (fun i ->
+          request ~id:(Printf.sprintf "t%d" i) ~spec:"200x20" ~gen_seed:(100 + i) ())
+    in
+    let timed_batch jobs () =
+      let engine = Serve.Engine.create ~jobs () in
+      let t0 = Unix.gettimeofday () in
+      let rs = Serve.Engine.handle_requests engine batch_requests in
+      let wall = Unix.gettimeofday () -. t0 in
+      Serve.Engine.shutdown engine;
+      expect_ok rs;
+      wall
+    in
+    let wall1, walln =
+      interleaved_medians ~repeats:overhead_repeats (timed_batch 1)
+        (timed_batch bench_jobs)
+    in
+    (* cold vs warm on one engine; a fresh circuit per repeat keeps the
+       cache out of both sides *)
+    let engine = Serve.Engine.create ~jobs:1 () in
+    let eco_spec = "360x36" in
+    let cells = 360 and pads = 36 in
+    for i = 0 to overhead_repeats - 1 do
+      let gen_seed = 9000 + i in
+      let cold =
+        match
+          Serve.Engine.handle_requests engine
+            [ request ~id:(Printf.sprintf "c%d" i) ~spec:eco_spec ~gen_seed () ]
+        with
+        | [ { Serve.Protocol.outcome = Ok s; _ } ] -> s
+        | [ { Serve.Protocol.outcome = Error e; _ } ] ->
+          Printf.eprintf "bench: serve cold request failed: %s\n" e;
+          exit 1
+        | _ ->
+          prerr_endline "bench: serve cold request lost";
+          exit 1
+      in
+      (* the engine generated ~name:"gen" with this spec/seed; rebuild
+         it to learn real node names for the delta *)
+      let hg =
+        Netlist.Generator.generate
+          (Netlist.Generator.default_spec ~name:"gen" ~cells ~pads
+             ~seed:gen_seed)
+      in
+      let module Hg = Hypergraph.Hgraph in
+      let cell_names =
+        let acc = ref [] in
+        Hg.iter_nodes
+          (fun v -> if not (Hg.is_pad hg v) then acc := Hg.name hg v :: !acc)
+          hg;
+        List.rev !acc
+      in
+      let d =
+        {
+          Netlist.Delta.empty with
+          Netlist.Delta.remove_nodes = [ List.nth cell_names 0 ];
+          add_cells =
+            [ { Netlist.Delta.cell_name = "bench_eco"; size = 1; flops = 0 } ];
+          add_nets =
+            [
+              {
+                Netlist.Delta.net_name = "bench_eco_net";
+                pins = [ "bench_eco"; List.nth cell_names 2 ];
+              };
+            ];
+        }
+      in
+      let eco =
+        {
+          Serve.Protocol.eco_delta =
+            Serve.Protocol.Src_text (Netlist.Delta.to_string d);
+          eco_partfile = Serve.Protocol.Src_text cold.Serve.Protocol.partition;
+        }
+      in
+      match
+        Serve.Engine.handle_requests engine
+          [ request ~eco ~id:(Printf.sprintf "w%d" i) ~spec:eco_spec ~gen_seed () ]
+      with
+      | [ { Serve.Protocol.outcome = Ok _; _ } ] -> ()
+      | [ { Serve.Protocol.outcome = Error e; _ } ] ->
+        Printf.eprintf "bench: serve eco request failed: %s\n" e;
+        exit 1
+      | _ ->
+        prerr_endline "bench: serve eco request lost";
+        exit 1
+    done;
+    Serve.Engine.shutdown engine;
+    let q name p =
+      let h = Metrics.histogram name in
+      if Metrics.count h = 0 then 0.0 else Metrics.quantile h p
+    in
+    let result =
+      {
+        sv_requests = List.length batch_requests;
+        sv_wall_s_jobs1 = wall1;
+        sv_wall_s_jobsn = walln;
+        sv_cold_p50_ms = q "serve.latency.cold_ms" 0.5;
+        sv_cold_p95_ms = q "serve.latency.cold_ms" 0.95;
+        sv_warm_p50_ms = q "serve.latency.warm_ms" 0.5;
+        sv_warm_p95_ms = q "serve.latency.warm_ms" 0.95;
+      }
+    in
+    Metrics.set_enabled false;
+    Metrics.reset ();
+    Fpart_obs.Recorder.reset ();
+    Some result
+  end
+
 let snapshot_path = "BENCH_fpart.json"
 
 let overhead_fields ~name (off, on) =
@@ -730,8 +899,30 @@ let refiner_row_json row =
         Json.Int (row.rf_sanchis.rr_cut - row.rf_hybrid.rr_cut) );
     ]
 
+let serve_field_json sv =
+  let rps wall =
+    if wall > 0.0 then float_of_int sv.sv_requests /. wall else 0.0
+  in
+  Json.Obj
+    [
+      ("name", Json.Str serve_table_name);
+      ("requests", Json.Int sv.sv_requests);
+      ("wall_s_jobs1", Json.Float sv.sv_wall_s_jobs1);
+      ("wall_s_jobsN", Json.Float sv.sv_wall_s_jobsn);
+      ("requests_per_s_jobs1", Json.Float (rps sv.sv_wall_s_jobs1));
+      ("requests_per_s_jobsN", Json.Float (rps sv.sv_wall_s_jobsn));
+      ("cold_p50_ms", Json.Float sv.sv_cold_p50_ms);
+      ("cold_p95_ms", Json.Float sv.sv_cold_p95_ms);
+      ("warm_p50_ms", Json.Float sv.sv_warm_p50_ms);
+      ("warm_p95_ms", Json.Float sv.sv_warm_p95_ms);
+      ( "warm_speedup",
+        Json.Float
+          (if sv.sv_warm_p50_ms > 0.0 then sv.sv_cold_p50_ms /. sv.sv_warm_p50_ms
+           else 0.0) );
+    ]
+
 let write_snapshot rows parallel selfcheck gain_update recorder resource
-    mlevel_scale refiner =
+    mlevel_scale refiner serve =
   let benchmarks =
     List.map
       (fun (name, est) ->
@@ -854,6 +1045,8 @@ let write_snapshot rows parallel selfcheck gain_update recorder resource
         ("resource", resource_field);
         ("mlevel", mlevel_field);
         ("refiner", refiner_field);
+        ( "serve",
+          match serve with None -> Json.Null | Some sv -> serve_field_json sv );
       ]
   in
   let oc = open_out snapshot_path in
@@ -888,7 +1081,7 @@ let install_resource_source () =
       })
 
 let ledger_rows rows parallel selfcheck gain_update recorder resource
-    mlevel_scale refiner =
+    mlevel_scale refiner serve =
   let r name value unit_ higher_better =
     { Ledger.name; value; unit_; higher_better }
   in
@@ -976,6 +1169,25 @@ let ledger_rows rows parallel selfcheck gain_update recorder resource
             ])
           refiner_rows)
       refiner
+  @ opt
+      (fun sv ->
+        let rps wall =
+          if wall > 0.0 then float_of_int sv.sv_requests /. wall else 0.0
+        in
+        let p = serve_table_name in
+        [
+          r (p ^ "/requests-per-s-jobs1") (rps sv.sv_wall_s_jobs1) "req/s" true;
+          r (p ^ "/requests-per-s-jobsN") (rps sv.sv_wall_s_jobsn) "req/s" true;
+          r (p ^ "/cold-p50-ms") sv.sv_cold_p50_ms "ms" false;
+          r (p ^ "/warm-p50-ms") sv.sv_warm_p50_ms "ms" false;
+          r
+            (p ^ "/warm-speedup")
+            (if sv.sv_warm_p50_ms > 0.0 then
+               sv.sv_cold_p50_ms /. sv.sv_warm_p50_ms
+             else 0.0)
+            "x" true;
+        ])
+      serve
 
 let append_ledger path entry_rows =
   let entry =
@@ -1104,12 +1316,19 @@ let () =
           (Printf.sprintf "cut %d/%d/%d s/f/h" row.rf_sanchis.rr_cut
              row.rf_flow.rr_cut row.rf_hybrid.rr_cut))
       refiner_rows);
+  let serve = measure_serve () in
+  (match serve with
+  | None -> ()
+  | Some sv ->
+    Printf.printf "%-42s %15s\n" serve_table_name
+      (Printf.sprintf "cold %.1fms warm %.1fms p50" sv.sv_cold_p50_ms
+         sv.sv_warm_p50_ms));
   write_snapshot rows parallel selfcheck gain_update recorder resource
-    mlevel_scale refiner;
+    mlevel_scale refiner serve;
   Printf.printf "perf snapshot written to %s\n" snapshot_path;
   match Sys.getenv_opt "FPART_BENCH_LEDGER" with
   | None | Some "" -> ()
   | Some path ->
     append_ledger path
       (ledger_rows rows parallel selfcheck gain_update recorder resource
-         mlevel_scale refiner)
+         mlevel_scale refiner serve)

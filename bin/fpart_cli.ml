@@ -104,39 +104,29 @@ let algo_name = function
 
 let engine_name = function Eng_flat -> "flat" | Eng_mlevel -> "mlevel"
 
-let config_digest ~algo ~engine ~delta ~seed ~runs ~cluster ~jobs ~gain_update
-    ~refiner =
-  Digest.to_hex
-    (Digest.string
-       (Printf.sprintf
-          "algo=%s engine=%s delta=%s seed=%d runs=%d cluster=%s jobs=%d gain=%s refiner=%s"
-          (algo_name algo) (engine_name engine)
-          (match delta with Some d -> string_of_float d | None -> "paper")
-          seed runs
-          (match cluster with Some c -> string_of_int c | None -> "off")
-          jobs
-          (match gain_update with
-          | Sanchis.Delta -> "delta"
-          | Sanchis.Recompute -> "recompute")
-          (Fpart.Config.refiner_name refiner)))
+(* Shared fpart configuration from the CLI knobs; also the canonical
+   config-digest producer for the ledger (kwayx/fbb-mw runs digest the
+   same record — their relevant knobs, delta and seed, live in it). *)
+let make_config ~delta ~seed ~cluster ~jobs ~selfcheck ~gain_update ~refiner =
+  {
+    Fpart.Config.default with
+    delta;
+    seed;
+    cluster_size = cluster;
+    jobs;
+    selfcheck;
+    gain_update;
+    refiner;
+  }
 
-let netlist_digest hg =
-  let b = Buffer.create 4096 in
-  Buffer.add_string b
-    (Printf.sprintf "%d/%d/%d;"
-       (Hypergraph.Hgraph.num_cells hg)
-       (Hypergraph.Hgraph.num_pads hg)
-       (Hypergraph.Hgraph.num_nets hg));
-  Hypergraph.Hgraph.iter_nets
-    (fun e ->
-      Array.iter
-        (fun v ->
-          Buffer.add_string b (string_of_int v);
-          Buffer.add_char b ',')
-        (Hypergraph.Hgraph.pins hg e);
-      Buffer.add_char b ';')
-    hg;
-  Digest.to_hex (Digest.string (Buffer.contents b))
+let config_digest ~algo ~engine ~runs config =
+  Fpart.Config.digest
+    ~extra:
+      (Printf.sprintf "algo=%s;engine=%s;runs=%d" (algo_name algo)
+         (engine_name engine) runs)
+    config
+
+let netlist_digest = Hypergraph.Hgraph.digest
 
 let append_ledger path ~label ~jobs ~config_digest ~netlist_digest ~rows =
   let entry =
@@ -173,22 +163,9 @@ let algo_conv =
   in
   Arg.conv (parse, print)
 
-let partition algo engine hg device delta seed runs cluster jobs selfcheck
-    gain_update refiner =
+let partition algo engine hg device ~config ~delta ~seed ~runs =
   match algo with
   | Algo_fpart -> (
-    let config =
-      {
-        Fpart.Config.default with
-        delta;
-        seed;
-        cluster_size = cluster;
-        jobs;
-        selfcheck;
-        gain_update;
-        refiner;
-      }
-    in
     match engine with
     | Eng_flat ->
       let r = Fpart.Driver.run_best ~config ~runs hg device in
@@ -292,9 +269,12 @@ let main input generate device_name delta algo engine seed runs cluster jobs
           check_mode path hg device d
         | None ->
         let t0 = Unix.gettimeofday () in
+        let config =
+          make_config ~delta ~seed ~cluster ~jobs ~selfcheck ~gain_update
+            ~refiner
+        in
         let k, assignment, feasible, trace_events =
-          partition algo engine hg device delta seed runs cluster jobs
-            selfcheck gain_update refiner
+          partition algo engine hg device ~config ~delta ~seed ~runs
         in
         let wall_s = Unix.gettimeofday () -. t0 in
         let violations = Fpart_check.Selfcheck.violations_seen () in
@@ -360,9 +340,7 @@ let main input generate device_name delta algo engine seed runs cluster jobs
           append_ledger path
             ~label:(Printf.sprintf "%s on %s (%s)" name device.Device.dev_name (algo_name algo))
             ~jobs
-            ~config_digest:
-              (config_digest ~algo ~engine ~delta ~seed ~runs ~cluster ~jobs
-                 ~gain_update ~refiner)
+            ~config_digest:(config_digest ~algo ~engine ~runs config)
             ~netlist_digest:(netlist_digest hg)
             ~rows:
               [

@@ -290,6 +290,85 @@ let check_refiner rng hg =
                cut_input)
         else Ok_round))
 
+(* Comparison 7: the ECO warm path.  Partition cold, apply a random
+   small netlist edit, re-legalize from the stale partfile.  A [Warm]
+   outcome must be feasible and oracle-consistent; a [Cold_needed]
+   fallback must leave the delta'd netlist partitionable from scratch.
+   The warm wall time is measured against the cold repartition of the
+   same edited netlist — the quantitative claim lives in the bench
+   latency table; here the fuzzer only insists both answers are legal. *)
+let check_eco rng hg =
+  if Hg.num_cells hg < 8 then Ok_round
+  else begin
+    let device = device_of_name (Sm.choose rng devices) in
+    let config = { Fpart.Config.default with seed = Sm.int rng 0xFFFF } in
+    let cold = Fpart.Driver.run ~config hg device in
+    let pf =
+      Netlist.Partfile.of_assignment hg ~circuit:"fuzz"
+        ~delta:cold.Fpart.Driver.delta
+        ~block_devices:(Array.make cold.Fpart.Driver.k device.Device.dev_name)
+        ~assignment:cold.Fpart.Driver.assignment
+    in
+    (* remove one random cell, add one cell wired to a random survivor *)
+    let rec pick_cell () =
+      let v = Sm.int rng (Hg.num_nodes hg) in
+      if Hg.is_pad hg v then pick_cell () else v
+    in
+    let removed = pick_cell () in
+    let rec pick_anchor () =
+      let v = pick_cell () in
+      if v = removed then pick_anchor () else v
+    in
+    let d =
+      {
+        Netlist.Delta.empty with
+        Netlist.Delta.remove_nodes = [ Hg.name hg removed ];
+        add_cells =
+          [ { Netlist.Delta.cell_name = "fz_eco"; size = 1; flops = 0 } ];
+        add_nets =
+          [
+            {
+              Netlist.Delta.net_name = "fz_eco_net";
+              pins = [ "fz_eco"; Hg.name hg (pick_anchor ()) ];
+            };
+          ];
+      }
+    in
+    match Netlist.Delta.apply d hg with
+    | Error e -> Divergence ("delta apply refused a valid edit: " ^ e)
+    | Ok hg' -> (
+      match Serve.Eco.relegalize ~config ~device ~partfile:pf hg' with
+      | Error e -> Divergence ("relegalize errored on a fresh partfile: " ^ e)
+      | Ok (Serve.Eco.Warm { assignment; k; cut; total_pins; _ }) ->
+        let o =
+          Check.Oracle.recompute hg' ~k ~assign:(fun v -> assignment.(v))
+        in
+        if o.Check.Oracle.cut <> cut then
+          Divergence
+            (Printf.sprintf "eco warm cut: claimed %d, oracle %d" cut
+               o.Check.Oracle.cut)
+        else if o.Check.Oracle.t_sum <> total_pins then
+          Divergence
+            (Printf.sprintf "eco warm pins: claimed %d, oracle %d" total_pins
+               o.Check.Oracle.t_sum)
+        else begin
+          let st = State.create hg' ~k ~assign:(fun v -> assignment.(v)) in
+          let delta = Fpart.Config.delta_for config device in
+          let ctx = Partition.Cost.context_of device ~delta hg' in
+          match Partition.Cost.classify ctx st with
+          | Partition.Cost.Feasible -> Ok_round
+          | _ -> Divergence "eco warm outcome is not feasible"
+        end
+      | Ok (Serve.Eco.Cold_needed _) ->
+        let cold' = Fpart.Driver.run ~config hg' device in
+        if cold'.Fpart.Driver.feasible then Ok_round
+        else
+          Divergence
+            (Printf.sprintf
+               "eco fallback: cold repartition of the edited netlist infeasible at k=%d"
+               cold'.Fpart.Driver.k))
+  end
+
 let run_round ~max_cells round_seed =
   let rng = Sm.create round_seed in
   let hg = random_circuit rng ~max_cells in
@@ -304,6 +383,7 @@ let run_round ~max_cells round_seed =
       ("delta", fun () -> check_delta rng hg);
       ("mlevel", fun () -> check_mlevel rng hg);
       ("refiner", fun () -> check_refiner rng hg);
+      ("eco", fun () -> check_eco rng hg);
     ]
   in
   List.fold_left

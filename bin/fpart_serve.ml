@@ -1,0 +1,242 @@
+(* fpart_serve: long-running partition service.
+
+   Three modes sharing one engine and wire protocol (docs/SERVICE.md):
+
+     fpart_serve --batch requests.jsonl        # script -> responses on stdout
+     fpart_serve --socket /tmp/fpart.sock      # daemon on a Unix socket
+     fpart_serve --client /tmp/fpart.sock      # pump stdin to a daemon
+
+   Requests are framed JSONL; every partition request yields one
+   response line carrying the same id.  A {"op":"shutdown"} line stops
+   the daemon cleanly (acknowledged with {"op":"bye",...}). *)
+
+open Cmdliner
+
+let read_lines ic =
+  let rec go acc =
+    match input_line ic with
+    | line -> go (line :: acc)
+    | exception End_of_file -> List.rev acc
+  in
+  go []
+
+let append_ledger path engine ~label ~jobs =
+  let entry =
+    {
+      Fpart_obs.Ledger.time = Unix.gettimeofday ();
+      git_rev = Fpart_obs.Ledger.git_rev ();
+      kind = "serve";
+      label;
+      jobs;
+      repeats = 1;
+      (* a serve ledger entry aggregates many workloads, so the
+         per-workload digests live in the responses, not here *)
+      config_digest = None;
+      netlist_digest = None;
+      rows = Serve.Engine.ledger_rows engine;
+      resource = Some (Fpart_obs.Resource.summary ());
+    }
+  in
+  match Fpart_obs.Ledger.append path entry with
+  | Ok () -> ()
+  | Error e -> Printf.eprintf "fpart_serve: cannot append to ledger %s: %s\n" path e
+
+let batch_mode engine path ledger jobs =
+  let lines =
+    if path = "-" then read_lines stdin
+    else begin
+      let ic = open_in path in
+      let lines = read_lines ic in
+      close_in ic;
+      lines
+    end
+  in
+  let _written = Serve.Server.run_batch engine lines stdout in
+  Option.iter
+    (fun l -> append_ledger l engine ~label:("batch " ^ path) ~jobs)
+    ledger;
+  0
+
+(* Accept loop: connections are served one at a time (the engine owns
+   the domain pool; concurrency lives inside a batch, not across
+   clients), each connection streams request lines until EOF or
+   shutdown. *)
+let socket_mode engine path ledger jobs =
+  if Sys.file_exists path then Sys.remove path;
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind sock (Unix.ADDR_UNIX path);
+  Unix.listen sock 8;
+  Printf.eprintf "fpart_serve: listening on %s (jobs=%d)\n%!" path
+    (Serve.Engine.jobs engine);
+  let shutdown = ref false in
+  while not !shutdown do
+    let fd, _ = Unix.accept sock in
+    let ic = Unix.in_channel_of_descr fd in
+    let oc = Unix.out_channel_of_descr fd in
+    (try
+       let rec serve_lines () =
+         match input_line ic with
+         | line -> (
+           match Serve.Server.react engine line with
+           | Serve.Server.Lines ls ->
+             List.iter
+               (fun l ->
+                 output_string oc l;
+                 output_char oc '\n')
+               ls;
+             flush oc;
+             serve_lines ()
+           | Serve.Server.Quit ->
+             output_string oc
+               (Serve.Protocol.bye_line ~served:(Serve.Engine.served engine));
+             output_char oc '\n';
+             flush oc;
+             shutdown := true)
+         | exception End_of_file -> ()
+       in
+       serve_lines ()
+     with Sys_error _ | Unix.Unix_error _ -> ());
+    (try Unix.close fd with Unix.Unix_error _ -> ())
+  done;
+  (try Unix.close sock with Unix.Unix_error _ -> ());
+  if Sys.file_exists path then Sys.remove path;
+  Option.iter
+    (fun l -> append_ledger l engine ~label:("socket " ^ path) ~jobs)
+    ledger;
+  Printf.eprintf "fpart_serve: shut down cleanly (%d request(s) served)\n%!"
+    (Serve.Engine.served engine);
+  0
+
+(* Client pump for scripts and CI: send every stdin line, then read
+   responses until the server closes the connection.  Always appends a
+   shutdown-free EOF, so the daemon keeps running unless the script
+   itself carries {"op":"shutdown"}. *)
+let client_mode path =
+  let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.connect sock (Unix.ADDR_UNIX path)
+   with Unix.Unix_error (e, _, _) ->
+     Printf.eprintf "fpart_serve: cannot connect to %s: %s\n" path
+       (Unix.error_message e);
+     exit 1);
+  let ic = Unix.in_channel_of_descr sock in
+  let oc = Unix.out_channel_of_descr sock in
+  let lines = read_lines stdin in
+  List.iter
+    (fun l ->
+      output_string oc l;
+      output_char oc '\n')
+    lines;
+  flush oc;
+  Unix.shutdown sock Unix.SHUTDOWN_SEND;
+  (try
+     while true do
+       print_endline (input_line ic)
+     done
+   with End_of_file -> ());
+  (try Unix.close sock with Unix.Unix_error _ -> ());
+  0
+
+let main batch socket client jobs timeout_s ledger trace trace_format stats =
+  Obs_setup.install_resource ();
+  Obs_setup.install_clock ();
+  Fpart_obs.Metrics.set_enabled true;
+  Fpart_obs.Resource.set_enabled true;
+  Obs_setup.setup_trace trace trace_format;
+  let result =
+    match (batch, socket, client) with
+    | _, _, Some path ->
+      (* pure pump: no engine on this side *)
+      client_mode path
+    | Some bpath, None, None | Some bpath, Some _, None ->
+      let engine = Serve.Engine.create ?timeout_s ~jobs () in
+      let code = batch_mode engine bpath ledger jobs in
+      Serve.Engine.shutdown engine;
+      code
+    | None, Some spath, None ->
+      let engine = Serve.Engine.create ?timeout_s ~jobs () in
+      let code = socket_mode engine spath ledger jobs in
+      Serve.Engine.shutdown engine;
+      code
+    | None, None, None ->
+      prerr_endline
+        "fpart_serve: give one of --batch FILE, --socket PATH or --client PATH";
+      2
+  in
+  if stats then begin
+    Format.eprintf "%a" Fpart_obs.Metrics.pp_report ();
+    Format.eprintf "%a" Fpart_obs.Resource.pp_summary ()
+  end;
+  Obs_setup.finish_trace ();
+  result
+
+let batch =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "batch" ] ~docv:"FILE"
+        ~doc:
+          "Process a request script (one JSONL request per line; $(b,-) for \
+           stdin), write response lines to stdout and exit.  Consecutive \
+           partition requests are answered as one batched fan-out.")
+
+let socket =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:
+          "Listen for request lines on a Unix domain socket at PATH.  A \
+           $(b,{\"op\":\"shutdown\"}) line stops the daemon cleanly.")
+
+let client =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "client" ] ~docv:"PATH"
+        ~doc:
+          "Connect to a daemon's socket, send every stdin line, print the \
+           response lines.  For scripts and CI (no netcat dependency).")
+
+let jobs =
+  Arg.(
+    value
+    & opt int 1
+    & info [ "jobs"; "j" ] ~docv:"JOBS"
+        ~doc:
+          "Execution domains of the engine's pool: batched requests and \
+           multi-start portfolios are sharded across JOBS domains.")
+
+let timeout_s =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "timeout" ] ~docv:"SECONDS"
+        ~doc:
+          "Default per-request time limit for batched jobs (cooperative: an \
+           overrunning job is reported as timed out when it completes).")
+
+let ledger =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "ledger" ] ~docv:"FILE"
+        ~doc:
+          "Append one serve-session record (request count, cache hits, \
+           cold/warm latency quantiles; schema fpart-ledger/1) to FILE at \
+           shutdown.")
+
+let stats =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:"Print the metrics report (counters, span histograms) to stderr at exit.")
+
+let cmd =
+  let doc = "long-running multi-way FPGA partition service" in
+  Cmd.v
+    (Cmd.info "fpart_serve" ~doc)
+    Term.(
+      const main $ batch $ socket $ client $ jobs $ timeout_s $ ledger
+      $ Obs_setup.trace_arg $ Obs_setup.trace_format_arg $ stats)
+
+let () = exit (Cmd.eval' cmd)

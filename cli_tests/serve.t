@@ -1,0 +1,87 @@
+fpart_serve answers framed JSONL requests.  Batch mode processes a
+script: consecutive partition requests become one batched fan-out, a
+crashing request or a malformed line costs only its own response, and
+a repeated workload is served from the digest-keyed cache.
+
+  $ cat > req.jsonl <<'EOF'
+  > {"op":"ping"}
+  > {"id":"r1","netlist":{"generate":"60x8","seed":5},"device":"XC3042"}
+  > {"id":"r2","netlist":{"generate":"60x8","seed":5},"device":"XC3042"}
+  > {"id":"boom","netlist":{"generate":"60x8","seed":5},"device":"XC3042","inject":"crash"}
+  > not json
+  > {"id":"r3","netlist":{"generate":"60x8","seed":6},"device":"XC9999"}
+  > {"op":"shutdown"}
+  > EOF
+  $ fpart_serve --batch req.jsonl > resp.jsonl
+  $ wc -l < resp.jsonl
+  7
+
+One response line per input line, ids preserved, and the daemon kept
+answering after the crash and the parse error:
+
+  $ sed 's/{"op":"pong"}/pong/;s/.*"id":"\([^"]*\)","status":"\([a-z]*\)".*/\1 \2/;s/{"op":"bye".*/bye/' resp.jsonl
+  pong
+  r1 ok
+  r2 ok
+  boom error
+  ? error
+  r3 error
+  bye
+
+The repeated workload is a cache hit and its partition is
+bit-identical to the cold answer:
+
+  $ grep '"id":"r1"' resp.jsonl | grep -c '"cache":"miss"'
+  1
+  $ grep '"id":"r2"' resp.jsonl | grep -c '"cache":"hit"'
+  1
+  $ sed -n 's/.*"id":"r1".*"partition":"\(.*\)"}/\1/p' resp.jsonl > p1
+  $ sed -n 's/.*"id":"r2".*"partition":"\(.*\)"}/\1/p' resp.jsonl > p2
+  $ test -s p1 && cmp p1 p2 && echo bit-identical
+  bit-identical
+
+The crash is reported as a typed error naming the injection, and the
+unknown device as a preparation error:
+
+  $ grep '"id":"boom"' resp.jsonl | grep -c 'injected crash'
+  1
+  $ grep '"id":"r3"' resp.jsonl | grep -c 'unknown device'
+  1
+
+Responses carry the canonical workload digests (32-hex MD5 of the
+relabel-invariant netlist form and of the result-relevant config
+knobs) — the same keys the run ledger and fpart_inspect trend use:
+
+  $ grep '"id":"r1"' resp.jsonl | grep -c '"netlist_digest":"[0-9a-f]\{32\}"'
+  1
+  $ grep '"id":"r1"' resp.jsonl | grep -c '"config_digest":"[0-9a-f]\{32\}"'
+  1
+
+An ECO request re-legalizes a previous partition after a netlist
+delta instead of repartitioning cold.  Feed r1's partition back with
+a one-cell edit (the generator names cells gen_c0, gen_c1, ...):
+
+  $ sed -n 's/.*"id":"r1".*"partition":"\(.*\)"}/\1/p' resp.jsonl | sed 's/\\n/\n/g' > prev.part
+  $ printf 'remove node gen_c0\nadd cell eco_cell 1\nadd net eco_net eco_cell gen_c1\n' > eco.delta
+  $ python3 - > eco.jsonl <<'EOF'
+  > import json
+  > req = {"id": "eco1",
+  >        "netlist": {"generate": "60x8", "seed": 5},
+  >        "device": "XC3042",
+  >        "eco": {"delta": {"text": open("eco.delta").read()},
+  >                "partfile": {"text": open("prev.part").read()}}}
+  > print(json.dumps(req))
+  > EOF
+  $ fpart_serve --batch eco.jsonl | sed -n 's/.*"id":"eco1","status":"\([a-z]*\)".*"mode":"\([a-z-]*\)".*/\1 \2/p'
+  ok warm
+
+A serve session can append its latency table to a run-history ledger:
+
+  $ fpart_serve --batch req.jsonl --ledger serve.jsonl > /dev/null
+  $ fpart_inspect trend serve.jsonl | sed -n '$p'
+  1 entries, 4 benchmark rows
+  $ fpart_inspect trend serve.jsonl | awk 'NR > 1 && $1 ~ /serve/ { print $1 }'
+  serve/latency-table/cold-p95-ms
+  serve/latency-table/cold-p50-ms
+  serve/latency-table/cache-hits
+  serve/latency-table/requests

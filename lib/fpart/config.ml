@@ -85,3 +85,49 @@ let engine t =
 let free_space t ~s_max ~t_max ~size ~pins =
   (t.sigma1 *. (float_of_int (s_max - size) /. float_of_int s_max))
   +. (t.sigma2 *. (float_of_int (t_max - pins) /. float_of_int t_max))
+
+(* Canonical configuration digest: every field that can change the
+   partitioning result, rendered to a fixed textual form and hashed.
+   This is the producer behind the [config_digest] field of run-ledger
+   entries; [?extra] lets a caller fold in knobs living outside this
+   record (CLI algorithm/engine selection, run counts). *)
+let digest ?(extra = "") t =
+  let b = Buffer.create 256 in
+  let f name v = Buffer.add_string b (Printf.sprintf "%s=%.9g;" name v) in
+  let i name v = Buffer.add_string b (Printf.sprintf "%s=%d;" name v) in
+  let s name v = Buffer.add_string b (Printf.sprintf "%s=%s;" name v) in
+  s "schema" "fpart-config/1";
+  (match t.delta with Some d -> f "delta" d | None -> s "delta" "paper");
+  f "sigma1" t.sigma1;
+  f "sigma2" t.sigma2;
+  i "n_small" t.n_small;
+  f "lambda_s" t.cost.Partition.Cost.lambda_s;
+  f "lambda_t" t.cost.Partition.Cost.lambda_t;
+  f "lambda_r" t.cost.Partition.Cost.lambda_r;
+  f "lambda_f" t.cost.Partition.Cost.lambda_f;
+  f "eps_max_multi" t.eps_max_multi;
+  f "eps_max_two" t.eps_max_two;
+  f "eps_min_multi" t.eps_min_multi;
+  f "eps_min_two" t.eps_min_two;
+  i "stack_depth" t.stack_depth;
+  i "max_passes" t.max_passes;
+  i "gain_levels" t.gain_levels;
+  s "bucket"
+    (match t.bucket_discipline with
+    | Gainbucket.Bucket_array.Lifo -> "lifo"
+    | Gainbucket.Bucket_array.Fifo -> "fifo");
+  i "scan_limit" t.scan_limit;
+  s "gain_mode"
+    (match t.gain_mode with Sanchis.Cut_gain -> "cut" | Sanchis.Pin_gain -> "pin");
+  s "gain_update"
+    (match t.gain_update with Sanchis.Delta -> "delta" | Sanchis.Recompute -> "recompute");
+  (match t.drift_limit with Some d -> i "drift_limit" d | None -> s "drift_limit" "off");
+  s "random_initial" (string_of_bool t.random_initial);
+  (match t.cluster_size with Some c -> i "cluster" c | None -> s "cluster" "off");
+  s "refiner" (refiner_name t.refiner);
+  i "seed" t.seed;
+  if extra <> "" then s "extra" extra;
+  (* jobs and selfcheck deliberately excluded: both are documented to
+     never change the produced partition, so two runs differing only
+     there are the same workload to the trend analysis. *)
+  Digest.to_hex (Digest.string (Buffer.contents b))

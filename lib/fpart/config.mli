@@ -107,3 +107,11 @@ val engine : t -> Sanchis.config
     [F = σ1·(S_MAX-S_i)/S_MAX + σ2·(T_MAX-|Y_i|)/T_MAX] used to pick
     [P_MIN_F] (section 3.1). *)
 val free_space : t -> s_max:int -> t_max:int -> size:int -> pins:int -> float
+
+(** [digest ?extra t] is a hex digest of the canonical rendering of
+    every result-relevant field ([jobs] and [selfcheck] are excluded —
+    both are documented never to change the produced partition).
+    [?extra] folds caller-side knobs (CLI algorithm/engine, run counts)
+    into the same digest.  This is the producer behind the
+    [config_digest] field of run-ledger entries. *)
+val digest : ?extra:string -> t -> string

@@ -73,6 +73,32 @@ val run_batch :
   (Hypergraph.Hgraph.t * Device.t) list ->
   (result, Fpart_exec.Batch.error) Stdlib.result list
 
+(** [pick_best_opt results] reduces a fan-out with the lexicographic
+    comparison of {!run_best} (fewest devices, then feasibility, cut,
+    total pins), scanning in run order; [None] on an empty array.  Use
+    this — not the raising fold — when the array is the surviving
+    slice of an isolated batch and may legitimately be empty. *)
+val pick_best_opt : result array -> result option
+
+(** [run_best_isolated ?config ?jobs ?timeout_s ?run_one ?pool ~runs h
+    device] is {!run_best} with {!Fpart_exec.Batch} isolation per seed:
+    a crashing or overrunning start loses only its own slot.  When every
+    start fails, the outcome is [Error msg] (one line per failed run) —
+    a typed answer a serving loop can report per-request instead of
+    dying.  [?run_one] substitutes the per-seed runner (fault injection
+    in tests and the service's crash hook); [?pool] reuses a caller's
+    domain pool instead of creating one per call. *)
+val run_best_isolated :
+  ?config:Config.t ->
+  ?jobs:int ->
+  ?timeout_s:float ->
+  ?run_one:(Config.t -> Hypergraph.Hgraph.t -> Device.t -> result) ->
+  ?pool:Fpart_exec.Pool.t ->
+  runs:int ->
+  Hypergraph.Hgraph.t ->
+  Device.t ->
+  (result, string) Stdlib.result
+
 (** [final_state r h] rebuilds the partition state of a result (for
     reporting: per-block sizes and pins). *)
 val final_state : result -> Hypergraph.Hgraph.t -> Partition.State.t

@@ -214,3 +214,68 @@ let validate h =
 let pp ppf h =
   Format.fprintf ppf "hypergraph: %d cells, %d pads, %d nets, total size %d"
     (num_cells h) (num_pads h) (num_nets h) (total_size h)
+
+(* {2 Canonical digest}
+
+   The canonical form orders nodes by name and nets by their sorted
+   pin-name lists (ties broken by net name), so any node relabeling
+   that keeps names stable — including the pad permutations of the
+   test generators — and any reordering of the net list produce the
+   same digest.  Names are length-prefixed before hashing so no
+   concatenation of fields can collide with another record split. *)
+
+let digest h =
+  let buf = Buffer.create (4096 + (num_nodes h * 16)) in
+  let add_str s =
+    Buffer.add_string buf (string_of_int (String.length s));
+    Buffer.add_char buf ':';
+    Buffer.add_string buf s
+  in
+  let add_int i =
+    Buffer.add_string buf (string_of_int i);
+    Buffer.add_char buf ';'
+  in
+  add_str "fpart-hgraph/1";
+  add_int (num_cells h);
+  add_int (num_pads h);
+  add_int (num_nets h);
+  let node_records =
+    fold_nodes
+      (fun acc v ->
+        let b = Buffer.create 32 in
+        Buffer.add_string b (name h v);
+        Buffer.add_char b '\x00';
+        Buffer.add_string b
+          (match kind h v with Cell -> "c" | Pad -> "p");
+        Buffer.add_string b (string_of_int (size h v));
+        Buffer.add_char b ',';
+        Buffer.add_string b (string_of_int (flops h v));
+        Buffer.contents b :: acc)
+      [] h
+  in
+  List.iter
+    (fun r -> add_str r)
+    (List.sort String.compare node_records);
+  let net_records =
+    fold_nets
+      (fun acc e ->
+        let names =
+          Array.to_list (Array.map (fun v -> name h v) (pins h e))
+          |> List.sort String.compare
+        in
+        let b = Buffer.create 64 in
+        List.iter
+          (fun s ->
+            Buffer.add_string b (string_of_int (String.length s));
+            Buffer.add_char b ':';
+            Buffer.add_string b s)
+          names;
+        Buffer.add_char b '\x00';
+        Buffer.add_string b (net_name h e);
+        Buffer.contents b :: acc)
+      [] h
+  in
+  List.iter
+    (fun r -> add_str r)
+    (List.sort String.compare net_records);
+  Stdlib.Digest.to_hex (Stdlib.Digest.string (Buffer.contents buf))

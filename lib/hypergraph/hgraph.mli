@@ -153,3 +153,14 @@ val validate : t -> (unit, string) result
 
 (** [pp] prints a short summary: node/net counts and total size. *)
 val pp : Format.formatter -> t -> unit
+
+(** {1 Canonical digest} *)
+
+(** [digest h] is a hex digest of the hypergraph's canonical form:
+    nodes ordered by name, nets ordered by their sorted pin-name lists.
+    Invariant under any node relabeling that preserves names (e.g. a
+    pad permutation) and under net reordering; sensitive to every
+    structural change (sizes, flops, pin membership, added or removed
+    nodes/nets).  This is the producer behind the [netlist_digest]
+    field of run-ledger entries and the partition-service cache key. *)
+val digest : t -> string

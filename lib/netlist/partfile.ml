@@ -5,22 +5,47 @@ type t = {
   delta : float;
   block_devices : string array;
   assignment : (string * int) list;
+  node_lines : int list;
 }
 
+(* Validating constructor: every failure names the offending cell and
+   its node index so a serving loop can report the mismatch (the
+   classic one: an ECO-delta'd netlist paired with a stale partition)
+   per-request instead of aborting the process. *)
+let of_assignment_checked hg ~circuit ~delta ~block_devices ~assignment =
+  let n = Hg.num_nodes hg in
+  if Array.length assignment <> n then
+    Error
+      (Printf.sprintf
+         "assignment covers %d node(s) but circuit %S has %d — netlist and \
+          partition are out of sync"
+         (Array.length assignment) circuit n)
+  else begin
+    let k = Array.length block_devices in
+    let bad = ref None in
+    Array.iteri
+      (fun v b ->
+        if !bad = None && (b < 0 || b >= k) then
+          bad :=
+            Some
+              (Printf.sprintf
+                 "node %S (index %d) assigned to block %d outside [0, %d)"
+                 (Hg.name hg v) v b k))
+      assignment;
+    match !bad with
+    | Some e -> Error e
+    | None ->
+      let assignment_list =
+        Hg.fold_nodes (fun acc v -> (Hg.name hg v, assignment.(v)) :: acc) [] hg
+        |> List.rev
+      in
+      Ok { circuit; delta; block_devices; assignment = assignment_list; node_lines = [] }
+  end
+
 let of_assignment hg ~circuit ~delta ~block_devices ~assignment =
-  if Array.length assignment <> Hg.num_nodes hg then
-    invalid_arg "Partfile.of_assignment: wrong assignment length";
-  let k = Array.length block_devices in
-  Array.iter
-    (fun b ->
-      if b < 0 || b >= k then
-        invalid_arg "Partfile.of_assignment: block out of range")
-    assignment;
-  let assignment_list =
-    Hg.fold_nodes (fun acc v -> (Hg.name hg v, assignment.(v)) :: acc) [] hg
-    |> List.rev
-  in
-  { circuit; delta; block_devices; assignment = assignment_list }
+  match of_assignment_checked hg ~circuit ~delta ~block_devices ~assignment with
+  | Ok t -> t
+  | Error e -> invalid_arg ("Partfile.of_assignment: " ^ e)
 
 let to_string t =
   let buf = Buffer.create 4096 in
@@ -43,6 +68,7 @@ let parse_string text =
   let blocks = ref None in
   let devices : (int * string) list ref = ref [] in
   let nodes = ref [] in
+  let node_ls = ref [] in
   let err lineno msg = Error (Printf.sprintf "line %d: %s" lineno msg) in
   let rec go lineno = function
     | [] -> (
@@ -60,6 +86,7 @@ let parse_string text =
             delta = !delta;
             block_devices;
             assignment = List.rev !nodes;
+            node_lines = List.rev !node_ls;
           })
     | line :: rest -> (
       let line = String.trim line in
@@ -94,6 +121,7 @@ let parse_string text =
         match int_of_string_opt b with
         | Some b ->
           nodes := (name, b) :: !nodes;
+          node_ls := lineno :: !node_ls;
           go (lineno + 1) rest
         | None -> err lineno "bad node line")
       | _ -> err lineno (Printf.sprintf "unrecognised line %S" line))
@@ -112,20 +140,35 @@ let parse_file path =
   close_in ic;
   parse_string text
 
+(* Position of the [i]-th assignment entry for error messages: the
+   original file line when the value came from the parser, the entry
+   ordinal otherwise. *)
+let entry_pos t i =
+  match List.nth_opt t.node_lines i with
+  | Some line -> Printf.sprintf "line %d" line
+  | None -> Printf.sprintf "entry %d" (i + 1)
+
 let apply t hg =
   let k = Array.length t.block_devices in
   let by_name = Hashtbl.create (Hg.num_nodes hg * 2) in
   Hg.iter_nodes (fun v -> Hashtbl.replace by_name (Hg.name hg v) v) hg;
   let assignment = Array.make (Hg.num_nodes hg) (-1) in
   let error = ref None in
-  List.iter
-    (fun (name, b) ->
+  List.iteri
+    (fun i (name, b) ->
       if !error = None then
         match Hashtbl.find_opt by_name name with
-        | None -> error := Some (Printf.sprintf "unknown node %S" name)
+        | None ->
+          error :=
+            Some
+              (Printf.sprintf "%s: node %S is not in the circuit" (entry_pos t i)
+                 name)
         | Some v ->
           if b < 0 || b >= k then
-            error := Some (Printf.sprintf "node %S assigned to bad block %d" name b)
+            error :=
+              Some
+                (Printf.sprintf "%s: node %S assigned to block %d outside [0, %d)"
+                   (entry_pos t i) name b k)
           else assignment.(v) <- b)
     t.assignment;
   match !error with
@@ -135,6 +178,10 @@ let apply t hg =
     Array.iteri
       (fun v b -> if b < 0 then missing := Hg.name hg v :: !missing)
       assignment;
-    (match !missing with
+    (match List.rev !missing with
     | [] -> Ok (assignment, k)
-    | name :: _ -> Error (Printf.sprintf "node %S has no assignment" name))
+    | [ name ] -> Error (Printf.sprintf "node %S has no assignment" name)
+    | name :: rest ->
+      Error
+        (Printf.sprintf "%d nodes have no assignment (first: %S)"
+           (List.length rest + 1) name))

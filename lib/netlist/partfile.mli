@@ -27,11 +27,28 @@ type t = {
   delta : float;
   block_devices : string array;  (** Device name per block. *)
   assignment : (string * int) list;  (** node name → block. *)
+  node_lines : int list;
+      (** Source line of each assignment entry when the value came from
+          the parser ([[]] for programmatic construction); lets {!apply}
+          report line-numbered errors. *)
 }
 
-(** [of_assignment h ~circuit ~delta ~block_devices ~assignment] builds
-    the file content from a result.
-    @raise Invalid_argument if lengths disagree. *)
+(** [of_assignment_checked h ~circuit ~delta ~block_devices ~assignment]
+    builds the file content from a result, validating the assignment
+    against the current hypergraph: [Error msg] names the offending cell
+    (and its index) on a length mismatch or out-of-range block — the
+    shape a serving loop reports per-request instead of crashing. *)
+val of_assignment_checked :
+  Hypergraph.Hgraph.t ->
+  circuit:string ->
+  delta:float ->
+  block_devices:string array ->
+  assignment:int array ->
+  (t, string) result
+
+(** Raising variant of {!of_assignment_checked} for contexts where the
+    assignment is known-consistent (just produced by the driver).
+    @raise Invalid_argument with the same cell-named message. *)
 val of_assignment :
   Hypergraph.Hgraph.t ->
   circuit:string ->
@@ -53,5 +70,7 @@ val parse_file : string -> (t, string) result
 
 (** [apply t h] resolves the node names against hypergraph [h] and
     returns [(assignment, k)].  Nodes of [h] missing from the file, or
-    file entries naming unknown nodes, yield [Error]. *)
+    file entries naming unknown nodes or out-of-range blocks, yield
+    [Error]; messages carry the source line (via [node_lines]) and the
+    cell name. *)
 val apply : t -> Hypergraph.Hgraph.t -> (int array * int, string) result

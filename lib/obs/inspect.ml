@@ -541,27 +541,46 @@ let fmad xs med = fmedian (List.map (fun x -> abs_float (x -. med)) xs)
 
 type series = {
   sr_name : string;
+  sr_tag : string;  (* workload tag from entry digests; "" when absent *)
   sr_unit : string;
   sr_higher_better : bool;
   sr_values : float list;  (* entry file order *)
 }
+
+(* Entries carrying canonical digests describe a specific workload
+   (netlist x config); entries without them are legacy history.  Rows
+   are grouped per (name, workload) so that e.g. run/.../cut measured
+   on two different netlists never pollutes one baseline. *)
+let workload_tag (e : Ledger.entry) =
+  match (e.Ledger.netlist_digest, e.Ledger.config_digest) with
+  | None, None -> ""
+  | n, c ->
+    let short = function
+      | Some d when String.length d > 8 -> String.sub d 0 8
+      | Some d -> d
+      | None -> "-"
+    in
+    short n ^ "/" ^ short c
 
 let series_of_entries entries =
   let order = ref [] in
   let tbl = Hashtbl.create 32 in
   List.iter
     (fun (e : Ledger.entry) ->
+      let tag = workload_tag e in
       List.iter
         (fun (r : Ledger.row) ->
-          match Hashtbl.find_opt tbl r.Ledger.name with
+          let key = (r.Ledger.name, tag) in
+          match Hashtbl.find_opt tbl key with
           | Some s ->
-            Hashtbl.replace tbl r.Ledger.name
+            Hashtbl.replace tbl key
               { s with sr_values = r.Ledger.value :: s.sr_values }
           | None ->
-            order := r.Ledger.name :: !order;
-            Hashtbl.add tbl r.Ledger.name
+            order := key :: !order;
+            Hashtbl.add tbl key
               {
                 sr_name = r.Ledger.name;
+                sr_tag = tag;
                 sr_unit = r.Ledger.unit_;
                 sr_higher_better = r.Ledger.higher_better;
                 sr_values = [ r.Ledger.value ];
@@ -569,8 +588,8 @@ let series_of_entries entries =
         e.Ledger.rows)
     entries;
   List.rev_map
-    (fun name ->
-      let s = Hashtbl.find tbl name in
+    (fun key ->
+      let s = Hashtbl.find tbl key in
       { s with sr_values = List.rev s.sr_values })
     !order
   |> List.rev
@@ -579,6 +598,16 @@ let pp_trend ppf entries =
   let series = series_of_entries entries in
   if series = [] then Format.fprintf ppf "empty ledger@."
   else begin
+    (* a workload suffix is only informative when one row name spans
+       several workloads — a single-workload ledger prints bare names *)
+    let ambiguous name =
+      List.length (List.filter (fun s -> s.sr_name = name) series) > 1
+    in
+    let display s =
+      if s.sr_tag <> "" && ambiguous s.sr_name then
+        s.sr_name ^ " [" ^ s.sr_tag ^ "]"
+      else s.sr_name
+    in
     Format.fprintf ppf "%-44s %-10s %-6s %3s %12s %12s %12s %8s@." "benchmark"
       "unit" "dir" "n" "median" "mad" "latest" "delta";
     List.iter
@@ -591,7 +620,7 @@ let pp_trend ppf entries =
           else 100.0 *. (latest -. med) /. abs_float med
         in
         Format.fprintf ppf "%-44s %-10s %-6s %3d %12.4g %12.4g %12.4g %+7.1f%%@."
-          s.sr_name s.sr_unit
+          (display s) s.sr_unit
           (if s.sr_higher_better then "higher" else "lower")
           (List.length s.sr_values) med mad latest delta)
       series;
@@ -616,9 +645,21 @@ let regress ?(min_delta = 0.20) ?(mad_k = 4.0) entries =
   | [] | [ _ ] -> []
   | latest :: prev_rev ->
     let base = series_of_entries (List.rev prev_rev) in
+    let tag = workload_tag latest in
+    (* prefer history from the same workload; fall back to the
+       digest-less legacy series so pre-digest ledgers keep gating *)
+    let find name =
+      match
+        List.find_opt (fun s -> s.sr_name = name && s.sr_tag = tag) base
+      with
+      | Some s -> Some s
+      | None ->
+        if tag = "" then None
+        else List.find_opt (fun s -> s.sr_name = name && s.sr_tag = "") base
+    in
     List.filter_map
       (fun (r : Ledger.row) ->
-        match List.find_opt (fun s -> s.sr_name = r.Ledger.name) base with
+        match find r.Ledger.name with
         | None -> None  (* a new benchmark has no history to regress against *)
         | Some s ->
           let med = fmedian s.sr_values in

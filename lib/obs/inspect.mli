@@ -112,9 +112,13 @@ val pp_diff : ?times:bool -> Format.formatter -> t -> t -> unit
     median and MAD (scaled by 1.4826 to estimate sigma), so one
     outlier entry cannot move a baseline. *)
 
-(** Trajectory table: one line per benchmark row name, with direction,
-    entry count, median, MAD, latest value and its signed relative
-    delta vs the median. *)
+(** Trajectory table: one line per benchmark row name and workload
+    (entries carrying netlist/config digests are grouped per
+    workload; digest-less entries form one legacy series), with
+    direction, entry count, median, MAD, latest value and its signed
+    relative delta vs the median.  When a row name spans several
+    workloads each line carries a [name [netdigest/cfgdigest]]
+    suffix. *)
 val pp_trend : Format.formatter -> Ledger.entry list -> unit
 
 type verdict = {
@@ -130,10 +134,13 @@ type verdict = {
 }
 
 (** Judge the last entry's rows against the median of all earlier
-    entries.  A row regresses when its worse-direction relative delta
-    exceeds [max min_delta (mad_k * 1.4826 * mad / |median|)] — so the
-    gate widens for historically noisy benchmarks.  Rows with no
-    history, or a zero/non-finite baseline, are skipped.  Defaults:
+    entries measured on the same workload (matching netlist/config
+    digests, falling back to the digest-less legacy series when the
+    workload has no history of its own).  A row regresses when its
+    worse-direction relative delta exceeds
+    [max min_delta (mad_k * 1.4826 * mad / |median|)] — so the gate
+    widens for historically noisy benchmarks.  Rows with no history,
+    or a zero/non-finite baseline, are skipped.  Defaults:
     [min_delta = 0.20], [mad_k = 4.0]. *)
 val regress :
   ?min_delta:float -> ?mad_k:float -> Ledger.entry list -> verdict list

@@ -1,0 +1,27 @@
+type t = {
+  tbl : (string, Protocol.success) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create () = { tbl = Hashtbl.create 64; hits = 0; misses = 0 }
+
+let key ~netlist_digest ~device ~config_digest ~runs =
+  Printf.sprintf "%s|%s|%s|%d" netlist_digest device config_digest runs
+
+let find t k =
+  match Hashtbl.find_opt t.tbl k with
+  | Some s ->
+    t.hits <- t.hits + 1;
+    Some s
+  | None ->
+    t.misses <- t.misses + 1;
+    None
+
+let add t k s = Hashtbl.replace t.tbl k s
+
+let hits t = t.hits
+
+let misses t = t.misses
+
+let size t = Hashtbl.length t.tbl

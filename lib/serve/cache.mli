@@ -1,0 +1,32 @@
+(** Digest-keyed result cache of the partition service.
+
+    The key is the canonical workload identity: the relabel-invariant
+    {!Hypergraph.Hgraph.digest} of the (possibly delta-applied)
+    hypergraph, the device name, the {!Fpart.Config.digest} of the
+    effective configuration, and the multi-start breadth.  Two requests
+    with the same key produce bit-identical partitions (the driver is
+    deterministic in its seed, which the config digest covers), so the
+    cached response can be replayed verbatim.  ECO and fault-injected
+    requests bypass the cache entirely. *)
+
+type t
+
+val create : unit -> t
+
+val key :
+  netlist_digest:string ->
+  device:string ->
+  config_digest:string ->
+  runs:int ->
+  string
+
+(** [find t key] returns the cached success and counts a hit/miss. *)
+val find : t -> string -> Protocol.success option
+
+val add : t -> string -> Protocol.success -> unit
+
+val hits : t -> int
+
+val misses : t -> int
+
+val size : t -> int

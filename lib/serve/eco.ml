@@ -1,0 +1,155 @@
+module Hg = Hypergraph.Hgraph
+module State = Partition.State
+module Cost = Partition.Cost
+
+type projection = {
+  matched : int;
+  stale : int;
+  filled : int;
+  start_violations : int;
+}
+
+type outcome =
+  | Warm of {
+      assignment : int array;
+      k : int;
+      cut : int;
+      total_pins : int;
+      m_lower : int;
+      projection : projection;
+    }
+  | Cold_needed of string
+
+(* Project the partfile onto [hg] by node name.  Unknown names are the
+   delta's removals (dropped, counted as stale); an out-of-range block
+   is a genuinely malformed partfile and errors with its source line. *)
+let project (pf : Netlist.Partfile.t) hg ~k =
+  let by_name = Hashtbl.create (Hg.num_nodes hg * 2) in
+  Hg.iter_nodes (fun v -> Hashtbl.replace by_name (Hg.name hg v) v) hg;
+  let assignment = Array.make (Hg.num_nodes hg) (-1) in
+  let matched = ref 0 and stale = ref 0 in
+  let error = ref None in
+  List.iteri
+    (fun i (name, b) ->
+      if !error = None then
+        if b < 0 || b >= k then
+          let pos =
+            match List.nth_opt pf.Netlist.Partfile.node_lines i with
+            | Some line -> Printf.sprintf "line %d" line
+            | None -> Printf.sprintf "entry %d" (i + 1)
+          in
+          error :=
+            Some
+              (Printf.sprintf "%s: node %S assigned to block %d outside [0, %d)"
+                 pos name b k)
+        else
+          match Hashtbl.find_opt by_name name with
+          | Some v ->
+            assignment.(v) <- b;
+            incr matched
+          | None -> incr stale)
+    pf.Netlist.Partfile.assignment;
+  match !error with
+  | Some e -> Error e
+  | None -> Ok (assignment, !matched, !stale)
+
+(* Place the delta's additions: each unassigned node goes to the block
+   holding most of its already-placed net neighbours; isolated nodes go
+   to the smallest block.  Node-id order keeps this deterministic. *)
+let fill_unassigned hg ~k assignment =
+  let sizes = Array.make k 0 in
+  Array.iteri
+    (fun v b -> if b >= 0 then sizes.(b) <- sizes.(b) + Hg.size hg v)
+    assignment;
+  let filled = ref 0 in
+  let votes = Array.make k 0 in
+  Hg.iter_nodes
+    (fun v ->
+      if assignment.(v) < 0 then begin
+        Array.fill votes 0 k 0;
+        Array.iter
+          (fun e ->
+            Array.iter
+              (fun u -> if assignment.(u) >= 0 then
+                  votes.(assignment.(u)) <- votes.(assignment.(u)) + 1)
+              (Hg.pins hg e))
+          (Hg.nets_of hg v);
+        let best = ref 0 in
+        for b = 1 to k - 1 do
+          if votes.(b) > votes.(!best) then best := b
+        done;
+        let b =
+          if votes.(!best) > 0 then !best
+          else begin
+            let smallest = ref 0 in
+            for b = 1 to k - 1 do
+              if sizes.(b) < sizes.(!smallest) then smallest := b
+            done;
+            !smallest
+          end
+        in
+        assignment.(v) <- b;
+        sizes.(b) <- sizes.(b) + Hg.size hg v;
+        incr filled
+      end)
+    hg;
+  !filled
+
+let relegalize ?(passes = 4) ?fallback_violations ~config ~device ~partfile hg =
+  let k = Array.length partfile.Netlist.Partfile.block_devices in
+  if k < 1 then Error "partition file has no blocks"
+  else
+    match project partfile hg ~k with
+    | Error e -> Error e
+    | Ok (assignment, matched, stale) ->
+      if matched = 0 then
+        Ok (Cold_needed "no partfile entry matches the delta'd netlist")
+      else begin
+        let filled = fill_unassigned hg ~k assignment in
+        let delta = Fpart.Config.delta_for config device in
+        let ctx = Cost.context_of device ~delta hg in
+        let st = State.create hg ~k ~assign:(fun v -> assignment.(v)) in
+        let violating st =
+          match Cost.classify ctx st with
+          | Cost.Feasible -> []
+          | Cost.Semi_feasible i -> [ i ]
+          | Cost.Infeasible l -> l
+        in
+        let start_violations = List.length (violating st) in
+        let threshold =
+          match fallback_violations with Some t -> t | None -> max 1 (k / 2)
+        in
+        if start_violations > threshold then
+          Ok
+            (Cold_needed
+               (Printf.sprintf
+                  "projected start too damaged: %d of %d blocks violate \
+                   constraints (threshold %d)"
+                  start_violations k threshold))
+        else begin
+          let config =
+            { config with Fpart.Config.max_passes = min passes config.Fpart.Config.max_passes }
+          in
+          if start_violations > 0 || filled > 0 || stale > 0 then
+            Fpart.Driver.refine config ctx st;
+          match Cost.classify ctx st with
+          | Cost.Feasible ->
+            Ok
+              (Warm
+                 {
+                   assignment = State.assignment st;
+                   k;
+                   cut = State.cut_size st;
+                   total_pins = State.total_pins st;
+                   m_lower = ctx.Cost.m_lower;
+                   projection =
+                     { matched; stale; filled; start_violations };
+                 })
+          | _ ->
+            Ok
+              (Cold_needed
+                 (Printf.sprintf
+                    "still infeasible after %d bounded refinement pass(es)"
+                    passes))
+        end
+      end

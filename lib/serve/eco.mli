@@ -1,0 +1,49 @@
+(** ECO warm-start: re-legalize a stale partition on a delta'd netlist.
+
+    The cheap path for engineering change orders: instead of
+    re-partitioning from scratch, project the previous assignment onto
+    the edited hypergraph by node name (entries naming removed nodes are
+    dropped, added nodes are placed by neighbour vote), then run a
+    bounded {!Fpart.Driver.refine} to repair the damage the edit did to
+    the block constraints.  When the projected start is infeasible
+    beyond a threshold — or refinement cannot reach feasibility — the
+    caller falls back to a cold run. *)
+
+type projection = {
+  matched : int;  (** Partfile entries applied to a surviving node. *)
+  stale : int;  (** Entries naming nodes the delta removed. *)
+  filled : int;  (** Nodes absent from the partfile, neighbour-placed. *)
+  start_violations : int;  (** Violating blocks before refinement. *)
+}
+
+type outcome =
+  | Warm of {
+      assignment : int array;
+      k : int;
+      cut : int;
+      total_pins : int;
+      m_lower : int;
+      projection : projection;
+    }  (** Feasible after bounded refinement — use as-is. *)
+  | Cold_needed of string
+      (** Warm start not viable (reason); run the cold path. *)
+
+(** [relegalize ~config ~device ~partfile hg] projects [partfile] onto
+    the (already delta-applied) hypergraph [hg] and repairs it.
+
+    [passes] (default 4) bounds the refinement intensity
+    ([config.max_passes] is clamped to it).  [fallback_violations]
+    (default [max 1 (k/2)]) is the infeasibility threshold: more
+    violating blocks than this at the projected start trigger
+    {!Cold_needed} without attempting refinement.
+
+    [Error msg] on a malformed partfile (no blocks, out-of-range block
+    index — messages carry the partfile line when available). *)
+val relegalize :
+  ?passes:int ->
+  ?fallback_violations:int ->
+  config:Fpart.Config.t ->
+  device:Device.t ->
+  partfile:Netlist.Partfile.t ->
+  Hypergraph.Hgraph.t ->
+  (outcome, string) result

@@ -1,0 +1,468 @@
+module Hg = Hypergraph.Hgraph
+module Json = Fpart_obs.Json
+module Metrics = Fpart_obs.Metrics
+module Recorder = Fpart_obs.Recorder
+
+let c_requests = Metrics.counter "serve.requests"
+let c_cache_hits = Metrics.counter "serve.cache_hits"
+let c_errors = Metrics.counter "serve.errors"
+let c_eco_warm = Metrics.counter "serve.eco_warm"
+let c_eco_fallback = Metrics.counter "serve.eco_fallback"
+let h_cold = Metrics.histogram "serve.latency.cold_ms"
+let h_warm = Metrics.histogram "serve.latency.warm_ms"
+
+type t = {
+  pool : Fpart_exec.Pool.t;
+  cache : Cache.t;
+  jobs : int;
+  timeout_s : float option;
+  mutable served : int;
+}
+
+let create ?timeout_s ~jobs () =
+  {
+    pool = Fpart_exec.Pool.create ~jobs;
+    cache = Cache.create ();
+    jobs;
+    timeout_s;
+    served = 0;
+  }
+
+let jobs t = t.jobs
+
+let served t = t.served
+
+let cache_hits t = Cache.hits t.cache
+
+let cache_misses t = Cache.misses t.cache
+
+let shutdown t = Fpart_exec.Pool.shutdown t.pool
+
+(* --- request preparation ------------------------------------------- *)
+
+type prepared = {
+  p_req : Protocol.request;
+  p_name : string;  (* circuit name, for the result partfile *)
+  p_hg : Hg.t;  (* delta already applied for ECO requests *)
+  p_device : Device.t;
+  p_config : Fpart.Config.t;
+  p_net_digest : string;
+  p_cfg_digest : string;
+  p_key : string;
+  p_partfile : Netlist.Partfile.t option;  (* ECO: stale partition *)
+}
+
+let ( let* ) = Result.bind
+
+let load_netlist = function
+  | Protocol.Path path ->
+    if not (Sys.file_exists path) then
+      Error (Printf.sprintf "%s: no such file" path)
+    else if Filename.check_suffix path ".v" then
+      let* m = Netlist.Verilog.parse_file path in
+      Ok (m.Netlist.Verilog.mod_name, m.Netlist.Verilog.graph)
+    else if Filename.check_suffix path ".xnf" then
+      let* d = Netlist.Xnf.parse_file path in
+      Ok (d.Netlist.Xnf.design_name, d.Netlist.Xnf.graph)
+    else
+      let* m = Netlist.Blif.parse_file path in
+      Ok (m.Netlist.Blif.model_name, m.Netlist.Blif.graph)
+  | Protocol.Inline_blif text ->
+    let* m = Netlist.Blif.parse_string text in
+    Ok (m.Netlist.Blif.model_name, m.Netlist.Blif.graph)
+  | Protocol.Inline_xnf text ->
+    let* d = Netlist.Xnf.parse_string text in
+    Ok (d.Netlist.Xnf.design_name, d.Netlist.Xnf.graph)
+  | Protocol.Generate { spec; gen_seed } ->
+    if String.length spec > 5 && String.sub spec 0 5 = "rent:" then
+      match int_of_string_opt (String.sub spec 5 (String.length spec - 5)) with
+      | Some cells when cells >= 64 ->
+        Ok
+          ( "generated",
+            Netlist.Generator.generate
+              (Netlist.Generator.rent_spec ~name:"rent" ~cells ~seed:gen_seed) )
+      | _ -> Error "bad generate spec (expected rent:CELLS with CELLS >= 64)"
+    else
+      (match String.split_on_char 'x' spec with
+      | [ cells; pads ] -> (
+        match (int_of_string_opt cells, int_of_string_opt pads) with
+        | Some cells, Some pads when cells >= 2 && pads >= 1 ->
+          Ok
+            ( "generated",
+              Netlist.Generator.generate
+                (Netlist.Generator.default_spec ~name:"gen" ~cells ~pads
+                   ~seed:gen_seed) )
+        | _ -> Error "bad generate spec (expected CELLSxPADS or rent:CELLS)")
+      | _ -> Error "bad generate spec (expected CELLSxPADS or rent:CELLS)")
+
+let config_of_request (req : Protocol.request) =
+  let c = { Fpart.Config.default with delta = req.delta } in
+  let c =
+    match req.seed with Some s -> { c with Fpart.Config.seed = s } | None -> c
+  in
+  let* c =
+    match req.max_passes with
+    | Some m when m >= 1 -> Ok { c with Fpart.Config.max_passes = m }
+    | Some _ -> Error "\"max_passes\" must be >= 1"
+    | None -> Ok c
+  in
+  match req.refiner with
+  | None -> Ok c
+  | Some r -> (
+    match Fpart.Config.refiner_of_string r with
+    | Some r -> Ok { c with Fpart.Config.refiner = r }
+    | None -> Error (Printf.sprintf "unknown refiner %S" r))
+
+let read_source what = function
+  | Protocol.Src_text text -> Ok text
+  | Protocol.Src_path path ->
+    if not (Sys.file_exists path) then
+      Error (Printf.sprintf "%s %s: no such file" what path)
+    else begin
+      let ic = open_in_bin path in
+      let len = in_channel_length ic in
+      let text = really_input_string ic len in
+      close_in ic;
+      Ok text
+    end
+
+let prepare (req : Protocol.request) =
+  let* device =
+    match Device.find req.device with
+    | Some d -> Ok d
+    | None -> Error (Printf.sprintf "unknown device %S" req.device)
+  in
+  let* name, hg = load_netlist req.netlist in
+  let* config = config_of_request req in
+  let* hg, partfile =
+    match req.eco with
+    | None -> Ok (hg, None)
+    | Some eco ->
+      let* dtext = read_source "eco delta" eco.Protocol.eco_delta in
+      let* d =
+        match Netlist.Delta.parse_string dtext with
+        | Ok d -> Ok d
+        | Error e -> Error ("eco delta: " ^ e)
+      in
+      let* hg =
+        match Netlist.Delta.apply d hg with
+        | Ok hg -> Ok hg
+        | Error e -> Error ("eco delta: " ^ e)
+      in
+      let* ptext = read_source "eco partfile" eco.Protocol.eco_partfile in
+      let* pf =
+        match Netlist.Partfile.parse_string ptext with
+        | Ok pf -> Ok pf
+        | Error e -> Error ("eco partfile: " ^ e)
+      in
+      Ok (hg, Some pf)
+  in
+  let net_digest = Hg.digest hg in
+  let cfg_digest =
+    Fpart.Config.digest ~extra:(Printf.sprintf "runs=%d" req.runs) config
+  in
+  Ok
+    {
+      p_req = req;
+      p_name = name;
+      p_hg = hg;
+      p_device = device;
+      p_config = config;
+      p_net_digest = net_digest;
+      p_cfg_digest = cfg_digest;
+      p_key =
+        Cache.key ~netlist_digest:net_digest
+          ~device:device.Device.dev_name ~config_digest:cfg_digest
+          ~runs:req.runs;
+      p_partfile = partfile;
+    }
+
+(* --- execution ----------------------------------------------------- *)
+
+(* The per-seed runner, with the fault-injection hook: a request
+   carrying [inject:"crash"] raises inside its isolation boundary
+   (Batch slot or run_best_isolated seed), exactly like a real bug in
+   the partitioning engine would. *)
+let runner (req : Protocol.request) config hg device =
+  (match req.Protocol.inject with
+  | Some "crash" -> failwith "injected crash"
+  | Some other -> failwith (Printf.sprintf "unknown inject %S" other)
+  | None -> ());
+  Fpart.Driver.run ~config hg device
+
+let success_of_result p ~mode ~cache ~wall_ms ~k ~assignment ~feasible ~cut
+    ~total_pins ~m_lower =
+  let delta = Fpart.Config.delta_for p.p_config p.p_device in
+  let* pf =
+    Netlist.Partfile.of_assignment_checked p.p_hg ~circuit:p.p_name ~delta
+      ~block_devices:(Array.make k p.p_device.Device.dev_name)
+      ~assignment
+  in
+  Ok
+    {
+      Protocol.k;
+      feasible;
+      cut;
+      total_pins;
+      m_lower;
+      wall_ms;
+      cache;
+      mode;
+      netlist_digest = p.p_net_digest;
+      config_digest = p.p_cfg_digest;
+      partition = Netlist.Partfile.to_string pf;
+    }
+
+let success_of_driver p ~mode ~cache ~wall_ms (r : Fpart.Driver.result) =
+  success_of_result p ~mode ~cache ~wall_ms ~k:r.Fpart.Driver.k
+    ~assignment:r.Fpart.Driver.assignment ~feasible:r.Fpart.Driver.feasible
+    ~cut:r.Fpart.Driver.cut ~total_pins:r.Fpart.Driver.total_pins
+    ~m_lower:r.Fpart.Driver.m_lower
+
+let now = Unix.gettimeofday
+
+(* Cold path for one request, scheduled on [pool] when the request is a
+   multi-start portfolio ([pool = Some _]) or run inline inside a Batch
+   worker slot ([pool = None], isolation provided by the Batch). *)
+let run_cold ?pool p ~cache_tag =
+  let req = p.p_req in
+  let t0 = now () in
+  let sp = Recorder.span_begin "serve.request" in
+  let finish outcome attrs =
+    Recorder.span_end sp
+      ~attrs:(("id", Json.Str req.Protocol.id) :: attrs);
+    outcome
+  in
+  match pool with
+  | Some pool -> (
+    match
+      Fpart.Driver.run_best_isolated ~config:p.p_config ~pool
+        ?timeout_s:req.Protocol.timeout_s
+        ~run_one:(runner req) ~runs:req.Protocol.runs p.p_hg p.p_device
+    with
+    | Ok r ->
+      let wall_ms = (now () -. t0) *. 1000.0 in
+      Metrics.observe h_cold wall_ms;
+      finish
+        (success_of_driver p ~mode:"cold" ~cache:cache_tag ~wall_ms r)
+        [ ("mode", Json.Str "cold"); ("runs", Json.Int req.Protocol.runs) ]
+    | Error e -> finish (Error e) [ ("error", Json.Str e) ])
+  | None ->
+    (* inside a Batch worker: crashes propagate to the slot *)
+    let r = runner req p.p_config p.p_hg p.p_device in
+    let wall_ms = (now () -. t0) *. 1000.0 in
+    Metrics.observe h_cold wall_ms;
+    finish
+      (success_of_driver p ~mode:"cold" ~cache:cache_tag ~wall_ms r)
+      [ ("mode", Json.Str "cold") ]
+
+let run_eco t p partfile =
+  let sp = Recorder.span_begin "serve.eco" in
+  let t0 = now () in
+  let outcome =
+    Eco.relegalize ~config:p.p_config ~device:p.p_device ~partfile p.p_hg
+  in
+  let result, attrs =
+    match outcome with
+    | Error e -> (Error e, [ ("error", Json.Str e) ])
+    | Ok (Eco.Warm { assignment; k; cut; total_pins; m_lower; projection }) ->
+      Metrics.incr c_eco_warm;
+      let wall_ms = (now () -. t0) *. 1000.0 in
+      Metrics.observe h_warm wall_ms;
+      ( success_of_result p ~mode:"warm" ~cache:"bypass" ~wall_ms ~k ~assignment
+          ~feasible:true ~cut ~total_pins ~m_lower,
+        [
+          ("mode", Json.Str "warm");
+          ("matched", Json.Int projection.Eco.matched);
+          ("stale", Json.Int projection.Eco.stale);
+          ("filled", Json.Int projection.Eco.filled);
+          ("start_violations", Json.Int projection.Eco.start_violations);
+        ] )
+    | Ok (Eco.Cold_needed reason) -> (
+      Metrics.incr c_eco_fallback;
+      match run_cold ~pool:t.pool p ~cache_tag:"bypass" with
+      | Ok s ->
+        (Ok { s with Protocol.mode = "cold-fallback" },
+         [ ("mode", Json.Str "cold-fallback"); ("reason", Json.Str reason) ])
+      | Error e -> (Error e, [ ("error", Json.Str e) ]))
+  in
+  Recorder.span_end sp
+    ~attrs:(("id", Json.Str p.p_req.Protocol.id) :: attrs);
+  result
+
+(* --- batch handling ------------------------------------------------ *)
+
+type slot =
+  | Done of Protocol.response
+  | Eco_job of prepared
+  | Multi_job of prepared  (* runs > 1: portfolio sharded across domains *)
+  | Single_job of prepared  (* runs = 1: batched under exception isolation *)
+
+let respond (req : Protocol.request) outcome =
+  (match outcome with Error _ -> Metrics.incr c_errors | Ok _ -> ());
+  Done { Protocol.resp_id = req.Protocol.id; outcome }
+
+let handle_requests t reqs =
+  let sp = Recorder.span_begin "serve.batch" in
+  let slots =
+    List.map
+      (fun (req : Protocol.request) ->
+        Metrics.incr c_requests;
+        t.served <- t.served + 1;
+        match prepare req with
+        | Error e -> respond req (Error e)
+        | Ok p ->
+          if p.p_partfile <> None then Eco_job p
+          else if req.Protocol.inject <> None then
+            (* fault injection must reach the isolation boundary *)
+            if req.Protocol.runs > 1 then Multi_job p else Single_job p
+          else begin
+            let hit =
+              let csp = Recorder.span_begin "serve.cache_hit" in
+              let hit = Cache.find t.cache p.p_key in
+              (match hit with
+              | Some _ ->
+                Metrics.incr c_cache_hits;
+                Recorder.span_end csp
+                  ~attrs:
+                    [ ("id", Json.Str req.Protocol.id); ("hit", Json.Bool true) ]
+              | None ->
+                Recorder.span_end csp
+                  ~attrs:
+                    [ ("id", Json.Str req.Protocol.id); ("hit", Json.Bool false) ]);
+              hit
+            in
+            match hit with
+            | Some s ->
+              respond req (Ok { s with Protocol.cache = "hit" })
+            | None ->
+              if req.Protocol.runs > 1 then Multi_job p else Single_job p
+          end)
+      reqs
+    |> Array.of_list
+  in
+  (* batched single-start jobs: one Batch fan-out, per-slot isolation *)
+  let singles = ref [] in
+  Array.iteri
+    (fun i slot -> match slot with Single_job p -> singles := (i, p) :: !singles | _ -> ())
+    slots;
+  let singles = List.rev !singles in
+  if singles <> [] then begin
+    (* intra-batch dedup: a workload repeated inside one batch runs
+       once; later occurrences are cache replays of the first result *)
+    let seen = Hashtbl.create 16 in
+    let to_run =
+      List.filter
+        (fun (_, p) ->
+          p.p_req.Protocol.inject <> None
+          ||
+          if Hashtbl.mem seen p.p_key then false
+          else begin
+            Hashtbl.add seen p.p_key ();
+            true
+          end)
+        singles
+    in
+    let outcomes = Hashtbl.create 16 in
+    let results =
+      Fpart_exec.Batch.run ?timeout_s:t.timeout_s ~pool:t.pool
+        ~f:(fun (_, p) -> run_cold p ~cache_tag:"miss")
+        to_run
+    in
+    List.iter2
+      (fun (i, p) result ->
+        let outcome =
+          match result with
+          | Ok (Ok s) ->
+            if p.p_req.Protocol.inject = None then Cache.add t.cache p.p_key s;
+            Ok s
+          | Ok (Error e) -> Error e
+          | Error e ->
+            Error
+              (Printf.sprintf "partitioning failed: %s"
+                 (Fpart_exec.Batch.error_to_string e))
+        in
+        if p.p_req.Protocol.inject = None then
+          Hashtbl.replace outcomes p.p_key outcome;
+        slots.(i) <- respond p.p_req outcome)
+      to_run results;
+    List.iter
+      (fun (i, p) ->
+        match slots.(i) with
+        | Single_job _ ->
+          (* a deduped duplicate: replay the first occurrence's result *)
+          let outcome =
+            match Cache.find t.cache p.p_key with
+            | Some s ->
+              Metrics.incr c_cache_hits;
+              Ok { s with Protocol.cache = "hit" }
+            | None -> (
+              match Hashtbl.find_opt outcomes p.p_key with
+              | Some o -> o
+              | None -> Error "duplicate of a request that produced no result")
+          in
+          slots.(i) <- respond p.p_req outcome
+        | _ -> ())
+      singles
+  end;
+  (* multi-start and ECO jobs: sequential, each using the whole pool *)
+  Array.iteri
+    (fun i slot ->
+      match slot with
+      | Multi_job p ->
+        (* re-probe: an identical request earlier in this batch may
+           have populated the cache since the prepare pass *)
+        let outcome =
+          match
+            if p.p_req.Protocol.inject = None then Cache.find t.cache p.p_key
+            else None
+          with
+          | Some s ->
+            Metrics.incr c_cache_hits;
+            Ok { s with Protocol.cache = "hit" }
+          | None ->
+            let outcome = run_cold ~pool:t.pool p ~cache_tag:"miss" in
+            (match outcome with
+            | Ok s when p.p_req.Protocol.inject = None ->
+              Cache.add t.cache p.p_key s
+            | _ -> ());
+            outcome
+        in
+        slots.(i) <- respond p.p_req outcome
+      | Eco_job p ->
+        let partfile = Option.get p.p_partfile in
+        slots.(i) <- respond p.p_req (run_eco t p partfile)
+      | _ -> ())
+    slots;
+  let responses =
+    Array.to_list slots
+    |> List.map (function
+         | Done r -> r
+         | _ -> assert false)
+  in
+  Recorder.span_end sp
+    ~attrs:
+      [
+        ("requests", Json.Int (List.length reqs));
+        ("cache_hits", Json.Int (Cache.hits t.cache));
+      ];
+  responses
+
+let ledger_rows t =
+  let row name value unit_ higher_better =
+    { Fpart_obs.Ledger.name = "serve/latency-table/" ^ name; value; unit_; higher_better }
+  in
+  let quantile_rows name h =
+    if Metrics.count h = 0 then []
+    else
+      [
+        row (name ^ "-p50-ms") (Metrics.quantile h 0.5) "ms" false;
+        row (name ^ "-p95-ms") (Metrics.quantile h 0.95) "ms" false;
+      ]
+  in
+  [
+    row "requests" (float_of_int t.served) "requests" true;
+    row "cache-hits" (float_of_int (Cache.hits t.cache)) "hits" true;
+  ]
+  @ quantile_rows "cold" h_cold
+  @ quantile_rows "warm" h_warm

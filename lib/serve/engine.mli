@@ -1,0 +1,46 @@
+(** Request execution engine of the partition service.
+
+    Owns the domain pool, the digest-keyed {!Cache} and the
+    latency/throughput instruments.  A batch of requests is prepared
+    sequentially (netlist load, delta application, digests, cache
+    probe), then the misses are scheduled on the pool: single-start
+    requests are fanned out together under {!Fpart_exec.Batch}
+    isolation (one crashing request loses only its own slot),
+    multi-start requests shard their seed portfolio across the domains
+    via {!Fpart.Driver.run_best_isolated}, and ECO requests run the
+    {!Eco} warm path with a cold fallback.
+
+    Observability: every request runs inside a [serve.request] recorder
+    span, batches inside [serve.batch], warm starts inside [serve.eco],
+    and cache hits emit a [serve.cache_hit] span; cold and warm
+    latencies feed the [serve.latency.cold_ms] / [serve.latency.warm_ms]
+    histograms (readable via {!Fpart_obs.Metrics.quantile} when metrics
+    are enabled). *)
+
+type t
+
+(** [create ~jobs ()] spawns the pool.  [timeout_s] is the default
+    per-request time limit applied to batched single-start jobs (a
+    request's own [timeout_s] wins for multi-start scheduling). *)
+val create : ?timeout_s:float -> jobs:int -> unit -> t
+
+val jobs : t -> int
+
+(** [handle_requests t reqs] answers a batch, responses in request
+    order.  Never raises on a bad request — every failure is an error
+    response carrying the request id. *)
+val handle_requests : t -> Protocol.request list -> Protocol.response list
+
+(** Requests answered so far (including errors). *)
+val served : t -> int
+
+val cache_hits : t -> int
+
+val cache_misses : t -> int
+
+(** Ledger rows summarizing this engine's activity so far, named
+    [serve/latency-table/...]: request count, cache hit count, and the
+    cold/warm p50 latencies when metrics were enabled. *)
+val ledger_rows : t -> Fpart_obs.Ledger.row list
+
+val shutdown : t -> unit

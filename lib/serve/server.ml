@@ -1,0 +1,68 @@
+type reaction =
+  | Lines of string list
+  | Quit
+
+let error_line msg =
+  Protocol.response_to_line
+    { Protocol.resp_id = "?"; outcome = Error msg }
+
+let is_noise line =
+  let line = String.trim line in
+  line = "" || line.[0] = '#'
+
+let react engine line =
+  if is_noise line then Lines []
+  else
+    match Protocol.op_of_line line with
+    | Error e -> Lines [ error_line e ]
+    | Ok Protocol.Ping -> Lines [ Protocol.pong_line ]
+    | Ok Protocol.Shutdown -> Quit
+    | Ok (Protocol.Partition req) ->
+      Lines
+        (List.map Protocol.response_to_line
+           (Engine.handle_requests engine [ req ]))
+    | Ok (Protocol.Batch reqs) ->
+      Lines
+        (List.map Protocol.response_to_line
+           (Engine.handle_requests engine reqs))
+
+let run_batch engine lines out =
+  let written = ref 0 in
+  let emit line =
+    output_string out line;
+    output_char out '\n';
+    incr written
+  in
+  let pending = ref [] in
+  let flush_pending () =
+    match List.rev !pending with
+    | [] -> ()
+    | reqs ->
+      pending := [];
+      List.iter
+        (fun r -> emit (Protocol.response_to_line r))
+        (Engine.handle_requests engine reqs)
+  in
+  (try
+     List.iter
+       (fun line ->
+         if not (is_noise line) then
+           match Protocol.op_of_line line with
+           | Error e ->
+             flush_pending ();
+             emit (error_line e)
+           | Ok (Protocol.Partition req) -> pending := req :: !pending
+           | Ok (Protocol.Batch reqs) ->
+             pending := List.rev_append reqs !pending
+           | Ok Protocol.Ping ->
+             flush_pending ();
+             emit Protocol.pong_line
+           | Ok Protocol.Shutdown ->
+             flush_pending ();
+             emit (Protocol.bye_line ~served:(Engine.served engine));
+             raise Exit)
+       lines
+   with Exit -> ());
+  flush_pending ();
+  flush out;
+  !written

@@ -1,0 +1,23 @@
+(** Line-oriented session layer over {!Engine}.
+
+    Shared by the daemon's transports: the stdin [--batch] file, a Unix
+    socket connection, and the tests.  One input line produces zero or
+    more output lines; [Quit] asks the transport to acknowledge with
+    {!Protocol.bye_line} and stop. *)
+
+type reaction =
+  | Lines of string list  (** Response lines to write, in order. *)
+  | Quit  (** Shutdown requested; transport writes the bye line. *)
+
+(** [react engine line] processes one protocol line.  Blank lines and
+    [#] comments produce no output; malformed lines produce one error
+    response line. *)
+val react : Engine.t -> string -> reaction
+
+(** [run_batch engine lines out] feeds a whole request script through
+    the engine with cross-request batching: consecutive partition
+    requests are collected and answered as one {!Engine.handle_requests}
+    batch (so single-start jobs share a Batch fan-out), control lines
+    flush the group.  Responses are written to [out] one line at a
+    time, in request order.  Returns the number of lines written. *)
+val run_batch : Engine.t -> string list -> out_channel -> int

@@ -1,0 +1,113 @@
+(* Canonical workload digests: Hgraph.digest must be a function of the
+   named structure only (invariant under node relabelings), and
+   Config.digest must move exactly when a result-relevant knob moves.
+   These are the cache keys of fpart_serve and the grouping keys of
+   fpart_inspect trend/regress, so a silent change here silently
+   cross-pollinates baselines. *)
+
+module Hg = Hypergraph.Hgraph
+module Sm = Prng.Splitmix
+module Tg = Fpart_testgen
+
+(* A random permutation that maps cells to cell positions and pads to
+   pad positions — the only relabelings [Tg.relabel] accepts. *)
+let kind_stable_permutation hg seed =
+  let n = Hg.num_nodes hg in
+  let cells = ref [] and pads = ref [] in
+  Hg.iter_nodes
+    (fun v -> if Hg.is_pad hg v then pads := v :: !pads else cells := v :: !cells)
+    hg;
+  let perm = Array.init n Fun.id in
+  let scatter rng group =
+    let group = Array.of_list (List.rev group) in
+    let shuffled = Array.copy group in
+    Sm.shuffle rng shuffled;
+    Array.iteri (fun i v -> perm.(v) <- shuffled.(i)) group
+  in
+  let rng = Sm.create seed in
+  scatter rng !cells;
+  scatter rng !pads;
+  perm
+
+let prop_digest_relabel_invariant =
+  QCheck.Test.make ~count:40 ~name:"digest is invariant under node relabeling"
+    (Tg.arb_scene ~max_cells:80 ())
+    (fun sc ->
+      let hg = Tg.scene_graph sc in
+      let perm = kind_stable_permutation hg (sc.Tg.sc_seed + 1) in
+      Hg.digest hg = Hg.digest (Tg.relabel hg ~perm))
+
+let prop_digest_pad_order_invariant =
+  QCheck.Test.make ~count:40 ~name:"digest is invariant under pad permutation"
+    (Tg.arb_scene ~max_cells:60 ())
+    (fun sc ->
+      let hg = Tg.scene_graph sc in
+      let perm = Tg.pad_permutation hg (sc.Tg.sc_seed + 2) in
+      Hg.digest hg = Hg.digest (Tg.relabel hg ~perm))
+
+(* Rebuild [hg] verbatim through [edit], which may tweak one node or
+   add structure; the digest must notice. *)
+let rebuild ?(resize = fun _ s -> s) ?(extra = fun _ -> ()) hg =
+  let b = Hg.Builder.create () in
+  Hg.iter_nodes
+    (fun v ->
+      ignore
+        (match Hg.kind hg v with
+        | Hg.Cell ->
+          Hg.Builder.add_cell b ~flops:(Hg.flops hg v) ~name:(Hg.name hg v)
+            ~size:(resize v (Hg.size hg v))
+        | Hg.Pad -> Hg.Builder.add_pad b ~name:(Hg.name hg v)))
+    hg;
+  Hg.iter_nets
+    (fun e ->
+      ignore
+        (Hg.Builder.add_net b ~name:(Hg.net_name hg e)
+           (Array.to_list (Hg.pins hg e))))
+    hg;
+  extra b;
+  Hg.Builder.freeze b
+
+let test_digest_sensitive_to_structure () =
+  let hg = Tg.circuit ~cells:40 ~pads:5 9 in
+  let d0 = Hg.digest hg in
+  Alcotest.(check string) "verbatim rebuild keeps the digest" d0
+    (Hg.digest (rebuild hg));
+  let bigger = rebuild ~resize:(fun v s -> if v = 0 then s + 1 else s) hg in
+  Alcotest.(check bool) "a cell size change moves the digest" true
+    (d0 <> Hg.digest bigger);
+  let extra_net b =
+    ignore (Hg.Builder.add_net b ~name:"digest_extra" [ 0; 1 ])
+  in
+  Alcotest.(check bool) "an added net moves the digest" true
+    (d0 <> Hg.digest (rebuild ~extra:extra_net hg))
+
+let test_config_digest_tracks_knobs () =
+  let d0 = Fpart.Config.digest Fpart.Config.default in
+  let with_seed =
+    Fpart.Config.digest { Fpart.Config.default with Fpart.Config.seed = 99 }
+  in
+  Alcotest.(check bool) "seed is result-relevant" true (d0 <> with_seed);
+  let with_jobs =
+    Fpart.Config.digest { Fpart.Config.default with Fpart.Config.jobs = 7 }
+  in
+  Alcotest.(check string) "jobs is not result-relevant" d0 with_jobs;
+  Alcotest.(check bool) "extra tag separates frontends" true
+    (d0 <> Fpart.Config.digest ~extra:"algo=kwayx" Fpart.Config.default)
+
+let () =
+  Alcotest.run "digest"
+    [
+      ( "hgraph",
+        [
+          Alcotest.test_case "structural edits noticed" `Quick
+            test_digest_sensitive_to_structure;
+        ] );
+      ( "config",
+        [
+          Alcotest.test_case "knob sensitivity" `Quick
+            test_config_digest_tracks_knobs;
+        ] );
+      ( "property",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_digest_relabel_invariant; prop_digest_pad_order_invariant ] );
+    ]

@@ -888,6 +888,106 @@ let test_regress_mad_widens_gate () =
   | [ v ] -> Alcotest.(check bool) "gross regression still flagged" true v.Inspect.v_regressed
   | _ -> Alcotest.fail "expected 1 verdict"
 
+(* --- ledger workload digests --- *)
+
+let test_ledger_digest_fields () =
+  with_temp_ledger (fun path ->
+      let e =
+        {
+          (entry [ row "a/wall" 1.0 ]) with
+          Ledger.config_digest = Some "cafebabecafebabecafebabecafebabe";
+          netlist_digest = Some "deadbeefdeadbeefdeadbeefdeadbeef";
+        }
+      in
+      let text = Json.to_string (Ledger.entry_to_json e) in
+      let has sub =
+        let n = String.length sub and m = String.length text in
+        let rec go i = i + n <= m && (String.sub text i n = sub || go (i + 1)) in
+        go 0
+      in
+      Alcotest.(check bool) "serialized config_digest" true
+        (has "\"config_digest\":\"cafebabecafebabecafebabecafebabe\"");
+      Alcotest.(check bool) "serialized netlist_digest" true
+        (has "\"netlist_digest\":\"deadbeefdeadbeefdeadbeefdeadbeef\"");
+      (match Ledger.entry_of_json (Ledger.entry_to_json e) with
+      | Ok e' -> Alcotest.(check bool) "json round-trips digests" true (e = e')
+      | Error err -> Alcotest.failf "entry_of_json: %s" err);
+      (match Ledger.append path e with Ok () -> () | Error err -> Alcotest.fail err);
+      match Ledger.load path with
+      | Ok [ e' ] ->
+        Alcotest.(check (option string)) "config digest survives the file"
+          e.Ledger.config_digest e'.Ledger.config_digest;
+        Alcotest.(check (option string)) "netlist digest survives the file"
+          e.Ledger.netlist_digest e'.Ledger.netlist_digest
+      | Ok es -> Alcotest.failf "expected 1 entry, got %d" (List.length es)
+      | Error err -> Alcotest.failf "load: %s" err)
+
+(* The digests are the grouping key for trend/regress and the cache
+   key of fpart_serve; if the canonical form ever changes these pins
+   must be bumped deliberately, not by accident. *)
+let test_canonical_digests_pinned () =
+  let b = Hypergraph.Hgraph.Builder.create () in
+  let a = Hypergraph.Hgraph.Builder.add_cell b ~name:"a" ~size:2 in
+  let c = Hypergraph.Hgraph.Builder.add_cell b ~name:"c" ~size:1 in
+  let p = Hypergraph.Hgraph.Builder.add_pad b ~name:"p" in
+  ignore (Hypergraph.Hgraph.Builder.add_net b ~name:"n0" [ p; a ]);
+  ignore (Hypergraph.Hgraph.Builder.add_net b ~name:"n1" [ a; c ]);
+  let h = Hypergraph.Hgraph.Builder.freeze b in
+  Alcotest.(check string) "netlist digest pinned"
+    "9a5dd5597aed719691dc235915b295d3"
+    (Hypergraph.Hgraph.digest h);
+  Alcotest.(check string) "config digest pinned"
+    "fd629984474776c9e400fbd91470ccec"
+    (Fpart.Config.digest Fpart.Config.default);
+  Alcotest.(check string) "config digest with extra pinned"
+    "a1ed4b3dc0eb5c1cb746f57729523dad"
+    (Fpart.Config.digest ~extra:"algo=fm" Fpart.Config.default)
+
+let test_regress_groups_by_workload () =
+  let tagged ?config ?netlist time v =
+    {
+      (entry ~time [ row "w" v ]) with
+      Ledger.config_digest = config;
+      netlist_digest = netlist;
+    }
+  in
+  let wl_a = Some "aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa" in
+  let wl_b = Some "bbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbb" in
+  (* same-workload history gates the latest entry *)
+  (match
+     Inspect.regress
+       [
+         tagged ?config:wl_a ?netlist:wl_a 1.0 1.0;
+         tagged ?config:wl_a ?netlist:wl_a 2.0 1.0;
+         tagged ?config:wl_a ?netlist:wl_a 3.0 2.0;
+       ]
+   with
+  | [ v ] -> Alcotest.(check bool) "same workload judged" true v.Inspect.v_regressed
+  | vs -> Alcotest.failf "expected 1 verdict, got %d" (List.length vs));
+  (* history from a different workload is not a baseline: a slow
+     netlist must not flag a fast one *)
+  (match
+     Inspect.regress
+       [
+         tagged ?config:wl_a ?netlist:wl_a 1.0 1.0;
+         tagged ?config:wl_a ?netlist:wl_a 2.0 1.0;
+         tagged ?config:wl_b ?netlist:wl_b 3.0 2.0;
+       ]
+   with
+  | [] -> ()
+  | vs -> Alcotest.failf "foreign workload judged: %d verdicts" (List.length vs));
+  (* digest-less legacy history still gates digested entries *)
+  match
+    Inspect.regress
+      [
+        tagged 1.0 1.0;
+        tagged 2.0 1.0;
+        tagged ?config:wl_a ?netlist:wl_a 3.0 2.0;
+      ]
+  with
+  | [ v ] -> Alcotest.(check bool) "legacy fallback gates" true v.Inspect.v_regressed
+  | vs -> Alcotest.failf "expected 1 verdict, got %d" (List.length vs)
+
 (* --- driver instrumentation --- *)
 
 let improve_key = function
@@ -1047,5 +1147,11 @@ let () =
             test_regress_directions_and_floor;
           Alcotest.test_case "MAD widens the gate" `Quick
             test_regress_mad_widens_gate;
+          Alcotest.test_case "digest fields round-trip" `Quick
+            test_ledger_digest_fields;
+          Alcotest.test_case "canonical digests pinned" `Quick
+            test_canonical_digests_pinned;
+          Alcotest.test_case "regress groups by workload" `Quick
+            test_regress_groups_by_workload;
         ] );
     ]

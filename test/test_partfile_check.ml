@@ -122,6 +122,7 @@ let test_partfile_errors () =
       delta = 0.9;
       block_devices = [| "XC3020" |];
       assignment = [ ("no_such_node", 0) ];
+      node_lines = [];
     }
   in
   match Partfile.apply pf hg with
@@ -136,11 +137,80 @@ let test_partfile_missing_node () =
       delta = 0.9;
       block_devices = [| "XC3020" |];
       assignment = [ (Hg.name hg 0, 0) ];  (* only one node listed *)
+      node_lines = [];
     }
   in
   match Partfile.apply pf hg with
   | Error e -> Alcotest.(check bool) "reports missing" true (String.length e > 0)
   | Ok _ -> Alcotest.fail "expected missing-assignment error"
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let test_of_assignment_checked_errors () =
+  let hg = circuit 10 in
+  let n = Hg.num_nodes hg in
+  (* length mismatch names both counts *)
+  (match
+     Partfile.of_assignment_checked hg ~circuit:"c10" ~delta:0.9
+       ~block_devices:[| "XC3020" |] ~assignment:[| 0 |]
+   with
+  | Error e ->
+    Alcotest.(check bool) "length error mentions circuit" true
+      (contains ~sub:"c10" e && contains ~sub:"out of sync" e)
+  | Ok _ -> Alcotest.fail "expected length error");
+  (* out-of-range block names the cell *)
+  let assignment = Array.make n 0 in
+  assignment.(3) <- 7;
+  (match
+     Partfile.of_assignment_checked hg ~circuit:"c10" ~delta:0.9
+       ~block_devices:[| "XC3020"; "XC3020" |] ~assignment
+   with
+  | Error e ->
+    Alcotest.(check bool) "block error names the cell" true
+      (contains ~sub:(Printf.sprintf "%S" (Hg.name hg 3)) e
+      && contains ~sub:"block 7" e)
+  | Ok _ -> Alcotest.fail "expected out-of-range error");
+  (* raising variant keeps the message *)
+  (try
+     ignore
+       (Partfile.of_assignment hg ~circuit:"c10" ~delta:0.9
+          ~block_devices:[| "XC3020"; "XC3020" |] ~assignment);
+     Alcotest.fail "expected Invalid_argument"
+   with Invalid_argument e ->
+     Alcotest.(check bool) "raise carries cell name" true
+       (contains ~sub:(Hg.name hg 3) e))
+
+let test_apply_line_numbered_errors () =
+  let hg = circuit 11 in
+  (* a parsed file whose node lines carry a bad block: the apply error
+     must cite the file line of the offending entry *)
+  let name0 = Hg.name hg 0 in
+  let text =
+    Printf.sprintf "# hdr\ncircuit c11\nblocks 2\nblock 0 device D\nnode %s 9\n"
+      name0
+  in
+  (match Partfile.parse_string text with
+  | Error e -> Alcotest.failf "parse: %s" e
+  | Ok pf -> (
+    match Partfile.apply pf hg with
+    | Error e ->
+      Alcotest.(check bool) "line-numbered" true (contains ~sub:"line 5" e);
+      Alcotest.(check bool) "cell-named" true
+        (contains ~sub:(Printf.sprintf "%S" name0) e)
+    | Ok _ -> Alcotest.fail "expected bad-block error"));
+  (* unknown node also cites its line *)
+  let text2 = Printf.sprintf "circuit c11\nblocks 1\nnode ghost 0\n" in
+  match Partfile.parse_string text2 with
+  | Error e -> Alcotest.failf "parse: %s" e
+  | Ok pf -> (
+    match Partfile.apply pf hg with
+    | Error e ->
+      Alcotest.(check bool) "unknown node line-numbered" true
+        (contains ~sub:"line 3" e && contains ~sub:"\"ghost\"" e)
+    | Ok _ -> Alcotest.fail "expected unknown-node error")
 
 (* --- random-initial ablation --------------------------------------- *)
 
@@ -203,6 +273,10 @@ let () =
           Alcotest.test_case "file io" `Quick test_partfile_file_io;
           Alcotest.test_case "errors" `Quick test_partfile_errors;
           Alcotest.test_case "missing node" `Quick test_partfile_missing_node;
+          Alcotest.test_case "checked constructor errors" `Quick
+            test_of_assignment_checked_errors;
+          Alcotest.test_case "apply line-numbered errors" `Quick
+            test_apply_line_numbered_errors;
         ] );
       ( "random-initial",
         [

@@ -1,0 +1,283 @@
+(* The partition service: wire protocol round-trips, the engine's
+   crash/cache behaviour (a bad request must never take the daemon
+   down, a repeated workload must come back bit-identical from the
+   cache), and the ECO warm-start contract (a Warm outcome is a
+   feasible partition whose reported cost matches an oracle
+   recomputation). *)
+
+module Hg = Hypergraph.Hgraph
+module State = Partition.State
+module Cost = Partition.Cost
+module Tg = Fpart_testgen
+module Protocol = Serve.Protocol
+module Engine = Serve.Engine
+module Eco = Serve.Eco
+
+let request ?(id = "r") ?(netlist = Protocol.Generate { spec = "60x8"; gen_seed = 5 })
+    ?(device = "XC3042") ?delta ?(runs = 1) ?seed ?max_passes ?refiner ?timeout_s
+    ?eco ?inject () =
+  {
+    Protocol.id;
+    netlist;
+    device;
+    delta;
+    runs;
+    seed;
+    max_passes;
+    refiner;
+    timeout_s;
+    eco;
+    inject;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Protocol *)
+
+let test_response_roundtrip () =
+  let ok =
+    {
+      Protocol.resp_id = "a1";
+      outcome =
+        Ok
+          {
+            Protocol.k = 3;
+            feasible = true;
+            cut = 17;
+            total_pins = 120;
+            m_lower = 2;
+            wall_ms = 4.25;
+            cache = "miss";
+            mode = "cold";
+            netlist_digest = "0123456789abcdef0123456789abcdef";
+            config_digest = "fedcba9876543210fedcba9876543210";
+            partition = "CIRCUIT t\nDELTA 0.9\n0 a\n";
+          };
+    }
+  in
+  (match Protocol.response_of_line (Protocol.response_to_line ok) with
+  | Ok r -> Alcotest.(check bool) "success round-trips" true (r = ok)
+  | Error e -> Alcotest.failf "parse: %s" e);
+  let err = { Protocol.resp_id = "a2"; outcome = Error "no such device" } in
+  match Protocol.response_of_line (Protocol.response_to_line err) with
+  | Ok r -> Alcotest.(check bool) "error round-trips" true (r = err)
+  | Error e -> Alcotest.failf "parse: %s" e
+
+let test_op_of_line () =
+  (match Protocol.op_of_line "{\"op\":\"ping\"}" with
+  | Ok Protocol.Ping -> ()
+  | _ -> Alcotest.fail "ping not parsed");
+  (match Protocol.op_of_line "{\"op\":\"shutdown\"}" with
+  | Ok Protocol.Shutdown -> ()
+  | _ -> Alcotest.fail "shutdown not parsed");
+  (match
+     Protocol.op_of_line
+       "{\"id\":\"x\",\"netlist\":{\"generate\":\"40x6\",\"seed\":3},\"device\":\"XC2064\",\"runs\":2}"
+   with
+  | Ok (Protocol.Partition r) ->
+    Alcotest.(check string) "id" "x" r.Protocol.id;
+    Alcotest.(check int) "runs" 2 r.Protocol.runs;
+    (match r.Protocol.netlist with
+    | Protocol.Generate { spec; gen_seed } ->
+      Alcotest.(check string) "spec" "40x6" spec;
+      Alcotest.(check int) "gen seed" 3 gen_seed
+    | _ -> Alcotest.fail "expected a generate source")
+  | Ok _ -> Alcotest.fail "expected a partition request"
+  | Error e -> Alcotest.failf "parse: %s" e);
+  match Protocol.op_of_line "{\"op\":\"partition\"" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "malformed line accepted"
+
+(* ------------------------------------------------------------------ *)
+(* Engine *)
+
+let with_engine ?(jobs = 1) f =
+  let e = Engine.create ~jobs () in
+  Fun.protect ~finally:(fun () -> Engine.shutdown e) (fun () -> f e)
+
+let success = function
+  | { Protocol.outcome = Ok s; _ } -> s
+  | { Protocol.resp_id; outcome = Error e } ->
+    Alcotest.failf "request %s failed: %s" resp_id e
+
+let test_engine_survives_bad_requests () =
+  with_engine (fun e ->
+      let reqs =
+        [
+          request ~id:"good" ();
+          request ~id:"boom" ~inject:"crash" ();
+          request ~id:"nodev" ~device:"XC9999" ();
+          request ~id:"again" ();
+        ]
+      in
+      match Engine.handle_requests e reqs with
+      | [ good; boom; nodev; again ] ->
+        let g = success good in
+        Alcotest.(check bool) "good feasible" true g.Protocol.feasible;
+        (match boom.Protocol.outcome with
+        | Error msg ->
+          Alcotest.(check bool) "crash reported, not raised" true
+            (String.length msg > 0)
+        | Ok _ -> Alcotest.fail "injected crash returned Ok");
+        (match nodev.Protocol.outcome with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "unknown device accepted");
+        let a = success again in
+        Alcotest.(check int) "engine kept serving" g.Protocol.k a.Protocol.k;
+        Alcotest.(check int) "served counts all four" 4 (Engine.served e)
+      | rs -> Alcotest.failf "expected 4 responses, got %d" (List.length rs))
+
+let test_cache_hit_bit_identical () =
+  with_engine (fun e ->
+      let cold = success (List.hd (Engine.handle_requests e [ request () ])) in
+      Alcotest.(check string) "first sight misses" "miss" cold.Protocol.cache;
+      let warm = success (List.hd (Engine.handle_requests e [ request () ])) in
+      Alcotest.(check string) "second sight hits" "hit" warm.Protocol.cache;
+      Alcotest.(check string) "bit-identical partition" cold.Protocol.partition
+        warm.Protocol.partition;
+      Alcotest.(check int) "same cut" cold.Protocol.cut warm.Protocol.cut;
+      Alcotest.(check bool) "one hit counted" true (Engine.cache_hits e >= 1);
+      (* same workload inside one batch: the duplicate must replay, not
+         recompute *)
+      let rs = Engine.handle_requests e [ request ~id:"d1" ~seed:4 ();
+                                          request ~id:"d2" ~seed:4 () ] in
+      match List.map success rs with
+      | [ d1; d2 ] ->
+        Alcotest.(check string) "intra-batch duplicate hits" "hit" d2.Protocol.cache;
+        Alcotest.(check string) "intra-batch duplicate identical"
+          d1.Protocol.partition d2.Protocol.partition
+      | _ -> Alcotest.fail "expected 2 responses")
+
+let test_all_crash_batch_then_recovery () =
+  with_engine (fun e ->
+      let crash id = request ~id ~inject:"crash" () in
+      let rs = Engine.handle_requests e [ crash "c1"; crash "c2"; crash "c3" ] in
+      Alcotest.(check int) "three responses" 3 (List.length rs);
+      List.iter
+        (fun r ->
+          match r.Protocol.outcome with
+          | Error _ -> ()
+          | Ok _ -> Alcotest.fail "crash slot returned Ok")
+        rs;
+      let after = success (List.hd (Engine.handle_requests e [ request () ])) in
+      Alcotest.(check bool) "next request still answered" true
+        after.Protocol.feasible)
+
+(* ------------------------------------------------------------------ *)
+(* ECO warm start *)
+
+(* Random-but-valid edit of a generated circuit: remove one cell, add
+   one cell wired to a survivor. *)
+let random_delta hg seed =
+  let n = Hg.num_nodes hg in
+  let rng = Prng.Splitmix.create seed in
+  let pick () = Prng.Splitmix.int rng n in
+  let rec cell tries =
+    let v = pick () in
+    if (not (Hg.is_pad hg v)) && tries < 50 then v
+    else if tries >= 50 then 0
+    else cell (tries + 1)
+  in
+  let removed = cell 0 in
+  let rec survivor tries =
+    let v = cell 0 in
+    if v <> removed || tries > 50 then v else survivor (tries + 1)
+  in
+  let anchor = survivor 0 in
+  {
+    Netlist.Delta.empty with
+    Netlist.Delta.remove_nodes = [ Hg.name hg removed ];
+    add_cells = [ { Netlist.Delta.cell_name = "eco_new"; size = 1; flops = 0 } ];
+    add_nets =
+      [
+        {
+          Netlist.Delta.net_name = "eco_net";
+          pins = [ "eco_new"; Hg.name hg anchor ];
+        };
+      ];
+  }
+
+let prop_eco_warm_is_feasible_and_consistent =
+  QCheck.Test.make ~count:15
+    ~name:"ECO Warm outcome is feasible and matches an oracle recount"
+    QCheck.(pair (int_range 60 160) (int_range 0 1000))
+    (fun (cells, seed) ->
+      let hg = Tg.circuit ~name:"eco" ~cells ~pads:(max 4 (cells / 12)) seed in
+      let device = Device.xc3042 in
+      let config = Fpart.Config.default in
+      let cold = Fpart.Driver.run ~config hg device in
+      let pf =
+        Netlist.Partfile.of_assignment hg ~circuit:"eco" ~delta:cold.Fpart.Driver.delta
+          ~block_devices:(Array.make cold.Fpart.Driver.k device.Device.dev_name)
+          ~assignment:cold.Fpart.Driver.assignment
+      in
+      let d = random_delta hg (seed + 1) in
+      match Netlist.Delta.apply d hg with
+      | Error e -> QCheck.Test.fail_reportf "delta apply: %s" e
+      | Ok hg' -> (
+        match Eco.relegalize ~config ~device ~partfile:pf hg' with
+        | Error e -> QCheck.Test.fail_reportf "relegalize: %s" e
+        | Ok (Eco.Cold_needed _) -> true (* honest fallback is always legal *)
+        | Ok (Eco.Warm { assignment; k; cut; total_pins; m_lower = _; projection = _ }) ->
+          let st = State.create hg' ~k ~assign:(fun v -> assignment.(v)) in
+          let ctx =
+            Cost.context_of device
+              ~delta:(Option.value config.Fpart.Config.delta ~default:0.9)
+              hg'
+          in
+          (match Cost.classify ctx st with
+          | Cost.Feasible -> ()
+          | _ -> QCheck.Test.fail_reportf "Warm outcome is not feasible");
+          cut = State.cut_size st && total_pins = State.total_pins st))
+
+let test_eco_warm_beats_cold_via_engine () =
+  (* differential: the same delta'd workload served cold and via the
+     ECO path must both be feasible, and the ECO response must say so *)
+  let hg = Tg.circuit ~name:"ecoe" ~cells:140 ~pads:12 3 in
+  let device = Device.xc3042 in
+  let cold = Fpart.Driver.run hg device in
+  let pf =
+    Netlist.Partfile.of_assignment hg ~circuit:"ecoe" ~delta:cold.Fpart.Driver.delta
+      ~block_devices:(Array.make cold.Fpart.Driver.k device.Device.dev_name)
+      ~assignment:cold.Fpart.Driver.assignment
+  in
+  let d = random_delta hg 17 in
+  match Netlist.Delta.apply d hg with
+  | Error e -> Alcotest.failf "delta apply: %s" e
+  | Ok hg' -> (
+    let config = Fpart.Config.default in
+    match Eco.relegalize ~config ~device ~partfile:pf hg' with
+    | Error e -> Alcotest.failf "relegalize: %s" e
+    | Ok (Eco.Cold_needed reason) ->
+      Alcotest.failf "small edit should warm-start (got fallback: %s)" reason
+    | Ok (Eco.Warm { k; projection; _ }) ->
+      Alcotest.(check bool) "k unchanged or close" true
+        (abs (k - cold.Fpart.Driver.k) <= 1);
+      Alcotest.(check bool) "projection mostly matched" true
+        (projection.Eco.matched > projection.Eco.stale))
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "protocol",
+        [
+          Alcotest.test_case "response round-trip" `Quick test_response_roundtrip;
+          Alcotest.test_case "op parsing" `Quick test_op_of_line;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "bad requests never kill the engine" `Quick
+            test_engine_survives_bad_requests;
+          Alcotest.test_case "cache hit is bit-identical" `Quick
+            test_cache_hit_bit_identical;
+          Alcotest.test_case "all-crash batch then recovery" `Quick
+            test_all_crash_batch_then_recovery;
+        ] );
+      ( "eco",
+        [
+          Alcotest.test_case "warm start on a small edit" `Quick
+            test_eco_warm_beats_cold_via_engine;
+        ] );
+      ( "property",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_eco_warm_is_feasible_and_consistent ] );
+    ]
