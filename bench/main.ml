@@ -220,6 +220,7 @@ let selfcheck_name = "selfcheck/overhead-table2"
 let gain_update_name = "gain_update/table2"
 let recorder_name = "recorder/overhead-table2"
 let resource_name = "resource/overhead-table2"
+let expose_name = "expose/overhead-table2"
 
 (* Repeats for the A/B overhead sections.  Min-of-3 systematically
    underestimates whichever side happens to catch a quiet machine —
@@ -275,6 +276,11 @@ let resource_wanted =
   | None -> true
   | Some pat -> contains resource_name pat
 
+let expose_wanted =
+  match Sys.getenv_opt "FPART_BENCH_ONLY" with
+  | None -> true
+  | Some pat -> contains expose_name pat
+
 let mlevel_scale_wanted =
   match Sys.getenv_opt "FPART_BENCH_ONLY" with
   | None -> true
@@ -299,7 +305,8 @@ let tests =
   if
     kept = [] && not parallel_wanted && not selfcheck_wanted
     && not gain_update_wanted && not recorder_wanted && not resource_wanted
-    && not mlevel_scale_wanted && not refiner_wanted && not serve_wanted
+    && not expose_wanted && not mlevel_scale_wanted && not refiner_wanted
+    && not serve_wanted
   then begin
     prerr_endline "bench: FPART_BENCH_ONLY matched no benchmarks";
     exit 1
@@ -686,6 +693,58 @@ let measure_resource () =
     Some (interleaved_medians ~repeats:overhead_repeats (time false) (time true))
   end
 
+(* Exporter overhead: the marginal price of the live telemetry plane on
+   an already-instrumented run.  Both sides run with the recorder
+   enabled into a null sink — the serve daemon's steady state — and the
+   exported side additionally renders the full Prometheus exposition
+   page and writes one access-log JSON line per run, i.e. what
+   fpart_serve pays when a scraper polls /metrics once per request (the
+   worst sane polling cadence).  Held to the same bar as the recorder:
+   CI asserts overhead < 0.05. *)
+
+let measure_expose () =
+  if not expose_wanted then None
+  else begin
+    let module Metrics = Fpart_obs.Metrics in
+    let module Sink = Fpart_obs.Sink in
+    let hg = Lazy.force c3540_3000 in
+    let devnull = open_out "/dev/null" in
+    let access_line wall_s =
+      Json.Obj
+        [
+          ("type", Json.Str "access");
+          ("rid", Json.Str "r000001");
+          ("id", Json.Str "bench");
+          ("op", Json.Str "partition");
+          ("status", Json.Str "ok");
+          ("mode", Json.Str "cold");
+          ("wall_ms", Json.Float (wall_s *. 1000.0));
+        ]
+    in
+    let time exported () =
+      Metrics.set_enabled true;
+      Sink.set Sink.null;
+      let t0 = Unix.gettimeofday () in
+      ignore (Fpart.Driver.run hg Device.xc3020);
+      if exported then begin
+        ignore (Fpart_obs.Expose.render ());
+        output_string devnull
+          (Json.to_string (access_line (Unix.gettimeofday () -. t0)));
+        output_char devnull '\n'
+      end;
+      let wall = Unix.gettimeofday () -. t0 in
+      Metrics.set_enabled false;
+      Metrics.reset ();
+      Fpart_obs.Recorder.reset ();
+      wall
+    in
+    let result =
+      interleaved_medians ~repeats:overhead_repeats (time false) (time true)
+    in
+    close_out devnull;
+    Some result
+  end
+
 (* Partition-service latency table.  Two measurements through the real
    engine (same code path as fpart_serve):
 
@@ -922,7 +981,7 @@ let serve_field_json sv =
     ]
 
 let write_snapshot rows parallel selfcheck gain_update recorder resource
-    mlevel_scale refiner serve =
+    expose mlevel_scale refiner serve =
   let benchmarks =
     List.map
       (fun (name, est) ->
@@ -1010,6 +1069,17 @@ let write_snapshot rows parallel selfcheck gain_update recorder resource
             ("wall_s_enabled", Json.Float on);
           ])
   in
+  let expose_field =
+    match expose with
+    | None -> Json.Null
+    | Some (off, on) ->
+      Json.Obj
+        (overhead_fields ~name:expose_name (off, on)
+        @ [
+            ("wall_s_base", Json.Float off);
+            ("wall_s_exported", Json.Float on);
+          ])
+  in
   let mlevel_field =
     match mlevel_scale with
     | None -> Json.Null
@@ -1043,6 +1113,7 @@ let write_snapshot rows parallel selfcheck gain_update recorder resource
         ("gain_update", gain_update_field);
         ("recorder", recorder_field);
         ("resource", resource_field);
+        ("expose", expose_field);
         ("mlevel", mlevel_field);
         ("refiner", refiner_field);
         ( "serve",
@@ -1080,7 +1151,7 @@ let install_resource_source () =
         os_stime_s = t.Unix.tms_stime;
       })
 
-let ledger_rows rows parallel selfcheck gain_update recorder resource
+let ledger_rows rows parallel selfcheck gain_update recorder resource expose
     mlevel_scale refiner serve =
   let r name value unit_ higher_better =
     { Ledger.name; value; unit_; higher_better }
@@ -1131,6 +1202,13 @@ let ledger_rows rows parallel selfcheck gain_update recorder resource
           r (resource_name ^ "/wall_s_enabled") on "s" false;
         ])
       resource
+  @ opt
+      (fun (off, on) ->
+        [
+          r (expose_name ^ "/wall_s_base") off "s" false;
+          r (expose_name ^ "/wall_s_exported") on "s" false;
+        ])
+      expose
   @ opt
       (fun scale_rows ->
         List.concat_map
@@ -1293,6 +1371,13 @@ let () =
     Printf.printf "%-42s %15s\n" resource_name
       (Printf.sprintf "%+.1f%% (enabled)"
          (if off > 0.0 then 100.0 *. (on -. off) /. off else 0.0)));
+  let expose = measure_expose () in
+  (match expose with
+  | None -> ()
+  | Some (off, on) ->
+    Printf.printf "%-42s %15s\n" expose_name
+      (Printf.sprintf "%+.1f%% (exported)"
+         (if off > 0.0 then 100.0 *. (on -. off) /. off else 0.0)));
   let mlevel_scale = measure_mlevel_scale () in
   (match mlevel_scale with
   | None -> ()
@@ -1323,12 +1408,12 @@ let () =
     Printf.printf "%-42s %15s\n" serve_table_name
       (Printf.sprintf "cold %.1fms warm %.1fms p50" sv.sv_cold_p50_ms
          sv.sv_warm_p50_ms));
-  write_snapshot rows parallel selfcheck gain_update recorder resource
+  write_snapshot rows parallel selfcheck gain_update recorder resource expose
     mlevel_scale refiner serve;
   Printf.printf "perf snapshot written to %s\n" snapshot_path;
   match Sys.getenv_opt "FPART_BENCH_LEDGER" with
   | None | Some "" -> ()
   | Some path ->
     append_ledger path
-      (ledger_rows rows parallel selfcheck gain_update recorder resource
+      (ledger_rows rows parallel selfcheck gain_update recorder resource expose
          mlevel_scale refiner serve)

@@ -219,11 +219,158 @@ let regress_cmd =
     (Cmd.info "regress" ~doc)
     Term.(const regress_main $ ledger_arg $ min_delta_arg $ mad_k_arg)
 
+(* {2 scrape / live: exposition consumers}
+
+   [scrape] fetches one /metrics page (or reads a --metrics-out file),
+   strict-parses it and prints the compact table; [live] polls an
+   address and renders interval deltas.  Exit codes: 0 ok, 1 invalid
+   exposition, 2 unreachable/unreadable source. *)
+
+let fetch_page source =
+  if Sys.file_exists source then begin
+    let ic = open_in_bin source in
+    let len = in_channel_length ic in
+    let text = really_input_string ic len in
+    close_in ic;
+    Ok text
+  end
+  else Serve.Http.get ~addr:source "/metrics"
+
+let parse_page source text =
+  match Fpart_obs.Expose.parse text with
+  | Ok fams -> Ok fams
+  | Error e -> Error (Printf.sprintf "%s: invalid exposition: %s" source e)
+
+let scrape_main source health raw =
+  match fetch_page source with
+  | Error e ->
+    Printf.eprintf "fpart_inspect: %s: %s\n" source e;
+    2
+  | Ok text -> (
+    match parse_page source text with
+    | Error e ->
+      prerr_endline ("fpart_inspect: " ^ e);
+      1
+    | Ok fams ->
+      let health_rc =
+        if not health then 0
+        else if Sys.file_exists source then begin
+          Printf.eprintf
+            "fpart_inspect: --health needs an address, not a file\n";
+          2
+        end
+        else
+          match Serve.Http.get ~addr:source "/healthz" with
+          | Ok body ->
+            print_string body;
+            0
+          | Error e ->
+            Printf.eprintf "fpart_inspect: %s: health probe failed: %s\n"
+              source e;
+            1
+      in
+      if health_rc <> 0 then health_rc
+      else begin
+        if raw then print_string text
+        else begin
+          Inspect.pp_scrape Format.std_formatter fams;
+          Format.pp_print_flush Format.std_formatter ()
+        end;
+        0
+      end)
+
+let scrape_cmd =
+  let doc =
+    "fetch one exposition page from a daemon's $(b,/metrics) endpoint (or a \
+     $(b,--metrics-out) file), validate it against the strict text-format \
+     parser and print a compact table; exit 1 when the page does not parse"
+  in
+  Cmd.v
+    (Cmd.info "scrape" ~doc)
+    Term.(
+      const scrape_main
+      $ Arg.(
+          required
+          & pos 0 (some string) None
+          & info [] ~docv:"SOURCE"
+              ~doc:
+                "Metrics address ($(b,PORT) or $(b,HOST:PORT)) or a saved \
+                 exposition file.")
+      $ Arg.(
+          value & flag
+          & info [ "health" ]
+              ~doc:"Also probe $(b,/healthz) first and print its JSON body.")
+      $ Arg.(
+          value & flag
+          & info [ "raw" ]
+              ~doc:
+                "Print the validated page verbatim instead of the table (for \
+                 diffing two scrapes)."))
+
+let live_main addr interval frames no_clear =
+  let rec loop prev t_prev n =
+    match Serve.Http.get ~addr "/metrics" with
+    | Error e ->
+      Printf.eprintf "fpart_inspect: %s: %s\n" addr e;
+      2
+    | Ok text -> (
+      match parse_page addr text with
+      | Error e ->
+        prerr_endline ("fpart_inspect: " ^ e);
+        1
+      | Ok cur ->
+        let t_now = Unix.gettimeofday () in
+        let dt_s = match prev with [] -> interval | _ -> t_now -. t_prev in
+        if not no_clear then print_string "\027[2J\027[H";
+        Inspect.pp_live_header Format.std_formatter ();
+        Inspect.pp_live_row Format.std_formatter
+          (Inspect.live_stats ~prev ~cur ~dt_s);
+        Format.pp_print_flush Format.std_formatter ();
+        if frames > 0 && n + 1 >= frames then 0
+        else begin
+          Unix.sleepf interval;
+          loop cur t_now (n + 1)
+        end)
+  in
+  loop [] (Unix.gettimeofday ()) 0
+
+let live_cmd =
+  let doc =
+    "poll a daemon's $(b,/metrics) endpoint and render a one-row terminal \
+     dashboard per interval: request and error rates, interval cold/warm \
+     latency quantiles, cache hit ratio and size, RSS and heap"
+  in
+  Cmd.v
+    (Cmd.info "live" ~doc)
+    Term.(
+      const live_main
+      $ Arg.(
+          required
+          & pos 0 (some string) None
+          & info [] ~docv:"ADDR"
+              ~doc:"Metrics address ($(b,PORT) or $(b,HOST:PORT)).")
+      $ Arg.(
+          value
+          & opt float 2.0
+          & info [ "interval" ] ~docv:"SECONDS"
+              ~doc:"Seconds between scrapes (default 2).")
+      $ Arg.(
+          value
+          & opt int 0
+          & info [ "frames" ] ~docv:"N"
+              ~doc:"Stop after N frames (default 0: poll until interrupted).")
+      $ Arg.(
+          value & flag
+          & info [ "no-clear" ]
+              ~doc:
+                "Do not clear the screen between frames (append rows; for \
+                 logs and tests)."))
+
 let doc = "analyze fpart observability traces and run ledgers offline"
 
 let group =
   Cmd.group ~default:analyze_term (Cmd.info "fpart_inspect" ~doc)
-    [ mem_cmd; trend_cmd; regress_cmd ]
+    [ mem_cmd; trend_cmd; regress_cmd; scrape_cmd; live_cmd ]
 
 let analyze_cmd = Cmd.v (Cmd.info "fpart_inspect" ~doc) analyze_term
 
@@ -231,7 +378,7 @@ let analyze_cmd = Cmd.v (Cmd.info "fpart_inspect" ~doc) analyze_term
    working; Cmd.group would reject a bare first positional as an
    unknown command, so route those straight to the analyzer. *)
 let () =
-  let subcommand = [ "mem"; "trend"; "regress"; "help" ] in
+  let subcommand = [ "mem"; "trend"; "regress"; "scrape"; "live"; "help" ] in
   let bare_positional =
     Array.length Sys.argv > 1
     &&

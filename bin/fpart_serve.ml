@@ -136,7 +136,79 @@ let client_mode path =
   (try Unix.close sock with Unix.Unix_error _ -> ());
   0
 
-let main batch socket client jobs timeout_s ledger trace trace_format stats =
+(* The telemetry endpoints served by --metrics: the Prometheus page
+   and a JSON liveness probe.  The handler runs on a posix thread of
+   the engine's domain, so the scrape reads the same instrument cells
+   the engine merges worker activity into. *)
+let telemetry_handler engine path =
+  match path with
+  | "/metrics" ->
+    Some ("text/plain; version=0.0.4", Fpart_obs.Expose.render ())
+  | "/healthz" ->
+    Some
+      ( "application/json",
+        Fpart_obs.Json.to_string (Serve.Engine.health_json engine) ^ "\n" )
+  | _ -> None
+
+let write_file path text =
+  let oc = open_out path in
+  output_string oc text;
+  close_out oc
+
+let run_engine ~batch ~socket ~jobs ~timeout_s ~ledger ~metrics ~metrics_out
+    ~access_log ~cache_warn_mb =
+  let access_oc =
+    Option.map (fun p -> if p = "-" then stderr else open_out p) access_log
+  in
+  let access =
+    Option.map
+      (fun oc j ->
+        output_string oc (Fpart_obs.Json.to_string j);
+        output_char oc '\n';
+        flush oc)
+      access_oc
+  in
+  let engine =
+    Serve.Engine.create ?timeout_s ?cache_warn_mb
+      ~warn:(fun m -> Printf.eprintf "fpart_serve: warning: %s\n%!" m)
+      ?access ~jobs ()
+  in
+  let http =
+    match metrics with
+    | None -> Ok None
+    | Some addr -> (
+      match Serve.Http.start ~addr ~handler:(telemetry_handler engine) with
+      | Ok t ->
+        Printf.eprintf "fpart_serve: metrics on http://127.0.0.1:%d/metrics\n%!"
+          (Serve.Http.port t);
+        Ok (Some t)
+      | Error e ->
+        Printf.eprintf "fpart_serve: %s\n" e;
+        Error 1)
+  in
+  let code =
+    match http with
+    | Error rc -> rc
+    | Ok http ->
+      let code =
+        match (batch, socket) with
+        | Some bpath, _ -> batch_mode engine bpath ledger jobs
+        | None, Some spath -> socket_mode engine spath ledger jobs
+        | None, None -> assert false
+      in
+      (* one-shot exposition dump: the same page /metrics would have
+         served, written after the last request for deterministic
+         offline consumption (cram tests, fpart_inspect scrape FILE) *)
+      Option.iter (fun p -> write_file p (Fpart_obs.Expose.render ())) metrics_out;
+      Option.iter Serve.Http.stop http;
+      code
+  in
+  Serve.Engine.shutdown engine;
+  Option.iter (fun oc -> if oc != stderr then close_out oc) access_oc;
+  code
+
+let main batch socket client jobs timeout_s ledger trace trace_format stats
+    metrics metrics_out access_log cache_warn_mb =
   Obs_setup.install_resource ();
   Obs_setup.install_clock ();
   Fpart_obs.Metrics.set_enabled true;
@@ -147,20 +219,17 @@ let main batch socket client jobs timeout_s ledger trace trace_format stats =
     | _, _, Some path ->
       (* pure pump: no engine on this side *)
       client_mode path
-    | Some bpath, None, None | Some bpath, Some _, None ->
-      let engine = Serve.Engine.create ?timeout_s ~jobs () in
-      let code = batch_mode engine bpath ledger jobs in
-      Serve.Engine.shutdown engine;
-      code
-    | None, Some spath, None ->
-      let engine = Serve.Engine.create ?timeout_s ~jobs () in
-      let code = socket_mode engine spath ledger jobs in
-      Serve.Engine.shutdown engine;
-      code
     | None, None, None ->
       prerr_endline
         "fpart_serve: give one of --batch FILE, --socket PATH or --client PATH";
       2
+    | Some _, _, None | None, Some _, None ->
+      (* --batch wins when both are given, as before *)
+      let batch, socket =
+        match batch with Some _ -> (batch, None) | None -> (None, socket)
+      in
+      run_engine ~batch ~socket ~jobs ~timeout_s ~ledger ~metrics ~metrics_out
+        ~access_log ~cache_warn_mb
   in
   if stats then begin
     Format.eprintf "%a" Fpart_obs.Metrics.pp_report ();
@@ -231,12 +300,56 @@ let stats =
     & info [ "stats" ]
         ~doc:"Print the metrics report (counters, span histograms) to stderr at exit.")
 
+let metrics =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics" ] ~docv:"ADDR"
+        ~doc:
+          "Serve Prometheus exposition on $(b,http://ADDR/metrics) and a JSON \
+           liveness probe on $(b,/healthz) while the service runs.  ADDR is \
+           $(b,PORT) or $(b,HOST:PORT); port $(b,0) picks a free port \
+           (announced on stderr).")
+
+let metrics_out =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "metrics-out" ] ~docv:"FILE"
+        ~doc:
+          "Write one exposition page (the same text $(b,/metrics) serves) to \
+           FILE after the last request; for offline diffing and \
+           $(b,fpart_inspect scrape FILE).")
+
+let access_log =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "access-log" ] ~docv:"FILE"
+        ~doc:
+          "Append one structured JSONL record per answered request to FILE \
+           ($(b,-) for stderr): request id, client id, mode \
+           (cold/warm/hit), wall ms, cut, k and workload digests.  The \
+           request id also stamps every recorder span and convergence event \
+           recorded while serving that request.")
+
+let cache_warn_mb =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "cache-warn-mb" ] ~docv:"MB"
+        ~doc:
+          "Warn once on stderr (and count $(b,serve.cache.warnings)) when the \
+           result cache's estimated size first exceeds MB mebibytes.  The \
+           cache is unbounded; this makes its growth visible.")
+
 let cmd =
   let doc = "long-running multi-way FPGA partition service" in
   Cmd.v
     (Cmd.info "fpart_serve" ~doc)
     Term.(
       const main $ batch $ socket $ client $ jobs $ timeout_s $ ledger
-      $ Obs_setup.trace_arg $ Obs_setup.trace_format_arg $ stats)
+      $ Obs_setup.trace_arg $ Obs_setup.trace_format_arg $ stats $ metrics
+      $ metrics_out $ access_log $ cache_warn_mb)
 
 let () = exit (Cmd.eval' cmd)

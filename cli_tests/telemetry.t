@@ -1,0 +1,71 @@
+The live telemetry plane: stats/health protocol ops, the one-shot
+exposition dump, the structured access log, and the fpart_inspect
+scrape consumer with its strict text-format parser.
+
+  $ cat > req.jsonl <<'EOF'
+  > {"id":"a","netlist":{"generate":"60x8","seed":5},"device":"XC3042"}
+  > {"id":"b","netlist":{"generate":"60x8","seed":5},"device":"XC3042"}
+  > {"op":"stats"}
+  > {"op":"health"}
+  > EOF
+  $ fpart_serve --batch req.jsonl --metrics-out page.txt --access-log access.jsonl > resp.jsonl
+
+The stats op answers after the requests before it in the script, so it
+sees both of them and the cached entry; the health op is a cheap
+liveness probe:
+
+  $ sed -n 's/.*"op":"stats".*"served":\([0-9]*\),"errors":\([0-9]*\).*"entries":\([0-9]*\).*"hits":\([0-9]*\).*/served=\1 errors=\2 entries=\3 hits=\4/p' resp.jsonl
+  served=2 errors=0 entries=1 hits=1
+  $ grep -c '"op":"health","status":"ok"' resp.jsonl
+  1
+
+The access log carries one record per answered request: an
+engine-minted request id, the client id, the serving mode and the
+workload digests:
+
+  $ sed 's/.*"rid":"\([^"]*\)","id":"\([^"]*\)".*"mode":"\([^"]*\)".*/\1 \2 \3/' access.jsonl
+  r000001 a cold
+  r000002 b hit
+  $ grep -c '"netlist_digest":"[0-9a-f]*","config_digest":"[0-9a-f]*"' access.jsonl
+  2
+
+The exposition page is the same text /metrics serves: counter families
+carry a _total suffix, histograms the full cumulative ladder ending in
++Inf, and the serve cache gauges are present:
+
+  $ grep -c '^# TYPE fpart_serve_requests_total counter$' page.txt
+  1
+  $ grep '^fpart_serve_requests_total' page.txt
+  fpart_serve_requests_total 2
+  $ grep '^fpart_serve_cache_entries' page.txt
+  fpart_serve_cache_entries 1
+  $ grep -c '^fpart_serve_latency_cold_ms_bucket{le="+Inf"} 1$' page.txt
+  1
+  $ grep '^fpart_serve_latency_cold_ms_count' page.txt
+  fpart_serve_latency_cold_ms_count 1
+  $ grep '^fpart_serve_op_' page.txt
+  fpart_serve_op_health_total 1
+  fpart_serve_op_partition_total 2
+  fpart_serve_op_stats_total 1
+
+fpart_inspect scrape strict-parses the page (a file source works like
+an address) and prints the compact table; the deterministic rows:
+
+  $ fpart_inspect scrape page.txt | grep -E 'requests_total|cache_entries|op_partition'
+  fpart_serve_cache_entries              1
+  fpart_serve_op_partition_total         2
+  fpart_serve_requests_total             2
+  $ fpart_inspect scrape page.txt | sed -n 's/^fpart_serve_latency_cold_ms  *\(count=[0-9]*\).*/\1/p'
+  count=1
+
+A corrupt page fails the strict parser and exits 1:
+
+  $ sed 's/^fpart_serve_requests_total 2/fpart_serve_requests_total -2/' page.txt > bad.txt
+  $ fpart_inspect scrape bad.txt
+  fpart_inspect: bad.txt: invalid exposition: family fpart_serve_requests_total: negative counter value
+  [1]
+
+The cache-size warning is one-shot and lands on stderr:
+
+  $ fpart_serve --batch req.jsonl --cache-warn-mb 0.000001 >/dev/null
+  fpart_serve: warning: result cache estimated at 0.0 MiB (1 entries) exceeds --cache-warn-mb 1e-06; the cache is unbounded — restart the daemon to clear it

@@ -704,3 +704,119 @@ let pp_regress ppf verdicts =
     Format.fprintf ppf "%d rows checked, %d regression(s)@."
       (List.length verdicts) bad
   end
+
+(* {2 Exposition consumers: scrape and live}
+
+   Rendering for [fpart_inspect scrape] (one parsed exposition page as
+   a compact table) and [fpart_inspect live] (the delta of two pages as
+   one dashboard row).  Everything works on {!Expose.family} lists so a
+   page fetched over HTTP and one read from a [--metrics-out] file look
+   identical. *)
+
+let fmt_value v =
+  if Float.is_integer v && Float.abs v < 1e15 then Printf.sprintf "%.0f" v
+  else Printf.sprintf "%g" v
+
+let pp_scrape ppf (fams : Expose.family list) =
+  let sorted =
+    List.sort (fun a b -> compare a.Expose.f_name b.Expose.f_name) fams
+  in
+  let w =
+    List.fold_left
+      (fun w (f : Expose.family) -> max w (String.length f.f_name))
+      10 sorted
+  in
+  List.iter
+    (fun (f : Expose.family) ->
+      match f.Expose.f_type with
+      | "histogram" ->
+        let n = Option.value ~default:0.0 (Expose.hist_count fams f.f_name) in
+        if n = 0.0 then Format.fprintf ppf "%-*s  count=0@." w f.f_name
+        else begin
+          let s = Option.value ~default:0.0 (Expose.hist_sum fams f.f_name) in
+          let series = Expose.buckets fams f.f_name in
+          Format.fprintf ppf "%-*s  count=%s sum=%s p50<=%s p95<=%s@." w
+            f.f_name (fmt_value n) (fmt_value s)
+            (fmt_value (Expose.quantile_of_buckets ~p:0.5 series))
+            (fmt_value (Expose.quantile_of_buckets ~p:0.95 series))
+        end
+      | _ -> (
+        match f.f_samples with
+        | [ smp ] ->
+          Format.fprintf ppf "%-*s  %s@." w f.f_name
+            (fmt_value smp.Expose.s_value)
+        | _ -> ()))
+    sorted
+
+type live_stats = {
+  l_req_s : float;
+  l_err_s : float;
+  l_cold_n : int;
+  l_cold_p50 : float;
+  l_cold_p95 : float;
+  l_warm_n : int;
+  l_warm_p50 : float;
+  l_warm_p95 : float;
+  l_hit_ratio : float;
+  l_cache_entries : int;
+  l_rss_kb : int;
+  l_heap_w : int;
+}
+
+let live_stats ~prev ~cur ~dt_s =
+  let v name = Option.value ~default:0.0 (Expose.find cur name) in
+  let dv name =
+    let p =
+      match prev with
+      | [] -> 0.0
+      | _ -> Option.value ~default:0.0 (Expose.find prev name)
+    in
+    Float.max 0.0 (v name -. p)
+  in
+  let hist name =
+    let curb = Expose.buckets cur name in
+    let d =
+      match prev with
+      | [] -> curb
+      | _ -> Expose.delta_buckets ~prev:(Expose.buckets prev name) ~cur:curb
+    in
+    let n =
+      match List.rev d with [] -> 0.0 | (_, total) :: _ -> total
+    in
+    ( int_of_float n,
+      Expose.quantile_of_buckets ~p:0.5 d,
+      Expose.quantile_of_buckets ~p:0.95 d )
+  in
+  let cold_n, cold_p50, cold_p95 = hist "fpart_serve_latency_cold_ms" in
+  let warm_n, warm_p50, warm_p95 = hist "fpart_serve_latency_warm_ms" in
+  let dt = if dt_s <= 0.0 then 1.0 else dt_s in
+  {
+    l_req_s = dv "fpart_serve_requests_total" /. dt;
+    l_err_s = dv "fpart_serve_errors_total" /. dt;
+    l_cold_n = cold_n;
+    l_cold_p50 = cold_p50;
+    l_cold_p95 = cold_p95;
+    l_warm_n = warm_n;
+    l_warm_p50 = warm_p50;
+    l_warm_p95 = warm_p95;
+    l_hit_ratio = v "fpart_serve_cache_hit_ratio";
+    l_cache_entries = int_of_float (v "fpart_serve_cache_entries");
+    l_rss_kb = int_of_float (v "fpart_process_max_rss_kb");
+    l_heap_w = int_of_float (v "fpart_process_top_heap_words");
+  }
+
+let pp_live_header ppf () =
+  Format.fprintf ppf "%8s %6s  %-20s %-20s %5s %7s %8s %10s@." "req/s" "err/s"
+    "cold n/p50/p95 ms" "warm n/p50/p95 ms" "hit%" "entries" "rss MiB"
+    "heap Mw"
+
+let pp_live_row ppf l =
+  let q v = if Float.is_nan v then "-" else fmt_value v in
+  let h n p50 p95 = Printf.sprintf "%d/%s/%s" n (q p50) (q p95) in
+  Format.fprintf ppf "%8.1f %6.1f  %-20s %-20s %4.0f%% %7d %8.1f %10.2f@."
+    l.l_req_s l.l_err_s
+    (h l.l_cold_n l.l_cold_p50 l.l_cold_p95)
+    (h l.l_warm_n l.l_warm_p50 l.l_warm_p95)
+    (l.l_hit_ratio *. 100.0) l.l_cache_entries
+    (float_of_int l.l_rss_kb /. 1024.0)
+    (float_of_int l.l_heap_w /. 1e6)

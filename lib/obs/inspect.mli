@@ -146,3 +146,40 @@ val regress :
   ?min_delta:float -> ?mad_k:float -> Ledger.entry list -> verdict list
 
 val pp_regress : Format.formatter -> verdict list -> unit
+
+(** {2 Exposition consumers}
+
+    Rendering for [fpart_inspect scrape] and [live] over parsed
+    {!Expose} pages, so an HTTP scrape and a [--metrics-out] file are
+    consumed identically. *)
+
+(** Compact sorted table of one page: one line per family — counters
+    and gauges as [name value], histograms as
+    [name count=… sum=… p50<=… p95<=…] (bucket-resolution quantiles). *)
+val pp_scrape : Format.formatter -> Expose.family list -> unit
+
+type live_stats = {
+  l_req_s : float;  (** request rate over the interval *)
+  l_err_s : float;
+  l_cold_n : int;  (** cold completions in the interval *)
+  l_cold_p50 : float;  (** interval quantiles, bucket resolution *)
+  l_cold_p95 : float;
+  l_warm_n : int;
+  l_warm_p50 : float;
+  l_warm_p95 : float;
+  l_hit_ratio : float;  (** lifetime cache hit ratio gauge *)
+  l_cache_entries : int;
+  l_rss_kb : int;
+  l_heap_w : int;
+}
+
+(** [live_stats ~prev ~cur ~dt_s] is the dashboard row for the
+    interval between two scrapes ([prev = []] for the first frame:
+    deltas fall back to lifetime values). *)
+val live_stats :
+  prev:Expose.family list -> cur:Expose.family list -> dt_s:float ->
+  live_stats
+
+val pp_live_header : Format.formatter -> unit -> unit
+
+val pp_live_row : Format.formatter -> live_stats -> unit

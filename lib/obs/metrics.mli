@@ -46,21 +46,53 @@ type histogram
 
 (** [histogram name] interns a histogram of float samples (span
     durations are recorded in milliseconds; other instruments document
-    their own unit). *)
+    their own unit).
+
+    A histogram keeps {e lifetime} aggregates — observation count, sum
+    and fixed-ladder bucket counts, all monotone and O(1) memory, what
+    a Prometheus scrape ({!Expose}) needs — plus a sliding window of
+    the most recent {!window_capacity} raw samples that backs
+    {!quantile}/{!hist_max}, so a long-lived daemon's p95 tracks
+    current behaviour instead of aggregating forever. *)
 val histogram : string -> histogram
 
 (** No-op unless {!enabled}. *)
 val observe : histogram -> float -> unit
 
+(** Lifetime observation count (monotone, survives window eviction). *)
 val count : histogram -> int
 
-(** [quantile h p] by nearest rank: the ⌈p·N⌉-th smallest sample,
+(** Lifetime sum of every observed value. *)
+val hist_sum : histogram -> float
+
+(** Upper bounds of the fixed exposition bucket ladder, shared by all
+    histograms (milliseconds); the implicit last bucket is +Inf. *)
+val bucket_bounds : float array
+
+(** Lifetime per-bucket observation counts: length
+    [Array.length bucket_bounds + 1], the final slot counting samples
+    above the ladder (+Inf).  Non-cumulative; {!Expose} renders the
+    cumulative Prometheus form. *)
+val bucket_totals : histogram -> int array
+
+(** Samples currently held in the sliding window
+    ([min (count h) window_capacity]). *)
+val window_count : histogram -> int
+
+val window_capacity : int
+
+(** [quantile h p] by nearest rank over the {e sliding window}: the
+    ⌈p·N⌉-th smallest of the most recent [window_capacity] samples,
     with [p <= 0] pinned to the minimum and [p >= 1] to the maximum;
     [nan] when empty.  A single-sample histogram returns that sample
-    for every [p]. *)
+    for every [p].  Until the window first fills this is exactly the
+    all-samples quantile. *)
 val quantile : histogram -> float -> float
 
+(** Maximum over the sliding window. *)
 val hist_max : histogram -> float
+
+(** Lifetime mean ({!hist_sum} / {!count}). *)
 val hist_mean : histogram -> float
 
 (** {1 Spans}
@@ -94,6 +126,16 @@ val snapshot_and_reset : unit -> snapshot
 val merge : snapshot -> unit
 
 (** {1 Reporting} *)
+
+(** Every counter with a non-zero value on the calling domain, as
+    [(name, value)] sorted by name. *)
+val active_counters : unit -> (string * int) list
+
+(** Every histogram with at least one lifetime observation on the
+    calling domain, sorted by name. *)
+val active_histograms : unit -> histogram list
+
+val hist_name : histogram -> string
 
 (** Snapshot of every non-idle instrument as a JSON object
     [{"type":"metrics","counters":{...},"histograms":{name:{count,mean,p50,p95,max}}}],

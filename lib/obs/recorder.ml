@@ -30,14 +30,39 @@ type dstate = {
   mutable next_id : int;
   mutable buffering : bool;
   mutable buf : entry list;  (* reversed emission order *)
+  mutable request : string option;  (* request id stamped on records *)
 }
 
 let dstate_key : dstate Domain.DLS.key =
   Domain.DLS.new_key (fun () ->
-      { stack = []; next_id = 1; buffering = false; buf = [] })
+      { stack = []; next_id = 1; buffering = false; buf = []; request = None })
 
 let dstate () = Domain.DLS.get dstate_key
 let track () = (Domain.self () :> int)
+
+(* {2 Request attribution}
+
+   A service mints one id per request and sets it on every domain that
+   works on the request's behalf (the caller around cache/ECO handling,
+   the worker inside its task closure).  While set, every span record
+   and telemetry event closed on that domain carries a ["req"] field,
+   so one slow request can be carved out of a live daemon's trace and
+   its convergence events joined to the access-log line with the same
+   id. *)
+
+let set_request r = (dstate ()).request <- r
+let current_request () = (dstate ()).request
+
+let with_request r f =
+  let d = dstate () in
+  let saved = d.request in
+  d.request <- r;
+  Fun.protect ~finally:(fun () -> d.request <- saved) f
+
+let req_attrs d attrs =
+  match d.request with
+  | None -> attrs
+  | Some r -> ("req", Json.Str r) :: attrs
 
 (* {2 Epoch}
 
@@ -151,6 +176,7 @@ let span_end s ~attrs =
       | None -> attrs
       | Some dl -> attrs @ Resource.delta_fields dl
     in
+    let attrs = req_attrs d attrs in
     push_entry d
       (Espan
          {
@@ -194,7 +220,7 @@ let event fields =
          span = current_id ();
          track = track ();
          t_ms = rel_ms (Clock.now ());
-         fields;
+         fields = req_attrs d fields;
        })
 
 (* {2 Capture / merge} *)
@@ -261,4 +287,11 @@ let reset () =
   d.next_id <- 1;
   d.buffering <- false;
   d.buf <- [];
+  d.request <- None;
+  (* A recorder reset is a measurement-epoch boundary (daemon restart,
+     bench repeat, test isolation): the span-duration histograms and
+     counters the spans fed must restart with it, or a long-lived
+     process's quantiles and exposition counters would aggregate
+     across epochs forever. *)
+  Metrics.reset ();
   Mutex.protect epoch_mutex (fun () -> epoch := None)

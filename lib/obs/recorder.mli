@@ -39,6 +39,24 @@ val span_end : span -> attrs:(string * Json.t) list -> unit
 (** Id of the innermost open span on this domain; [0] when none. *)
 val current_id : unit -> int
 
+(** {2 Request attribution}
+
+    While a request id is set on a domain, every span record closed and
+    every {!event} emitted on that domain carries a ["req"] field — the
+    hook a service uses to attribute recorder output (including
+    convergence telemetry from deep inside the engine) to the request
+    being served.  Ids are per-domain: a pool worker sets the id inside
+    its task closure ({!with_request}), so captured entries carry the
+    stamp through {!merge} unchanged. *)
+
+val set_request : string option -> unit
+
+val current_request : unit -> string option
+
+(** [with_request r f] runs [f] with the domain's request id set to
+    [r], restoring the previous id afterwards (also on exceptions). *)
+val with_request : string option -> (unit -> 'a) -> 'a
+
 (** [event fields] emits [fields] as a record annotated with the
     current span id ([span]), domain ([track]) and emission time
     ([t_ms]).  Inside a {!capture} the record is buffered with the
@@ -73,6 +91,9 @@ val merge : snapshot -> unit
 val set_epoch : unit -> unit
 
 (** Discard the calling domain's recorder state (open spans, id
-    counter, capture buffer) and the epoch.  For test isolation;
-    mirrors {!Metrics.reset}. *)
+    counter, capture buffer, request id) and the epoch, {e and} reset
+    the {!Metrics} instruments ({!Metrics.reset}): a recorder reset is
+    a measurement-epoch boundary, and the span-duration histograms the
+    spans fed must restart with it so a long-lived process's quantiles
+    and exposition counters do not aggregate across epochs. *)
 val reset : unit -> unit

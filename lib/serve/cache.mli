@@ -30,3 +30,10 @@ val hits : t -> int
 val misses : t -> int
 
 val size : t -> int
+
+(** Estimated retained bytes of all entries (key + string payloads +
+    a flat per-entry allowance).  Feeds the [serve.cache.bytes_est]
+    gauge and the [--cache-warn-mb] check: the cache is unbounded by
+    design (results are bit-replayable), so its growth must at least
+    be visible. *)
+val bytes_est : t -> int

@@ -3,13 +3,18 @@ module Json = Fpart_obs.Json
 module Metrics = Fpart_obs.Metrics
 module Recorder = Fpart_obs.Recorder
 
+module Expose = Fpart_obs.Expose
+
 let c_requests = Metrics.counter "serve.requests"
 let c_cache_hits = Metrics.counter "serve.cache_hits"
 let c_errors = Metrics.counter "serve.errors"
 let c_eco_warm = Metrics.counter "serve.eco_warm"
 let c_eco_fallback = Metrics.counter "serve.eco_fallback"
+let c_cache_warnings = Metrics.counter "serve.cache.warnings"
 let h_cold = Metrics.histogram "serve.latency.cold_ms"
 let h_warm = Metrics.histogram "serve.latency.warm_ms"
+
+let now = Unix.gettimeofday
 
 type t = {
   pool : Fpart_exec.Pool.t;
@@ -17,16 +22,50 @@ type t = {
   jobs : int;
   timeout_s : float option;
   mutable served : int;
+  mutable next_rid : int;  (* request-id mint, monotone per engine *)
+  t0 : float;  (* creation time, for uptime reporting *)
+  access : (Json.t -> unit) option;  (* access-log record consumer *)
+  warn : string -> unit;
+  cache_warn_mb : float option;
+  mutable cache_warned : bool;  (* the size warning fires once *)
 }
 
-let create ?timeout_s ~jobs () =
-  {
-    pool = Fpart_exec.Pool.create ~jobs;
-    cache = Cache.create ();
-    jobs;
-    timeout_s;
-    served = 0;
-  }
+let create ?timeout_s ?cache_warn_mb ?(warn = fun _ -> ()) ?access ~jobs () =
+  let t =
+    {
+      pool = Fpart_exec.Pool.create ~jobs;
+      cache = Cache.create ();
+      jobs;
+      timeout_s;
+      served = 0;
+      next_rid = 0;
+      t0 = now ();
+      access;
+      warn;
+      cache_warn_mb;
+      cache_warned = false;
+    }
+  in
+  (* Cache visibility gauges: sampled at scrape time, so a daemon's
+     /metrics always shows the current size of the unbounded result
+     cache.  [set_gauge] replaces, so the newest engine owns the
+     names (tests create many short-lived engines). *)
+  Expose.set_gauge "serve.cache.entries"
+    ~help:"Entries in the digest-keyed result cache." (fun () ->
+      float_of_int (Cache.size t.cache));
+  Expose.set_gauge "serve.cache.bytes_est"
+    ~help:"Estimated retained bytes of the result cache." (fun () ->
+      float_of_int (Cache.bytes_est t.cache));
+  Expose.set_gauge "serve.cache.hit_ratio"
+    ~help:"Cache hits / lookups since engine start." (fun () ->
+      let hits = Cache.hits t.cache and misses = Cache.misses t.cache in
+      if hits + misses = 0 then 0.0
+      else float_of_int hits /. float_of_int (hits + misses));
+  t
+
+let mint_rid t =
+  t.next_rid <- t.next_rid + 1;
+  Printf.sprintf "r%06d" t.next_rid
 
 let jobs t = t.jobs
 
@@ -42,6 +81,7 @@ let shutdown t = Fpart_exec.Pool.shutdown t.pool
 
 type prepared = {
   p_req : Protocol.request;
+  p_rid : string;  (* engine-minted request id, stamped on spans *)
   p_name : string;  (* circuit name, for the result partfile *)
   p_hg : Hg.t;  (* delta already applied for ECO requests *)
   p_device : Device.t;
@@ -126,7 +166,7 @@ let read_source what = function
       Ok text
     end
 
-let prepare (req : Protocol.request) =
+let prepare ~rid (req : Protocol.request) =
   let* device =
     match Device.find req.device with
     | Some d -> Ok d
@@ -164,6 +204,7 @@ let prepare (req : Protocol.request) =
   Ok
     {
       p_req = req;
+      p_rid = rid;
       p_name = name;
       p_hg = hg;
       p_device = device;
@@ -183,7 +224,12 @@ let prepare (req : Protocol.request) =
    carrying [inject:"crash"] raises inside its isolation boundary
    (Batch slot or run_best_isolated seed), exactly like a real bug in
    the partitioning engine would. *)
-let runner (req : Protocol.request) config hg device =
+let runner ~rid (req : Protocol.request) config hg device =
+  (* the per-seed body runs on a pool worker domain: setting the
+     request id here stamps the engine's own spans and convergence
+     events with the request they serve, across the capture/merge
+     boundary *)
+  Recorder.with_request (Some rid) @@ fun () ->
   (match req.Protocol.inject with
   | Some "crash" -> failwith "injected crash"
   | Some other -> failwith (Printf.sprintf "unknown inject %S" other)
@@ -219,12 +265,11 @@ let success_of_driver p ~mode ~cache ~wall_ms (r : Fpart.Driver.result) =
     ~cut:r.Fpart.Driver.cut ~total_pins:r.Fpart.Driver.total_pins
     ~m_lower:r.Fpart.Driver.m_lower
 
-let now = Unix.gettimeofday
-
 (* Cold path for one request, scheduled on [pool] when the request is a
    multi-start portfolio ([pool = Some _]) or run inline inside a Batch
    worker slot ([pool = None], isolation provided by the Batch). *)
 let run_cold ?pool p ~cache_tag =
+  Recorder.with_request (Some p.p_rid) @@ fun () ->
   let req = p.p_req in
   let t0 = now () in
   let sp = Recorder.span_begin "serve.request" in
@@ -238,7 +283,8 @@ let run_cold ?pool p ~cache_tag =
     match
       Fpart.Driver.run_best_isolated ~config:p.p_config ~pool
         ?timeout_s:req.Protocol.timeout_s
-        ~run_one:(runner req) ~runs:req.Protocol.runs p.p_hg p.p_device
+        ~run_one:(runner ~rid:p.p_rid req) ~runs:req.Protocol.runs p.p_hg
+        p.p_device
     with
     | Ok r ->
       let wall_ms = (now () -. t0) *. 1000.0 in
@@ -249,7 +295,7 @@ let run_cold ?pool p ~cache_tag =
     | Error e -> finish (Error e) [ ("error", Json.Str e) ])
   | None ->
     (* inside a Batch worker: crashes propagate to the slot *)
-    let r = runner req p.p_config p.p_hg p.p_device in
+    let r = runner ~rid:p.p_rid req p.p_config p.p_hg p.p_device in
     let wall_ms = (now () -. t0) *. 1000.0 in
     Metrics.observe h_cold wall_ms;
     finish
@@ -257,6 +303,7 @@ let run_cold ?pool p ~cache_tag =
       [ ("mode", Json.Str "cold") ]
 
 let run_eco t p partfile =
+  Recorder.with_request (Some p.p_rid) @@ fun () ->
   let sp = Recorder.span_begin "serve.eco" in
   let t0 = now () in
   let outcome =
@@ -298,9 +345,61 @@ type slot =
   | Multi_job of prepared  (* runs > 1: portfolio sharded across domains *)
   | Single_job of prepared  (* runs = 1: batched under exception isolation *)
 
-let respond (req : Protocol.request) outcome =
+(* One structured access-log record per answered request: the rid ties
+   the line to every recorder span/event stamped while serving it, so a
+   slow request found in the log can be carved out of the trace. *)
+let access_record ~rid (req : Protocol.request) outcome =
+  let base =
+    [
+      ("type", Json.Str "access");
+      ("ts", Json.Float (now ()));
+      ("rid", Json.Str rid);
+      ("id", Json.Str req.Protocol.id);
+      ("op", Json.Str "partition");
+    ]
+  in
+  let fields =
+    match outcome with
+    | Ok (s : Protocol.success) ->
+      base
+      @ [
+          ("status", Json.Str "ok");
+          ( "mode",
+            Json.Str
+              (if s.Protocol.cache = "hit" then "hit" else s.Protocol.mode) );
+          ("cache", Json.Str s.Protocol.cache);
+          ("wall_ms", Json.Float s.Protocol.wall_ms);
+          ("cut", Json.Int s.Protocol.cut);
+          ("k", Json.Int s.Protocol.k);
+          ("netlist_digest", Json.Str s.Protocol.netlist_digest);
+          ("config_digest", Json.Str s.Protocol.config_digest);
+        ]
+    | Error e -> base @ [ ("status", Json.Str "error"); ("error", Json.Str e) ]
+  in
+  Json.Obj fields
+
+let respond t ~rid (req : Protocol.request) outcome =
   (match outcome with Error _ -> Metrics.incr c_errors | Ok _ -> ());
+  (match t.access with
+  | Some emit -> emit (access_record ~rid req outcome)
+  | None -> ());
   Done { Protocol.resp_id = req.Protocol.id; outcome }
+
+let check_cache_size t =
+  match t.cache_warn_mb with
+  | Some mb
+    when (not t.cache_warned)
+         && float_of_int (Cache.bytes_est t.cache) > mb *. 1024.0 *. 1024.0 ->
+    t.cache_warned <- true;
+    Metrics.incr c_cache_warnings;
+    t.warn
+      (Printf.sprintf
+         "result cache estimated at %.1f MiB (%d entries) exceeds \
+          --cache-warn-mb %g; the cache is unbounded — restart the daemon to \
+          clear it"
+         (float_of_int (Cache.bytes_est t.cache) /. (1024.0 *. 1024.0))
+         (Cache.size t.cache) mb)
+  | _ -> ()
 
 let handle_requests t reqs =
   let sp = Recorder.span_begin "serve.batch" in
@@ -309,8 +408,10 @@ let handle_requests t reqs =
       (fun (req : Protocol.request) ->
         Metrics.incr c_requests;
         t.served <- t.served + 1;
-        match prepare req with
-        | Error e -> respond req (Error e)
+        let rid = mint_rid t in
+        Recorder.with_request (Some rid) @@ fun () ->
+        match prepare ~rid req with
+        | Error e -> respond t ~rid req (Error e)
         | Ok p ->
           if p.p_partfile <> None then Eco_job p
           else if req.Protocol.inject <> None then
@@ -334,7 +435,7 @@ let handle_requests t reqs =
             in
             match hit with
             | Some s ->
-              respond req (Ok { s with Protocol.cache = "hit" })
+              respond t ~rid req (Ok { s with Protocol.cache = "hit" })
             | None ->
               if req.Protocol.runs > 1 then Multi_job p else Single_job p
           end)
@@ -384,7 +485,7 @@ let handle_requests t reqs =
         in
         if p.p_req.Protocol.inject = None then
           Hashtbl.replace outcomes p.p_key outcome;
-        slots.(i) <- respond p.p_req outcome)
+        slots.(i) <- respond t ~rid:p.p_rid p.p_req outcome)
       to_run results;
     List.iter
       (fun (i, p) ->
@@ -401,7 +502,7 @@ let handle_requests t reqs =
               | Some o -> o
               | None -> Error "duplicate of a request that produced no result")
           in
-          slots.(i) <- respond p.p_req outcome
+          slots.(i) <- respond t ~rid:p.p_rid p.p_req outcome
         | _ -> ())
       singles
   end;
@@ -428,10 +529,10 @@ let handle_requests t reqs =
             | _ -> ());
             outcome
         in
-        slots.(i) <- respond p.p_req outcome
+        slots.(i) <- respond t ~rid:p.p_rid p.p_req outcome
       | Eco_job p ->
         let partfile = Option.get p.p_partfile in
-        slots.(i) <- respond p.p_req (run_eco t p partfile)
+        slots.(i) <- respond t ~rid:p.p_rid p.p_req (run_eco t p partfile)
       | _ -> ())
     slots;
   let responses =
@@ -440,6 +541,7 @@ let handle_requests t reqs =
          | Done r -> r
          | _ -> assert false)
   in
+  check_cache_size t;
   Recorder.span_end sp
     ~attrs:
       [
@@ -447,6 +549,64 @@ let handle_requests t reqs =
         ("cache_hits", Json.Int (Cache.hits t.cache));
       ];
   responses
+
+(* --- introspection ------------------------------------------------- *)
+
+let cache_entries t = Cache.size t.cache
+
+let cache_bytes_est t = Cache.bytes_est t.cache
+
+let hist_json h =
+  let n = Metrics.count h in
+  if n = 0 then Json.Obj [ ("count", Json.Int 0) ]
+  else
+    Json.Obj
+      [
+        ("count", Json.Int n);
+        ("mean", Json.Float (Metrics.hist_mean h));
+        ("p50", Json.Float (Metrics.quantile h 0.5));
+        ("p95", Json.Float (Metrics.quantile h 0.95));
+        ("max", Json.Float (Metrics.hist_max h));
+      ]
+
+let cache_json t =
+  let hits = Cache.hits t.cache and misses = Cache.misses t.cache in
+  Json.Obj
+    [
+      ("entries", Json.Int (Cache.size t.cache));
+      ("bytes_est", Json.Int (Cache.bytes_est t.cache));
+      ("hits", Json.Int hits);
+      ("misses", Json.Int misses);
+      ( "hit_ratio",
+        Json.Float
+          (if hits + misses = 0 then 0.0
+           else float_of_int hits /. float_of_int (hits + misses)) );
+    ]
+
+let stats_json t =
+  Json.Obj
+    [
+      ("op", Json.Str "stats");
+      ("uptime_s", Json.Float (now () -. t.t0));
+      ("jobs", Json.Int t.jobs);
+      ("served", Json.Int t.served);
+      ("errors", Json.Int (Metrics.counter_value c_errors));
+      ("eco_warm", Json.Int (Metrics.counter_value c_eco_warm));
+      ("eco_fallback", Json.Int (Metrics.counter_value c_eco_fallback));
+      ("cache", cache_json t);
+      ( "latency_ms",
+        Json.Obj [ ("cold", hist_json h_cold); ("warm", hist_json h_warm) ] );
+    ]
+
+let health_json t =
+  Json.Obj
+    [
+      ("op", Json.Str "health");
+      ("status", Json.Str "ok");
+      ("uptime_s", Json.Float (now () -. t.t0));
+      ("jobs", Json.Int t.jobs);
+      ("served", Json.Int t.served);
+    ]
 
 let ledger_rows t =
   let row name value unit_ higher_better =

@@ -15,14 +15,36 @@
     and cache hits emit a [serve.cache_hit] span; cold and warm
     latencies feed the [serve.latency.cold_ms] / [serve.latency.warm_ms]
     histograms (readable via {!Fpart_obs.Metrics.quantile} when metrics
-    are enabled). *)
+    are enabled).
+
+    {b Request tracing.}  The engine mints a process-unique request id
+    ([r000001], ...) per answered request and sets it as the recorder's
+    request attribution for everything done on the request's behalf —
+    including the per-seed work on pool worker domains — so every span
+    and convergence event serving the request carries a ["req"] field,
+    and the optional access log ties the same id to the response
+    (id, mode, wall ms, cut, k, digests).  See docs/SERVICE.md. *)
 
 type t
 
 (** [create ~jobs ()] spawns the pool.  [timeout_s] is the default
     per-request time limit applied to batched single-start jobs (a
-    request's own [timeout_s] wins for multi-start scheduling). *)
-val create : ?timeout_s:float -> jobs:int -> unit -> t
+    request's own [timeout_s] wins for multi-start scheduling).
+
+    [access] receives one structured record per answered request (the
+    JSONL access log).  [cache_warn_mb] arms a one-shot warning through
+    [warn] when the result cache's estimated size first crosses the
+    threshold.  Creation also registers the [serve.cache.entries] /
+    [serve.cache.bytes_est] / [serve.cache.hit_ratio] exposition gauges
+    ({!Fpart_obs.Expose.set_gauge}) over this engine's cache. *)
+val create :
+  ?timeout_s:float ->
+  ?cache_warn_mb:float ->
+  ?warn:(string -> unit) ->
+  ?access:(Fpart_obs.Json.t -> unit) ->
+  jobs:int ->
+  unit ->
+  t
 
 val jobs : t -> int
 
@@ -37,6 +59,19 @@ val served : t -> int
 val cache_hits : t -> int
 
 val cache_misses : t -> int
+
+val cache_entries : t -> int
+
+val cache_bytes_est : t -> int
+
+(** One-line engine statistics snapshot (the [{"op":"stats"}] protocol
+    response): uptime, served/error counts, cache entries/bytes/ratio,
+    cold and warm latency quantiles. *)
+val stats_json : t -> Fpart_obs.Json.t
+
+(** Cheap liveness probe (the [{"op":"health"}] protocol response and
+    the [/healthz] HTTP body). *)
+val health_json : t -> Fpart_obs.Json.t
 
 (** Ledger rows summarizing this engine's activity so far, named
     [serve/latency-table/...]: request count, cache hit count, and the

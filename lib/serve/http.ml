@@ -1,0 +1,215 @@
+(* Minimal HTTP/1.0 server + client for the telemetry endpoints.
+
+   The listener is a [Thread.t], not a [Domain.t], deliberately:
+   threads stay on the domain that created them, and domain-local
+   metric cells (Metrics DLS) belong to the domain, so a handler
+   reading the instruments observes exactly what the engine domain has
+   accumulated/merged.  A scrape is rare and cheap; serialising it onto
+   the engine domain's runtime lock is the simple correct choice. *)
+
+type t = {
+  sock : Unix.file_descr;
+  hport : int;
+  mutable stopping : bool;
+  mutable thread : Thread.t option;
+}
+
+let parse_addr s =
+  let host_of = function
+    | "" | "localhost" | "127.0.0.1" -> Ok Unix.inet_addr_loopback
+    | "0.0.0.0" -> Ok Unix.inet_addr_any
+    | h -> (
+      match Unix.inet_addr_of_string h with
+      | a -> Ok a
+      | exception _ -> Error (Printf.sprintf "bad host %S" h))
+  in
+  let port_of p =
+    match int_of_string_opt p with
+    | Some n when n >= 0 && n < 65536 -> Ok n
+    | _ -> Error (Printf.sprintf "bad port %S" p)
+  in
+  match String.rindex_opt s ':' with
+  | None -> (
+    match port_of s with
+    | Ok p -> Ok (Unix.inet_addr_loopback, p)
+    | Error e -> Error e)
+  | Some i -> (
+    let host = String.sub s 0 i in
+    let port = String.sub s (i + 1) (String.length s - i - 1) in
+    match (host_of host, port_of port) with
+    | Ok h, Ok p -> Ok (h, p)
+    | Error e, _ | _, Error e -> Error e)
+
+(* --- server -------------------------------------------------------- *)
+
+let read_request_path fd =
+  (* read until the blank line ending the header block (or 8 KiB) *)
+  let buf = Buffer.create 512 in
+  let chunk = Bytes.create 512 in
+  let rec fill () =
+    if Buffer.length buf < 8192 then begin
+      let s = String.lowercase_ascii (Buffer.contents buf) in
+      let done_ =
+        (* headers end at the first blank line *)
+        let has sub =
+          let n = String.length s and m = String.length sub in
+          let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+          go 0
+        in
+        has "\r\n\r\n" || has "\n\n"
+      in
+      if not done_ then begin
+        match Unix.read fd chunk 0 (Bytes.length chunk) with
+        | 0 -> ()
+        | n ->
+          Buffer.add_subbytes buf chunk 0 n;
+          fill ()
+        | exception Unix.Unix_error _ -> ()
+      end
+    end
+  in
+  fill ();
+  let text = Buffer.contents buf in
+  match String.index_opt text '\n' with
+  | None -> None
+  | Some i -> (
+    let line = String.trim (String.sub text 0 i) in
+    match String.split_on_char ' ' line with
+    | "GET" :: path :: _ -> Some path
+    | _ -> None)
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let len = Bytes.length b in
+  let rec go off =
+    if off < len then
+      match Unix.write fd b off (len - off) with
+      | 0 -> ()
+      | n -> go (off + n)
+      | exception Unix.Unix_error _ -> ()
+  in
+  go 0
+
+let respond fd ~status ~content_type body =
+  write_all fd
+    (Printf.sprintf
+       "HTTP/1.0 %s\r\nContent-Type: %s\r\nContent-Length: %d\r\nConnection: \
+        close\r\n\r\n%s"
+       status content_type (String.length body) body)
+
+let serve_connection handler fd =
+  (match read_request_path fd with
+  | None -> respond fd ~status:"400 Bad Request" ~content_type:"text/plain" "bad request\n"
+  | Some path -> (
+    match handler path with
+    | Some (content_type, body) -> respond fd ~status:"200 OK" ~content_type body
+    | None -> respond fd ~status:"404 Not Found" ~content_type:"text/plain" "not found\n"
+    | exception _ ->
+      respond fd ~status:"500 Internal Server Error" ~content_type:"text/plain"
+        "handler error\n"));
+  (try Unix.shutdown fd Unix.SHUTDOWN_ALL with Unix.Unix_error _ -> ());
+  try Unix.close fd with Unix.Unix_error _ -> ()
+
+let accept_loop t handler () =
+  let continue = ref true in
+  while !continue do
+    match Unix.accept t.sock with
+    | fd, _ -> if t.stopping then (try Unix.close fd with Unix.Unix_error _ -> ()) else serve_connection handler fd
+    | exception Unix.Unix_error _ -> continue := false
+  done
+
+let start ~addr ~handler =
+  match parse_addr addr with
+  | Error e -> Error (Printf.sprintf "bad metrics address %S: %s" addr e)
+  | Ok (host, port) -> (
+    let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.setsockopt sock Unix.SO_REUSEADDR true;
+    match
+      Unix.bind sock (Unix.ADDR_INET (host, port));
+      Unix.listen sock 8
+    with
+    | () ->
+      let hport =
+        match Unix.getsockname sock with
+        | Unix.ADDR_INET (_, p) -> p
+        | _ -> port
+      in
+      let t = { sock; hport; stopping = false; thread = None } in
+      t.thread <- Some (Thread.create (accept_loop t handler) ());
+      Ok t
+    | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      Error
+        (Printf.sprintf "cannot listen on %s: %s" addr (Unix.error_message e)))
+
+let port t = t.hport
+
+let stop t =
+  if not t.stopping then begin
+    t.stopping <- true;
+    (* unblock the accept: a self-connection makes it return, then the
+       loop sees [stopping] and exits; closing the socket afterwards
+       also covers runtimes where accept fails instead *)
+    (let poke = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+     (try Unix.connect poke (Unix.ADDR_INET (Unix.inet_addr_loopback, t.hport))
+      with Unix.Unix_error _ -> ());
+     try Unix.close poke with Unix.Unix_error _ -> ());
+    (try Unix.close t.sock with Unix.Unix_error _ -> ());
+    match t.thread with
+    | Some th ->
+      t.thread <- None;
+      Thread.join th
+    | None -> ()
+  end
+
+(* --- client -------------------------------------------------------- *)
+
+let get ~addr path =
+  match parse_addr addr with
+  | Error e -> Error e
+  | Ok (host, port) -> (
+    let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    match Unix.connect sock (Unix.ADDR_INET (host, port)) with
+    | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      Error
+        (Printf.sprintf "cannot connect to %s: %s" addr (Unix.error_message e))
+    | () ->
+      write_all sock
+        (Printf.sprintf "GET %s HTTP/1.0\r\nHost: %s\r\nConnection: close\r\n\r\n"
+           path addr);
+      (try Unix.shutdown sock Unix.SHUTDOWN_SEND with Unix.Unix_error _ -> ());
+      let buf = Buffer.create 4096 in
+      let chunk = Bytes.create 4096 in
+      let rec drain () =
+        match Unix.read sock chunk 0 (Bytes.length chunk) with
+        | 0 -> ()
+        | n ->
+          Buffer.add_subbytes buf chunk 0 n;
+          drain ()
+        | exception Unix.Unix_error _ -> ()
+      in
+      drain ();
+      (try Unix.close sock with Unix.Unix_error _ -> ());
+      let text = Buffer.contents buf in
+      let header_end =
+        let rec find i =
+          if i + 3 >= String.length text then None
+          else if String.sub text i 4 = "\r\n\r\n" then Some (i + 4)
+          else if text.[i] = '\n' && text.[i + 1] = '\n' then Some (i + 2)
+          else find (i + 1)
+        in
+        if String.length text < 4 then None else find 0
+      in
+      (match header_end with
+      | None -> Error "malformed HTTP response (no header terminator)"
+      | Some body_at ->
+        let status_line =
+          match String.index_opt text '\n' with
+          | Some i -> String.trim (String.sub text 0 i)
+          | None -> text
+        in
+        let body = String.sub text body_at (String.length text - body_at) in
+        (match String.split_on_char ' ' status_line with
+        | _ :: "200" :: _ -> Ok body
+        | _ -> Error (Printf.sprintf "%s: %s" addr status_line))))

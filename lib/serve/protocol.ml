@@ -34,6 +34,8 @@ type op =
   | Partition of request
   | Batch of request list
   | Ping
+  | Stats
+  | Health
   | Shutdown
 
 (* --- decoding ------------------------------------------------------ *)
@@ -167,6 +169,8 @@ let op_of_line line =
     | Some op -> (
       match Json.str op with
       | Some "ping" -> Ok Ping
+      | Some "stats" -> Ok Stats
+      | Some "health" -> Ok Health
       | Some "shutdown" -> Ok Shutdown
       | Some "batch" -> (
         match Json.member "requests" j with

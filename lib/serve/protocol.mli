@@ -46,6 +46,8 @@ type op =
   | Partition of request
   | Batch of request list
   | Ping
+  | Stats  (** One-line engine statistics snapshot ({!Engine.stats_json}). *)
+  | Health  (** Cheap liveness probe ({!Engine.health_json}). *)
   | Shutdown
 
 (** [op_of_line line] parses one request line. *)

@@ -1,3 +1,16 @@
+module Json = Fpart_obs.Json
+module Metrics = Fpart_obs.Metrics
+
+(* Per-op request counters: exposed as [fpart_serve_op_*_total], the
+   daemon's traffic mix at a glance. *)
+let c_op_partition = Metrics.counter "serve.op.partition"
+let c_op_batch = Metrics.counter "serve.op.batch"
+let c_op_ping = Metrics.counter "serve.op.ping"
+let c_op_stats = Metrics.counter "serve.op.stats"
+let c_op_health = Metrics.counter "serve.op.health"
+let c_op_shutdown = Metrics.counter "serve.op.shutdown"
+let c_op_malformed = Metrics.counter "serve.op.malformed"
+
 type reaction =
   | Lines of string list
   | Quit
@@ -10,21 +23,36 @@ let is_noise line =
   let line = String.trim line in
   line = "" || line.[0] = '#'
 
+let count_op = function
+  | Protocol.Partition _ -> Metrics.incr c_op_partition
+  | Protocol.Batch _ -> Metrics.incr c_op_batch
+  | Protocol.Ping -> Metrics.incr c_op_ping
+  | Protocol.Stats -> Metrics.incr c_op_stats
+  | Protocol.Health -> Metrics.incr c_op_health
+  | Protocol.Shutdown -> Metrics.incr c_op_shutdown
+
 let react engine line =
   if is_noise line then Lines []
   else
     match Protocol.op_of_line line with
-    | Error e -> Lines [ error_line e ]
-    | Ok Protocol.Ping -> Lines [ Protocol.pong_line ]
-    | Ok Protocol.Shutdown -> Quit
-    | Ok (Protocol.Partition req) ->
-      Lines
-        (List.map Protocol.response_to_line
-           (Engine.handle_requests engine [ req ]))
-    | Ok (Protocol.Batch reqs) ->
-      Lines
-        (List.map Protocol.response_to_line
-           (Engine.handle_requests engine reqs))
+    | Error e ->
+      Metrics.incr c_op_malformed;
+      Lines [ error_line e ]
+    | Ok op -> (
+      count_op op;
+      match op with
+      | Protocol.Ping -> Lines [ Protocol.pong_line ]
+      | Protocol.Stats -> Lines [ Json.to_string (Engine.stats_json engine) ]
+      | Protocol.Health -> Lines [ Json.to_string (Engine.health_json engine) ]
+      | Protocol.Shutdown -> Quit
+      | Protocol.Partition req ->
+        Lines
+          (List.map Protocol.response_to_line
+             (Engine.handle_requests engine [ req ]))
+      | Protocol.Batch reqs ->
+        Lines
+          (List.map Protocol.response_to_line
+             (Engine.handle_requests engine reqs)))
 
 let run_batch engine lines out =
   let written = ref 0 in
@@ -49,18 +77,30 @@ let run_batch engine lines out =
          if not (is_noise line) then
            match Protocol.op_of_line line with
            | Error e ->
+             Metrics.incr c_op_malformed;
              flush_pending ();
              emit (error_line e)
-           | Ok (Protocol.Partition req) -> pending := req :: !pending
-           | Ok (Protocol.Batch reqs) ->
-             pending := List.rev_append reqs !pending
-           | Ok Protocol.Ping ->
-             flush_pending ();
-             emit Protocol.pong_line
-           | Ok Protocol.Shutdown ->
-             flush_pending ();
-             emit (Protocol.bye_line ~served:(Engine.served engine));
-             raise Exit)
+           | Ok op -> (
+             count_op op;
+             match op with
+             | Protocol.Partition req -> pending := req :: !pending
+             | Protocol.Batch reqs ->
+               pending := List.rev_append reqs !pending
+             | Protocol.Ping ->
+               flush_pending ();
+               emit Protocol.pong_line
+             | Protocol.Stats ->
+               (* stats observe the requests before them in the script,
+                  so the pending group must land first *)
+               flush_pending ();
+               emit (Json.to_string (Engine.stats_json engine))
+             | Protocol.Health ->
+               flush_pending ();
+               emit (Json.to_string (Engine.health_json engine))
+             | Protocol.Shutdown ->
+               flush_pending ();
+               emit (Protocol.bye_line ~served:(Engine.served engine));
+               raise Exit))
        lines
    with Exit -> ());
   flush_pending ();

@@ -11,7 +11,9 @@ type reaction =
 
 (** [react engine line] processes one protocol line.  Blank lines and
     [#] comments produce no output; malformed lines produce one error
-    response line. *)
+    response line.  Every parsed line increments its [serve.op.*]
+    counter ([partition], [batch], [ping], [stats], [health],
+    [shutdown]; parse failures count under [serve.op.malformed]). *)
 val react : Engine.t -> string -> reaction
 
 (** [run_batch engine lines out] feeds a whole request script through

@@ -255,6 +255,120 @@ let test_eco_warm_beats_cold_via_engine () =
       Alcotest.(check bool) "projection mostly matched" true
         (projection.Eco.matched > projection.Eco.stale))
 
+(* ------------------------------------------------------------------ *)
+(* telemetry plane: stats/health ops, cache accounting, access log and
+   request-id stamping *)
+
+module Server = Serve.Server
+module Json = Fpart_obs.Json
+module Sink = Fpart_obs.Sink
+
+let json_of_line line =
+  match Json.of_string line with
+  | Ok j -> j
+  | Error e -> Alcotest.failf "unparseable response line: %s" e
+
+let test_stats_and_health_ops () =
+  with_engine (fun e ->
+      ignore (Engine.handle_requests e [ request () ]);
+      (match Server.react e "{\"op\":\"health\"}" with
+      | Server.Lines [ line ] ->
+        let j = json_of_line line in
+        Alcotest.(check bool) "health status ok" true
+          (Json.member "status" j = Some (Json.Str "ok"));
+        Alcotest.(check bool) "health reports served" true
+          (Json.member "served" j = Some (Json.Int 1))
+      | _ -> Alcotest.fail "health did not answer one line");
+      match Server.react e "{\"op\":\"stats\"}" with
+      | Server.Lines [ line ] -> (
+        let j = json_of_line line in
+        Alcotest.(check bool) "stats op tag" true
+          (Json.member "op" j = Some (Json.Str "stats"));
+        match Json.member "cache" j with
+        | Some cache ->
+          Alcotest.(check bool) "one cached entry" true
+            (Json.member "entries" cache = Some (Json.Int 1));
+          (match Json.member "bytes_est" cache with
+          | Some (Json.Int b) ->
+            Alcotest.(check bool) "cache bytes estimated" true (b > 0)
+          | _ -> Alcotest.fail "stats cache has no bytes_est")
+        | None -> Alcotest.fail "stats without a cache object")
+      | _ -> Alcotest.fail "stats did not answer one line")
+
+let test_cache_warning_fires_once () =
+  let warnings = ref [] in
+  let e =
+    Engine.create ~cache_warn_mb:0.000001
+      ~warn:(fun m -> warnings := m :: !warnings)
+      ~jobs:1 ()
+  in
+  Fun.protect
+    ~finally:(fun () -> Engine.shutdown e)
+    (fun () ->
+      ignore (Engine.handle_requests e [ request () ]);
+      Alcotest.(check int) "one entry" 1 (Engine.cache_entries e);
+      Alcotest.(check bool) "bytes estimated" true
+        (Engine.cache_bytes_est e > 0);
+      Alcotest.(check int) "warning fired" 1 (List.length !warnings);
+      (* growth continues, the warning does not repeat *)
+      ignore (Engine.handle_requests e [ request ~seed:9 () ]);
+      Alcotest.(check int) "two entries" 2 (Engine.cache_entries e);
+      Alcotest.(check int) "warning is one-shot" 1 (List.length !warnings))
+
+(* The acceptance pair: the same engine-minted request id must appear
+   in the access-log record and as the ["req"] attr on the recorder
+   spans serving that request. *)
+let test_access_log_and_request_stamp () =
+  Fpart_obs.Metrics.set_enabled true;
+  let sink, recorded = Sink.memory () in
+  Sink.set sink;
+  let logs = ref [] in
+  let e = Engine.create ~access:(fun j -> logs := j :: !logs) ~jobs:1 () in
+  Fun.protect
+    ~finally:(fun () ->
+      Engine.shutdown e;
+      Sink.set Sink.null;
+      Fpart_obs.Recorder.reset ())
+    (fun () ->
+      ignore
+        (Engine.handle_requests e
+           [ request ~id:"a" (); request ~id:"dup" (); request ~id:"bad" ~device:"XC9999" () ]);
+      let logs = List.rev !logs in
+      Alcotest.(check int) "one access record per request" 3 (List.length logs);
+      let field k j =
+        match Json.member k j with
+        | Some (Json.Str s) -> s
+        | _ -> Alcotest.failf "access record missing %s" k
+      in
+      (* records emit at completion time (a prepare failure logs before
+         the batch fan-out finishes), so find them by client id *)
+      let by_id id =
+        match List.find_opt (fun j -> field "id" j = id) logs with
+        | Some j -> j
+        | None -> Alcotest.failf "no access record for %s" id
+      in
+      let a = by_id "a" and dup = by_id "dup" and bad = by_id "bad" in
+      Alcotest.(check string) "rids are minted in request order" "r000001"
+        (field "rid" a);
+      Alcotest.(check string) "client id preserved" "a" (field "id" a);
+      Alcotest.(check string) "cold mode" "cold" (field "mode" a);
+      Alcotest.(check string) "duplicate replays as hit" "hit" (field "mode" dup);
+      Alcotest.(check string) "errors are logged too" "error" (field "status" bad);
+      Alcotest.(check bool) "ok record carries cut and k" true
+        (Json.member "cut" a <> None && Json.member "k" a <> None);
+      (* the same rid stamps the recorder spans of that request *)
+      let spans_of rid =
+        List.filter
+          (fun j ->
+            Json.member "req" j = Some (Json.Str rid)
+            && Json.member "type" j = Some (Json.Str "span"))
+          (recorded ())
+      in
+      Alcotest.(check bool) "request a's spans carry its rid" true
+        (List.length (spans_of (field "rid" a)) >= 1);
+      Alcotest.(check bool) "request dup's spans carry its rid" true
+        (List.length (spans_of (field "rid" dup)) >= 1))
+
 let () =
   Alcotest.run "serve"
     [
@@ -274,6 +388,12 @@ let () =
         ] );
       ( "eco",
         [
+          Alcotest.test_case "stats and health ops" `Quick
+            test_stats_and_health_ops;
+          Alcotest.test_case "cache warning fires once" `Quick
+            test_cache_warning_fires_once;
+          Alcotest.test_case "access log and request stamp agree" `Quick
+            test_access_log_and_request_stamp;
           Alcotest.test_case "warm start on a small edit" `Quick
             test_eco_warm_beats_cold_via_engine;
         ] );
